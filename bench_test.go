@@ -1,0 +1,541 @@
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded results).
+//
+// Each benchmark prints its table/series once (on first run) and then times
+// the computational kernel behind it, so `go test -bench=. -benchmem`
+// both regenerates the paper artefacts and measures the implementation.
+package sstiming_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"sstiming/internal/atpg"
+	"sstiming/internal/baseline"
+	"sstiming/internal/benchgen"
+	"sstiming/internal/cells"
+	"sstiming/internal/charlib"
+	"sstiming/internal/core"
+	"sstiming/internal/device"
+	"sstiming/internal/holdfix"
+	"sstiming/internal/itr"
+	"sstiming/internal/prechar"
+	"sstiming/internal/sta"
+)
+
+var benchTech = device.Default05um()
+
+// spiceNAND2Delay simulates the transistor-level NAND2 testbench: input 0
+// falls at 1.2 ns with transition tx; input 1 falls at skew later with
+// transition ty (skip with ty <= 0). Returns the gate delay relative to the
+// earliest input arrival.
+func spiceNAND2Delay(tb testing.TB, tx, ty, skew float64) float64 {
+	tb.Helper()
+	cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: benchTech, LoadInverter: true}
+	ax := 1.2e-9
+	drives := []cells.Drive{cells.Falling(ax, tx), cells.SteadyHigh(benchTech)}
+	earliest := ax
+	latest := ax
+	if ty > 0 {
+		ay := ax + skew
+		drives[1] = cells.Falling(ay, ty)
+		earliest = math.Min(ax, ay)
+		latest = math.Max(ax, ay)
+	}
+	tr, err := cfg.MeasureResponse(drives, true, cells.SimOptions{TStop: latest + 3.5e-9})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr.Arrival - earliest
+}
+
+// BenchmarkFig1SingleVsSimultaneous regenerates Figure 1: the gate delay of
+// a NAND2 for a single falling input versus two simultaneous falling inputs
+// (the paper's 0.28 ns vs 0.17 ns illustration).
+func BenchmarkFig1SingleVsSimultaneous(b *testing.B) {
+	lib := prechar.MustLibrary()
+	nand2 := lib.MustCell("NAND2")
+	const T = 0.5e-9
+
+	fig1Once.Do(func() {
+		dSingleSim := spiceNAND2Delay(b, T, 0, 0)
+		dSimulSim := spiceNAND2Delay(b, T, T, 0)
+		dSingleMod := nand2.CtrlPins[0].DelayAt(T, 0)
+		dSimulMod := nand2.DelayCtrl2(0, 1, T, T, 0, 0)
+		fmt.Printf("\nFigure 1: NAND2 single vs simultaneous to-controlling transitions (T=%.1f ns)\n", T*1e9)
+		fmt.Printf("  %-22s %10s %10s\n", "", "SPICE(ns)", "model(ns)")
+		fmt.Printf("  %-22s %10.4f %10.4f\n", "single input", dSingleSim*1e9, dSingleMod*1e9)
+		fmt.Printf("  %-22s %10.4f %10.4f\n", "simultaneous (skew 0)", dSimulSim*1e9, dSimulMod*1e9)
+		fmt.Printf("  speed-up: SPICE %.0f%%, model %.0f%%\n",
+			100*(1-dSimulSim/dSingleSim), 100*(1-dSimulMod/dSingleMod))
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = nand2.CtrlResponse([]core.InputEvent{
+			{Pin: 0, Arrival: 0, Trans: T},
+			{Pin: 1, Arrival: 0, Trans: T},
+		}, 0)
+	}
+}
+
+var fig1Once, fig2Once, fig5Once, fig9Once, fig10Once, fig11Once, fig12Once sync.Once
+var tab1Once, tab2Once, sec7Once, ext3Once, holdOnce, ncFigOnce sync.Once
+
+// BenchmarkFig2DelayVsSkew regenerates Figure 2: the rising delay of a
+// two-input NAND as a function of input skew, SPICE versus the V-shape
+// approximation.
+func BenchmarkFig2DelayVsSkew(b *testing.B) {
+	lib := prechar.MustLibrary()
+	nand2 := lib.MustCell("NAND2")
+	const tx, ty = 0.5e-9, 0.5e-9
+
+	fig2Once.Do(func() {
+		fmt.Printf("\nFigure 2: NAND2 rising delay vs skew (Tx=Ty=%.1f ns)\n", tx*1e9)
+		fmt.Printf("  %9s %10s %10s\n", "skew(ns)", "SPICE(ns)", "model(ns)")
+		for _, skew := range []float64{-1.0e-9, -0.6e-9, -0.3e-9, -0.15e-9, 0, 0.15e-9, 0.3e-9, 0.6e-9, 1.0e-9} {
+			sim := spiceNAND2Delay(b, tx, ty, skew)
+			mod := nand2.DelayCtrl2(0, 1, tx, ty, skew, 0)
+			fmt.Printf("  %9.2f %10.4f %10.4f\n", skew*1e9, sim*1e9, mod*1e9)
+		}
+		p := nand2.Pair(0, 1)
+		fmt.Printf("  anchors: D0R=%.4f ns, SR=%.4f ns\n",
+			p.D0.Eval(tx, ty)*1e9, p.SX.Eval(tx, ty)*1e9)
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nand2.DelayCtrl2(0, 1, tx, ty, 0.2e-9, 0)
+	}
+}
+
+// BenchmarkFig5Trends regenerates Figure 5: the shapes of the timing
+// functions versus single variables — delay monotone/bi-tonic in the input
+// transition time, output transition time monotone increasing, V-shaped
+// dependence on skew.
+func BenchmarkFig5Trends(b *testing.B) {
+	lib := prechar.MustLibrary()
+	nand2 := lib.MustCell("NAND2")
+
+	fig5Once.Do(func() {
+		fmt.Printf("\nFigure 5: timing-function trends (NAND2)\n")
+		fmt.Printf("  (a/b) pin-to-pin delay and (d/e) output transition vs input T (Y steady):\n")
+		fmt.Printf("  %7s %10s %10s\n", "T(ns)", "delay(ns)", "trans(ns)")
+		for _, T := range []float64{0.1e-9, 0.3e-9, 0.6e-9, 1.0e-9, 1.5e-9, 2.0e-9, 3.0e-9} {
+			fmt.Printf("  %7.2f %10.4f %10.4f\n", T*1e9,
+				nand2.CtrlPins[0].DelayAt(T, 0)*1e9, nand2.CtrlPins[0].TransAt(T, 0)*1e9)
+		}
+		if peak, ok := nand2.CtrlPins[0].Delay.PeakT(); ok {
+			fmt.Printf("  bi-tonic: interior delay peak at T = %.3f ns\n", peak*1e9)
+		} else {
+			fmt.Printf("  monotone: no interior delay peak in the fitted range\n")
+		}
+		fmt.Printf("  (c/f) delay and transition vs skew (Tx=Ty=0.5 ns):\n")
+		fmt.Printf("  %9s %10s %10s\n", "skew(ns)", "delay(ns)", "trans(ns)")
+		for _, s := range []float64{-0.6e-9, -0.3e-9, 0, 0.1e-9, 0.3e-9, 0.6e-9} {
+			fmt.Printf("  %9.2f %10.4f %10.4f\n", s*1e9,
+				nand2.DelayCtrl2(0, 1, 0.5e-9, 0.5e-9, s, 0)*1e9,
+				nand2.TransCtrl2(0, 1, 0.5e-9, 0.5e-9, s, 0)*1e9)
+		}
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nand2.TransCtrl2(0, 1, 0.5e-9, 0.5e-9, 0.1e-9, 0)
+	}
+}
+
+// BenchmarkFig9CornerCases regenerates Figure 9: the three positions the
+// [T_S, T_L] range can take against the bi-tonic delay curve's peak, and
+// the worst-case corner each induces.
+func BenchmarkFig9CornerCases(b *testing.B) {
+	lib := prechar.MustLibrary()
+	q := lib.MustCell("NAND2").CtrlPins[0].Delay
+
+	fig9Once.Do(func() {
+		peak, ok := q.PeakT()
+		if !ok {
+			// Force a bi-tonic curve for the illustration.
+			q = core.Quad{K: [3]float64{-0.08, 0.35, 0.05}}
+			peak, _ = q.PeakT()
+		}
+		fmt.Printf("\nFigure 9: worst-case corner vs position of [T_S,T_L] (peak at %.3f ns)\n", peak*1e9)
+		ranges := []struct {
+			name   string
+			lo, hi float64
+		}{
+			{"(a) range left of peak", peak - 1.2e-9, peak - 0.4e-9},
+			{"(b) range right of peak", peak + 0.4e-9, peak + 1.2e-9},
+			{"(c) range straddles peak", peak - 0.4e-9, peak + 0.4e-9},
+		}
+		for _, r := range ranges {
+			lo := math.Max(r.lo, 0.05e-9)
+			arg, val := q.MaxOver(lo, r.hi)
+			where := "interior peak"
+			switch arg {
+			case lo:
+				where = "left endpoint"
+			case r.hi:
+				where = "right endpoint"
+			}
+			fmt.Printf("  %-26s argmax T = %.3f ns (%s), max delay %.4f ns\n",
+				r.name, arg*1e9, where, val*1e9)
+		}
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = q.MaxOver(0.2e-9, 1.2e-9)
+	}
+}
+
+// nand5Lib characterises a NAND5 (pin-to-pin only) for the Figure 10
+// position study; shared across benchmark runs.
+var (
+	nand5Once sync.Once
+	nand5Cell *core.CellModel
+	nand5Err  error
+)
+
+func nand5Model(tb testing.TB) *core.CellModel {
+	nand5Once.Do(func() {
+		lib, err := charlib.Characterize(charlib.Options{
+			Tech:      benchTech,
+			Grid:      []float64{0.15e-9, 0.4e-9, 0.8e-9, 1.4e-9},
+			Cells:     []cells.Config{{Kind: cells.NAND, N: 5, Tech: benchTech, LoadInverter: true}},
+			SkipPairs: true,
+		})
+		if err != nil {
+			nand5Err = err
+			return
+		}
+		nand5Cell = lib.MustCell("NAND5")
+	})
+	if nand5Err != nil {
+		tb.Fatal(nand5Err)
+	}
+	return nand5Cell
+}
+
+// BenchmarkFig10NAND5Position regenerates Figure 10: the pin-to-pin rising
+// delay for a single transition at position 4 of a five-input NAND — SPICE
+// versus the (position-aware) proposed model versus a position-blind
+// inverter-collapsing baseline.
+func BenchmarkFig10NAND5Position(b *testing.B) {
+	n5 := nand5Model(b)
+
+	fig10Once.Do(func() {
+		cfg := cells.Config{Kind: cells.NAND, N: 5, Tech: benchTech, LoadInverter: true}
+		fmt.Printf("\nFigure 10: single falling transition at position 4 of NAND5\n")
+		fmt.Printf("  %7s %10s %12s %12s\n", "T(ns)", "SPICE(ns)", "proposed(ns)", "posblind(ns)")
+		for _, T := range []float64{0.2e-9, 0.5e-9, 0.9e-9, 1.3e-9} {
+			drives := make([]cells.Drive, 5)
+			for i := range drives {
+				drives[i] = cells.SteadyHigh(benchTech)
+			}
+			drives[4] = cells.Falling(1.2e-9, T)
+			tr, err := cfg.MeasureResponse(drives, true, cells.SimOptions{TStop: 1.2e-9 + 3.5e-9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim := tr.Arrival - 1.2e-9
+			prop := n5.CtrlPins[4].DelayAt(T, 0)
+			blind := (baseline.Nabavi{}).CtrlDelay1(n5, 4, T)
+			fmt.Printf("  %7.2f %10.4f %12.4f %12.4f\n", T*1e9, sim*1e9, prop*1e9, blind*1e9)
+		}
+		p0 := n5.CtrlPins[0].DelayAt(0.5e-9, 0)
+		p4 := n5.CtrlPins[4].DelayAt(0.5e-9, 0)
+		fmt.Printf("  position effect at T=0.5 ns: pos0 %.4f ns vs pos4 %.4f ns (+%.0f%%)\n",
+			p0*1e9, p4*1e9, 100*(p4/p0-1))
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n5.CtrlPins[4].DelayAt(0.5e-9, 0)
+	}
+}
+
+// BenchmarkFig11VaryTy regenerates Figure 11: simultaneous switching on a
+// NAND2 at zero skew with Tx fixed at 0.5 ns, sweeping Ty — SPICE versus
+// the proposed model and the Jun/Nabavi baselines.
+func BenchmarkFig11VaryTy(b *testing.B) {
+	lib := prechar.MustLibrary()
+	nand2 := lib.MustCell("NAND2")
+	const tx = 0.5e-9
+
+	fig11Once.Do(func() {
+		fmt.Printf("\nFigure 11: NAND2 simultaneous switching, skew 0, Tx=%.1f ns, varying Ty\n", tx*1e9)
+		fmt.Printf("  %7s %10s %10s %10s %10s\n", "Ty(ns)", "SPICE", "proposed", "nabavi", "jun")
+		for _, ty := range []float64{0.15e-9, 0.3e-9, 0.5e-9, 0.8e-9, 1.2e-9} {
+			sim := spiceNAND2Delay(b, tx, ty, 0)
+			fmt.Printf("  %7.2f %10.4f %10.4f %10.4f %10.4f\n", ty*1e9, sim*1e9,
+				(baseline.Proposed{}).CtrlDelay2(nand2, 0, 1, tx, ty, 0)*1e9,
+				(baseline.Nabavi{}).CtrlDelay2(nand2, 0, 1, tx, ty, 0)*1e9,
+				(baseline.Jun{}).CtrlDelay2(nand2, 0, 1, tx, ty, 0)*1e9)
+		}
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = (baseline.Proposed{}).CtrlDelay2(nand2, 0, 1, tx, 0.8e-9, 0)
+	}
+}
+
+// BenchmarkFig12VarySkew regenerates Figure 12: the NAND2 delay as the skew
+// varies for fixed transition times — SPICE versus the proposed model and
+// the Jun/Nabavi baselines (Jun fails at large skew; Nabavi is the least
+// accurate).
+func BenchmarkFig12VarySkew(b *testing.B) {
+	lib := prechar.MustLibrary()
+	nand2 := lib.MustCell("NAND2")
+	const tx, ty = 0.5e-9, 0.5e-9
+
+	fig12Once.Do(func() {
+		fmt.Printf("\nFigure 12: NAND2 delay vs skew (Tx=Ty=%.1f ns)\n", tx*1e9)
+		fmt.Printf("  %9s %10s %10s %10s %10s\n", "skew(ns)", "SPICE", "proposed", "nabavi", "jun")
+		for _, s := range []float64{-0.8e-9, -0.4e-9, -0.2e-9, 0, 0.2e-9, 0.4e-9, 0.8e-9, 1.2e-9} {
+			sim := spiceNAND2Delay(b, tx, ty, s)
+			fmt.Printf("  %9.2f %10.4f %10.4f %10.4f %10.4f\n", s*1e9, sim*1e9,
+				(baseline.Proposed{}).CtrlDelay2(nand2, 0, 1, tx, ty, s)*1e9,
+				(baseline.Nabavi{}).CtrlDelay2(nand2, 0, 1, tx, ty, s)*1e9,
+				(baseline.Jun{}).CtrlDelay2(nand2, 0, 1, tx, ty, s)*1e9)
+		}
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = (baseline.Jun{}).CtrlDelay2(nand2, 0, 1, tx, ty, 0.4e-9)
+	}
+}
+
+// BenchmarkTable1ImpliedStates regenerates Table 1: the implied zero-state
+// resolutions for every optimization target, derived from the five rules of
+// Section 5.2.
+func BenchmarkTable1ImpliedStates(b *testing.B) {
+	tab1Once.Do(func() {
+		fmt.Printf("\nTable 1: implied (S_X, S_Y) settings per optimization target\n")
+		fmt.Print(itr.Table1())
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tgt := range itr.AllTargets() {
+			_ = itr.ImpliedSettings(tgt, 0)
+		}
+	}
+}
+
+// BenchmarkTable2STAMinDelay regenerates Table 2: STA min-delay at the
+// primary outputs of the benchmark suite under the pin-to-pin model versus
+// the proposed model.
+func BenchmarkTable2STAMinDelay(b *testing.B) {
+	lib := prechar.MustLibrary()
+
+	tab2Once.Do(func() {
+		fmt.Printf("\nTable 2: min-delay at outputs (ns); paper reports ratios 1.05-1.31\n")
+		fmt.Printf("  %-8s %9s %9s %7s\n", "circuit", "pin2pin", "proposed", "ratio")
+		for _, name := range []string{"c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c7552"} {
+			c, err := benchgen.Load(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p2p, err := sta.Analyze(c, sta.Options{Lib: lib, Mode: sta.ModePinToPin})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prop, err := sta.Analyze(c, sta.Options{Lib: lib, Mode: sta.ModeProposed})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("  %-8s %9.4f %9.4f %7.3f\n", name,
+				p2p.MinPOArrival()*1e9, prop.MinPOArrival()*1e9,
+				p2p.MinPOArrival()/prop.MinPOArrival())
+		}
+	})
+
+	c880, err := benchgen.Load("c880")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sta.Analyze(c880, sta.Options{Lib: lib, Mode: sta.ModeProposed}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSection7ATPGEfficiency regenerates the Section 7 experiment:
+// crosstalk-fault ATPG efficiency without and with ITR (the paper reports
+// 39.63% -> 82.75%).
+func BenchmarkSection7ATPGEfficiency(b *testing.B) {
+	lib := prechar.MustLibrary()
+	c, err := benchgen.Load("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := atpg.RandomFaults(c, 40, 42, 0.12e-9)
+
+	sec7Once.Do(func() {
+		fmt.Printf("\nSection 7: crosstalk ATPG efficiency on c432 (40 faults, 48 backtracks)\n")
+		for _, useITR := range []bool{false, true} {
+			s, err := atpg.RunCampaign(c, faults, atpg.Options{Lib: lib, UseITR: useITR, MaxBacktracks: 48})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tag := "without ITR"
+			if useITR {
+				tag = "with ITR   "
+			}
+			fmt.Printf("  %s efficiency %6.2f%% (detected %d, untestable %d, aborted %d)\n",
+				tag, s.Efficiency*100, s.Detected, s.Untestable, s.Aborted)
+		}
+		fmt.Printf("  paper: 39.63%% -> 82.75%%\n")
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := atpg.GenerateTest(c, faults[0], atpg.Options{Lib: lib, UseITR: true, MaxBacktracks: 48}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExt3Simultaneous regenerates the extended-model companion result
+// the paper defers to its technical report [9]: three simultaneous
+// to-controlling transitions on a NAND3 versus the transistor-level
+// simulator, with and without the characterised multi-input speed-up
+// factor.
+func BenchmarkExt3Simultaneous(b *testing.B) {
+	lib := prechar.MustLibrary()
+	nand3 := lib.MustCell("NAND3")
+
+	ext3Once.Do(func() {
+		cfg := cells.Config{Kind: cells.NAND, N: 3, Tech: benchTech, LoadInverter: true}
+		fmt.Printf("\nExtended model: three simultaneous transitions on NAND3 (skew 0)\n")
+		fmt.Printf("  %7s %10s %12s %14s\n", "T(ns)", "SPICE(ns)", "extended(ns)", "pairwise(ns)")
+		for _, T := range []float64{0.2e-9, 0.5e-9, 0.9e-9} {
+			drives := []cells.Drive{
+				cells.Falling(1.2e-9, T),
+				cells.Falling(1.2e-9, T),
+				cells.Falling(1.2e-9, T),
+			}
+			tr, err := cfg.MeasureResponse(drives, true, cells.SimOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim := tr.Arrival - 1.2e-9
+
+			evs := []core.InputEvent{
+				{Pin: 0, Arrival: 0, Trans: T},
+				{Pin: 1, Arrival: 0, Trans: T},
+				{Pin: 2, Arrival: 0, Trans: T},
+			}
+			withF, err := nand3.CtrlResponse(evs, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			saved := nand3.MultiFactor
+			nand3.MultiFactor = nil
+			pairOnly, err := nand3.CtrlResponse(evs, 0)
+			nand3.MultiFactor = saved
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("  %7.2f %10.4f %12.4f %14.4f\n",
+				T*1e9, sim*1e9, withF.Arrival*1e9, pairOnly.Arrival*1e9)
+		}
+		fmt.Printf("  (multi factor for 3 inputs: %.3f)\n", nand3.MultiFactor[0])
+	})
+
+	evs := []core.InputEvent{
+		{Pin: 0, Arrival: 0, Trans: 0.5e-9},
+		{Pin: 1, Arrival: 0, Trans: 0.5e-9},
+		{Pin: 2, Arrival: 0, Trans: 0.5e-9},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = nand3.CtrlResponse(evs, 0)
+	}
+}
+
+// BenchmarkApplicationHoldFix runs the application study behind the paper's
+// Section 6.2 motivation: hold-violation fixing by buffer insertion. Fixing
+// under the pin-to-pin model under-buffers (its min-delays are
+// overestimates); auditing the result with the accurate model exposes the
+// missed violations.
+func BenchmarkApplicationHoldFix(b *testing.B) {
+	lib := prechar.MustLibrary()
+	c, err := benchgen.Load("c432")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hold = 1.2e-9
+
+	holdOnce.Do(func() {
+		fmt.Printf("\nApplication: hold fixing on c432 (hold time %.2f ns)\n", hold*1e9)
+		for _, mode := range []sta.Mode{sta.ModePinToPin, sta.ModeProposed} {
+			r, err := holdfix.Fix(c, lib, mode, hold)
+			if err != nil {
+				b.Fatal(err)
+			}
+			missed, err := holdfix.Audit(r.Fixed, lib, sta.ModeProposed, hold)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("  fix under %-11s: %3d buffers inserted, %d real violations remain\n",
+				mode, r.BuffersInserted, len(missed))
+		}
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := holdfix.Fix(c, lib, sta.ModeProposed, hold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtNonCtrlLambda regenerates the Section 3.6 future-work figure:
+// the to-non-controlling gate delay of a NAND2 (both inputs rising,
+// measured from the latest arrival) versus skew — the Λ-shaped counterpart
+// of Figure 2, peaking at zero skew — against the transistor-level
+// simulator.
+func BenchmarkExtNonCtrlLambda(b *testing.B) {
+	lib := prechar.MustLibrary()
+	nand2 := lib.MustCell("NAND2")
+	const tx, ty = 0.5e-9, 0.5e-9
+
+	ncFigOnce.Do(func() {
+		cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: benchTech, LoadInverter: true}
+		fmt.Printf("\nSection 3.6 extension: NAND2 to-non-controlling delay vs skew (Tx=Ty=%.1f ns)\n", tx*1e9)
+		fmt.Printf("  %9s %10s %10s %12s\n", "skew(ns)", "SPICE(ns)", "model(ns)", "pin2pin(ns)")
+		for _, skew := range []float64{-0.6e-9, -0.3e-9, -0.1e-9, 0, 0.1e-9, 0.3e-9, 0.6e-9} {
+			ax := 1.2e-9
+			ay := ax + skew
+			tr, err := cfg.MeasureResponse([]cells.Drive{
+				cells.Rising(ax, tx), cells.Rising(ay, ty),
+			}, false, cells.SimOptions{TStop: math.Max(ax, ay) + 3e-9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			latest := math.Max(ax, ay)
+			sim := tr.Arrival - latest
+			mod := nand2.DelayNonCtrl2(0, 1, tx, ty, skew, 0)
+			// Pin-to-pin: the later input's single delay.
+			p2p := nand2.NonCtrlPins[1].DelayAt(ty, 0)
+			if skew < 0 {
+				p2p = nand2.NonCtrlPins[0].DelayAt(tx, 0)
+			}
+			fmt.Printf("  %9.2f %10.4f %10.4f %12.4f\n", skew*1e9, sim*1e9, mod*1e9, p2p*1e9)
+		}
+	})
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = nand2.DelayNonCtrl2(0, 1, tx, ty, 0.1e-9, 0)
+	}
+}

@@ -1,0 +1,61 @@
+// Command atpg runs the crosstalk delay fault ATPG campaign of the paper's
+// Section 7 on a benchmark circuit, with and without incremental timing
+// refinement, and reports the resulting ATPG efficiencies.
+//
+// Usage:
+//
+//	atpg [-bench c432] [-faults 40] [-seed 42] [-skew 30ps] [-backtracks 48]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sstiming/internal/atpg"
+	"sstiming/internal/benchgen"
+	"sstiming/internal/prechar"
+)
+
+func main() {
+	bench := flag.String("bench", "c432", "benchmark name")
+	nFaults := flag.Int("faults", 40, "number of crosstalk fault sites")
+	seed := flag.Int64("seed", 42, "fault-list seed")
+	skewPS := flag.Float64("skew", 120, "alignment window scale in picoseconds")
+	backtracks := flag.Int("backtracks", 48, "backtrack budget per fault")
+	flag.Parse()
+
+	lib, err := prechar.Library()
+	if err != nil {
+		fail(err)
+	}
+	c, err := benchgen.Load(*bench)
+	if err != nil {
+		fail(err)
+	}
+	faults := atpg.RandomFaults(c, *nFaults, *seed, *skewPS*1e-12)
+
+	fmt.Printf("circuit %s: %d crosstalk faults, backtrack budget %d\n", *bench, len(faults), *backtracks)
+	for _, useITR := range []bool{false, true} {
+		s, err := atpg.RunCampaign(c, faults, atpg.Options{
+			Lib:           lib,
+			UseITR:        useITR,
+			MaxBacktracks: *backtracks,
+		})
+		if err != nil {
+			fail(err)
+		}
+		name := "without ITR"
+		if useITR {
+			name = "with ITR   "
+		}
+		fmt.Printf("%s efficiency %6.2f%%  (detected %d, untestable %d, aborted %d, backtracks %d)\n",
+			name, s.Efficiency*100, s.Detected, s.Untestable, s.Aborted, s.TotalBacktracks)
+	}
+	fmt.Println("(the paper's Section 7 reports 39.63% -> 82.75% on its fault list)")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atpg:", err)
+	os.Exit(1)
+}

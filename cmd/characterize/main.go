@@ -1,0 +1,78 @@
+// Command characterize runs the one-time cell-library characterisation of
+// the paper's Section 3.7: it sweeps the transistor-level simulator over
+// grids of input transition times and skews for every library cell, fits the
+// empirical K-coefficient formulas, and writes the resulting timing library
+// as JSON.
+//
+// Usage:
+//
+//	characterize [-out lib05.json] [-fast] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sstiming/internal/charlib"
+)
+
+func main() {
+	out := flag.String("out", "lib05.json", "output library path")
+	fast := flag.Bool("fast", false, "use the reduced characterisation grid")
+	verbose := flag.Bool("v", false, "print progress")
+	flag.Parse()
+
+	var opts charlib.Options
+	if *fast {
+		opts = charlib.FastOptions()
+	}
+	// The shipped artefact carries the Section 3.6 extension surfaces;
+	// consumers only use them behind their NCExtension flags.
+	opts.NCPairs = true
+	if *verbose {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	lib, err := charlib.Characterize(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := lib.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cells, tech %s, Vdd %.2f V)\n", *out, len(lib.Cells), lib.TechName, lib.Vdd)
+
+	if *verbose {
+		fmt.Println("\nfit quality (ns domain):")
+		names := make([]string, 0, len(lib.Cells))
+		for name := range lib.Cells {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := lib.Cells[name]
+			keys := make([]string, 0, len(m.Quality))
+			for k := range m.Quality {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				q := m.Quality[k]
+				fmt.Printf("  %-8s %-22s rms %.4f  max %.4f  R2 %.4f\n", name, k, q.RMS, q.Max, q.R2)
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Command figures regenerates every figure and table of the paper as
+// plot-ready TSV data files (one per artefact), using the embedded
+// characterised library and the transistor-level simulator for reference
+// curves.
+//
+// Usage:
+//
+//	figures [-out figures/]
+//
+// Writing fig10.tsv characterises a NAND5 on the fly (~10 s); everything
+// else runs in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"sstiming/internal/atpg"
+	"sstiming/internal/baseline"
+	"sstiming/internal/benchgen"
+	"sstiming/internal/cells"
+	"sstiming/internal/charlib"
+	"sstiming/internal/core"
+	"sstiming/internal/device"
+	"sstiming/internal/prechar"
+	"sstiming/internal/sta"
+)
+
+var (
+	tech   = device.Default05um()
+	outDir string
+)
+
+func main() {
+	out := flag.String("out", "figures", "output directory for TSV files")
+	flag.Parse()
+	outDir = *out
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		fail(err)
+	}
+	lib, err := prechar.Library()
+	if err != nil {
+		fail(err)
+	}
+
+	writeFig1(lib)
+	writeFig2(lib)
+	writeFig5(lib)
+	writeFig11(lib)
+	writeFig12(lib)
+	writeNCLambda(lib)
+	writeTable2(lib)
+	writeSection7(lib)
+	writeFig10() // last: characterises NAND5 on the fly
+	fmt.Println("wrote figure data to", outDir)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}
+
+// tsv opens a TSV file and writes its header.
+func tsv(name string, header string) *os.File {
+	f, err := os.Create(filepath.Join(outDir, name))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(f, header)
+	return f
+}
+
+// simNAND2 measures the NAND2 to-controlling delay for falling inputs at
+// (tx, ty, skew); ty <= 0 leaves input 1 steady.
+func simNAND2(tx, ty, skew float64) float64 {
+	cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true}
+	ax := 1.2e-9
+	drives := []cells.Drive{cells.Falling(ax, tx), cells.SteadyHigh(tech)}
+	earliest, latest := ax, ax
+	if ty > 0 {
+		ay := ax + skew
+		drives[1] = cells.Falling(ay, ty)
+		earliest = math.Min(ax, ay)
+		latest = math.Max(ax, ay)
+	}
+	tr, err := cfg.MeasureResponse(drives, true, cells.SimOptions{TStop: latest + 3.5e-9})
+	if err != nil {
+		fail(err)
+	}
+	return tr.Arrival - earliest
+}
+
+func writeFig1(lib *core.Library) {
+	nand2 := lib.MustCell("NAND2")
+	const T = 0.5e-9
+	f := tsv("fig1.tsv", "case\tspice_ns\tmodel_ns")
+	defer f.Close()
+	fmt.Fprintf(f, "single\t%.6f\t%.6f\n", simNAND2(T, 0, 0)*1e9, nand2.CtrlPins[0].DelayAt(T, 0)*1e9)
+	fmt.Fprintf(f, "simultaneous\t%.6f\t%.6f\n", simNAND2(T, T, 0)*1e9, nand2.DelayCtrl2(0, 1, T, T, 0, 0)*1e9)
+}
+
+func writeFig2(lib *core.Library) {
+	nand2 := lib.MustCell("NAND2")
+	const T = 0.5e-9
+	f := tsv("fig2.tsv", "skew_ns\tspice_ns\tmodel_ns")
+	defer f.Close()
+	for s := -1.0e-9; s <= 1.0e-9+1e-15; s += 0.1e-9 {
+		fmt.Fprintf(f, "%.2f\t%.6f\t%.6f\n", s*1e9, simNAND2(T, T, s)*1e9,
+			nand2.DelayCtrl2(0, 1, T, T, s, 0)*1e9)
+	}
+}
+
+func writeFig5(lib *core.Library) {
+	nand2 := lib.MustCell("NAND2")
+	fa := tsv("fig5_vs_T.tsv", "T_ns\tdelay_ns\ttrans_ns")
+	defer fa.Close()
+	for _, T := range []float64{0.1e-9, 0.2e-9, 0.4e-9, 0.7e-9, 1.0e-9, 1.5e-9, 2.0e-9, 2.5e-9, 3.0e-9} {
+		fmt.Fprintf(fa, "%.2f\t%.6f\t%.6f\n", T*1e9,
+			nand2.CtrlPins[0].DelayAt(T, 0)*1e9, nand2.CtrlPins[0].TransAt(T, 0)*1e9)
+	}
+	fb := tsv("fig5_vs_skew.tsv", "skew_ns\tdelay_ns\ttrans_ns")
+	defer fb.Close()
+	for s := -0.6e-9; s <= 0.6e-9+1e-15; s += 0.05e-9 {
+		fmt.Fprintf(fb, "%.2f\t%.6f\t%.6f\n", s*1e9,
+			nand2.DelayCtrl2(0, 1, 0.5e-9, 0.5e-9, s, 0)*1e9,
+			nand2.TransCtrl2(0, 1, 0.5e-9, 0.5e-9, s, 0)*1e9)
+	}
+}
+
+func writeFig10() {
+	lib5, err := charlib.Characterize(charlib.Options{
+		Tech:      tech,
+		Grid:      []float64{0.15e-9, 0.4e-9, 0.8e-9, 1.4e-9},
+		Cells:     []cells.Config{{Kind: cells.NAND, N: 5, Tech: tech, LoadInverter: true}},
+		SkipPairs: true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	n5 := lib5.MustCell("NAND5")
+	cfg := cells.Config{Kind: cells.NAND, N: 5, Tech: tech, LoadInverter: true}
+	f := tsv("fig10.tsv", "T_ns\tspice_ns\tproposed_ns\tposition_blind_ns")
+	defer f.Close()
+	for _, T := range []float64{0.2e-9, 0.35e-9, 0.5e-9, 0.7e-9, 0.9e-9, 1.1e-9, 1.3e-9} {
+		drives := make([]cells.Drive, 5)
+		for i := range drives {
+			drives[i] = cells.SteadyHigh(tech)
+		}
+		drives[4] = cells.Falling(1.2e-9, T)
+		tr, err := cfg.MeasureResponse(drives, true, cells.SimOptions{TStop: 1.2e-9 + 3.5e-9})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(f, "%.2f\t%.6f\t%.6f\t%.6f\n", T*1e9,
+			(tr.Arrival-1.2e-9)*1e9,
+			n5.CtrlPins[4].DelayAt(T, 0)*1e9,
+			(baseline.Nabavi{}).CtrlDelay1(n5, 4, T)*1e9)
+	}
+}
+
+func writeFig11(lib *core.Library) {
+	nand2 := lib.MustCell("NAND2")
+	const tx = 0.5e-9
+	f := tsv("fig11.tsv", "Ty_ns\tspice_ns\tproposed_ns\tnabavi_ns\tjun_ns")
+	defer f.Close()
+	for _, ty := range []float64{0.15e-9, 0.25e-9, 0.4e-9, 0.5e-9, 0.65e-9, 0.8e-9, 1.0e-9, 1.2e-9} {
+		fmt.Fprintf(f, "%.2f\t%.6f\t%.6f\t%.6f\t%.6f\n", ty*1e9,
+			simNAND2(tx, ty, 0)*1e9,
+			(baseline.Proposed{}).CtrlDelay2(nand2, 0, 1, tx, ty, 0)*1e9,
+			(baseline.Nabavi{}).CtrlDelay2(nand2, 0, 1, tx, ty, 0)*1e9,
+			(baseline.Jun{}).CtrlDelay2(nand2, 0, 1, tx, ty, 0)*1e9)
+	}
+}
+
+func writeFig12(lib *core.Library) {
+	nand2 := lib.MustCell("NAND2")
+	const tx, ty = 0.5e-9, 0.5e-9
+	f := tsv("fig12.tsv", "skew_ns\tspice_ns\tproposed_ns\tnabavi_ns\tjun_ns")
+	defer f.Close()
+	for s := -0.8e-9; s <= 1.2e-9+1e-15; s += 0.1e-9 {
+		fmt.Fprintf(f, "%.2f\t%.6f\t%.6f\t%.6f\t%.6f\n", s*1e9,
+			simNAND2(tx, ty, s)*1e9,
+			(baseline.Proposed{}).CtrlDelay2(nand2, 0, 1, tx, ty, s)*1e9,
+			(baseline.Nabavi{}).CtrlDelay2(nand2, 0, 1, tx, ty, s)*1e9,
+			(baseline.Jun{}).CtrlDelay2(nand2, 0, 1, tx, ty, s)*1e9)
+	}
+}
+
+func writeNCLambda(lib *core.Library) {
+	nand2 := lib.MustCell("NAND2")
+	cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true}
+	const tx, ty = 0.5e-9, 0.5e-9
+	f := tsv("nc_lambda.tsv", "skew_ns\tspice_ns\tmodel_ns\tpin2pin_ns")
+	defer f.Close()
+	for s := -0.6e-9; s <= 0.6e-9+1e-15; s += 0.1e-9 {
+		ax := 1.2e-9
+		ay := ax + s
+		tr, err := cfg.MeasureResponse([]cells.Drive{
+			cells.Rising(ax, tx), cells.Rising(ay, ty),
+		}, false, cells.SimOptions{TStop: math.Max(ax, ay) + 3e-9})
+		if err != nil {
+			fail(err)
+		}
+		p2p := nand2.NonCtrlPins[1].DelayAt(ty, 0)
+		if s < 0 {
+			p2p = nand2.NonCtrlPins[0].DelayAt(tx, 0)
+		}
+		fmt.Fprintf(f, "%.2f\t%.6f\t%.6f\t%.6f\n", s*1e9,
+			(tr.Arrival-math.Max(ax, ay))*1e9,
+			nand2.DelayNonCtrl2(0, 1, tx, ty, s, 0)*1e9,
+			p2p*1e9)
+	}
+}
+
+func writeTable2(lib *core.Library) {
+	f := tsv("table2.tsv", "circuit\tgates\tpin2pin_ns\tproposed_ns\tratio")
+	defer f.Close()
+	for _, name := range []string{"c17", "c432", "c499", "c880", "c1355", "c1908", "c2670", "c3540", "c5315", "c7552"} {
+		c, err := benchgen.Load(name)
+		if err != nil {
+			fail(err)
+		}
+		p2p, err := sta.Analyze(c, sta.Options{Lib: lib, Mode: sta.ModePinToPin})
+		if err != nil {
+			fail(err)
+		}
+		prop, err := sta.Analyze(c, sta.Options{Lib: lib, Mode: sta.ModeProposed})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(f, "%s\t%d\t%.6f\t%.6f\t%.4f\n", name, c.NumGates(),
+			p2p.MinPOArrival()*1e9, prop.MinPOArrival()*1e9,
+			p2p.MinPOArrival()/prop.MinPOArrival())
+	}
+}
+
+func writeSection7(lib *core.Library) {
+	c, err := benchgen.Load("c432")
+	if err != nil {
+		fail(err)
+	}
+	faults := atpg.RandomFaults(c, 40, 42, 0.12e-9)
+	f := tsv("section7.tsv", "mode\tefficiency\tdetected\tuntestable\taborted")
+	defer f.Close()
+	for _, useITR := range []bool{false, true} {
+		s, err := atpg.RunCampaign(c, faults, atpg.Options{Lib: lib, UseITR: useITR, MaxBacktracks: 48})
+		if err != nil {
+			fail(err)
+		}
+		modeName := "logic-only"
+		if useITR {
+			modeName = "with-itr"
+		}
+		fmt.Fprintf(f, "%s\t%.4f\t%d\t%d\t%d\n", modeName, s.Efficiency, s.Detected, s.Untestable, s.Aborted)
+	}
+}

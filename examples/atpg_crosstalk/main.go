@@ -1,0 +1,75 @@
+// ATPG crosstalk: reproduce the paper's Section 7 experiment — a crosstalk
+// delay fault ATPG campaign run with and without incremental timing
+// refinement (ITR). With a bounded backtrack budget, ITR pruning and
+// alignment-guided search substantially raise the ATPG efficiency
+// (detected + proven-untestable faults), the paper's 39.63% -> 82.75%.
+//
+// The example also walks one fault end to end: it prints the generated
+// two-pattern test and verifies it by timing simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sstiming/internal/atpg"
+	"sstiming/internal/benchgen"
+	"sstiming/internal/logicsim"
+	"sstiming/internal/prechar"
+)
+
+func main() {
+	lib, err := prechar.Library()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := benchgen.Load("c432")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Campaign: 40 random crosstalk sites, 48-backtrack budget.
+	faults := atpg.RandomFaults(c, 40, 42, 0.12e-9)
+	fmt.Printf("campaign on %s: %d faults\n", c.Name, len(faults))
+	for _, useITR := range []bool{false, true} {
+		s, err := atpg.RunCampaign(c, faults, atpg.Options{Lib: lib, UseITR: useITR, MaxBacktracks: 48})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tag := "logic-only search"
+		if useITR {
+			tag = "with ITR pruning "
+		}
+		fmt.Printf("  %s: efficiency %5.1f%% (detected %d, untestable %d, aborted %d)\n",
+			tag, s.Efficiency*100, s.Detected, s.Untestable, s.Aborted)
+	}
+
+	// Walk one detectable fault end to end.
+	var target atpg.Fault
+	var test *atpg.TwoPattern
+	for _, f := range faults {
+		r, err := atpg.GenerateTest(c, f, atpg.Options{Lib: lib, UseITR: true, MaxBacktracks: 48})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Outcome == atpg.Detected {
+			target, test = f, r.Test
+			break
+		}
+	}
+	if test == nil {
+		log.Fatal("no detectable fault in the list")
+	}
+
+	fmt.Printf("\nfault %s: test generated\n", target)
+	sim, err := logicsim.Simulate(c, test.V1, test.V2, logicsim.Options{Lib: lib})
+	if err != nil {
+		log.Fatal(err)
+	}
+	agg := sim.Events[target.Aggressor]
+	vic := sim.Events[target.Victim]
+	fmt.Printf("  aggressor %s: arrival %.4f ns\n", target.Aggressor, agg.Arrival*1e9)
+	fmt.Printf("  victim    %s: arrival %.4f ns\n", target.Victim, vic.Arrival*1e9)
+	fmt.Printf("  alignment skew %.1f ps (budget ±%.1f ps)\n",
+		(agg.Arrival-vic.Arrival)*1e12, target.MaxSkew*1e12)
+}

@@ -1,0 +1,73 @@
+// Characterize: run the full characterisation pipeline from scratch on a
+// reduced cell set — transistor-level simulation (the HSPICE stand-in),
+// curve fitting of the paper's empirical formulas, and a model-vs-simulator
+// accuracy check at off-grid points (the role of the paper's Figures 10-12).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sstiming/internal/cells"
+	"sstiming/internal/charlib"
+	"sstiming/internal/device"
+)
+
+func main() {
+	tech := device.Default05um()
+	opts := charlib.Options{
+		Tech: tech,
+		Grid: []float64{0.15e-9, 0.5e-9, 1.2e-9},
+		Cells: []cells.Config{
+			{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true},
+		},
+		Progress: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}
+
+	fmt.Println("characterising NAND2 against the transistor-level simulator...")
+	lib, err := charlib.Characterize(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nand2 := lib.MustCell("NAND2")
+	fmt.Println("\nfitted formulas (nanosecond domain):")
+	fmt.Printf("  DR(T)  pin 0: %.4f*T^2 + %.4f*T + %.4f\n",
+		nand2.CtrlPins[0].Delay.K[0], nand2.CtrlPins[0].Delay.K[1], nand2.CtrlPins[0].Delay.K[2])
+	p := nand2.Pair(0, 1)
+	fmt.Printf("  D0R(Tx,Ty) = %.4f*x*y + %.4f*x + %.4f*y + %.4f   (x=Tx^1/3, y=Ty^1/3)\n",
+		p.D0.Kxy, p.D0.Kx, p.D0.Ky, p.D0.K1)
+	fmt.Printf("  SR(Tx,Ty)  = %.4f*Tx^2 + %.4f*Ty^2 + %.4f*Tx*Ty + %.4f*Tx + %.4f*Ty + %.4f\n",
+		p.SX.Kxx, p.SX.Kyy, p.SX.Kxy, p.SX.Kx, p.SX.Ky, p.SX.K1)
+
+	// Accuracy check: compare the fitted model against fresh simulations
+	// at off-grid (Tx, Ty, skew) points.
+	fmt.Println("\nmodel vs simulator at off-grid points:")
+	fmt.Println("  Tx(ns) Ty(ns) skew(ns)   sim(ns) model(ns)  err")
+	cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true}
+	points := []struct{ tx, ty, skew float64 }{
+		{0.3e-9, 0.3e-9, 0},
+		{0.7e-9, 0.25e-9, 0.1e-9},
+		{0.4e-9, 0.9e-9, -0.2e-9},
+		{0.6e-9, 0.6e-9, 0.5e-9},
+	}
+	for _, pt := range points {
+		ax := 1.2e-9
+		ay := ax + pt.skew
+		tr, err := cfg.MeasureResponse([]cells.Drive{
+			cells.Falling(ax, pt.tx),
+			cells.Falling(ay, pt.ty),
+		}, true, cells.SimOptions{TStop: math.Max(ax, ay) + 3e-9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim := tr.Arrival - math.Min(ax, ay)
+		model := nand2.DelayCtrl2(0, 1, pt.tx, pt.ty, pt.skew, 0)
+		fmt.Printf("  %6.2f %6.2f %8.2f  %8.4f %9.4f  %4.1f%%\n",
+			pt.tx*1e9, pt.ty*1e9, pt.skew*1e9, sim*1e9, model*1e9,
+			100*math.Abs(sim-model)/sim)
+	}
+}

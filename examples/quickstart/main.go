@@ -1,0 +1,48 @@
+// Quickstart: load the pre-characterised 0.5 um timing library, evaluate the
+// simultaneous-switching delay model on a NAND2 (sweeping skew to show the
+// V-shape of the paper's Figure 2), and run static timing analysis on the
+// ISCAS85 c17 circuit under both delay models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/prechar"
+	"sstiming/internal/sta"
+)
+
+func main() {
+	lib, err := prechar.Library()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("library: tech %s, Vdd %.1f V, %d cells\n\n", lib.TechName, lib.Vdd, len(lib.Cells))
+
+	// 1. The delay model on a NAND2: gate delay versus input skew for
+	// fixed input transition times (the paper's Figure 2 V-shape).
+	nand2 := lib.MustCell("NAND2")
+	const tx, ty = 0.5e-9, 0.5e-9
+	fmt.Println("NAND2 to-controlling gate delay vs skew (Tx = Ty = 0.5 ns):")
+	fmt.Println("  skew(ns)  delay(ns)")
+	for _, skew := range []float64{-0.8e-9, -0.4e-9, -0.2e-9, 0, 0.2e-9, 0.4e-9, 0.8e-9} {
+		d := nand2.DelayCtrl2(0, 1, tx, ty, skew, 0)
+		fmt.Printf("  %8.2f  %9.4f\n", skew*1e9, d*1e9)
+	}
+	single := nand2.CtrlPins[0].DelayAt(tx, 0)
+	simul := nand2.DelayCtrl2(0, 1, tx, ty, 0, 0)
+	fmt.Printf("\nsingle-input delay %.4f ns vs simultaneous %.4f ns (%.0f%% speed-up)\n\n",
+		single*1e9, simul*1e9, 100*(1-simul/single))
+
+	// 2. STA on c17 under both models.
+	c17 := benchgen.C17()
+	for _, mode := range []sta.Mode{sta.ModePinToPin, sta.ModeProposed} {
+		res, err := sta.Analyze(c17, sta.Options{Lib: lib, Mode: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("c17 STA (%s): min-delay %.4f ns, max-delay %.4f ns\n",
+			mode, res.MinPOArrival()*1e9, res.MaxPOArrival()*1e9)
+	}
+}

@@ -1,0 +1,3 @@
+module sstiming
+
+go 1.22

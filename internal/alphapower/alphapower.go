@@ -1,0 +1,95 @@
+// Package alphapower implements a Sakurai–Newton style alpha-power-law
+// analytical delay calculator — the "analytical delay function system"
+// class of the paper's Section 2 taxonomy (its reference [13]).
+//
+// The inverter propagation delay under a saturated input ramp is
+//
+//	td = tT · (1/2 − (1−vT)/(1+α)) + CL·VDD / (2·ID0)
+//
+// where tT is the input 0-100% ramp time, vT = VT/VDD, α is the velocity
+// saturation index and ID0 the drain current at VGS = VDS = VDD. For the
+// reproduction's long-channel square-law devices α = 2 and ID0 follows
+// directly from the device parameters.
+//
+// The package exists for two reasons: (i) it grounds the inverter-collapsing
+// baselines physically — collapsing k parallel transistors multiplies ID0 by
+// k, which is exactly the mechanism behind the simultaneous-switching
+// speed-up the paper models empirically; and (ii) it demonstrates why the
+// paper moves beyond this class: the formula knows nothing about input skew,
+// so it can only describe the zero-skew corner.
+package alphapower
+
+import (
+	"fmt"
+
+	"sstiming/internal/device"
+)
+
+// Params is one device's alpha-power-law parameter set.
+type Params struct {
+	// Alpha is the velocity-saturation index (2 for long-channel
+	// square-law devices, approaching 1 when fully velocity saturated).
+	Alpha float64
+	// VT is the threshold voltage magnitude.
+	VT float64
+	// ID0 is the drain current at VGS = VDS = VDD.
+	ID0 float64
+	// Vdd is the supply voltage.
+	Vdd float64
+}
+
+// FromDevice derives the alpha-power parameters of one device at the given
+// geometry from the square-law model (α = 2).
+func FromDevice(tech *device.Tech, typ device.MOSType, geom device.Geometry) Params {
+	p := tech.Params(typ)
+	vt := p.VT0
+	if typ == device.PMOS {
+		vt = -p.VT0
+	}
+	// Current at VGS = VDS = VDD (saturation for square-law devices).
+	ov := tech.Vdd - vt
+	id0 := 0.5 * p.KP * geom.W / geom.L * ov * ov * (1 + p.Lambda*tech.Vdd)
+	return Params{Alpha: 2, VT: vt, ID0: id0, Vdd: tech.Vdd}
+}
+
+// Scale returns the parameters with the drive strength (ID0) multiplied by
+// k — the transistor-collapsing operation: k identical devices in parallel.
+func (p Params) Scale(k float64) Params {
+	p.ID0 *= k
+	return p
+}
+
+// Delay returns the propagation delay (input 50% to output 50%) for an
+// output load cl (farads) and an input 10%-90% transition time tt10_90.
+func (p Params) Delay(cl, tt1090 float64) (float64, error) {
+	if p.ID0 <= 0 || p.Vdd <= 0 || p.Alpha <= 0 {
+		return 0, fmt.Errorf("alphapower: invalid parameters %+v", p)
+	}
+	tT := tt1090 / 0.8 // full 0-100% ramp time
+	vT := p.VT / p.Vdd
+	ramp := tT * (0.5 - (1-vT)/(1+p.Alpha))
+	drive := cl * p.Vdd / (2 * p.ID0)
+	d := ramp + drive
+	if d < 0 {
+		// Very fast ramps with low thresholds can drive the ramp term
+		// negative; the physical delay is dominated by the drive term.
+		d = drive
+	}
+	return d, nil
+}
+
+// CollapsedNANDRiseDelay predicts the rising-output delay of an n-input NAND
+// when k of its parallel PMOS pull-up transistors switch simultaneously,
+// by collapsing them into one k-wide equivalent inverter (the Jun-style
+// operation the paper's Section 2 describes). cl is the output load and
+// tt1090 the input transition time.
+func CollapsedNANDRiseDelay(tech *device.Tech, n, k int, cl, tt1090 float64) (float64, error) {
+	if k < 1 || k > n {
+		return 0, fmt.Errorf("alphapower: k = %d outside [1, %d]", k, n)
+	}
+	p := FromDevice(tech, device.PMOS, tech.MinGeom(device.PMOS)).Scale(float64(k))
+	// The pull-up must also charge the internal diffusion nodes of the
+	// (now off) NMOS stack; lump them into the load.
+	stack := float64(n-1) * tech.NMOS.DiffCap(tech.MinGeom(device.NMOS)) * 2
+	return p.Delay(cl+stack, tt1090)
+}

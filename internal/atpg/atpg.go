@@ -1,0 +1,761 @@
+// Package atpg implements the timing-based ATPG framework of the paper's
+// Section 7, targeting crosstalk delay faults.
+//
+// A crosstalk fault site couples an aggressor line to a victim line: the
+// fault is excited when both lines carry transitions of the specified
+// directions whose arrival times align within a coupling window (the
+// "relative arrival time constraints" of Figure 13). A test must excite the
+// fault and propagate the victim's (delayed) transition to a primary output.
+//
+// The generator contains the four components the paper prescribes:
+//
+//  1. a delay model able to deal with min-max ranges (package core via
+//     packages sta/itr, with worst-case corner identification);
+//  2. fault excitation conditions at the site and propagation conditions;
+//  3. a PODEM-style search engine that implicitly enumerates the two-frame
+//     logic search space over primary input assignments;
+//  4. incremental timing refinement (package itr) that recomputes timing
+//     windows as values are assigned; branches whose refined windows make
+//     the required alignment impossible are pruned.
+//
+// The Section 7 experiment toggles component 4: with a bounded backtrack
+// budget, ITR pruning sharply increases ATPG efficiency (the percentage of
+// targeted faults either detected or proven untestable), reproducing the
+// paper's 39.63% -> 82.75% result in shape.
+package atpg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sstiming/internal/core"
+	"sstiming/internal/itr"
+	"sstiming/internal/logicsim"
+	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+	"sstiming/internal/sta"
+)
+
+var debugValidate = false
+
+// Fault is one crosstalk delay fault site.
+type Fault struct {
+	// Aggressor and Victim are the coupled nets.
+	Aggressor, Victim string
+	// AggRising and VicRising are the transition directions required for
+	// excitation (opposite-direction coupling slows the victim).
+	AggRising, VicRising bool
+	// MaxSkew is the alignment window: |A_agg - A_vic| must not exceed
+	// it for the coupling to matter.
+	MaxSkew float64
+}
+
+// String renders the fault site.
+func (f Fault) String() string {
+	dir := func(r bool) string {
+		if r {
+			return "R"
+		}
+		return "F"
+	}
+	return fmt.Sprintf("xtalk(%s%s->%s%s,±%.0fps)",
+		f.Aggressor, dir(f.AggRising), f.Victim, dir(f.VicRising), f.MaxSkew*1e12)
+}
+
+// Outcome classifies one ATPG run.
+type Outcome int
+
+const (
+	// Detected: a test was found.
+	Detected Outcome = iota
+	// Untestable: the search space was exhausted without a test.
+	Untestable
+	// Aborted: the backtrack budget ran out.
+	Aborted
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	default:
+		return "aborted"
+	}
+}
+
+// TwoPattern is a generated two-vector test.
+type TwoPattern struct {
+	V1, V2 logicsim.Vector
+}
+
+// Options configures the generator.
+type Options struct {
+	// Lib is the characterised cell library (required).
+	Lib *core.Library
+	// UseITR enables incremental timing refinement pruning (component 4).
+	UseITR bool
+	// MaxBacktracks bounds the search; zero selects 64.
+	MaxBacktracks int
+	// PI is the assumed primary input stimulus.
+	PI sta.PITiming
+	// FaultDelay is the slowdown the excited crosstalk fault adds to the
+	// victim's transition; zero selects 150 ps.
+	FaultDelay float64
+	// DetectThreshold is the minimum primary-output arrival shift that
+	// counts as detection; zero selects FaultDelay/2.
+	DetectThreshold float64
+}
+
+// Result is the outcome of one fault's test generation.
+type Result struct {
+	Outcome    Outcome
+	Test       *TwoPattern
+	Backtracks int
+	// Decisions counts PI value assignments explored.
+	Decisions int
+	// LeavesTried and LeavesExcited count fully specified candidates
+	// validated and those that excited the fault (diagnostics).
+	LeavesTried   int
+	LeavesExcited int
+}
+
+type generator struct {
+	c    *netlist.Circuit
+	f    Fault
+	opts Options
+
+	backtracks    int
+	decisions     int
+	leavesTried   int
+	leavesExcited int
+	// conePIs are the decision variables: primary inputs in the
+	// transitive fanin cone of the fault site (PODEM-style backtrace
+	// scope). Remaining PIs are filled heuristically at the leaves.
+	conePIs []string
+	restPIs []string
+	// conePOs are the primary outputs reachable from the victim — the
+	// candidate propagation targets.
+	conePOs []string
+}
+
+// GenerateTest attempts to generate a two-pattern test for the fault.
+func GenerateTest(c *netlist.Circuit, f Fault, opts Options) (Result, error) {
+	if opts.Lib == nil {
+		return Result{}, fmt.Errorf("atpg: Options.Lib is required")
+	}
+	if opts.MaxBacktracks <= 0 {
+		opts.MaxBacktracks = 64
+	}
+	if opts.FaultDelay <= 0 {
+		opts.FaultDelay = 150e-12
+	}
+	if opts.DetectThreshold <= 0 {
+		opts.DetectThreshold = opts.FaultDelay / 2
+	}
+	if _, okA := driverOrPI(c, f.Aggressor); !okA {
+		return Result{}, fmt.Errorf("atpg: unknown aggressor net %q", f.Aggressor)
+	}
+	if _, okV := driverOrPI(c, f.Victim); !okV {
+		return Result{}, fmt.Errorf("atpg: unknown victim net %q", f.Victim)
+	}
+
+	g := &generator{c: c, f: f, opts: opts}
+	g.orderPIs()
+	g.conePOs = nil
+	cone := g.fanoutCone(f.Victim)
+	for _, po := range c.POs {
+		if cone[po] {
+			g.conePOs = append(g.conePOs, po)
+		}
+	}
+	if len(g.conePOs) == 0 {
+		// The victim reaches no primary output: structurally untestable.
+		return Result{Outcome: Untestable}, nil
+	}
+
+	// Objective cube: required transitions at the fault site.
+	cube := nineval.Cube{
+		f.Aggressor: transitionValue(f.AggRising),
+		f.Victim:    transitionValue(f.VicRising),
+	}
+	implied, ok := nineval.Imply(c, cube)
+	if !ok {
+		return Result{Outcome: Untestable}, nil
+	}
+
+	// Propagation objectives: augment the excitation cube with the
+	// side-input conditions of one sensitised victim->PO path (the
+	// paper's "propagation conditions in the fault-free sites"). Paths
+	// are grown incrementally, checking logical consistency at every
+	// gate, so the builder routes around blocked branches. Each distinct
+	// consistent path yields one root alternative; the bare excitation
+	// cube is kept as the final fallback.
+	var roots []nineval.Cube
+	seenRoot := map[string]bool{}
+	for seed := 0; seed < maxSensitizedPaths; seed++ {
+		if pc, ok := g.sensitizedPathCube(implied, seed); ok {
+			key := pc.String()
+			if !seenRoot[key] {
+				seenRoot[key] = true
+				roots = append(roots, pc)
+			}
+		}
+	}
+	if debugValidate {
+		fmt.Printf("DEBUG roots: %d sensitised\n", len(roots))
+	}
+	roots = append(roots, implied)
+
+	// Budget slicing: each sensitised root gets an equal share of the
+	// backtrack budget; the bare-excitation fallback may spend whatever
+	// remains.
+	var found bool
+	var test *TwoPattern
+	total := g.opts.MaxBacktracks
+	share := total / len(roots)
+	if share < 8 {
+		share = 8
+	}
+	for i, root := range roots {
+		if i == len(roots)-1 {
+			g.opts.MaxBacktracks = total
+		} else {
+			cap := g.backtracks + share
+			if cap > total {
+				cap = total
+			}
+			g.opts.MaxBacktracks = cap
+		}
+		found, test = g.search(root, 0)
+		if found || g.backtracks >= total {
+			break
+		}
+	}
+	g.opts.MaxBacktracks = total
+	res := Result{
+		Backtracks:    g.backtracks,
+		Decisions:     g.decisions,
+		LeavesTried:   g.leavesTried,
+		LeavesExcited: g.leavesExcited,
+	}
+	switch {
+	case found:
+		res.Outcome = Detected
+		res.Test = test
+	case g.backtracks >= g.opts.MaxBacktracks:
+		res.Outcome = Aborted
+	default:
+		res.Outcome = Untestable
+	}
+	return res, nil
+}
+
+func transitionValue(rising bool) nineval.Value {
+	if rising {
+		return nineval.V01
+	}
+	return nineval.V10
+}
+
+func driverOrPI(c *netlist.Circuit, net string) (int, bool) {
+	if c.IsPI(net) {
+		return -1, true
+	}
+	return c.Driver(net)
+}
+
+// orderPIs splits the primary inputs into the decision set (fanin cone of
+// the fault site) and the heuristically-filled remainder.
+func (g *generator) orderPIs() {
+	cone := map[string]bool{}
+	var walk func(net string)
+	walk = func(net string) {
+		if cone[net] {
+			return
+		}
+		cone[net] = true
+		if gi, ok := g.c.Driver(net); ok {
+			for _, in := range g.c.Gates[gi].Inputs {
+				walk(in)
+			}
+		}
+	}
+	walk(g.f.Aggressor)
+	walk(g.f.Victim)
+
+	for _, pi := range g.c.PIs {
+		if cone[pi] {
+			g.conePIs = append(g.conePIs, pi)
+		} else {
+			g.restPIs = append(g.restPIs, pi)
+		}
+	}
+}
+
+// search performs PODEM-style depth-first enumeration over PI two-frame
+// values. Returns (true, test) on success. It stops expanding once the
+// backtrack budget is exhausted.
+func (g *generator) search(cube nineval.Cube, depth int) (bool, *TwoPattern) {
+	if g.backtracks >= g.opts.MaxBacktracks {
+		return false, nil
+	}
+
+	// Objective check: the fault-site transitions must still be possible.
+	if cube.Get(g.f.Aggressor).StateDir(g.f.AggRising) == nineval.SNo ||
+		cube.Get(g.f.Victim).StateDir(g.f.VicRising) == nineval.SNo {
+		return false, nil
+	}
+	// Propagation check: some PO in the victim's fanout cone must still
+	// be able to switch.
+	propagatable := false
+	for _, po := range g.conePOs {
+		v := cube.Get(po)
+		if v.StateRise() != nineval.SNo || v.StateFall() != nineval.SNo {
+			propagatable = true
+			break
+		}
+	}
+	if !propagatable {
+		return false, nil
+	}
+
+	// ITR pruning at the root: recompute timing windows under the
+	// initial objective cube and check that the alignment constraint is
+	// satisfiable at all. (Deeper nodes are checked child-by-child
+	// below, which also yields the alignment-guided value ordering.)
+	if g.opts.UseITR && depth == 0 {
+		if ok, _ := g.timingFeasible(cube); !ok {
+			return false, nil
+		}
+	}
+
+	pi := g.nextPI(cube)
+	if pi == "" {
+		return g.searchLeaf(cube)
+	}
+
+	// Expand the four candidate values. With ITR enabled, prune children
+	// whose refined windows make the alignment impossible and order the
+	// survivors by how closely the aggressor and victim windows align
+	// (component 4 used as search guidance, not just as a filter).
+	type child struct {
+		cube  nineval.Cube
+		score float64
+	}
+	var children []child
+	for _, v := range g.valueOrder() {
+		cur := cube.Get(pi)
+		merged, ok := cur.Meet(v)
+		if !ok {
+			continue
+		}
+		next := cube.Clone()
+		next[pi] = merged
+		implied, ok := nineval.Imply(g.c, next)
+		g.decisions++
+		if !ok {
+			g.backtracks++
+			if g.backtracks >= g.opts.MaxBacktracks {
+				return false, nil
+			}
+			continue
+		}
+		score := 0.0
+		if g.opts.UseITR {
+			feasible, s := g.timingFeasible(implied)
+			if !feasible {
+				g.backtracks++
+				if g.backtracks >= g.opts.MaxBacktracks {
+					return false, nil
+				}
+				continue
+			}
+			score = s
+		}
+		children = append(children, child{cube: implied, score: score})
+	}
+	if g.opts.UseITR {
+		sort.SliceStable(children, func(i, j int) bool { return children[i].score < children[j].score })
+	}
+
+	for _, ch := range children {
+		if found, test := g.search(ch.cube, depth+1); found {
+			return true, test
+		}
+		g.backtracks++
+		if g.backtracks >= g.opts.MaxBacktracks {
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// searchLeaf handles a node where every cone PI is assigned: the fault-site
+// excitation and (when the root carried path objectives) the propagation
+// conditions are logically fixed. The remaining primary inputs are completed
+// with a few fill patterns — quiet fills first, which preserve any path
+// sensitisation — and each fully specified candidate is validated by faulty
+// timing simulation. Each failed attempt costs a backtrack.
+func (g *generator) searchLeaf(cube nineval.Cube) (bool, *TwoPattern) {
+	attempt := func(candidate nineval.Cube, fill nineval.Value) (bool, *TwoPattern, bool) {
+		filled := candidate.Clone()
+		for _, pi := range g.c.PIs {
+			cur := filled.Get(pi)
+			if cur.V1 == nineval.FX || cur.V2 == nineval.FX {
+				v := cur
+				if v.V1 == nineval.FX {
+					v.V1 = fill.V1
+				}
+				if v.V2 == nineval.FX {
+					v.V2 = fill.V2
+				}
+				filled[pi] = v
+			}
+		}
+		if implied, ok := nineval.Imply(g.c, filled); ok {
+			if test := g.validate(implied); test != nil {
+				return true, test, false
+			}
+		}
+		g.backtracks++
+		return false, nil, g.backtracks >= g.opts.MaxBacktracks
+	}
+
+	// Quiet fills first (they preserve path sensitisation), then
+	// transition fills.
+	for _, fill := range []nineval.Value{nineval.V11, nineval.V00, nineval.V01, nineval.V10} {
+		found, test, out := attempt(cube, fill)
+		if found {
+			return true, test
+		}
+		if out {
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// maxSensitizedPaths bounds the number of sensitised-path root alternatives
+// tried per fault.
+const maxSensitizedPaths = 4
+
+// sensitizedPathCube grows a sensitised path from the victim to a primary
+// output, one gate at a time: at each step it tries the fanout branches (in
+// a seed-rotated order) and keeps the first one whose side-input conditions
+// — every off-path input steady at the non-controlling value in both frames
+// — are logically consistent with the cube so far. Returns false if the
+// walk gets stuck before reaching a primary output.
+func (g *generator) sensitizedPathCube(base nineval.Cube, seed int) (nineval.Cube, bool) {
+	cube := base
+	net := g.f.Victim
+	visited := map[string]bool{net: true}
+
+	isPO := map[string]bool{}
+	for _, po := range g.c.POs {
+		isPO[po] = true
+	}
+
+	for !isPO[net] {
+		fos := g.c.Fanout(net)
+		if len(fos) == 0 {
+			return nil, false
+		}
+		progressed := false
+		for k := 0; k < len(fos); k++ {
+			gi := fos[(k+seed)%len(fos)]
+			gate := &g.c.Gates[gi]
+			if visited[gate.Output] {
+				continue
+			}
+			cand, ok := g.applySideConditions(cube, gate, net)
+			if !ok {
+				continue
+			}
+			cube = cand
+			net = gate.Output
+			visited[net] = true
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, false
+		}
+	}
+	return cube, true
+}
+
+// applySideConditions merges the sensitisation conditions of one gate into
+// the cube: every input other than pathIn holds the gate's non-controlling
+// value in both frames. Returns the implied cube, or false on conflict.
+func (g *generator) applySideConditions(cube nineval.Cube, gate *netlist.Gate, pathIn string) (nineval.Cube, bool) {
+	var steady nineval.Value
+	switch gate.Kind {
+	case netlist.Nand:
+		steady = nineval.V11
+	case netlist.Nor:
+		steady = nineval.V00
+	default:
+		// INV/BUF have no side inputs; nothing to constrain.
+		return cube, true
+	}
+	out := cube.Clone()
+	changed := false
+	for _, in := range gate.Inputs {
+		if in == pathIn {
+			continue
+		}
+		merged, ok := out.Get(in).Meet(steady)
+		if !ok {
+			return nil, false
+		}
+		if merged != out.Get(in) {
+			out[in] = merged
+			changed = true
+		}
+	}
+	if !changed {
+		return cube, true
+	}
+	implied, ok := nineval.Imply(g.c, out)
+	if !ok {
+		return nil, false
+	}
+	return implied, true
+}
+
+// nextPI returns the first cone PI whose two-frame value is not fully
+// specified.
+func (g *generator) nextPI(cube nineval.Cube) string {
+	for _, pi := range g.conePIs {
+		v := cube.Get(pi)
+		if v.V1 == nineval.FX || v.V2 == nineval.FX {
+			return pi
+		}
+	}
+	return ""
+}
+
+// valueOrder lists the four fully specified two-frame PI values, transitions
+// first (they are more likely to excite and propagate).
+func (g *generator) valueOrder() []nineval.Value {
+	return []nineval.Value{nineval.V01, nineval.V10, nineval.V11, nineval.V00}
+}
+
+// timingFeasible refines the windows under the partial assignment and
+// checks the fault's alignment constraint. The returned score (valid when
+// feasible) measures how far apart the aggressor and victim window centres
+// sit — lower scores make better search candidates.
+func (g *generator) timingFeasible(cube nineval.Cube) (bool, float64) {
+	res, err := itr.Refine(g.c, cube, itr.Options{
+		Lib:  g.opts.Lib,
+		Mode: sta.ModeProposed,
+		PI:   g.opts.PI,
+	})
+	if err != nil {
+		return false, 0 // logically inconsistent
+	}
+	wa, okA := res.Window(g.f.Aggressor, g.f.AggRising)
+	wv, okV := res.Window(g.f.Victim, g.f.VicRising)
+	if !okA || !okV {
+		return false, 0
+	}
+	// Alignment satisfiable iff the windows can come within MaxSkew.
+	if wa.AS > wv.AL+g.f.MaxSkew {
+		return false, 0
+	}
+	if wa.AL < wv.AS-g.f.MaxSkew {
+		return false, 0
+	}
+	ca := (wa.AS + wa.AL) / 2
+	cv := (wv.AS + wv.AL) / 2
+	score := ca - cv
+	if score < 0 {
+		score = -score
+	}
+	return true, score
+}
+
+// validate simulates the fully specified candidate with the crosstalk fault
+// injected and accepts it as a test when the fault is excited (both
+// transitions present, directions matching, aligned within the window) and
+// its slowdown propagates to a primary output — i.e. some PO arrival shifts
+// by at least the detection threshold.
+func (g *generator) validate(cube nineval.Cube) *TwoPattern {
+	v1 := make(logicsim.Vector, len(g.c.PIs))
+	v2 := make(logicsim.Vector, len(g.c.PIs))
+	for _, pi := range g.c.PIs {
+		val := cube.Get(pi)
+		if val.V1 == nineval.FX || val.V2 == nineval.FX {
+			return nil
+		}
+		v1[pi] = int(val.V1)
+		v2[pi] = int(val.V2)
+	}
+	clean, faulty, excited, err := logicsim.SimulateFaulty(g.c, v1, v2, logicsim.FaultInjection{
+		Aggressor:  g.f.Aggressor,
+		Victim:     g.f.Victim,
+		AggRising:  g.f.AggRising,
+		VicRising:  g.f.VicRising,
+		Window:     g.f.MaxSkew,
+		ExtraDelay: g.opts.FaultDelay,
+	}, logicsim.Options{
+		Lib:       g.opts.Lib,
+		Mode:      logicsim.ModeProposed,
+		PIArrival: g.opts.PI.ArrivalEarly,
+		PITrans:   g.opts.PI.TransShort,
+	})
+	g.leavesTried++
+	if err != nil || !excited {
+		return nil
+	}
+	g.leavesExcited++
+	if debugValidate {
+		vic := clean.Events[g.f.Victim]
+		fvic := faulty.Events[g.f.Victim]
+		fmt.Printf("DEBUG excited: vic %s clean=%.1fps faulty=%.1fps\n", g.f.Victim, vic.Arrival*1e12, fvic.Arrival*1e12)
+		diff := 0
+		for net, fe := range faulty.Events {
+			if ce, ok := clean.Events[net]; ok && fe.Arrival != ce.Arrival {
+				diff++
+			}
+		}
+		cone := g.fanoutCone(g.f.Victim)
+		poCone, poDiff := 0, 0
+		for _, po := range g.c.POs {
+			if !cone[po] {
+				continue
+			}
+			poCone++
+			fe, okF := faulty.Events[po]
+			ce, okC := clean.Events[po]
+			if okF && okC {
+				if fe.Arrival != ce.Arrival {
+					poDiff++
+				}
+			} else {
+				fmt.Printf("  conePO %s: okF=%v okC=%v\n", po, okF, okC)
+			}
+		}
+		fmt.Printf("  shifted nets %d, cone POs %d, shifted POs %d\n", diff, poCone, poDiff)
+	}
+
+	// Detection: the injected slowdown must reach a primary output.
+	for _, po := range g.c.POs {
+		fe, okF := faulty.Events[po]
+		ce, okC := clean.Events[po]
+		if !okF || !okC {
+			continue
+		}
+		if fe.Arrival-ce.Arrival >= g.opts.DetectThreshold {
+			return &TwoPattern{V1: v1, V2: v2}
+		}
+	}
+	return nil
+}
+
+// fanoutCone returns the transitive fanout cone of a net (including itself).
+func (g *generator) fanoutCone(net string) map[string]bool {
+	cone := map[string]bool{}
+	var walk func(n string)
+	walk = func(n string) {
+		if cone[n] {
+			return
+		}
+		cone[n] = true
+		for _, gi := range g.c.Fanout(n) {
+			walk(g.c.Gates[gi].Output)
+		}
+	}
+	walk(net)
+	return cone
+}
+
+// RandomFaults samples a deterministic crosstalk fault list over internal
+// nets of the circuit: coupled pairs at nearby logic levels (routing
+// neighbours in spirit), with random transition directions. The alignment
+// window of each fault is drawn log-uniformly from [0.2, 6] x maxSkew,
+// giving the campaign a realistic mix of easy, hard and
+// alignment-infeasible sites.
+func RandomFaults(c *netlist.Circuit, n int, seed int64, maxSkew float64) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	// Candidate nets: gate outputs (internal lines carry the coupling).
+	type levNet struct {
+		net string
+		lvl int
+	}
+	var nets []levNet
+	for _, gi := range c.TopoOrder() {
+		nets = append(nets, levNet{net: c.Gates[gi].Output, lvl: c.Level(gi)})
+	}
+	sort.Slice(nets, func(i, j int) bool { return nets[i].net < nets[j].net })
+	if len(nets) < 2 {
+		return nil
+	}
+
+	var out []Fault
+	for len(out) < n {
+		a := nets[rng.Intn(len(nets))]
+		b := nets[rng.Intn(len(nets))]
+		// Log-uniform over [0.2, 6] x maxSkew.
+		skew := maxSkew * 0.2 * math.Pow(30, rng.Float64())
+		if a.net == b.net {
+			continue
+		}
+		if d := a.lvl - b.lvl; d > 3 || d < -3 {
+			continue
+		}
+		out = append(out, Fault{
+			Aggressor: a.net,
+			Victim:    b.net,
+			AggRising: rng.Intn(2) == 1,
+			VicRising: rng.Intn(2) == 1,
+			MaxSkew:   skew,
+		})
+	}
+	return out
+}
+
+// CampaignStats aggregates a fault-list run.
+type CampaignStats struct {
+	Detected   int
+	Untestable int
+	Aborted    int
+	// Efficiency is the paper's metric: the fraction of targeted faults
+	// that are detected or identified undetectable.
+	Efficiency float64
+	// TotalBacktracks sums backtracks across faults.
+	TotalBacktracks int
+}
+
+// RunCampaign generates tests for every fault and aggregates the outcome.
+func RunCampaign(c *netlist.Circuit, faults []Fault, opts Options) (CampaignStats, error) {
+	var s CampaignStats
+	for _, f := range faults {
+		r, err := GenerateTest(c, f, opts)
+		if err != nil {
+			return s, fmt.Errorf("atpg: fault %s: %w", f, err)
+		}
+		switch r.Outcome {
+		case Detected:
+			s.Detected++
+		case Untestable:
+			s.Untestable++
+		default:
+			s.Aborted++
+		}
+		s.TotalBacktracks += r.Backtracks
+	}
+	total := len(faults)
+	if total > 0 {
+		s.Efficiency = float64(s.Detected+s.Untestable) / float64(total)
+	}
+	return s, nil
+}
+
+// SetDebug toggles verbose leaf validation diagnostics (tests/probes only).
+func SetDebug(v bool) { debugValidate = v }

@@ -1,0 +1,160 @@
+// Package baseline reimplements the delay models the DAC 2001 paper compares
+// against in Section 6.1:
+//
+//   - PinToPin — the SDF-style pin-to-pin model used by conventional STA,
+//     which ignores simultaneous switching entirely.
+//   - Jun — an inverter-collapsing model in the style of Jun, Jun & Park
+//     (IEEE TCAD 1989): parallel transistors are collapsed into an
+//     equivalent inverter and the multiple input transitions are merged
+//     into a single equivalent transition. Accurate near zero skew but,
+//     because the merged transition's arrival keeps tracking the average
+//     of the two inputs, it "fails to capture the delay for large skew".
+//   - Nabavi — an inverter model in the style of Nabavi-Lishi & Rumin
+//     (IEEE TCAD 1994), which assumes the simultaneous transitions share
+//     a start time; it is accurate only when the two transition times are
+//     close to each other and it ignores skew almost completely.
+//
+// Both inverter-collapsing reimplementations are deliberately position-blind
+// (they always use input 0's characterised curves), reproducing the paper's
+// Figure 10 observation that such methods mispredict single transitions at
+// deep stack positions.
+//
+// Each baseline is expressed on top of the characterised core.CellModel so
+// the comparison isolates *model structure* rather than characterisation
+// quality — the same substitution the paper makes by fitting all models to
+// the same HSPICE data.
+package baseline
+
+import (
+	"math"
+
+	"sstiming/internal/core"
+)
+
+// Model is a gate delay model for to-controlling responses, sufficient for
+// the paper's accuracy comparisons (Figures 10-12).
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// CtrlDelay1 returns the single-input to-controlling gate delay for
+	// a transition with transition time t (seconds) at the given pin.
+	CtrlDelay1(cell *core.CellModel, pin int, t float64) float64
+	// CtrlDelay2 returns the to-controlling gate delay (measured from
+	// the earliest input arrival) when inputs x and y switch with
+	// transition times tx, ty and skew = Ay - Ax.
+	CtrlDelay2(cell *core.CellModel, x, y int, tx, ty, skew float64) float64
+}
+
+// PinToPin is the SDF-style pin-to-pin model: per-pin delays (position
+// aware), no simultaneous-switching speed-up.
+type PinToPin struct{}
+
+// Name implements Model.
+func (PinToPin) Name() string { return "pin-to-pin" }
+
+// CtrlDelay1 implements Model.
+func (PinToPin) CtrlDelay1(cell *core.CellModel, pin int, t float64) float64 {
+	return cell.CtrlPins[pin].DelayAt(t, 0)
+}
+
+// CtrlDelay2 implements Model: the earliest controlling input alone
+// determines the output; the other transition is ignored.
+func (PinToPin) CtrlDelay2(cell *core.CellModel, x, y int, tx, ty, skew float64) float64 {
+	if skew >= 0 {
+		return cell.CtrlPins[x].DelayAt(tx, 0)
+	}
+	return cell.CtrlPins[y].DelayAt(ty, 0)
+}
+
+// Proposed adapts the paper's model (package core) to the Model interface so
+// the figure benches can sweep all models uniformly.
+type Proposed struct{}
+
+// Name implements Model.
+func (Proposed) Name() string { return "proposed" }
+
+// CtrlDelay1 implements Model.
+func (Proposed) CtrlDelay1(cell *core.CellModel, pin int, t float64) float64 {
+	return cell.CtrlPins[pin].DelayAt(t, 0)
+}
+
+// CtrlDelay2 implements Model.
+func (Proposed) CtrlDelay2(cell *core.CellModel, x, y int, tx, ty, skew float64) float64 {
+	return cell.DelayCtrl2(x, y, tx, ty, skew, 0)
+}
+
+// referencePair returns the position-blind simultaneous-switching surfaces
+// the inverter-collapsing baselines use: pair (0,1), or the first available.
+func referencePair(cell *core.CellModel) *core.PairTiming {
+	if p := cell.Pair(0, 1); p != nil {
+		return p
+	}
+	if len(cell.Pairs) > 0 {
+		return &cell.Pairs[0].Timing
+	}
+	return nil
+}
+
+// Jun is the inverter-collapsing baseline. The two transitions are merged
+// into one equivalent transition whose arrival is the average of the input
+// arrivals; the equivalent inverter's zero-skew delay is exact, but the
+// merged arrival makes the predicted delay grow with |skew|/2 indefinitely
+// instead of saturating at the pin-to-pin delay.
+type Jun struct{}
+
+// Name implements Model.
+func (Jun) Name() string { return "jun" }
+
+// CtrlDelay1 implements Model. Position-blind: always input 0's curve.
+func (Jun) CtrlDelay1(cell *core.CellModel, pin int, t float64) float64 {
+	return cell.CtrlPins[0].DelayAt(t, 0)
+}
+
+// CtrlDelay2 implements Model.
+func (Jun) CtrlDelay2(cell *core.CellModel, x, y int, tx, ty, skew float64) float64 {
+	p := referencePair(cell)
+	if p == nil {
+		return (Jun{}).CtrlDelay1(cell, 0, tx)
+	}
+	// Equivalent collapsed inverter: exact at zero skew...
+	d0 := p.D0.Eval(tx, ty)
+	// ...but the merged equivalent transition arrives at the average of
+	// the two arrivals, so relative to the earliest input the predicted
+	// delay keeps growing by |skew|/2.
+	return d0 + math.Abs(skew)/2
+}
+
+// Nabavi is the same-start-time inverter baseline. It maps the pair to a
+// single equivalent transition of the *average* transition time and assumes
+// both inputs start together, so the prediction is insensitive to the true
+// skew until the transitions stop overlapping entirely.
+type Nabavi struct{}
+
+// Name implements Model.
+func (Nabavi) Name() string { return "nabavi" }
+
+// CtrlDelay1 implements Model. Position-blind: always input 0's curve.
+func (Nabavi) CtrlDelay1(cell *core.CellModel, pin int, t float64) float64 {
+	return cell.CtrlPins[0].DelayAt(t, 0)
+}
+
+// CtrlDelay2 implements Model.
+func (Nabavi) CtrlDelay2(cell *core.CellModel, x, y int, tx, ty, skew float64) float64 {
+	p := referencePair(cell)
+	if p == nil {
+		return (Nabavi{}).CtrlDelay1(cell, 0, tx)
+	}
+	tm := (tx + ty) / 2
+	// Same-start-time assumption: evaluate the equivalent inverter at the
+	// averaged transition time, irrespective of the actual skew, while
+	// the transitions overlap at all.
+	if math.Abs(skew) <= tm {
+		return p.D0.Eval(tm, tm)
+	}
+	// Non-overlapping: fall back to the (position-blind) single-input
+	// delay of the earliest input.
+	if skew >= 0 {
+		return cell.CtrlPins[0].DelayAt(tx, 0)
+	}
+	return cell.CtrlPins[0].DelayAt(ty, 0)
+}

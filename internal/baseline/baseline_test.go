@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"sstiming/internal/core"
+)
+
+// model builds a small synthetic NAND2 model (same shape as core's tests).
+func model() *core.CellModel {
+	pin := func(c0 float64) core.PinTiming {
+		return core.PinTiming{
+			Delay: core.Quad{K: [3]float64{0, 0.1, c0}},
+			Trans: core.Quad{K: [3]float64{0, 0.2, 0.3}},
+		}
+	}
+	pairT := core.PairTiming{
+		D0:    core.Cross{K1: 0.12},
+		SX:    core.Quad2{K1: 0.5},
+		T0:    core.Cross{K1: 0.25},
+		SKmin: core.Quad2{K1: 0},
+	}
+	return &core.CellModel{
+		Name: "NAND2", Kind: "NAND", N: 2, CtrlOutRising: true,
+		CtrlPins:    []core.PinTiming{pin(0.2), pin(0.3)},
+		NonCtrlPins: []core.PinTiming{pin(0.3), pin(0.35)},
+		Pairs: []core.PairEntry{
+			{X: 0, Y: 1, Timing: pairT},
+			{X: 1, Y: 0, Timing: pairT},
+		},
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, m := range []Model{PinToPin{}, Proposed{}, Jun{}, Nabavi{}} {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+}
+
+func TestPinToPinIgnoresSimultaneous(t *testing.T) {
+	m := model()
+	const T = 0.5e-9
+	p := PinToPin{}
+	if d := p.CtrlDelay2(m, 0, 1, T, T, 0); d != m.CtrlPins[0].DelayAt(T, 0) {
+		t.Errorf("pin-to-pin at zero skew = %g, want single-input delay", d)
+	}
+	if d := p.CtrlDelay2(m, 0, 1, T, T, -1e-9); d != m.CtrlPins[1].DelayAt(T, 0) {
+		t.Errorf("pin-to-pin negative skew should use pin 1")
+	}
+}
+
+func TestProposedMatchesCore(t *testing.T) {
+	m := model()
+	const T = 0.5e-9
+	p := Proposed{}
+	for _, skew := range []float64{-0.8e-9, -0.2e-9, 0, 0.3e-9, 1e-9} {
+		if got, want := p.CtrlDelay2(m, 0, 1, T, T, skew), m.DelayCtrl2(0, 1, T, T, skew, 0); got != want {
+			t.Errorf("skew %g: proposed adapter %g != core %g", skew, got, want)
+		}
+	}
+}
+
+func TestJunAccurateAtZeroSkewFailsAtLargeSkew(t *testing.T) {
+	m := model()
+	const T = 0.5e-9
+	j := Jun{}
+	// Zero skew: matches the true minimal delay.
+	if d := j.CtrlDelay2(m, 0, 1, T, T, 0); math.Abs(d-0.12e-9) > 1e-15 {
+		t.Errorf("jun at zero skew = %g, want 0.12ns", d)
+	}
+	// Large skew: true delay saturates at pin-to-pin; Jun's keeps growing.
+	truth := m.DelayCtrl2(0, 1, T, T, 2e-9, 0)
+	jun := j.CtrlDelay2(m, 0, 1, T, T, 2e-9)
+	if jun <= truth {
+		t.Errorf("jun at large skew (%g) should overshoot the saturated delay (%g)", jun, truth)
+	}
+}
+
+func TestNabaviIgnoresSkewWhileOverlapping(t *testing.T) {
+	m := model()
+	const T = 0.5e-9
+	n := Nabavi{}
+	d1 := n.CtrlDelay2(m, 0, 1, T, T, 0)
+	d2 := n.CtrlDelay2(m, 0, 1, T, T, 0.3e-9)
+	if d1 != d2 {
+		t.Errorf("nabavi should be skew-insensitive while overlapping: %g vs %g", d1, d2)
+	}
+	// Beyond overlap it reverts to (position-blind) single-input delay.
+	d3 := n.CtrlDelay2(m, 0, 1, T, T, 1e-9)
+	if d3 != m.CtrlPins[0].DelayAt(T, 0) {
+		t.Errorf("nabavi beyond overlap = %g, want pin-0 delay", d3)
+	}
+}
+
+func TestNabaviErrsForUnequalTransitionTimes(t *testing.T) {
+	// Build a model whose D0 surface is genuinely 2-D so averaging the
+	// transition times loses information.
+	m := model()
+	for i := range m.Pairs {
+		// Small enough that core's Claim-1 clamp never engages.
+		m.Pairs[i].Timing.D0 = core.Cross{Kxy: 0.05, Kx: 0.02, Ky: 0.06, K1: 0.01}
+	}
+	n := Nabavi{}
+	p := Proposed{}
+	txEq, tyEq := 0.5e-9, 0.5e-9
+	txNe, tyNe := 0.1e-9, 1.4e-9
+
+	errEq := math.Abs(n.CtrlDelay2(m, 0, 1, txEq, tyEq, 0) - p.CtrlDelay2(m, 0, 1, txEq, tyEq, 0))
+	errNe := math.Abs(n.CtrlDelay2(m, 0, 1, txNe, tyNe, 0) - p.CtrlDelay2(m, 0, 1, txNe, tyNe, 0))
+	if errEq > 1e-15 {
+		t.Errorf("nabavi should be exact for equal transition times, err = %g", errEq)
+	}
+	if errNe <= errEq {
+		t.Errorf("nabavi error for unequal transition times (%g) should exceed equal case (%g)", errNe, errEq)
+	}
+}
+
+func TestCollapsingModelsArePositionBlind(t *testing.T) {
+	m := model()
+	// Make pin 1's curve clearly different from pin 0's.
+	const T = 0.5e-9
+	for _, mdl := range []Model{Jun{}, Nabavi{}} {
+		d0 := mdl.CtrlDelay1(m, 0, T)
+		d1 := mdl.CtrlDelay1(m, 1, T)
+		if d0 != d1 {
+			t.Errorf("%s should be position-blind: %g vs %g", mdl.Name(), d0, d1)
+		}
+	}
+	// The pin-to-pin and proposed models are position aware.
+	if (PinToPin{}).CtrlDelay1(m, 0, T) == (PinToPin{}).CtrlDelay1(m, 1, T) {
+		t.Error("pin-to-pin should distinguish pins")
+	}
+}
+
+func TestFallbacksWithoutPairData(t *testing.T) {
+	m := model()
+	m.Pairs = nil
+	const T = 0.5e-9
+	if d := (Jun{}).CtrlDelay2(m, 0, 1, T, T, 0); d != m.CtrlPins[0].DelayAt(T, 0) {
+		t.Errorf("jun fallback = %g", d)
+	}
+	if d := (Nabavi{}).CtrlDelay2(m, 0, 1, T, T, 0); d != m.CtrlPins[0].DelayAt(T, 0) {
+		t.Errorf("nabavi fallback = %g", d)
+	}
+}

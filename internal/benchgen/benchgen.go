@@ -1,0 +1,272 @@
+// Package benchgen provides the benchmark circuits for the reproduction's
+// Table 2 experiment.
+//
+// The tiny c17 circuit is the exact, public ISCAS85 netlist. The larger
+// ISCAS85 netlists are not redistributable inside this offline workspace, so
+// benchgen generates deterministic synthetic stand-ins matched to each
+// circuit's published profile (primary input/output counts, gate count,
+// logic depth) using a balanced reconvergent NAND/NOR fabric. The Table 2
+// experiment — comparing STA min-delays under the pin-to-pin model and the
+// proposed simultaneous-switching model — only requires circuits whose
+// min-delay paths pass through multi-input gates with near-equal-depth side
+// inputs, which the generator guarantees by construction. See DESIGN.md
+// ("Substitutions").
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"sstiming/internal/netlist"
+)
+
+// c17Bench is the exact ISCAS85 c17 netlist (public domain, reproduced in
+// every test textbook).
+const c17Bench = `# c17 (exact ISCAS85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+// C17 returns the exact ISCAS85 c17 circuit.
+func C17() *netlist.Circuit {
+	c, err := netlist.Parse("c17", strings.NewReader(c17Bench))
+	if err != nil {
+		panic("benchgen: embedded c17 failed to parse: " + err.Error())
+	}
+	return c
+}
+
+// Profile describes the published shape of one benchmark circuit.
+type Profile struct {
+	Name  string
+	PIs   int
+	POs   int
+	Gates int
+	Depth int
+	Seed  int64
+}
+
+// ISCAS85 lists the synthetic stand-in profiles for the nine ISCAS85
+// circuits the paper's Section 6.2 analyses (c17 excluded: it is exact).
+// Gate/PI/PO/depth figures follow the published circuit statistics.
+var ISCAS85 = []Profile{
+	{Name: "c432", PIs: 36, POs: 7, Gates: 160, Depth: 17, Seed: 432},
+	{Name: "c499", PIs: 41, POs: 32, Gates: 202, Depth: 11, Seed: 499},
+	{Name: "c880", PIs: 60, POs: 26, Gates: 383, Depth: 24, Seed: 880},
+	{Name: "c1355", PIs: 41, POs: 32, Gates: 546, Depth: 24, Seed: 1355},
+	{Name: "c1908", PIs: 33, POs: 25, Gates: 880, Depth: 40, Seed: 1908},
+	{Name: "c2670", PIs: 233, POs: 140, Gates: 1193, Depth: 32, Seed: 2670},
+	{Name: "c3540", PIs: 50, POs: 22, Gates: 1669, Depth: 47, Seed: 3540},
+	{Name: "c5315", PIs: 178, POs: 123, Gates: 2307, Depth: 49, Seed: 5315},
+	{Name: "c7552", PIs: 207, POs: 108, Gates: 3512, Depth: 43, Seed: 7552},
+}
+
+// ProfileByName returns the profile for the named benchmark.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range ISCAS85 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Load returns the named benchmark circuit: the exact c17, or the
+// deterministic synthetic stand-in for the other ISCAS85 names.
+func Load(name string) (*netlist.Circuit, error) {
+	if name == "c17" {
+		return C17(), nil
+	}
+	p, ok := ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("benchgen: unknown benchmark %q", name)
+	}
+	return Generate(p)
+}
+
+// gate kind mix (NAND-dominant, like the ISCAS85 suite).
+type kindChoice struct {
+	kind   netlist.GateKind
+	inputs int
+	weight int
+}
+
+var kindMix = []kindChoice{
+	{netlist.Nand, 2, 40},
+	{netlist.Nand, 3, 12},
+	{netlist.Nand, 4, 5},
+	{netlist.Nor, 2, 18},
+	{netlist.Nor, 3, 7},
+	{netlist.Inv, 1, 14},
+	{netlist.Buf, 1, 4},
+}
+
+func pickKind(rng *rand.Rand) kindChoice {
+	total := 0
+	for _, k := range kindMix {
+		total += k.weight
+	}
+	r := rng.Intn(total)
+	for _, k := range kindMix {
+		r -= k.weight
+		if r < 0 {
+			return k
+		}
+	}
+	return kindMix[0]
+}
+
+// Generate builds the deterministic synthetic circuit for a profile.
+//
+// Construction: gates are arranged in Depth levels. Each level's gates draw
+// their first input from the previous level's not-yet-consumed outputs (so
+// no net dangles before the final level) and the remaining inputs from a
+// sliding window over the three preceding levels and the primary inputs —
+// producing the reconvergent fan-out structure that creates near-equal-depth
+// (δ-simultaneous) side inputs at multi-input gates. All unconsumed nets at
+// the end become primary outputs.
+func Generate(p Profile) (*netlist.Circuit, error) {
+	if p.PIs < 2 || p.Gates < p.Depth || p.Depth < 2 {
+		return nil, fmt.Errorf("benchgen: infeasible profile %+v", p)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	c := netlist.New(p.Name)
+
+	pis := make([]string, p.PIs)
+	for i := range pis {
+		pis[i] = fmt.Sprintf("pi%d", i)
+		c.AddPI(pis[i])
+	}
+
+	// Distribute gates across levels: the final level is sized to the
+	// published PO count (its outputs dangle and become POs); earlier
+	// levels share the rest roughly evenly.
+	last := p.POs
+	if last > p.Gates-p.Depth+1 {
+		last = p.Gates - p.Depth + 1
+	}
+	if last < 1 {
+		last = 1
+	}
+	rest := p.Gates - last
+	inner := p.Depth - 1
+	perLevel := make([]int, p.Depth)
+	for i := 0; i < inner; i++ {
+		perLevel[i] = rest / inner
+		if i < rest%inner {
+			perLevel[i]++
+		}
+	}
+	perLevel[p.Depth-1] = last
+
+	levelNets := make([][]string, p.Depth+1)
+	levelNets[0] = pis
+	unconsumed := append([]string(nil), pis...)
+	gateNo := 0
+
+	for lvl := 1; lvl <= p.Depth; lvl++ {
+		count := perLevel[lvl-1]
+		// Input candidate window: the three previous levels. Primary
+		// inputs are only visible near the top of the circuit (they
+		// are levelNets[0]); deeper gates must consume logic, which
+		// keeps the minimum-delay paths realistically deep.
+		var window []string
+		for back := 1; back <= 3 && lvl-back >= 0; back++ {
+			window = append(window, levelNets[lvl-back]...)
+		}
+
+		var outs []string
+
+		for g := 0; g < count; g++ {
+			k := pickKind(rng)
+			nIn := k.inputs
+			if nIn > len(window) {
+				nIn = len(window)
+			}
+			kind := k.kind
+			if nIn == 1 && (kind == netlist.Nand || kind == netlist.Nor) {
+				// A 1-input NAND/NOR is just an inverter; keep
+				// the netlist within the library cells.
+				kind = netlist.Inv
+			}
+
+			ins := make([]string, 0, nIn)
+			seen := make(map[string]bool, nIn)
+
+			// First input: drain the unconsumed queue so every
+			// net is eventually used.
+			if len(unconsumed) > 0 {
+				pick := unconsumed[0]
+				unconsumed = unconsumed[1:]
+				ins = append(ins, pick)
+				seen[pick] = true
+			}
+			attempts := 0
+			for len(ins) < nIn {
+				var cand string
+				if len(unconsumed) > 0 && rng.Intn(2) == 0 {
+					cand = unconsumed[0]
+					unconsumed = unconsumed[1:]
+				} else {
+					cand = window[rng.Intn(len(window))]
+				}
+				if seen[cand] {
+					attempts++
+					if attempts > 32 {
+						// Deterministic fallback: first
+						// unseen window net.
+						for _, w := range window {
+							if !seen[w] {
+								cand = w
+								break
+							}
+						}
+						if seen[cand] {
+							// Window exhausted; accept
+							// a narrower gate.
+							break
+						}
+					} else {
+						continue
+					}
+				}
+				seen[cand] = true
+				ins = append(ins, cand)
+			}
+			if len(ins) == 1 && (kind == netlist.Nand || kind == netlist.Nor) {
+				kind = netlist.Inv
+			}
+
+			out := fmt.Sprintf("n%d_%d", lvl, gateNo)
+			gateNo++
+			c.AddGate(kind, out, ins...)
+			outs = append(outs, out)
+		}
+
+		// Anything still unconsumed from older levels stays queued,
+		// followed by this level's fresh outputs.
+		unconsumed = append(unconsumed, outs...)
+		levelNets[lvl] = outs
+	}
+
+	// Every dangling net becomes a primary output.
+	for _, n := range unconsumed {
+		c.AddPO(n)
+	}
+	if err := c.Build(); err != nil {
+		return nil, fmt.Errorf("benchgen: %s: %w", p.Name, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,135 @@
+package benchgen
+
+import (
+	"bytes"
+	"testing"
+
+	"sstiming/internal/netlist"
+)
+
+func TestC17Exact(t *testing.T) {
+	c := C17()
+	st := c.Stats()
+	if st.PIs != 5 || st.POs != 2 || st.Gates != 6 || st.Depth != 3 {
+		t.Errorf("c17 stats = %+v", st)
+	}
+	if st.ByKind[netlist.Nand] != 6 {
+		t.Errorf("c17 should be six NAND2s, got %v", st.ByKind)
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	for _, p := range ISCAS85 {
+		c, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		st := c.Stats()
+		if st.Gates != p.Gates {
+			t.Errorf("%s: gates = %d, want %d", p.Name, st.Gates, p.Gates)
+		}
+		if st.PIs != p.PIs {
+			t.Errorf("%s: PIs = %d, want %d", p.Name, st.PIs, p.PIs)
+		}
+		// PO count is the dangling-net count: the sized final level
+		// plus leftovers. Allow slack but require the right order of
+		// magnitude.
+		if st.POs < p.POs/2 || st.POs > p.POs*3+20 {
+			t.Errorf("%s: POs = %d, want ~%d", p.Name, st.POs, p.POs)
+		}
+		// Depth may shrink versus the plan (queue draining promotes
+		// gates to earlier levels) but must stay deep enough for
+		// interesting timing paths.
+		if st.Depth < p.Depth/3 || st.Depth > p.Depth {
+			t.Errorf("%s: depth = %d, want within [%d,%d]", p.Name, st.Depth, p.Depth/3, p.Depth)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ProfileByName("c880")
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wa, wb bytes.Buffer
+	if err := a.Write(&wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if wa.String() != wb.String() {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestGeneratedCircuitsUseLibraryCells(t *testing.T) {
+	supported := map[string]bool{
+		"INV": true, "NAND2": true, "NAND3": true, "NAND4": true,
+		"NOR2": true, "NOR3": true,
+	}
+	p, _ := ProfileByName("c1355")
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Gates {
+		if name := c.Gates[i].CellName(); !supported[name] {
+			t.Fatalf("gate %d uses unsupported cell %s", i, name)
+		}
+	}
+}
+
+func TestGeneratedCircuitsHaveMultiInputGates(t *testing.T) {
+	// Table 2 needs multi-input gates with reconvergent (near-equal
+	// depth) side inputs for simultaneous switching to matter.
+	p, _ := ProfileByName("c880")
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	multi := st.ByKind[netlist.Nand] + st.ByKind[netlist.Nor]
+	if multi < st.Gates/2 {
+		t.Errorf("only %d of %d gates are multi-input", multi, st.Gates)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	if _, err := Load("c17"); err != nil {
+		t.Errorf("Load(c17): %v", err)
+	}
+	if _, err := Load("c880"); err != nil {
+		t.Errorf("Load(c880): %v", err)
+	}
+	if _, err := Load("nope"); err == nil {
+		t.Error("Load(nope) should fail")
+	}
+}
+
+func TestGenerateRejectsInfeasible(t *testing.T) {
+	bad := []Profile{
+		{Name: "x", PIs: 1, POs: 1, Gates: 10, Depth: 3},
+		{Name: "x", PIs: 5, POs: 1, Gates: 2, Depth: 5},
+		{Name: "x", PIs: 5, POs: 1, Gates: 10, Depth: 1},
+	}
+	for _, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("expected error for %+v", p)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("c7552"); !ok {
+		t.Error("missing c7552 profile")
+	}
+	if _, ok := ProfileByName("c999"); ok {
+		t.Error("unexpected profile c999")
+	}
+}

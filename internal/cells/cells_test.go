@@ -1,0 +1,217 @@
+package cells
+
+import (
+	"testing"
+
+	"sstiming/internal/device"
+)
+
+// nandDrives builds a drive vector for an n-input NAND where the listed
+// inputs fall (to-controlling) and the rest stay at Vdd (non-controlling).
+func nandDrives(tech *device.Tech, n int, falling map[int]Drive) []Drive {
+	ds := make([]Drive, n)
+	for i := range ds {
+		if d, ok := falling[i]; ok {
+			ds[i] = d
+		} else {
+			ds[i] = SteadyHigh(tech)
+		}
+	}
+	return ds
+}
+
+func TestNAND2SingleInputDelay(t *testing.T) {
+	tech := device.Default05um()
+	cfg := Config{Kind: NAND, N: 2, Tech: tech, LoadInverter: true}
+	tr, err := cfg.MeasureResponse(
+		nandDrives(tech, 2, map[int]Drive{0: Falling(1e-9, 0.5e-9)}),
+		true, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := tr.Arrival - 1e-9
+	if delay < 5e-12 || delay > 2e-9 {
+		t.Errorf("NAND2 single-input rise delay = %g s, outside sane range", delay)
+	}
+	if tr.TransTime <= 0 {
+		t.Errorf("output transition time = %g, want > 0", tr.TransTime)
+	}
+}
+
+// TestFig1SimultaneousFasterThanSingle reproduces the headline phenomenon of
+// the paper's Figure 1: simultaneous to-controlling (falling) transitions at
+// both NAND inputs produce a smaller gate delay than a single transition,
+// because the output charges through two parallel PMOS devices.
+func TestFig1SimultaneousFasterThanSingle(t *testing.T) {
+	tech := device.Default05um()
+	cfg := Config{Kind: NAND, N: 2, Tech: tech, LoadInverter: true}
+	const (
+		arr = 1e-9
+		tt  = 0.5e-9
+	)
+
+	single, err := cfg.MeasureResponse(
+		nandDrives(tech, 2, map[int]Drive{0: Falling(arr, tt)}),
+		true, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simul, err := cfg.MeasureResponse(
+		nandDrives(tech, 2, map[int]Drive{0: Falling(arr, tt), 1: Falling(arr, tt)}),
+		true, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dSingle := single.Arrival - arr
+	dSimul := simul.Arrival - arr
+	if dSimul >= dSingle {
+		t.Errorf("simultaneous delay %g >= single delay %g; expected speed-up", dSimul, dSingle)
+	}
+	// The paper reports roughly 0.28 ns vs 0.17 ns (a ~40%% reduction).
+	// Accept any clear speed-up beyond 15%%.
+	if dSimul > 0.85*dSingle {
+		t.Errorf("speed-up too small: single %g, simultaneous %g", dSingle, dSimul)
+	}
+}
+
+// TestPositionDependentDelay reproduces Section 3.1.2: the pin-to-pin delay
+// from the input farthest from the output of a 5-input NAND is significantly
+// larger than from the input closest to the output.
+func TestPositionDependentDelay(t *testing.T) {
+	tech := device.Default05um()
+	cfg := Config{Kind: NAND, N: 5, Tech: tech, LoadInverter: true}
+	const (
+		arr = 1e-9
+		tt  = 0.3e-9
+	)
+
+	measure := func(pos int) float64 {
+		tr, err := cfg.MeasureResponse(
+			nandDrives(tech, 5, map[int]Drive{pos: Falling(arr, tt)}),
+			true, SimOptions{})
+		if err != nil {
+			t.Fatalf("position %d: %v", pos, err)
+		}
+		return tr.Arrival - arr
+	}
+
+	d0 := measure(0)
+	d4 := measure(4)
+	if d4 <= d0 {
+		t.Errorf("delay from position 4 (%g) should exceed position 0 (%g)", d4, d0)
+	}
+	// The paper cites "may be 50% larger"; require a clear effect.
+	if d4 < 1.15*d0 {
+		t.Errorf("position effect too small: d0=%g d4=%g", d0, d4)
+	}
+}
+
+func TestNORSimultaneousFasterThanSingle(t *testing.T) {
+	tech := device.Default05um()
+	cfg := Config{Kind: NOR, N: 2, Tech: tech, LoadInverter: true}
+	const (
+		arr = 1e-9
+		tt  = 0.5e-9
+	)
+	// NOR: controlling value is 1, so rising inputs force a falling output.
+	norDrives := func(rising map[int]Drive) []Drive {
+		ds := make([]Drive, 2)
+		for i := range ds {
+			if d, ok := rising[i]; ok {
+				ds[i] = d
+			} else {
+				ds[i] = SteadyLow()
+			}
+		}
+		return ds
+	}
+
+	single, err := cfg.MeasureResponse(norDrives(map[int]Drive{0: Rising(arr, tt)}), false, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simul, err := cfg.MeasureResponse(norDrives(map[int]Drive{0: Rising(arr, tt), 1: Rising(arr, tt)}), false, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simul.Arrival >= single.Arrival {
+		t.Errorf("NOR simultaneous arrival %g >= single %g; expected speed-up", simul.Arrival, single.Arrival)
+	}
+}
+
+func TestSkewReducesSpeedup(t *testing.T) {
+	// As |skew| grows the simultaneous-switching delay must approach the
+	// single-input pin-to-pin delay (Figure 2's saturation arms).
+	tech := device.Default05um()
+	cfg := Config{Kind: NAND, N: 2, Tech: tech, LoadInverter: true}
+	const (
+		arr = 1e-9
+		tt  = 0.4e-9
+	)
+	gateDelay := func(skew float64) float64 {
+		drives := nandDrives(tech, 2, map[int]Drive{
+			0: Falling(arr, tt),
+			1: Falling(arr+skew, tt),
+		})
+		tr, err := cfg.MeasureResponse(drives, true, SimOptions{TStop: arr + skew + 4e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper definition: delay relative to the earliest input arrival.
+		earliest := arr
+		if skew < 0 {
+			earliest = arr + skew
+		}
+		return tr.Arrival - earliest
+	}
+
+	d0 := gateDelay(0)
+	dHalf := gateDelay(0.4e-9)
+	dBig := gateDelay(2.0e-9)
+
+	single, err := cfg.MeasureResponse(
+		nandDrives(tech, 2, map[int]Drive{0: Falling(arr, tt)}), true, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSingle := single.Arrival - arr
+
+	if !(d0 < dHalf) {
+		t.Errorf("delay at skew 0 (%g) should be below delay at moderate skew (%g)", d0, dHalf)
+	}
+	if diff := dBig - dSingle; diff > 0.1*dSingle || diff < -0.1*dSingle {
+		t.Errorf("large-skew delay %g should approach single-input delay %g", dBig, dSingle)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tech := device.Default05um()
+	cfg := Config{Kind: NAND, N: 2, Tech: tech}
+	if _, err := cfg.Build([]Drive{SteadyHigh(tech)}); err == nil {
+		t.Error("expected error for wrong drive count")
+	}
+	bad := Config{Kind: NAND, N: 0, Tech: tech}
+	if _, err := bad.Build(nil); err == nil {
+		t.Error("expected error for zero inputs")
+	}
+	deep := Config{Kind: NAND, N: 9, Tech: tech}
+	if _, err := deep.Build(make([]Drive, 9)); err == nil {
+		t.Error("expected error for stack depth > 8")
+	}
+}
+
+func TestCellNames(t *testing.T) {
+	if n := (Config{Kind: NAND, N: 3}).Name(); n != "NAND3" {
+		t.Errorf("name = %q, want NAND3", n)
+	}
+	if n := (Config{Kind: Inv, N: 1}).Name(); n != "INV" {
+		t.Errorf("name = %q, want INV", n)
+	}
+	if cv := (Config{Kind: NOR, N: 2}).ControllingValue(); cv != 1 {
+		t.Errorf("NOR controlling value = %d, want 1", cv)
+	}
+	if cv := (Config{Kind: NAND, N: 2}).ControllingValue(); cv != 0 {
+		t.Errorf("NAND controlling value = %d, want 0", cv)
+	}
+}

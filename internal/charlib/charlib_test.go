@@ -1,0 +1,217 @@
+package charlib
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sstiming/internal/cells"
+	"sstiming/internal/core"
+	"sstiming/internal/device"
+)
+
+var (
+	libOnce sync.Once
+	libVal  *core.Library
+	libErr  error
+)
+
+// testLibrary characterises a reduced library once and shares it across all
+// tests in this package.
+func testLibrary(t *testing.T) *core.Library {
+	t.Helper()
+	libOnce.Do(func() {
+		libVal, libErr = Characterize(FastOptions())
+	})
+	if libErr != nil {
+		t.Fatalf("characterisation failed: %v", libErr)
+	}
+	return libVal
+}
+
+func TestCharacterizeProducesValidLibrary(t *testing.T) {
+	lib := testLibrary(t)
+	if err := lib.Validate(); err != nil {
+		t.Fatalf("library invalid: %v", err)
+	}
+	for _, name := range []string{"INV", "NAND2", "NOR2"} {
+		if _, ok := lib.Cell(name); !ok {
+			t.Errorf("library missing cell %s", name)
+		}
+	}
+	n2 := lib.MustCell("NAND2")
+	if !n2.CtrlOutRising {
+		t.Error("NAND2 to-controlling response should be rising")
+	}
+	if nr2 := lib.MustCell("NOR2"); nr2.CtrlOutRising {
+		t.Error("NOR2 to-controlling response should be falling")
+	}
+	if len(n2.Pairs) != 2 {
+		t.Errorf("NAND2 has %d pair entries, want 2", len(n2.Pairs))
+	}
+}
+
+func TestZeroSkewSpeedupCaptured(t *testing.T) {
+	lib := testLibrary(t)
+	n2 := lib.MustCell("NAND2")
+	const T = 0.5e-9
+	d0 := n2.DelayCtrl2(0, 1, T, T, 0, 0)
+	dx := n2.CtrlPins[0].DelayAt(T, 0)
+	dy := n2.CtrlPins[1].DelayAt(T, 0)
+	if d0 >= dx || d0 >= dy {
+		t.Errorf("zero-skew delay %g should be below single-input delays %g / %g", d0, dx, dy)
+	}
+	// The paper's Figure 1 flavour: a substantial (tens of percent)
+	// speed-up.
+	if d0 > 0.9*math.Min(dx, dy) {
+		t.Errorf("speed-up too small: d0=%g, min single=%g", d0, math.Min(dx, dy))
+	}
+}
+
+func TestSkewThresholdsPositive(t *testing.T) {
+	lib := testLibrary(t)
+	n2 := lib.MustCell("NAND2")
+	for _, T := range []float64{0.2e-9, 0.5e-9, 1.0e-9} {
+		p := n2.Pair(0, 1)
+		if p == nil {
+			t.Fatal("missing pair (0,1)")
+		}
+		if sx := p.SX.Eval(T, T); sx <= 0 {
+			t.Errorf("SX(%g,%g) = %g, want > 0", T, T, sx)
+		}
+	}
+}
+
+// TestModelMatchesSimulatorOffGrid is the reproduction's core accuracy check
+// (the role of Figures 10-12): at off-grid transition times and skews the
+// fitted model must track the transistor-level simulator closely.
+func TestModelMatchesSimulatorOffGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	lib := testLibrary(t)
+	n2 := lib.MustCell("NAND2")
+	tech := device.Default05um()
+	cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true}
+
+	rng := rand.New(rand.NewSource(7))
+	var worst float64
+	for trial := 0; trial < 8; trial++ {
+		tx := (0.18 + rng.Float64()*0.9) * 1e-9
+		ty := (0.18 + rng.Float64()*0.9) * 1e-9
+		skew := (rng.Float64()*1.2 - 0.4) * 1e-9
+
+		ax := 1e-9
+		ay := ax + skew
+		tr, err := cfg.MeasureResponse([]cells.Drive{
+			cells.Falling(ax, tx),
+			cells.Falling(ay, ty),
+		}, true, cells.SimOptions{TStop: math.Max(ax, ay) + math.Max(tx, ty) + 2.5e-9, TStep: 3e-12})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		simDelay := tr.Arrival - math.Min(ax, ay)
+		modelDelay := n2.DelayCtrl2(0, 1, tx, ty, skew, 0)
+		err2 := math.Abs(simDelay - modelDelay)
+		rel := err2 / math.Max(simDelay, 20e-12)
+		if rel > worst {
+			worst = rel
+		}
+		if rel > 0.25 {
+			t.Errorf("trial %d: tx=%.3g ty=%.3g skew=%.3g: sim %.4g model %.4g (rel err %.1f%%)",
+				trial, tx, ty, skew, simDelay, modelDelay, rel*100)
+		}
+	}
+	t.Logf("worst relative delay error: %.1f%%", worst*100)
+}
+
+// TestClaim1MinimumDelayAtZeroSkew validates the paper's Claim 1 against the
+// transistor-level simulator directly: the gate delay at zero skew is not
+// exceeded by nearby skews.
+func TestClaim1MinimumDelayAtZeroSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tech := device.Default05um()
+	cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true}
+	const tx, ty = 0.4e-9, 0.6e-9
+
+	delayAt := func(skew float64) float64 {
+		ax := 1e-9
+		ay := ax + skew
+		tr, err := cfg.MeasureResponse([]cells.Drive{
+			cells.Falling(ax, tx), cells.Falling(ay, ty),
+		}, true, cells.SimOptions{TStop: math.Max(ax, ay) + 3e-9, TStep: 3e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Arrival - math.Min(ax, ay)
+	}
+
+	d0 := delayAt(0)
+	for _, s := range []float64{-0.4e-9, -0.2e-9, -0.1e-9, 0.1e-9, 0.2e-9, 0.4e-9} {
+		if d := delayAt(s); d < d0-2e-12 {
+			t.Errorf("delay at skew %g (%g) below zero-skew delay (%g); violates Claim 1", s, d, d0)
+		}
+	}
+}
+
+func TestLibraryJSONRoundTrip(t *testing.T) {
+	lib := testLibrary(t)
+	var buf bytes.Buffer
+	if err := lib.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.LoadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vdd != lib.Vdd || got.TechName != lib.TechName {
+		t.Errorf("header mismatch: %v vs %v", got, lib)
+	}
+	n2a := lib.MustCell("NAND2")
+	n2b := got.MustCell("NAND2")
+	const T = 0.47e-9
+	if a, b := n2a.DelayCtrl2(0, 1, T, T, 0.1e-9, 0), n2b.DelayCtrl2(0, 1, T, T, 0.1e-9, 0); a != b {
+		t.Errorf("round-tripped model differs: %g vs %g", a, b)
+	}
+}
+
+func TestLoadLibraryRejectsGarbage(t *testing.T) {
+	if _, err := core.LoadLibrary(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("expected JSON error")
+	}
+	// Structurally valid JSON but invalid library.
+	bad := `{"Cells":{"X":{"Name":"Y","N":1,"CtrlPins":[],"NonCtrlPins":[]}}}`
+	if _, err := core.LoadLibrary(bytes.NewBufferString(bad)); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestNonCtrlSlowerThanCtrlForNAND(t *testing.T) {
+	// For these cells the to-non-controlling (falling for NAND) response
+	// exists and is positive.
+	lib := testLibrary(t)
+	n2 := lib.MustCell("NAND2")
+	const T = 0.5e-9
+	for pin := 0; pin < 2; pin++ {
+		if d := n2.NonCtrlPins[pin].DelayAt(T, 0); d <= 0 {
+			t.Errorf("non-ctrl delay pin %d = %g, want > 0", pin, d)
+		}
+	}
+}
+
+func TestLoadSlopesPositive(t *testing.T) {
+	lib := testLibrary(t)
+	for _, name := range []string{"INV", "NAND2", "NOR2"} {
+		m := lib.MustCell(name)
+		for pin := 0; pin < m.N; pin++ {
+			if m.CtrlPins[pin].DelayLoadSlope <= 0 {
+				t.Errorf("%s pin %d ctrl delay load slope = %g, want > 0",
+					name, pin, m.CtrlPins[pin].DelayLoadSlope)
+			}
+		}
+	}
+}

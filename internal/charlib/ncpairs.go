@@ -1,0 +1,234 @@
+package charlib
+
+import (
+	"fmt"
+	"math"
+
+	"sstiming/internal/cells"
+	"sstiming/internal/core"
+	"sstiming/internal/fit"
+	"sstiming/internal/spice"
+)
+
+// This file characterises the simultaneous to-non-controlling surfaces (the
+// paper's Section 3.6 future work, implemented in core/noncontrolling.go):
+// both inputs of a pair transition towards the non-controlling value with a
+// swept skew, and the gate delay — measured from the LATEST arrival —
+// exhibits a Λ-shaped peak at zero skew.
+
+// measureNCPair measures (and memoises) the two-input to-non-controlling
+// response: pin x switching at the reference arrival, pin y at skew later.
+// The returned delay is relative to the LATEST switching input arrival.
+func (ch *characterizer) measureNCPair(x, y, txIdx, tyIdx int, skew float64) (measurement, error) {
+	dps := int(math.Round(skew / 1e-12))
+	key := pairKey{x: x, y: y, tx: txIdx, ty: tyIdx, dps: dps}
+	if x > y {
+		key = pairKey{x: y, y: x, tx: tyIdx, ty: txIdx, dps: -dps}
+	}
+	ch.mu.Lock()
+	m0, ok := ch.memoNCPair[key]
+	ch.mu.Unlock()
+	if ok {
+		return m0, nil
+	}
+
+	axc := stimulusArrival
+	ayc := stimulusArrival + float64(key.dps)*1e-12
+	txc := ch.opts.Grid[key.tx]
+	tyc := ch.opts.Grid[key.ty]
+	minStart := math.Min(axc-txc/0.8/2, ayc-tyc/0.8/2)
+	if minStart < 0.1e-9 {
+		shift := 0.1e-9 - minStart
+		axc += shift
+		ayc += shift
+	}
+	drives := map[int]cells.Drive{
+		key.x: ch.nonCtrlDrive(axc, txc),
+		key.y: ch.nonCtrlDrive(ayc, tyc),
+	}
+	latest := math.Max(axc, ayc)
+	maxTT := math.Max(txc, tyc)
+	// For the to-non-controlling response the remaining inputs must hold
+	// the NON-controlling value so the output switches when the pair
+	// completes; simulate() holds them there by default — but its delay
+	// is measured from the earliest arrival. Re-derive against latest.
+	outRising := !ch.cfg.OutputRisesOnControlling()
+	m, err := ch.simulateNC(drives, outRising, latest, maxTT)
+	if err != nil {
+		return measurement{}, err
+	}
+	ch.mu.Lock()
+	ch.memoNCPair[key] = m
+	ch.mu.Unlock()
+	return m, nil
+}
+
+// simulateNC runs a to-non-controlling testbench with the switching pins'
+// drives given and every other pin steady at the non-controlling value; the
+// measured delay is relative to the LATEST switching arrival.
+func (ch *characterizer) simulateNC(drives map[int]cells.Drive, outRising bool, latest, maxTT float64) (measurement, error) {
+	n := ch.numInputs()
+	all := make([]cells.Drive, n)
+	for i := 0; i < n; i++ {
+		if d, ok := drives[i]; ok {
+			all[i] = d
+		} else {
+			all[i] = ch.steadyNonCtrl()
+		}
+	}
+	cfg := ch.cfg
+	tr, err := cfg.MeasureResponse(all, outRising, cells.SimOptions{
+		TStop:  latest + maxTT + 2.5e-9,
+		TStep:  ch.opts.TStep,
+		Method: spice.Trapezoidal,
+	})
+	if err != nil {
+		return measurement{}, err
+	}
+	return measurement{delay: tr.Arrival - latest, trans: tr.TransTime}, nil
+}
+
+// measureSingleNC measures (and memoises) the single-input
+// to-non-controlling response at a grid point.
+func (ch *characterizer) measureSingleNC(pin, gridIdx int) (measurement, error) {
+	key := [2]int{pin, gridIdx}
+	ch.mu.Lock()
+	m, ok := ch.singleNC[key]
+	ch.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	tt := ch.opts.Grid[gridIdx]
+	outRising := !ch.cfg.OutputRisesOnControlling()
+	m, err := ch.simulateNC(
+		map[int]cells.Drive{pin: ch.nonCtrlDrive(stimulusArrival, tt)},
+		outRising, stimulusArrival, tt)
+	if err != nil {
+		return measurement{}, err
+	}
+	ch.mu.Lock()
+	ch.singleNC[key] = m
+	ch.mu.Unlock()
+	return m, nil
+}
+
+// fitNCPair characterises the Λ-shaped to-non-controlling surfaces of
+// ordered pair (x, y): the peak delay/transition at zero skew, and the skew
+// threshold beyond which the EARLIER input stops mattering (the positive-
+// side arm anchors at the later input's pin-to-pin delay).
+func (ch *characterizer) fitNCPair(x, y int) (core.PairEntry, error) {
+	grid := ch.opts.Grid
+	var txsNs, tysNs []float64
+	var d0Ns, t0Ns, sNs []float64
+
+	for txIdx := range grid {
+		for tyIdx := range grid {
+			dy, err := ch.measureSingleNC(y, tyIdx)
+			if err != nil {
+				return core.PairEntry{}, err
+			}
+			m0, err := ch.measureNCPair(x, y, txIdx, tyIdx, 0)
+			if err != nil {
+				return core.PairEntry{}, err
+			}
+			s, err := ch.findNCSkewThreshold(x, y, txIdx, tyIdx, dy.delay)
+			if err != nil {
+				return core.PairEntry{}, err
+			}
+			txsNs = append(txsNs, grid[txIdx]/1e-9)
+			tysNs = append(tysNs, grid[tyIdx]/1e-9)
+			d0Ns = append(d0Ns, m0.delay/1e-9)
+			t0Ns = append(t0Ns, m0.trans/1e-9)
+			sNs = append(sNs, s/1e-9)
+		}
+	}
+
+	fitCross := func(key string, ys []float64) (core.Cross, error) {
+		if ch.opts.PaperExactD0 {
+			k, st, err := fit.FitCrossPaper(txsNs, tysNs, ys)
+			if err != nil {
+				return core.Cross{}, err
+			}
+			ch.record(key, st)
+			return core.Cross{Kxy: k[0], Kx: k[1], Ky: k[2], K1: k[3]}, nil
+		}
+		k, st, err := fit.FitCross(txsNs, tysNs, ys)
+		if err != nil {
+			return core.Cross{}, err
+		}
+		ch.record(key, st)
+		return core.Cross{
+			Kxy: k[0], Kx: k[1], Ky: k[2], K1: k[3],
+			Kxx: k[4], Kyy: k[5], Kxxy: k[6], Kxyy: k[7],
+		}, nil
+	}
+	keyName := fmt.Sprintf("ncpair%d:%d", x, y)
+	d0, err := fitCross(keyName+"/D0", d0Ns)
+	if err != nil {
+		return core.PairEntry{}, fmt.Errorf("NC D0 fit: %w", err)
+	}
+	t0, err := fitCross(keyName+"/T0", t0Ns)
+	if err != nil {
+		return core.PairEntry{}, fmt.Errorf("NC T0 fit: %w", err)
+	}
+	ks, sSt, err := fit.FitQuad2(txsNs, tysNs, sNs)
+	if err != nil {
+		return core.PairEntry{}, fmt.Errorf("NC SR fit: %w", err)
+	}
+	ch.record(keyName+"/SR", sSt)
+
+	return core.PairEntry{
+		X: x,
+		Y: y,
+		Timing: core.PairTiming{
+			D0: d0,
+			T0: t0,
+			SX: core.Quad2{Kxx: ks[0], Kyy: ks[1], Kxy: ks[2], Kx: ks[3], Ky: ks[4], K1: ks[5]},
+		},
+	}, nil
+}
+
+// findNCSkewThreshold locates the skew beyond which the earlier input x no
+// longer slows the response to the later input y: the smallest δ = Ay−Ax
+// with delay(δ) within tolerance of the single-input delay of y.
+func (ch *characterizer) findNCSkewThreshold(x, y, txIdx, tyIdx int, dySingle float64) (float64, error) {
+	eps := math.Max(0.04*math.Abs(dySingle), 3e-12)
+
+	probe := func(skew float64) (bool, error) {
+		m, err := ch.measureNCPair(x, y, txIdx, tyIdx, skew)
+		if err != nil {
+			return false, err
+		}
+		return math.Abs(m.delay-dySingle) <= eps, nil
+	}
+
+	hi := 0.25e-9
+	const hiLimit = 8e-9
+	for {
+		done, err := probe(hi)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			break
+		}
+		hi *= 2
+		if hi > hiLimit {
+			return hiLimit, nil
+		}
+	}
+	lo := 0.0
+	for hi-lo > ch.opts.SkewTol {
+		mid := (lo + hi) / 2
+		done, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,99 @@
+package charlib
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"sstiming/internal/cells"
+	"sstiming/internal/core"
+	"sstiming/internal/device"
+)
+
+var (
+	ncLibOnce sync.Once
+	ncLibVal  *core.Library
+	ncLibErr  error
+)
+
+func ncTestLibrary(t *testing.T) *core.Library {
+	t.Helper()
+	ncLibOnce.Do(func() {
+		opts := FastOptions()
+		opts.Cells = []cells.Config{{Kind: cells.NAND, N: 2, Tech: opts.Tech, LoadInverter: true}}
+		opts.NCPairs = true
+		ncLibVal, ncLibErr = Characterize(opts)
+	})
+	if ncLibErr != nil {
+		t.Fatalf("NC characterisation failed: %v", ncLibErr)
+	}
+	return ncLibVal
+}
+
+func TestNCPairsCharacterised(t *testing.T) {
+	lib := ncTestLibrary(t)
+	m := lib.MustCell("NAND2")
+	if len(m.NCPairs) != 2 {
+		t.Fatalf("%d NC pair entries, want 2", len(m.NCPairs))
+	}
+	if m.NCPair(0, 1) == nil || m.NCPair(1, 0) == nil {
+		t.Fatal("NC pair lookup failed")
+	}
+}
+
+// TestNCModelCapturesSlowdown verifies the Section 3.6 phenomenon end to
+// end: the fitted Λ model reports a zero-skew to-non-controlling delay
+// clearly above the single-input pin-to-pin delay, matching the simulator.
+func TestNCModelCapturesSlowdown(t *testing.T) {
+	lib := ncTestLibrary(t)
+	m := lib.MustCell("NAND2")
+	tech := device.Default05um()
+	const T = 0.5e-9
+
+	peak := m.DelayNonCtrl2(0, 1, T, T, 0, 0)
+	single := m.NonCtrlPins[1].DelayAt(T, 0)
+	if peak <= single*1.05 {
+		t.Errorf("NC peak %g should clearly exceed single %g", peak, single)
+	}
+
+	// Against a fresh simulation at zero skew.
+	cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true}
+	ax := 1.2e-9
+	tr, err := cfg.MeasureResponse([]cells.Drive{
+		cells.Rising(ax, T), cells.Rising(ax, T),
+	}, false, cells.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := tr.Arrival - ax
+	if rel := math.Abs(peak-sim) / sim; rel > 0.15 {
+		t.Errorf("NC peak %g vs simulated %g (%.0f%% error)", peak, sim, rel*100)
+	}
+}
+
+func TestNCModelMatchesSimulatorOverSkew(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	lib := ncTestLibrary(t)
+	m := lib.MustCell("NAND2")
+	tech := device.Default05um()
+	cfg := cells.Config{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true}
+	const T = 0.5e-9
+
+	for _, skew := range []float64{-0.4e-9, -0.15e-9, 0, 0.15e-9, 0.4e-9} {
+		ax := 1.2e-9
+		ay := ax + skew
+		tr, err := cfg.MeasureResponse([]cells.Drive{
+			cells.Rising(ax, T), cells.Rising(ay, T),
+		}, false, cells.SimOptions{TStop: math.Max(ax, ay) + 3e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := tr.Arrival - math.Max(ax, ay)
+		mod := m.DelayNonCtrl2(0, 1, T, T, skew, 0)
+		if rel := math.Abs(mod-sim) / math.Max(sim, 30e-12); rel > 0.30 {
+			t.Errorf("skew %g: model %g vs sim %g (%.0f%%)", skew, mod, sim, rel*100)
+		}
+	}
+}

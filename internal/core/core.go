@@ -1,0 +1,526 @@
+// Package core implements the paper's primary contribution: an empirical
+// gate-delay model for simultaneous to-controlling transitions (Chen, Gupta,
+// Breuer — DAC 2001, Section 3).
+//
+// # Model structure
+//
+// For a pair of gate inputs X and Y receiving to-controlling transitions with
+// transition times Tx, Ty and skew δ = Ay − Ax, the to-controlling gate delay
+// (measured from the earliest input arrival) is a V-shaped piecewise-linear
+// function of δ anchored at three points (Figure 2):
+//
+//	(0,   D0R(Tx,Ty))   — the minimal delay, at zero skew (Claim 1)
+//	(SXR, DXR(Tx))      — beyond skew SXR, Y no longer matters
+//	(SYR, DYR(Ty))      — symmetrically for negative skew
+//
+// with the empirical coefficient formulas of Section 3.4:
+//
+//	DR(T)       = K10·T² + K11·T + K12
+//	D0R(Tx,Ty)  = (K20·Tx^⅓ + K21)(K22·Ty^⅓ + K23) + K24
+//	SR(Tx,Ty)   = K30·Tx² + K31·Ty² + K32·Tx·Ty + K33·Tx + K34·Ty + K35
+//
+// The output transition time uses the same construction, except that its
+// minimum may occur at a non-zero skew SKmin (Section 3.4's note that "S0R
+// for t may be non-zero").
+//
+// Every timing function of the model is monotonic or bi-tonic with respect to
+// each input variable — the paper's sufficient condition for worst-case
+// corner identification in STA and ITR — and the Quad type exposes the
+// interior-extremum helpers STA needs (Figure 9).
+//
+// All public methods take and return SI seconds; coefficients are stored in
+// nanosecond units for numerical conditioning of the fits.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+const ns = 1e-9
+
+// Quad is a single-variable quadratic timing function K0·t² + K1·t + K2 with
+// t in nanoseconds; Eval converts from and to seconds.
+type Quad struct {
+	K [3]float64
+}
+
+// Eval evaluates the quadratic at tSec seconds and returns seconds.
+func (q Quad) Eval(tSec float64) float64 {
+	t := tSec / ns
+	return (q.K[0]*t*t + q.K[1]*t + q.K[2]) * ns
+}
+
+// PeakT returns the location (in seconds) of the interior maximum of the
+// quadratic, which exists when the curvature is negative (the bi-tonic case
+// of Section 3.3). ok is false for convex or linear shapes.
+func (q Quad) PeakT() (tSec float64, ok bool) {
+	if q.K[0] >= 0 {
+		return 0, false
+	}
+	return -q.K[1] / (2 * q.K[0]) * ns, true
+}
+
+// MaxOver returns the maximum of the quadratic over [loSec, hiSec] and the
+// argument where it occurs. Per Figure 9 this is an endpoint or, for the
+// bi-tonic case, the interior peak when it falls inside the range.
+func (q Quad) MaxOver(loSec, hiSec float64) (argSec, valSec float64) {
+	argSec, valSec = loSec, q.Eval(loSec)
+	if v := q.Eval(hiSec); v > valSec {
+		argSec, valSec = hiSec, v
+	}
+	if p, ok := q.PeakT(); ok && p > loSec && p < hiSec {
+		if v := q.Eval(p); v > valSec {
+			argSec, valSec = p, v
+		}
+	}
+	return argSec, valSec
+}
+
+// MinOver returns the minimum of the quadratic over [loSec, hiSec] and the
+// argument where it occurs (an endpoint, or the interior valley for convex
+// shapes).
+func (q Quad) MinOver(loSec, hiSec float64) (argSec, valSec float64) {
+	argSec, valSec = loSec, q.Eval(loSec)
+	if v := q.Eval(hiSec); v < valSec {
+		argSec, valSec = hiSec, v
+	}
+	if q.K[0] > 0 {
+		valley := -q.K[1] / (2 * q.K[0]) * ns
+		if valley > loSec && valley < hiSec {
+			if v := q.Eval(valley); v < valSec {
+				argSec, valSec = valley, v
+			}
+		}
+	}
+	return argSec, valSec
+}
+
+// Cross is the D0R formula family: the paper's product form
+// (K20·x+K21)(K22·y+K23)+K24 with x = Tx^⅓, y = Ty^⅓, stored expanded as
+// Kxy·x·y + Kx·x + Ky·y + K1, plus optional quadratic correction terms in
+// cube-root space (Kxx·x² + Kyy·y² + Kxxy·x²y + Kxyy·xy²) that this
+// reproduction fits by default — the square-law simulator's zero-skew
+// surface saturates in the weaker input in a way the pure product form
+// cannot express. All correction coefficients zero recovers the paper's
+// exact formula. Times are in nanoseconds.
+type Cross struct {
+	Kxy, Kx, Ky, K1 float64
+	// Correction terms (zero in the paper's exact form).
+	Kxx, Kyy, Kxxy, Kxyy float64
+}
+
+// Eval evaluates the surface at (txSec, tySec) and returns seconds.
+func (c Cross) Eval(txSec, tySec float64) float64 {
+	x := math.Cbrt(txSec / ns)
+	y := math.Cbrt(tySec / ns)
+	v := c.Kxy*x*y + c.Kx*x + c.Ky*y + c.K1
+	v += c.Kxx*x*x + c.Kyy*y*y + c.Kxxy*x*x*y + c.Kxyy*x*y*y
+	return v * ns
+}
+
+// Quad2 is the paper's SR formula family: a full two-variable quadratic
+// K30·Tx² + K31·Ty² + K32·Tx·Ty + K33·Tx + K34·Ty + K35 (nanoseconds).
+type Quad2 struct {
+	Kxx, Kyy, Kxy, Kx, Ky, K1 float64
+}
+
+// Eval evaluates the surface at (txSec, tySec) and returns seconds.
+func (s Quad2) Eval(txSec, tySec float64) float64 {
+	x := txSec / ns
+	y := tySec / ns
+	return (s.Kxx*x*x + s.Kyy*y*y + s.Kxy*x*y + s.Kx*x + s.Ky*y + s.K1) * ns
+}
+
+// PinTiming holds the per-pin single-transition ("pin-to-pin") timing
+// functions of one cell for one output response direction, plus the linear
+// load-dependence slopes of Section 3.6.
+type PinTiming struct {
+	// Delay is the pin-to-pin delay versus input transition time.
+	Delay Quad
+	// Trans is the output transition time versus input transition time.
+	Trans Quad
+	// DelayLoadSlope and TransLoadSlope are the additional seconds of
+	// delay / output transition per farad of load beyond the reference
+	// load ("we treat the delay as increasing linearly as load
+	// increases").
+	DelayLoadSlope float64
+	TransLoadSlope float64
+}
+
+// DelayAt evaluates the pin-to-pin delay at input transition time tSec with
+// extraLoad farads beyond the characterisation reference load.
+func (p *PinTiming) DelayAt(tSec, extraLoad float64) float64 {
+	return p.Delay.Eval(tSec) + p.DelayLoadSlope*extraLoad
+}
+
+// TransAt evaluates the output transition time analogously.
+func (p *PinTiming) TransAt(tSec, extraLoad float64) float64 {
+	return p.Trans.Eval(tSec) + p.TransLoadSlope*extraLoad
+}
+
+// PairTiming holds the simultaneous-switching timing surfaces for one
+// ordered input pair (X, Y) of a cell.
+type PairTiming struct {
+	// D0 is the minimal gate delay at zero skew.
+	D0 Cross
+	// SX is the skew threshold SR(Tx,Ty): the smallest δ = Ay−Ax beyond
+	// which the transition on Y no longer affects the gate delay.
+	SX Quad2
+	// T0 is the minimal output transition time (attained at skew SKmin).
+	T0 Cross
+	// SKmin is the skew minimising the output transition time, which may
+	// be non-zero (the paper's "S0R for t may be non-zero").
+	SKmin Quad2
+}
+
+// PairEntry binds a PairTiming to its ordered pin pair for serialisation.
+type PairEntry struct {
+	X, Y   int
+	Timing PairTiming
+}
+
+// CellModel is the complete characterised timing model of one library cell.
+type CellModel struct {
+	// Name is the cell name, e.g. "NAND2".
+	Name string
+	// Kind is "NAND", "NOR" or "INV".
+	Kind string
+	// N is the number of inputs.
+	N int
+	// CtrlOutRising reports whether the to-controlling response is a
+	// rising output transition (true for NAND/INV, false for NOR).
+	CtrlOutRising bool
+	// RefLoad is the output load (farads) at characterisation.
+	RefLoad float64
+	// CtrlPins are the per-pin timing functions for the to-controlling
+	// response (inputs transitioning to the controlling value).
+	CtrlPins []PinTiming
+	// NonCtrlPins are the per-pin timing functions for the
+	// to-non-controlling response.
+	NonCtrlPins []PinTiming
+	// Pairs holds the simultaneous-switching surfaces for every ordered
+	// input pair (to-controlling response, the paper's primary scope).
+	Pairs []PairEntry
+	// NCPairs holds the Λ-shaped simultaneous to-non-controlling surfaces
+	// (the paper's Section 3.6 future work; see noncontrolling.go). Empty
+	// unless characterised with charlib.Options.NCPairs.
+	NCPairs []PairEntry
+	// MultiFactor[k-3] scales the winning pairwise delay when k >= 3
+	// inputs switch δ-simultaneously: the extended model's n-way
+	// speed-up, characterised at equal transition times and zero skew.
+	// Empty means no additional speed-up beyond pairwise.
+	MultiFactor []float64
+	// Quality records the goodness of fit of each characterised surface,
+	// keyed e.g. "pin0/ctrl/delay" or "pair0:1/D0". Values are in the
+	// nanosecond fitting domain. Optional characterisation metadata.
+	Quality map[string]FitQuality `json:",omitempty"`
+}
+
+// FitQuality summarises one surface fit (nanosecond domain).
+type FitQuality struct {
+	// RMS is the root-mean-square residual.
+	RMS float64
+	// Max is the largest absolute residual.
+	Max float64
+	// R2 is the coefficient of determination.
+	R2 float64
+}
+
+// Pair returns the timing surfaces for ordered pair (x, y), or nil if the
+// pair was not characterised.
+func (m *CellModel) Pair(x, y int) *PairTiming {
+	for i := range m.Pairs {
+		if m.Pairs[i].X == x && m.Pairs[i].Y == y {
+			return &m.Pairs[i].Timing
+		}
+	}
+	return nil
+}
+
+// Validate checks structural consistency of the model.
+func (m *CellModel) Validate() error {
+	if m.N < 1 {
+		return fmt.Errorf("core: cell %q: invalid input count %d", m.Name, m.N)
+	}
+	if len(m.CtrlPins) != m.N {
+		return fmt.Errorf("core: cell %q: %d ctrl pins, want %d", m.Name, len(m.CtrlPins), m.N)
+	}
+	if len(m.NonCtrlPins) != m.N {
+		return fmt.Errorf("core: cell %q: %d non-ctrl pins, want %d", m.Name, len(m.NonCtrlPins), m.N)
+	}
+	for _, p := range m.Pairs {
+		if p.X < 0 || p.X >= m.N || p.Y < 0 || p.Y >= m.N || p.X == p.Y {
+			return fmt.Errorf("core: cell %q: invalid pair (%d,%d)", m.Name, p.X, p.Y)
+		}
+	}
+	for _, p := range m.NCPairs {
+		if p.X < 0 || p.X >= m.N || p.Y < 0 || p.Y >= m.N || p.X == p.Y {
+			return fmt.Errorf("core: cell %q: invalid NC pair (%d,%d)", m.Name, p.X, p.Y)
+		}
+	}
+	return nil
+}
+
+// minSkewWidth guards the V-shape arms against degenerate fitted thresholds.
+const minSkewWidth = 1e-12 // 1 ps
+
+// DelayCtrl2 evaluates the V-shape model for the ordered pair (x, y): the
+// to-controlling gate delay, measured from the earliest input arrival, when
+// input x has transition time txSec, input y has transition time tySec, and
+// the skew is skewSec = Ay − Ax. extraLoad is additional output load beyond
+// the reference (farads).
+//
+// If the pair was not characterised the result degrades to the pin-to-pin
+// delay of the earlier input (the pin-to-pin model's answer).
+func (m *CellModel) DelayCtrl2(x, y int, txSec, tySec, skewSec, extraLoad float64) float64 {
+	dx := m.CtrlPins[x].DelayAt(txSec, extraLoad)
+	dy := m.CtrlPins[y].DelayAt(tySec, extraLoad)
+
+	pXY := m.Pair(x, y)
+	pYX := m.Pair(y, x)
+	if pXY == nil || pYX == nil {
+		// Pin-to-pin fallback: the earliest controlling input sets the
+		// output; the other is ignored.
+		if skewSec >= 0 {
+			return dx
+		}
+		return dy
+	}
+
+	sx := pXY.SX.Eval(txSec, tySec)
+	if sx < minSkewWidth {
+		sx = minSkewWidth
+	}
+	sy := -pYX.SX.Eval(tySec, txSec)
+	if sy > -minSkewWidth {
+		sy = -minSkewWidth
+	}
+	d0 := pXY.D0.Eval(txSec, tySec) + m.CtrlPins[x].DelayLoadSlope*extraLoad
+	// Claim 1: the zero-skew point is the global minimum. Keep the fitted
+	// surface consistent with it.
+	if d0 > dx {
+		d0 = dx
+	}
+	if d0 > dy {
+		d0 = dy
+	}
+
+	switch {
+	case skewSec >= sx:
+		return dx
+	case skewSec <= sy:
+		return dy
+	case skewSec >= 0:
+		return d0 + (dx-d0)*skewSec/sx
+	default:
+		return d0 + (dy-d0)*skewSec/sy
+	}
+}
+
+// TransCtrl2 evaluates the output transition time of the to-controlling
+// response for the ordered pair (x, y) under the same conventions as
+// DelayCtrl2. The V-shape minimum T0 sits at skew SKmin, which may be
+// non-zero.
+func (m *CellModel) TransCtrl2(x, y int, txSec, tySec, skewSec, extraLoad float64) float64 {
+	tx := m.CtrlPins[x].TransAt(txSec, extraLoad)
+	ty := m.CtrlPins[y].TransAt(tySec, extraLoad)
+
+	pXY := m.Pair(x, y)
+	pYX := m.Pair(y, x)
+	if pXY == nil || pYX == nil {
+		if skewSec >= 0 {
+			return tx
+		}
+		return ty
+	}
+
+	sx := pXY.SX.Eval(txSec, tySec)
+	if sx < minSkewWidth {
+		sx = minSkewWidth
+	}
+	sy := -pYX.SX.Eval(tySec, txSec)
+	if sy > -minSkewWidth {
+		sy = -minSkewWidth
+	}
+	skmin := pXY.SKmin.Eval(txSec, tySec)
+	// Keep the minimum strictly inside the arms.
+	if skmin > sx-minSkewWidth {
+		skmin = sx - minSkewWidth
+	}
+	if skmin < sy+minSkewWidth {
+		skmin = sy + minSkewWidth
+	}
+	t0 := pXY.T0.Eval(txSec, tySec) + m.CtrlPins[x].TransLoadSlope*extraLoad
+	if t0 > tx {
+		t0 = tx
+	}
+	if t0 > ty {
+		t0 = ty
+	}
+	if t0 <= 0 {
+		t0 = minSkewWidth
+	}
+
+	switch {
+	case skewSec >= sx:
+		return tx
+	case skewSec <= sy:
+		return ty
+	case skewSec >= skmin:
+		return t0 + (tx-t0)*(skewSec-skmin)/(sx-skmin)
+	default:
+		return t0 + (ty-t0)*(skewSec-skmin)/(sy-skmin)
+	}
+}
+
+// SKminAt returns the transition-time-minimising skew for pair (x, y),
+// clamped inside the V-shape arms, as used by the STA corner rules
+// (Section 4.2's SK_t,R,min).
+func (m *CellModel) SKminAt(x, y int, txSec, tySec float64) float64 {
+	pXY := m.Pair(x, y)
+	if pXY == nil {
+		return 0
+	}
+	return pXY.SKmin.Eval(txSec, tySec)
+}
+
+// InputEvent describes one switching input of a gate: which pin, when its
+// transition arrives (50% crossing, seconds) and its transition time.
+type InputEvent struct {
+	Pin     int
+	Arrival float64
+	Trans   float64
+}
+
+// Response is the computed output transition of a gate.
+type Response struct {
+	// Arrival is the output 50% crossing time, seconds.
+	Arrival float64
+	// Trans is the output 10%-90% transition time, seconds.
+	Trans float64
+}
+
+// CtrlResponse computes the output response when the given inputs all make
+// to-controlling transitions (and all remaining inputs hold the
+// non-controlling value). Implements the extended model's handling of more
+// than two simultaneous transitions by pairwise reduction with the
+// characterised multi-input speed-up factor.
+func (m *CellModel) CtrlResponse(events []InputEvent, extraLoad float64) (Response, error) {
+	if len(events) == 0 {
+		return Response{}, fmt.Errorf("core: %s: CtrlResponse with no events", m.Name)
+	}
+	for _, e := range events {
+		if e.Pin < 0 || e.Pin >= m.N {
+			return Response{}, fmt.Errorf("core: %s: invalid pin %d", m.Name, e.Pin)
+		}
+	}
+	if len(events) == 1 {
+		e := events[0]
+		return Response{
+			Arrival: e.Arrival + m.CtrlPins[e.Pin].DelayAt(e.Trans, extraLoad),
+			Trans:   m.CtrlPins[e.Pin].TransAt(e.Trans, extraLoad),
+		}, nil
+	}
+
+	evs := append([]InputEvent(nil), events...)
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Arrival < evs[j].Arrival })
+
+	// Pairwise minimum over all ordered pairs: each pair's candidate
+	// output arrival is min(Ax,Ay) + dpair. Track the winning pair for
+	// the output transition time.
+	bestArr := math.Inf(1)
+	bestTrans := 0.0
+	var bestDelay float64
+	var bestBase float64
+	for i := 0; i < len(evs); i++ {
+		for j := i + 1; j < len(evs); j++ {
+			x, y := evs[i], evs[j]
+			skew := y.Arrival - x.Arrival
+			d := m.DelayCtrl2(x.Pin, y.Pin, x.Trans, y.Trans, skew, extraLoad)
+			base := math.Min(x.Arrival, y.Arrival)
+			if cand := base + d; cand < bestArr {
+				bestArr = cand
+				bestDelay = d
+				bestBase = base
+				bestTrans = m.TransCtrl2(x.Pin, y.Pin, x.Trans, y.Trans, skew, extraLoad)
+			}
+		}
+	}
+
+	// Extended model: k >= 3 δ-simultaneous controlling transitions open
+	// additional charge paths beyond the best pair.
+	if k := len(evs); k >= 3 && len(m.MultiFactor) >= k-2 {
+		f := m.MultiFactor[k-3]
+		if f > 0 && f < 1 {
+			bestArr = bestBase + bestDelay*f
+		}
+	}
+	return Response{Arrival: bestArr, Trans: bestTrans}, nil
+}
+
+// NonCtrlResponse computes the output response when the given inputs all
+// make to-non-controlling transitions. Per Section 3 the paper keeps the
+// pin-to-pin model here: the output switches only after the *last* input
+// reaches the non-controlling value, so the arrival is the max over
+// pin-to-pin candidates.
+func (m *CellModel) NonCtrlResponse(events []InputEvent, extraLoad float64) (Response, error) {
+	if len(events) == 0 {
+		return Response{}, fmt.Errorf("core: %s: NonCtrlResponse with no events", m.Name)
+	}
+	var out Response
+	first := true
+	for _, e := range events {
+		if e.Pin < 0 || e.Pin >= m.N {
+			return Response{}, fmt.Errorf("core: %s: invalid pin %d", m.Name, e.Pin)
+		}
+		arr := e.Arrival + m.NonCtrlPins[e.Pin].DelayAt(e.Trans, extraLoad)
+		tr := m.NonCtrlPins[e.Pin].TransAt(e.Trans, extraLoad)
+		if first || arr > out.Arrival {
+			out.Arrival = arr
+			out.Trans = tr
+			first = false
+		}
+	}
+	return out, nil
+}
+
+// Library is a characterised cell library.
+type Library struct {
+	// TechName identifies the process technology.
+	TechName string
+	// Vdd is the supply voltage used during characterisation.
+	Vdd float64
+	// Cells maps cell name to model.
+	Cells map[string]*CellModel
+}
+
+// Cell returns the named cell model.
+func (l *Library) Cell(name string) (*CellModel, bool) {
+	m, ok := l.Cells[name]
+	return m, ok
+}
+
+// MustCell returns the named cell model or panics; for use in tests and
+// examples where absence is a programming error.
+func (l *Library) MustCell(name string) *CellModel {
+	m, ok := l.Cells[name]
+	if !ok {
+		panic(fmt.Sprintf("core: library has no cell %q", name))
+	}
+	return m
+}
+
+// Validate checks every cell in the library.
+func (l *Library) Validate() error {
+	for name, m := range l.Cells {
+		if name != m.Name {
+			return fmt.Errorf("core: library key %q does not match cell name %q", name, m.Name)
+		}
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestTransCtrl2FallbackAndClamps(t *testing.T) {
+	m := testModel()
+	const T = 0.5e-9
+
+	// Fallback without pair data: the earlier input's transition time.
+	m2 := testModel()
+	m2.Pairs = nil
+	if got := m2.TransCtrl2(0, 1, T, T, 0.2e-9, 0); !approx(got, m2.CtrlPins[0].TransAt(T, 0), 1e-18) {
+		t.Errorf("fallback positive skew trans = %g", got)
+	}
+	if got := m2.TransCtrl2(0, 1, T, T, -0.2e-9, 0); !approx(got, m2.CtrlPins[1].TransAt(T, 0), 1e-18) {
+		t.Errorf("fallback negative skew trans = %g", got)
+	}
+
+	// SKmin beyond the arms gets clamped inside them.
+	m3 := testModel()
+	for i := range m3.Pairs {
+		m3.Pairs[i].Timing.SKmin = Quad2{K1: 99} // way past SX = 0.5ns
+	}
+	v := m3.TransCtrl2(0, 1, T, T, 0.4e-9, 0)
+	if math.IsNaN(v) || v <= 0 {
+		t.Errorf("clamped SKmin produced invalid trans %g", v)
+	}
+
+	// Fitted T0 above the arms is clamped down.
+	m4 := testModel()
+	for i := range m4.Pairs {
+		m4.Pairs[i].Timing.T0 = Cross{K1: 99}
+	}
+	tx := m4.CtrlPins[0].TransAt(T, 0)
+	ty := m4.CtrlPins[1].TransAt(T, 0)
+	if got := m4.TransCtrl2(0, 1, T, T, 0.05e-9, 0); got > math.Min(tx, ty)+1e-18 {
+		t.Errorf("T0 clamp failed: %g > min arm %g", got, math.Min(tx, ty))
+	}
+
+	// Negative fitted T0 is floored to a positive value.
+	m5 := testModel()
+	for i := range m5.Pairs {
+		m5.Pairs[i].Timing.T0 = Cross{K1: -5}
+	}
+	skm := m5.SKminAt(0, 1, T, T)
+	if got := m5.TransCtrl2(0, 1, T, T, skm, 0); got <= 0 {
+		t.Errorf("negative T0 not floored: %g", got)
+	}
+
+	// Far-skew arms return the single-pin transition times.
+	if got := m.TransCtrl2(0, 1, T, T, -2e-9, 0); !approx(got, m.CtrlPins[1].TransAt(T, 0), 1e-15) {
+		t.Errorf("far negative skew trans = %g", got)
+	}
+}
+
+func TestSKminAt(t *testing.T) {
+	m := testModel()
+	if got := m.SKminAt(0, 1, 0.5e-9, 0.5e-9); !approx(got, 0.1e-9, 1e-18) {
+		t.Errorf("SKminAt = %g, want 0.1ns", got)
+	}
+	m.Pairs = nil
+	if got := m.SKminAt(0, 1, 0.5e-9, 0.5e-9); got != 0 {
+		t.Errorf("SKminAt without pair = %g, want 0", got)
+	}
+}
+
+func TestLibraryCellLookup(t *testing.T) {
+	lib := &Library{Cells: map[string]*CellModel{"NAND2": testModel()}}
+	if _, ok := lib.Cell("NAND2"); !ok {
+		t.Error("Cell(NAND2) should succeed")
+	}
+	if _, ok := lib.Cell("NOPE"); ok {
+		t.Error("Cell(NOPE) should fail")
+	}
+	if m := lib.MustCell("NAND2"); m == nil {
+		t.Error("MustCell returned nil")
+	}
+}
+
+func TestWriteLoadJSONInPackage(t *testing.T) {
+	lib := &Library{
+		TechName: "t",
+		Vdd:      3.3,
+		Cells:    map[string]*CellModel{"NAND2": testModel()},
+	}
+	var buf bytes.Buffer
+	if err := lib.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TechName != "t" || got.Vdd != 3.3 {
+		t.Errorf("header lost: %+v", got)
+	}
+	const T = 0.4e-9
+	a := lib.MustCell("NAND2").DelayCtrl2(0, 1, T, T, 0.1e-9, 0)
+	b := got.MustCell("NAND2").DelayCtrl2(0, 1, T, T, 0.1e-9, 0)
+	if a != b {
+		t.Errorf("model changed across JSON: %g vs %g", a, b)
+	}
+}
+
+func TestCrossCorrectionTerms(t *testing.T) {
+	// The extended terms contribute; zeroing them recovers the base form.
+	base := Cross{Kxy: 0.1, Kx: 0.2, Ky: 0.3, K1: 0.4}
+	ext := base
+	ext.Kxx, ext.Kyy, ext.Kxxy, ext.Kxyy = 0.05, 0.06, 0.07, 0.08
+	tx, ty := 0.6e-9, 0.9e-9
+	if base.Eval(tx, ty) == ext.Eval(tx, ty) {
+		t.Error("correction terms had no effect")
+	}
+	x, y := math.Cbrt(0.6), math.Cbrt(0.9)
+	want := (0.1*x*y + 0.2*x + 0.3*y + 0.4 + 0.05*x*x + 0.06*y*y + 0.07*x*x*y + 0.08*x*y*y) * 1e-9
+	if got := ext.Eval(tx, ty); !approx(got, want, 1e-22) {
+		t.Errorf("extended Eval = %g, want %g", got, want)
+	}
+}
+
+func TestCtrlResponsePairOrderIndependence(t *testing.T) {
+	// The response must not depend on the order events are listed in.
+	m := testModel()
+	const T = 0.5e-9
+	evs := []InputEvent{
+		{Pin: 0, Arrival: 1.0e-9, Trans: T},
+		{Pin: 1, Arrival: 1.2e-9, Trans: T},
+	}
+	rev := []InputEvent{evs[1], evs[0]}
+	a, err := m.CtrlResponse(evs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.CtrlResponse(rev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("order dependence: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// testModel builds a hand-crafted NAND2 model with easily checkable numbers:
+//
+//	pin delays:      d0(T) = 0.2 + 0.1·Tns (pin 0), d1(T) = 0.25 + 0.1·Tns
+//	pin transitions: t(T)  = 0.3 + 0.2·Tns (both pins)
+//	D0 = 0.12 (constant), SX = SY = 0.5 ns, SKmin = 0.1 ns, T0 = 0.25 ns
+func testModel() *CellModel {
+	pin := func(c0, c1 float64) PinTiming {
+		return PinTiming{
+			Delay:          Quad{K: [3]float64{0, c1, c0}},
+			Trans:          Quad{K: [3]float64{0, 0.2, 0.3}},
+			DelayLoadSlope: 1e-9 / 1e-12, // 1 ns per pF
+			TransLoadSlope: 2e-9 / 1e-12,
+		}
+	}
+	pairT := PairTiming{
+		D0:    Cross{K1: 0.12},
+		SX:    Quad2{K1: 0.5},
+		T0:    Cross{K1: 0.25},
+		SKmin: Quad2{K1: 0.1},
+	}
+	return &CellModel{
+		Name:          "NAND2",
+		Kind:          "NAND",
+		N:             2,
+		CtrlOutRising: true,
+		RefLoad:       10e-15,
+		CtrlPins:      []PinTiming{pin(0.2, 0.1), pin(0.25, 0.1)},
+		NonCtrlPins:   []PinTiming{pin(0.3, 0.15), pin(0.35, 0.15)},
+		Pairs: []PairEntry{
+			{X: 0, Y: 1, Timing: pairT},
+			{X: 1, Y: 0, Timing: pairT},
+		},
+	}
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestQuadEvalAndPeak(t *testing.T) {
+	q := Quad{K: [3]float64{-1, 2, 0.5}} // peak at t = 1 ns, value 1.5 ns
+	if got := q.Eval(1e-9); !approx(got, 1.5e-9, 1e-18) {
+		t.Errorf("Eval(1ns) = %g, want 1.5ns", got)
+	}
+	p, ok := q.PeakT()
+	if !ok || !approx(p, 1e-9, 1e-18) {
+		t.Errorf("PeakT = %g,%v want 1ns,true", p, ok)
+	}
+	if _, ok := (Quad{K: [3]float64{1, 0, 0}}).PeakT(); ok {
+		t.Error("convex quadratic should have no peak")
+	}
+}
+
+func TestQuadMaxOverCasesOfFigure9(t *testing.T) {
+	q := Quad{K: [3]float64{-1, 2, 0.5}} // peak at 1 ns
+
+	// (a) Range left of the peak: max at the right endpoint.
+	if arg, _ := q.MaxOver(0.1e-9, 0.5e-9); !approx(arg, 0.5e-9, 1e-18) {
+		t.Errorf("case a: argmax = %g, want right endpoint", arg)
+	}
+	// (b) Range right of the peak: max at the left endpoint.
+	if arg, _ := q.MaxOver(1.5e-9, 2.5e-9); !approx(arg, 1.5e-9, 1e-18) {
+		t.Errorf("case b: argmax = %g, want left endpoint", arg)
+	}
+	// (c) Range straddles the peak: max at the interior peak.
+	arg, val := q.MaxOver(0.5e-9, 1.5e-9)
+	if !approx(arg, 1e-9, 1e-18) || !approx(val, 1.5e-9, 1e-18) {
+		t.Errorf("case c: argmax = %g val %g, want peak 1ns/1.5ns", arg, val)
+	}
+}
+
+func TestQuadMinOver(t *testing.T) {
+	q := Quad{K: [3]float64{1, -2, 2}} // valley at 1 ns, value 1 ns
+	arg, val := q.MinOver(0, 3e-9)
+	if !approx(arg, 1e-9, 1e-18) || !approx(val, 1e-9, 1e-18) {
+		t.Errorf("MinOver = %g,%g want valley 1ns,1ns", arg, val)
+	}
+	// Valley outside the range: endpoint wins.
+	if arg, _ := q.MinOver(2e-9, 3e-9); !approx(arg, 2e-9, 1e-18) {
+		t.Errorf("argmin = %g, want left endpoint", arg)
+	}
+}
+
+func TestCrossMatchesFactoredForm(t *testing.T) {
+	// (0.8x+0.1)(0.5y+0.3)+0.05 expanded.
+	c := Cross{Kxy: 0.4, Kx: 0.24, Ky: 0.05, K1: 0.08}
+	tx, ty := 0.6e-9, 1.2e-9
+	x, y := math.Cbrt(0.6), math.Cbrt(1.2)
+	want := ((0.8*x+0.1)*(0.5*y+0.3) + 0.05) * 1e-9
+	if got := c.Eval(tx, ty); !approx(got, want, 1e-20) {
+		t.Errorf("Cross.Eval = %g, want %g", got, want)
+	}
+}
+
+func TestDelayCtrl2VShape(t *testing.T) {
+	m := testModel()
+	const T = 0.5e-9 // both transition times 0.5 ns
+
+	d0 := m.DelayCtrl2(0, 1, T, T, 0, 0)
+	if !approx(d0, 0.12e-9, 1e-15) {
+		t.Errorf("delay at zero skew = %g, want 0.12ns", d0)
+	}
+	// Beyond +SX: single-input pin-to-pin delay of X.
+	dx := m.CtrlPins[0].DelayAt(T, 0)
+	if got := m.DelayCtrl2(0, 1, T, T, 1e-9, 0); !approx(got, dx, 1e-15) {
+		t.Errorf("delay beyond SX = %g, want %g", got, dx)
+	}
+	// Beyond -SY: single-input delay of Y.
+	dy := m.CtrlPins[1].DelayAt(T, 0)
+	if got := m.DelayCtrl2(0, 1, T, T, -1e-9, 0); !approx(got, dy, 1e-15) {
+		t.Errorf("delay beyond SY = %g, want %g", got, dy)
+	}
+	// Midpoint of the right arm: linear interpolation.
+	want := 0.12e-9 + (dx-0.12e-9)*0.5
+	if got := m.DelayCtrl2(0, 1, T, T, 0.25e-9, 0); !approx(got, want, 1e-15) {
+		t.Errorf("delay mid-arm = %g, want %g", got, want)
+	}
+}
+
+func TestDelayCtrl2MinimumAtZeroSkewProperty(t *testing.T) {
+	// Claim 1: for any skew, delay(δ) >= delay(0).
+	m := testModel()
+	f := func(skewRaw int16, txRaw, tyRaw uint8) bool {
+		skew := float64(skewRaw) * 1e-13 // up to ±3.3 ns
+		tx := 0.1e-9 + float64(txRaw)*5e-12
+		ty := 0.1e-9 + float64(tyRaw)*5e-12
+		d := m.DelayCtrl2(0, 1, tx, ty, skew, 0)
+		d0 := m.DelayCtrl2(0, 1, tx, ty, 0, 0)
+		return d >= d0-1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayCtrl2MonotoneInSkewMagnitude(t *testing.T) {
+	// On each arm the delay is monotone in |skew| (V-shape, Claim 2).
+	m := testModel()
+	const T = 0.5e-9
+	prev := -1.0
+	for s := 0.0; s <= 1.0e-9; s += 0.05e-9 {
+		d := m.DelayCtrl2(0, 1, T, T, s, 0)
+		if d < prev-1e-18 {
+			t.Fatalf("delay decreased along positive arm at skew %g", s)
+		}
+		prev = d
+	}
+	prev = -1.0
+	for s := 0.0; s >= -1.0e-9; s -= 0.05e-9 {
+		d := m.DelayCtrl2(0, 1, T, T, s, 0)
+		if d < prev-1e-18 {
+			t.Fatalf("delay decreased along negative arm at skew %g", s)
+		}
+		prev = d
+	}
+}
+
+func TestDelayCtrl2D0Clamped(t *testing.T) {
+	// If the fitted D0 exceeds a pin delay, the evaluation must clamp it
+	// so the zero-skew point stays the minimum.
+	m := testModel()
+	for i := range m.Pairs {
+		m.Pairs[i].Timing.D0 = Cross{K1: 99}
+	}
+	const T = 0.5e-9
+	d0 := m.DelayCtrl2(0, 1, T, T, 0, 0)
+	dx := m.CtrlPins[0].DelayAt(T, 0)
+	dy := m.CtrlPins[1].DelayAt(T, 0)
+	if d0 > math.Min(dx, dy)+1e-18 {
+		t.Errorf("clamp failed: d0 = %g > min(dx,dy) = %g", d0, math.Min(dx, dy))
+	}
+}
+
+func TestDelayCtrl2FallbackWithoutPair(t *testing.T) {
+	m := testModel()
+	m.Pairs = nil
+	const T = 0.5e-9
+	if got := m.DelayCtrl2(0, 1, T, T, 0.2e-9, 0); !approx(got, m.CtrlPins[0].DelayAt(T, 0), 1e-18) {
+		t.Errorf("fallback positive skew = %g, want pin 0 delay", got)
+	}
+	if got := m.DelayCtrl2(0, 1, T, T, -0.2e-9, 0); !approx(got, m.CtrlPins[1].DelayAt(T, 0), 1e-18) {
+		t.Errorf("fallback negative skew = %g, want pin 1 delay", got)
+	}
+}
+
+func TestTransCtrl2MinimumAtSKmin(t *testing.T) {
+	m := testModel()
+	const T = 0.5e-9
+	tAtSKmin := m.TransCtrl2(0, 1, T, T, 0.1e-9, 0)
+	if !approx(tAtSKmin, 0.25e-9, 1e-15) {
+		t.Errorf("trans at SKmin = %g, want T0 = 0.25ns", tAtSKmin)
+	}
+	// Minimal transition time does NOT occur at zero skew here.
+	tAt0 := m.TransCtrl2(0, 1, T, T, 0, 0)
+	if tAt0 <= tAtSKmin {
+		t.Errorf("trans at 0 (%g) should exceed trans at SKmin (%g)", tAt0, tAtSKmin)
+	}
+	// Far skew: single-pin transition time.
+	tx := m.CtrlPins[0].TransAt(T, 0)
+	if got := m.TransCtrl2(0, 1, T, T, 2e-9, 0); !approx(got, tx, 1e-15) {
+		t.Errorf("trans beyond SX = %g, want %g", got, tx)
+	}
+}
+
+func TestLoadSlopeShiftsDelays(t *testing.T) {
+	m := testModel()
+	const T = 0.5e-9
+	base := m.DelayCtrl2(0, 1, T, T, 0, 0)
+	loaded := m.DelayCtrl2(0, 1, T, T, 0, 0.1e-12) // +0.1 pF
+	if !approx(loaded-base, 0.1e-9, 1e-15) {
+		t.Errorf("load slope shift = %g, want 0.1ns", loaded-base)
+	}
+}
+
+func TestCtrlResponseSingleAndPair(t *testing.T) {
+	m := testModel()
+	const T = 0.5e-9
+
+	// Single event.
+	r, err := m.CtrlResponse([]InputEvent{{Pin: 0, Arrival: 1e-9, Trans: T}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Arrival, 1e-9+m.CtrlPins[0].DelayAt(T, 0), 1e-15) {
+		t.Errorf("single arrival = %g", r.Arrival)
+	}
+
+	// Two simultaneous events: speed-up.
+	r2, err := m.CtrlResponse([]InputEvent{
+		{Pin: 0, Arrival: 1e-9, Trans: T},
+		{Pin: 1, Arrival: 1e-9, Trans: T},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r2.Arrival, 1e-9+0.12e-9, 1e-15) {
+		t.Errorf("simultaneous arrival = %g, want 1.12ns", r2.Arrival)
+	}
+	if r2.Arrival >= r.Arrival {
+		t.Error("simultaneous response should be faster than single")
+	}
+}
+
+func TestCtrlResponseMultiFactor(t *testing.T) {
+	m := testModel()
+	m.N = 3
+	m.CtrlPins = append(m.CtrlPins, m.CtrlPins[0])
+	m.NonCtrlPins = append(m.NonCtrlPins, m.NonCtrlPins[0])
+	// Give every ordered pair the same surfaces.
+	pt := m.Pairs[0].Timing
+	m.Pairs = nil
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			if x != y {
+				m.Pairs = append(m.Pairs, PairEntry{X: x, Y: y, Timing: pt})
+			}
+		}
+	}
+	m.MultiFactor = []float64{0.8} // 3-way switching: 20% faster than pairwise
+
+	const T = 0.5e-9
+	evs := []InputEvent{
+		{Pin: 0, Arrival: 1e-9, Trans: T},
+		{Pin: 1, Arrival: 1e-9, Trans: T},
+		{Pin: 2, Arrival: 1e-9, Trans: T},
+	}
+	r, err := m.CtrlResponse(evs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(r.Arrival, 1e-9+0.8*0.12e-9, 1e-15) {
+		t.Errorf("3-way arrival = %g, want 1.096ns", r.Arrival)
+	}
+}
+
+func TestNonCtrlResponseMax(t *testing.T) {
+	m := testModel()
+	const T = 0.5e-9
+	r, err := m.NonCtrlResponse([]InputEvent{
+		{Pin: 0, Arrival: 1e-9, Trans: T},
+		{Pin: 1, Arrival: 1.5e-9, Trans: T},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.5e-9 + m.NonCtrlPins[1].DelayAt(T, 0)
+	if !approx(r.Arrival, want, 1e-15) {
+		t.Errorf("non-ctrl arrival = %g, want %g (latest input wins)", r.Arrival, want)
+	}
+}
+
+func TestResponseErrors(t *testing.T) {
+	m := testModel()
+	if _, err := m.CtrlResponse(nil, 0); err == nil {
+		t.Error("expected error for empty events")
+	}
+	if _, err := m.CtrlResponse([]InputEvent{{Pin: 5}}, 0); err == nil {
+		t.Error("expected error for invalid pin")
+	}
+	if _, err := m.NonCtrlResponse([]InputEvent{{Pin: -1}}, 0); err == nil {
+		t.Error("expected error for invalid pin")
+	}
+	if _, err := m.NonCtrlResponse(nil, 0); err == nil {
+		t.Error("expected error for empty events")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := testModel()
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := testModel()
+	bad.Pairs = append(bad.Pairs, PairEntry{X: 0, Y: 9})
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for out-of-range pair")
+	}
+	bad2 := testModel()
+	bad2.CtrlPins = bad2.CtrlPins[:1]
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected error for missing pins")
+	}
+
+	lib := &Library{Cells: map[string]*CellModel{"NAND2": testModel()}}
+	if err := lib.Validate(); err != nil {
+		t.Errorf("valid library rejected: %v", err)
+	}
+	lib.Cells["WRONG"] = testModel()
+	if err := lib.Validate(); err == nil {
+		t.Error("expected error for mismatched library key")
+	}
+}
+
+func TestMustCellPanics(t *testing.T) {
+	lib := &Library{Cells: map[string]*CellModel{}}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCell should panic for missing cell")
+		}
+	}()
+	lib.MustCell("NAND2")
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serialises the library as indented JSON. The format is stable
+// and intended for checked-in characterisation artefacts (the equivalent of
+// a vendor's .lib timing file).
+func (l *Library) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(l); err != nil {
+		return fmt.Errorf("core: encoding library: %w", err)
+	}
+	return nil
+}
+
+// LoadLibrary reads a library previously written by WriteJSON and validates
+// it.
+func LoadLibrary(r io.Reader) (*Library, error) {
+	var l Library
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&l); err != nil {
+		return nil, fmt.Errorf("core: decoding library: %w", err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// ncModel extends testModel with Λ-shaped to-non-controlling surfaces:
+// peak delay 0.5 ns at zero skew (above the 0.3/0.35 ns pin values),
+// thresholds at ±0.4 ns.
+func ncModel() *CellModel {
+	m := testModel()
+	nc := PairTiming{
+		D0: Cross{K1: 0.5},
+		T0: Cross{K1: 0.6},
+		SX: Quad2{K1: 0.4},
+	}
+	m.NCPairs = []PairEntry{
+		{X: 0, Y: 1, Timing: nc},
+		{X: 1, Y: 0, Timing: nc},
+	}
+	return m
+}
+
+func TestDelayNonCtrl2LambdaShape(t *testing.T) {
+	m := ncModel()
+	const T = 0.5e-9
+	dx := m.NonCtrlPins[0].DelayAt(T, 0) // 0.3 + 0.1*0.5 = 0.35
+	dy := m.NonCtrlPins[1].DelayAt(T, 0) // 0.35 + ... = 0.40
+
+	// Peak at zero skew.
+	d0 := m.DelayNonCtrl2(0, 1, T, T, 0, 0)
+	if !approx(d0, 0.5e-9, 1e-15) {
+		t.Errorf("peak = %g, want 0.5ns", d0)
+	}
+	// Arms: far positive skew -> later input y's pin delay.
+	if got := m.DelayNonCtrl2(0, 1, T, T, 1e-9, 0); !approx(got, dy, 1e-15) {
+		t.Errorf("far positive skew = %g, want %g", got, dy)
+	}
+	if got := m.DelayNonCtrl2(0, 1, T, T, -1e-9, 0); !approx(got, dx, 1e-15) {
+		t.Errorf("far negative skew = %g, want %g", got, dx)
+	}
+	// Mid-arm interpolation.
+	want := 0.5e-9 + (dy-0.5e-9)*0.5
+	if got := m.DelayNonCtrl2(0, 1, T, T, 0.2e-9, 0); !approx(got, want, 1e-15) {
+		t.Errorf("mid-arm = %g, want %g", got, want)
+	}
+}
+
+func TestDelayNonCtrl2PeakIsMaximumProperty(t *testing.T) {
+	m := ncModel()
+	f := func(skewRaw int16, txRaw, tyRaw uint8) bool {
+		skew := float64(skewRaw) * 1e-13
+		tx := 0.1e-9 + float64(txRaw)*5e-12
+		ty := 0.1e-9 + float64(tyRaw)*5e-12
+		d := m.DelayNonCtrl2(0, 1, tx, ty, skew, 0)
+		d0 := m.DelayNonCtrl2(0, 1, tx, ty, 0, 0)
+		return d <= d0+1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayNonCtrl2PeakClamped(t *testing.T) {
+	// A fitted peak below the arms is raised to them.
+	m := ncModel()
+	for i := range m.NCPairs {
+		m.NCPairs[i].Timing.D0 = Cross{K1: 0.01}
+	}
+	const T = 0.5e-9
+	d0 := m.DelayNonCtrl2(0, 1, T, T, 0, 0)
+	dx := m.NonCtrlPins[0].DelayAt(T, 0)
+	dy := m.NonCtrlPins[1].DelayAt(T, 0)
+	if d0 < math.Max(dx, dy)-1e-18 {
+		t.Errorf("peak clamp failed: %g < max(%g,%g)", d0, dx, dy)
+	}
+}
+
+func TestDelayNonCtrl2Fallback(t *testing.T) {
+	m := testModel() // no NC pairs
+	const T = 0.5e-9
+	if got := m.DelayNonCtrl2(0, 1, T, T, 0.3e-9, 0); !approx(got, m.NonCtrlPins[1].DelayAt(T, 0), 1e-18) {
+		t.Errorf("fallback positive skew = %g, want later pin delay", got)
+	}
+	if got := m.DelayNonCtrl2(0, 1, T, T, -0.3e-9, 0); !approx(got, m.NonCtrlPins[0].DelayAt(T, 0), 1e-18) {
+		t.Errorf("fallback negative skew = %g", got)
+	}
+}
+
+func TestTransNonCtrl2(t *testing.T) {
+	m := ncModel()
+	const T = 0.5e-9
+	t0 := m.TransNonCtrl2(0, 1, T, T, 0, 0)
+	if !approx(t0, 0.6e-9, 1e-15) {
+		t.Errorf("trans peak = %g, want 0.6ns", t0)
+	}
+	ty := m.NonCtrlPins[1].TransAt(T, 0)
+	if got := m.TransNonCtrl2(0, 1, T, T, 1e-9, 0); !approx(got, ty, 1e-15) {
+		t.Errorf("trans far skew = %g, want %g", got, ty)
+	}
+}
+
+func TestNonCtrlResponseExt(t *testing.T) {
+	m := ncModel()
+	const T = 0.5e-9
+
+	// Simultaneous events: the extension slows the response beyond the
+	// legacy max-combine.
+	evs := []InputEvent{
+		{Pin: 0, Arrival: 1e-9, Trans: T},
+		{Pin: 1, Arrival: 1e-9, Trans: T},
+	}
+	legacy, err := m.NonCtrlResponse(evs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := m.NonCtrlResponseExt(evs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Arrival <= legacy.Arrival {
+		t.Errorf("extension should slow the response: %g vs %g", ext.Arrival, legacy.Arrival)
+	}
+	if !approx(ext.Arrival, 1e-9+0.5e-9, 1e-15) {
+		t.Errorf("ext arrival = %g, want 1.5ns", ext.Arrival)
+	}
+
+	// Single event: degrades to the legacy response.
+	one := []InputEvent{{Pin: 0, Arrival: 1e-9, Trans: T}}
+	l1, _ := m.NonCtrlResponse(one, 0)
+	e1, err := m.NonCtrlResponseExt(one, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != e1 {
+		t.Errorf("single-event ext should equal legacy: %+v vs %+v", e1, l1)
+	}
+
+	// Without NC pairs: degrades to legacy.
+	plain := testModel()
+	lp, _ := plain.NonCtrlResponse(evs, 0)
+	ep, err := plain.NonCtrlResponseExt(evs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp != ep {
+		t.Errorf("no-NC-pair ext should equal legacy")
+	}
+
+	// Errors.
+	if _, err := m.NonCtrlResponseExt(nil, 0); err == nil {
+		t.Error("expected error for no events")
+	}
+	if _, err := m.NonCtrlResponseExt([]InputEvent{{Pin: 7}}, 0); err == nil {
+		t.Error("expected error for bad pin")
+	}
+}
+
+func TestNonCtrlResponseExtNeverFasterThanLegacy(t *testing.T) {
+	m := ncModel()
+	f := func(d1Raw, d2Raw uint8) bool {
+		a1 := 1e-9 + float64(d1Raw)*3e-12
+		a2 := 1e-9 + float64(d2Raw)*3e-12
+		evs := []InputEvent{
+			{Pin: 0, Arrival: a1, Trans: 0.4e-9},
+			{Pin: 1, Arrival: a2, Trans: 0.6e-9},
+		}
+		legacy, err1 := m.NonCtrlResponse(evs, 0)
+		ext, err2 := m.NonCtrlResponseExt(evs, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ext.Arrival >= legacy.Arrival-1e-18 && ext.Trans >= legacy.Trans-1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

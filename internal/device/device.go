@@ -1,0 +1,228 @@
+// Package device defines the MOSFET device models and process technology
+// parameters used by the transistor-level simulator (package spice).
+//
+// The model is a long-channel square-law ("SPICE LEVEL 1/3 flavour") MOSFET
+// with channel-length modulation and lumped parasitic capacitances. It is
+// deliberately simple: the DAC 2001 paper uses HSPICE only as an empirical
+// data source for curve fitting and as the accuracy reference, and every
+// phenomenon the paper's delay model captures (parallel charge-path speed-up,
+// position-dependent stack delay, bi-tonic pin-to-pin delay versus input
+// transition time) is reproduced by a square-law device. The default
+// technology is calibrated to 0.5 um-era numbers, matching the paper's setup.
+package device
+
+import "fmt"
+
+// MOSType distinguishes n-channel from p-channel devices.
+type MOSType int
+
+const (
+	// NMOS is an n-channel MOSFET.
+	NMOS MOSType = iota
+	// PMOS is a p-channel MOSFET.
+	PMOS
+)
+
+// String returns "nmos" or "pmos".
+func (t MOSType) String() string {
+	switch t {
+	case NMOS:
+		return "nmos"
+	case PMOS:
+		return "pmos"
+	default:
+		return fmt.Sprintf("MOSType(%d)", int(t))
+	}
+}
+
+// MOSParams holds the per-type process parameters of the square-law model.
+// All values are in SI units (volts, A/V^2, F/m, F/m^2).
+type MOSParams struct {
+	Type MOSType
+	// VT0 is the zero-bias threshold voltage. Positive for NMOS,
+	// negative for PMOS.
+	VT0 float64
+	// KP is the process transconductance (mobility times oxide
+	// capacitance), in A/V^2.
+	KP float64
+	// Lambda is the channel-length modulation coefficient, in 1/V.
+	Lambda float64
+	// CoxArea is the gate-oxide capacitance per unit area, in F/m^2.
+	CoxArea float64
+	// CjPerW is the junction (drain/source diffusion) capacitance per
+	// unit transistor width, in F/m.
+	CjPerW float64
+	// CovPerW is the gate-drain/gate-source overlap capacitance per unit
+	// width, in F/m. The gate-drain component is the Miller coupler.
+	CovPerW float64
+}
+
+// Geometry is the width and length of one transistor, in metres.
+type Geometry struct {
+	W float64
+	L float64
+}
+
+// Ids computes the drain current of a MOSFET and its partial derivatives
+// with respect to the terminal voltages, in the device's local convention:
+// for NMOS, vgs and vds are the usual gate-source and drain-source voltages
+// and the returned current flows from drain to source; for PMOS the caller
+// must pass vgs = Vg-Vs and vds = Vd-Vs as-is (both negative in normal
+// operation) and the returned current is negative (flows source to drain).
+//
+// The returned derivatives are gm = dI/dVgs and gds = dI/dVds.
+func (p *MOSParams) Ids(g Geometry, vgs, vds float64) (ids, gm, gds float64) {
+	sign := 1.0
+	if p.Type == PMOS {
+		// Analyse the PMOS as a mirrored NMOS with all voltages and
+		// currents negated.
+		sign = -1.0
+		vgs, vds = -vgs, -vds
+	}
+	vt := p.VT0
+	if p.Type == PMOS {
+		vt = -p.VT0 // p.VT0 is negative; mirrored threshold is positive
+	}
+
+	// The mirrored device now behaves like an NMOS with threshold vt.
+	// Handle vds < 0 by exchanging drain and source (symmetric device).
+	swapped := false
+	if vds < 0 {
+		swapped = true
+		vgs -= vds // vgd of the original becomes vgs of the swapped device
+		vds = -vds
+	}
+
+	beta := p.KP * g.W / g.L
+	vov := vgs - vt
+	switch {
+	case vov <= 0:
+		// Cut-off. A tiny conductance keeps the Newton matrix
+		// well-conditioned without influencing the waveform.
+		const gleak = 1e-12
+		ids = gleak * vds
+		gm = 0
+		gds = gleak
+	case vds < vov:
+		// Triode region.
+		clm := 1 + p.Lambda*vds
+		ids = beta * (vov*vds - 0.5*vds*vds) * clm
+		gm = beta * vds * clm
+		gds = beta*(vov-vds)*clm + beta*(vov*vds-0.5*vds*vds)*p.Lambda
+	default:
+		// Saturation.
+		clm := 1 + p.Lambda*vds
+		ids = 0.5 * beta * vov * vov * clm
+		gm = beta * vov * clm
+		gds = 0.5 * beta * vov * vov * p.Lambda
+	}
+
+	if swapped {
+		// Undo the drain/source exchange: current reverses, and the
+		// roles of the controlling voltages change.
+		//   I(vgs, vds) = -I'(vgs - vds, -vds)
+		// dI/dvgs = -gm'
+		// dI/dvds = gm' + gds'
+		ids = -ids
+		gm, gds = -gm, gm+gds
+	}
+
+	ids *= sign
+	// Derivatives: with the PMOS mirroring, dI/dVgs = d(-I')/d(-vgs') = gm'.
+	// Both gm and gds are invariant under the double negation.
+	return ids, gm, gds
+}
+
+// GateCap returns the total lumped gate capacitance of a device: the channel
+// (area) capacitance plus both overlap capacitances.
+func (p *MOSParams) GateCap(g Geometry) float64 {
+	return p.CoxArea*g.W*g.L + 2*p.CovPerW*g.W
+}
+
+// DiffCap returns the lumped diffusion capacitance attached to one
+// source/drain terminal.
+func (p *MOSParams) DiffCap(g Geometry) float64 {
+	return p.CjPerW * g.W
+}
+
+// OverlapCap returns the gate-to-drain (or gate-to-source) overlap
+// capacitance, the principal Miller coupling element.
+func (p *MOSParams) OverlapCap(g Geometry) float64 {
+	return p.CovPerW * g.W
+}
+
+// Tech bundles a full process technology: supply, both device types, and the
+// reference geometries used for "minimum-size" cells.
+type Tech struct {
+	Name string
+	// Vdd is the supply voltage.
+	Vdd float64
+	// NMOS and PMOS are the two device parameter sets.
+	NMOS MOSParams
+	PMOS MOSParams
+	// Lmin is the minimum channel length.
+	Lmin float64
+	// WminN and WminP are the minimum-size widths used for library cells
+	// (the PMOS is widened to roughly balance mobilities).
+	WminN float64
+	WminP float64
+}
+
+// Default05um returns the default 0.5 um technology used throughout the
+// reproduction. Values are representative of a 1990s 0.5 um CMOS process:
+// Vdd 3.3 V, tox ~ 10 nm, Vtn 0.7 V, Vtp -0.9 V.
+func Default05um() *Tech {
+	const (
+		coxArea = 3.45e-3 // F/m^2 (tox ~= 10 nm)
+		cjPerW  = 2.0e-9  // F/m of width (~2 fF/um, area + perimeter)
+		covPerW = 0.3e-9  // F/m of width (~0.3 fF/um)
+	)
+	return &Tech{
+		Name: "generic-0.5um",
+		Vdd:  3.3,
+		NMOS: MOSParams{
+			Type:    NMOS,
+			VT0:     0.70,
+			KP:      110e-6,
+			Lambda:  0.04,
+			CoxArea: coxArea,
+			CjPerW:  cjPerW,
+			CovPerW: covPerW,
+		},
+		PMOS: MOSParams{
+			Type:    PMOS,
+			VT0:     -0.90,
+			KP:      38e-6,
+			Lambda:  0.05,
+			CoxArea: coxArea,
+			CjPerW:  cjPerW,
+			CovPerW: covPerW,
+		},
+		Lmin:  0.5e-6,
+		WminN: 1.5e-6,
+		WminP: 3.0e-6,
+	}
+}
+
+// Params returns the parameter set for the requested device type.
+func (t *Tech) Params(typ MOSType) *MOSParams {
+	if typ == NMOS {
+		return &t.NMOS
+	}
+	return &t.PMOS
+}
+
+// MinGeom returns the minimum-size geometry for the given device type.
+func (t *Tech) MinGeom(typ MOSType) Geometry {
+	if typ == NMOS {
+		return Geometry{W: t.WminN, L: t.Lmin}
+	}
+	return Geometry{W: t.WminP, L: t.Lmin}
+}
+
+// InverterInputCap returns the gate capacitance presented by a minimum-size
+// inverter, the standard load used in the paper's experiments ("each gate
+// drives a minimum-size inverter as a load").
+func (t *Tech) InverterInputCap() float64 {
+	return t.NMOS.GateCap(t.MinGeom(NMOS)) + t.PMOS.GateCap(t.MinGeom(PMOS))
+}

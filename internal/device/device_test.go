@@ -1,0 +1,118 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTechSanity(t *testing.T) {
+	tech := Default05um()
+	if tech.Vdd != 3.3 {
+		t.Errorf("Vdd = %g, want 3.3", tech.Vdd)
+	}
+	if tech.NMOS.VT0 <= 0 || tech.PMOS.VT0 >= 0 {
+		t.Error("threshold signs wrong")
+	}
+	if tech.NMOS.KP <= tech.PMOS.KP {
+		t.Error("NMOS transconductance should exceed PMOS (mobility ratio)")
+	}
+	if tech.Lmin <= 0 || tech.WminN <= 0 || tech.WminP <= tech.WminN {
+		t.Errorf("geometry defaults implausible: L=%g Wn=%g Wp=%g", tech.Lmin, tech.WminN, tech.WminP)
+	}
+}
+
+func TestMOSTypeString(t *testing.T) {
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Error("type strings wrong")
+	}
+	if MOSType(9).String() == "" {
+		t.Error("unknown type should still stringify")
+	}
+}
+
+func TestParamsAndMinGeom(t *testing.T) {
+	tech := Default05um()
+	if tech.Params(NMOS) != &tech.NMOS || tech.Params(PMOS) != &tech.PMOS {
+		t.Error("Params returns wrong set")
+	}
+	gn := tech.MinGeom(NMOS)
+	gp := tech.MinGeom(PMOS)
+	if gn.W != tech.WminN || gp.W != tech.WminP || gn.L != tech.Lmin {
+		t.Error("MinGeom wrong")
+	}
+}
+
+func TestCutoffCurrentNegligible(t *testing.T) {
+	tech := Default05um()
+	g := tech.MinGeom(NMOS)
+	ids, gm, _ := tech.NMOS.Ids(g, 0.0, 3.3)
+	if math.Abs(ids) > 1e-9 {
+		t.Errorf("cutoff current %g too large", ids)
+	}
+	if gm != 0 {
+		t.Errorf("cutoff gm = %g, want 0", gm)
+	}
+}
+
+func TestSaturationVsTriodeBoundaryContinuity(t *testing.T) {
+	// The current must be continuous at vds = vov.
+	tech := Default05um()
+	g := tech.MinGeom(NMOS)
+	const vgs = 2.0
+	vov := vgs - tech.NMOS.VT0
+	below, _, _ := tech.NMOS.Ids(g, vgs, vov-1e-9)
+	above, _, _ := tech.NMOS.Ids(g, vgs, vov+1e-9)
+	if math.Abs(below-above) > 1e-9*math.Abs(above)+1e-15 {
+		t.Errorf("current discontinuous at saturation boundary: %g vs %g", below, above)
+	}
+}
+
+func TestPMOSConductsWhenGateLow(t *testing.T) {
+	tech := Default05um()
+	g := tech.MinGeom(PMOS)
+	// Source at Vdd, gate at 0, drain at Vdd/2: vgs = -3.3, vds = -1.65.
+	ids, _, _ := tech.PMOS.Ids(g, -3.3, -1.65)
+	if ids >= 0 {
+		t.Errorf("PMOS current %g, want negative (source to drain)", ids)
+	}
+	// Gate at Vdd: off.
+	off, _, _ := tech.PMOS.Ids(g, 0, -1.65)
+	if math.Abs(off) > 1e-9 {
+		t.Errorf("PMOS off current %g too large", off)
+	}
+}
+
+func TestCurrentMonotoneInVgsProperty(t *testing.T) {
+	tech := Default05um()
+	g := tech.MinGeom(NMOS)
+	f := func(a, b uint8) bool {
+		v1 := float64(a) / 255 * 3.3
+		v2 := float64(b) / 255 * 3.3
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		i1, _, _ := tech.NMOS.Ids(g, v1, 2.0)
+		i2, _, _ := tech.NMOS.Ids(g, v2, 2.0)
+		return i2 >= i1-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacitances(t *testing.T) {
+	tech := Default05um()
+	g := tech.MinGeom(NMOS)
+	if tech.NMOS.GateCap(g) <= 0 || tech.NMOS.DiffCap(g) <= 0 || tech.NMOS.OverlapCap(g) <= 0 {
+		t.Error("capacitances must be positive")
+	}
+	// Gate cap grows with area.
+	big := Geometry{W: 2 * g.W, L: g.L}
+	if tech.NMOS.GateCap(big) <= tech.NMOS.GateCap(g) {
+		t.Error("gate cap should grow with width")
+	}
+	if c := tech.InverterInputCap(); c < 1e-15 || c > 1e-13 {
+		t.Errorf("inverter input cap %g outside femtofarad range", c)
+	}
+}

@@ -1,0 +1,150 @@
+package holdfix
+
+import (
+	"testing"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/netlist"
+	"sstiming/internal/prechar"
+	"sstiming/internal/sta"
+)
+
+func TestFixClosesHoldUnderOwnModel(t *testing.T) {
+	lib := prechar.MustLibrary()
+	c, err := benchgen.Load("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hold = 1.2e-9
+
+	for _, mode := range []sta.Mode{sta.ModePinToPin, sta.ModeProposed} {
+		r, err := Fix(c, lib, mode, hold)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		left, err := Audit(r.Fixed, lib, mode, hold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(left) != 0 {
+			t.Errorf("mode %v: %d violations remain after fixing", mode, len(left))
+		}
+		if r.BuffersInserted == 0 {
+			t.Errorf("mode %v: expected some buffering at hold=%.2gns", mode, hold*1e9)
+		}
+		// Original circuit untouched.
+		if c.NumGates() == r.Fixed.NumGates() {
+			t.Errorf("mode %v: fixed circuit has no added gates", mode)
+		}
+	}
+}
+
+// TestPinToPinFixUnderBuffers is the application study: fixing hold under
+// the pin-to-pin model leaves violations that the accurate model exposes,
+// because pin-to-pin STA overestimates min-delays.
+func TestPinToPinFixUnderBuffers(t *testing.T) {
+	lib := prechar.MustLibrary()
+	c, err := benchgen.Load("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hold = 1.2e-9
+
+	p2p, err := Fix(c, lib, sta.ModePinToPin, hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Fix(c, lib, sta.ModeProposed, hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Audit the pin-to-pin fix with the accurate model.
+	missed, err := Audit(p2p.Fixed, lib, sta.ModeProposed, hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Audit the proposed-model fix with the accurate model (must be safe).
+	safe, err := Audit(prop.Fixed, lib, sta.ModeProposed, hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("pin-to-pin fix: %d buffers, %d real violations missed", p2p.BuffersInserted, len(missed))
+	t.Logf("proposed fix:   %d buffers, %d real violations missed", prop.BuffersInserted, len(safe))
+
+	if len(missed) == 0 {
+		t.Error("expected the pin-to-pin fix to miss real hold violations")
+	}
+	if len(safe) != 0 {
+		t.Errorf("proposed-model fix should be safe, %d violations remain", len(safe))
+	}
+	if prop.BuffersInserted <= p2p.BuffersInserted {
+		t.Errorf("accurate fixing should need more buffers: %d vs %d",
+			prop.BuffersInserted, p2p.BuffersInserted)
+	}
+}
+
+func TestFixNoViolationsIsNoOp(t *testing.T) {
+	lib := prechar.MustLibrary()
+	c := benchgen.C17()
+	r, err := Fix(c, lib, sta.ModeProposed, 0) // hold at t=0: trivially met
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BuffersInserted != 0 {
+		t.Errorf("inserted %d buffers with no violations", r.BuffersInserted)
+	}
+	if r.Fixed.NumGates() != c.NumGates() {
+		t.Error("no-op fix changed the circuit")
+	}
+}
+
+func TestFixImpossibleBudget(t *testing.T) {
+	lib := prechar.MustLibrary()
+	c := benchgen.C17()
+	// An absurd hold time cannot be closed within the buffer cap.
+	if _, err := Fix(c, lib, sta.ModeProposed, 1e-3); err == nil {
+		t.Error("expected buffer-cap error for 1ms hold requirement")
+	}
+}
+
+func TestFixedCircuitStillLogicallyEquivalent(t *testing.T) {
+	// Buffers must not change logic: compare PO functions exhaustively on
+	// c17 before and after fixing.
+	lib := prechar.MustLibrary()
+	c := benchgen.C17()
+	r, err := Fix(c, lib, sta.ModeProposed, 0.35e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BuffersInserted == 0 {
+		t.Skip("no buffering at this hold time")
+	}
+	for bits := 0; bits < 32; bits++ {
+		va := evalCircuit(c, bits)
+		vb := evalCircuit(r.Fixed, bits)
+		for i := range c.POs {
+			if va[c.POs[i]] != vb[r.Fixed.POs[i]] {
+				t.Fatalf("bits %05b: logic changed at PO %s", bits, c.POs[i])
+			}
+		}
+	}
+}
+
+// evalCircuit evaluates all nets for a PI assignment given as a bit vector.
+func evalCircuit(c *netlist.Circuit, bits int) map[string]int {
+	vals := map[string]int{}
+	for i, pi := range c.PIs {
+		vals[pi] = (bits >> i) & 1
+	}
+	for _, gi := range c.TopoOrder() {
+		g := &c.Gates[gi]
+		in := make([]int, len(g.Inputs))
+		for k, n := range g.Inputs {
+			in[k] = vals[n]
+		}
+		vals[g.Output] = g.Kind.Eval(in)
+	}
+	return vals
+}

@@ -1,0 +1,451 @@
+// Package itr implements Incremental Timing Refinement (the paper's
+// Section 5): recomputation of min-max timing windows under a partially
+// specified two-frame vector.
+//
+// STA assumes every line may carry either transition; during test
+// generation, logic implications progressively decide which transitions are
+// definite (S = 1), potential (S = 0) or impossible (S = -1), and the timing
+// windows shrink accordingly:
+//
+//   - a line with S = -1 for a direction has no window for it (its timing
+//     fields are undefined, per Section 5.1);
+//   - the earliest to-controlling arrival may only exploit simultaneous
+//     switching between inputs that still *can* transition;
+//   - the latest to-controlling arrival tightens to the earliest worst-case
+//     corner among inputs that *must* transition (a definite faller bounds
+//     how late a NAND output can rise);
+//   - the earliest to-non-controlling arrival rises to the slowest
+//     definite riser (they all must complete before the output can fall).
+//
+// STA is the special case of ITR in which every line has S = 0 (asserted by
+// this package's tests).
+package itr
+
+import (
+	"fmt"
+	"math"
+
+	"sstiming/internal/core"
+	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+	"sstiming/internal/sta"
+)
+
+// Options configures a refinement.
+type Options struct {
+	// Lib is the characterised cell library (required).
+	Lib *core.Library
+	// Mode selects the delay model (ModeProposed exploits simultaneous
+	// switching).
+	Mode sta.Mode
+	// PI is the stimulus assumed at primary inputs; zero value selects
+	// sta.DefaultPITiming.
+	PI sta.PITiming
+	// PerPI overrides specific inputs.
+	PerPI map[string]sta.PITiming
+	// NCExtension enables the simultaneous to-non-controlling Λ-shape
+	// model (Section 3.6 future work) in the latest corners, mirroring
+	// sta.Options.NCExtension.
+	NCExtension bool
+}
+
+// LineInfo is the refined timing of one line.
+type LineInfo struct {
+	// Value is the implied nine-valued logic value.
+	Value nineval.Value
+	// SRise and SFall are the transition states.
+	SRise, SFall nineval.State
+	// Rise and Fall are the refined windows; valid only when the
+	// corresponding state is not SNo (HasRise/HasFall).
+	Rise, Fall sta.Window
+}
+
+// HasRise reports whether the rise window is defined.
+func (li *LineInfo) HasRise() bool { return li.SRise != nineval.SNo }
+
+// HasFall reports whether the fall window is defined.
+func (li *LineInfo) HasFall() bool { return li.SFall != nineval.SNo }
+
+// Result is the outcome of a refinement.
+type Result struct {
+	Circuit *netlist.Circuit
+	// Cube is the implied two-frame assignment.
+	Cube nineval.Cube
+	// Lines holds refined timing per net.
+	Lines map[string]*LineInfo
+}
+
+// Window returns the directional window of a net and whether it is defined.
+func (r *Result) Window(net string, rising bool) (sta.Window, bool) {
+	li, ok := r.Lines[net]
+	if !ok {
+		return sta.Window{}, false
+	}
+	if rising {
+		if !li.HasRise() {
+			return sta.Window{}, false
+		}
+		return li.Rise, true
+	}
+	if !li.HasFall() {
+		return sta.Window{}, false
+	}
+	return li.Fall, true
+}
+
+// Refine implies the cube over the circuit and recomputes every line's
+// timing windows under the resulting transition states. It returns an error
+// if the cube is logically inconsistent.
+func Refine(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Result, error) {
+	if opts.Lib == nil {
+		return nil, fmt.Errorf("itr: Options.Lib is required")
+	}
+	implied, ok := nineval.Imply(c, cube)
+	if !ok {
+		return nil, fmt.Errorf("itr: cube is logically inconsistent: %s", cube.String())
+	}
+	pi := opts.PI
+	if pi == (sta.PITiming{}) {
+		pi = sta.DefaultPITiming()
+	}
+
+	res := &Result{Circuit: c, Cube: implied, Lines: make(map[string]*LineInfo)}
+	for _, name := range c.PIs {
+		p := pi
+		if o, ok := opts.PerPI[name]; ok {
+			p = o
+		}
+		v := implied.Get(name)
+		w := sta.Window{AS: p.ArrivalEarly, AL: p.ArrivalLate, TS: p.TransShort, TL: p.TransLong}
+		res.Lines[name] = &LineInfo{
+			Value: v, SRise: v.StateRise(), SFall: v.StateFall(),
+			Rise: w, Fall: w,
+		}
+	}
+
+	for _, gi := range c.TopoOrder() {
+		g := &c.Gates[gi]
+		cell, ok := opts.Lib.Cell(g.CellName())
+		if !ok {
+			return nil, fmt.Errorf("itr: no library cell %q for gate %q", g.CellName(), g.Output)
+		}
+		ins := make([]*LineInfo, len(g.Inputs))
+		for i, in := range g.Inputs {
+			ins[i] = res.Lines[in]
+		}
+		extraLoad := float64(c.FanoutCount(g.Output)-1) * cell.RefLoad
+
+		v := implied.Get(g.Output)
+		li := &LineInfo{Value: v, SRise: v.StateRise(), SFall: v.StateFall()}
+
+		var err error
+		switch g.Kind {
+		case netlist.Inv:
+			if li.HasRise() {
+				li.Rise, err = refineSingle(cell, ins[0], false, true, extraLoad, li.SRise)
+			}
+			if err == nil && li.HasFall() {
+				li.Fall, err = refineSingle(cell, ins[0], true, false, extraLoad, li.SFall)
+			}
+		case netlist.Buf:
+			if li.HasRise() {
+				li.Rise, err = refineSingle(cell, ins[0], true, true, extraLoad, li.SRise)
+			}
+			if err == nil && li.HasFall() {
+				li.Fall, err = refineSingle(cell, ins[0], false, false, extraLoad, li.SFall)
+			}
+		case netlist.Nand:
+			if li.HasRise() {
+				li.Rise, err = refineCtrl(cell, g, ins, false, extraLoad, opts.Mode)
+			}
+			if err == nil && li.HasFall() {
+				li.Fall, err = refineNonCtrl(cell, g, ins, true, extraLoad, opts.Mode, opts.NCExtension)
+			}
+		case netlist.Nor:
+			if li.HasFall() {
+				li.Fall, err = refineCtrl(cell, g, ins, true, extraLoad, opts.Mode)
+			}
+			if err == nil && li.HasRise() {
+				li.Rise, err = refineNonCtrl(cell, g, ins, false, extraLoad, opts.Mode, opts.NCExtension)
+			}
+		default:
+			err = fmt.Errorf("unsupported gate kind %v", g.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("itr: gate %q: %w", g.Output, err)
+		}
+		res.Lines[g.Output] = li
+	}
+	return res, nil
+}
+
+// refineSingle handles one-input cells. inRising selects which input
+// direction drives this output direction; ctrl is true when the arc uses the
+// cell's CtrlPins table.
+func refineSingle(cell *core.CellModel, in *LineInfo, inRising, ctrl bool, extraLoad float64, outState nineval.State) (sta.Window, error) {
+	var w sta.Window
+	var inState nineval.State
+	if inRising {
+		inState = in.SRise
+		w = in.Rise
+	} else {
+		inState = in.SFall
+		w = in.Fall
+	}
+	if inState == nineval.SNo {
+		return sta.Window{}, fmt.Errorf("output may transition but input cannot (state inconsistency)")
+	}
+	pins := cell.NonCtrlPins
+	if ctrl {
+		pins = cell.CtrlPins
+	}
+	p := &pins[0]
+	loadD := p.DelayLoadSlope * extraLoad
+	loadT := p.TransLoadSlope * extraLoad
+	_, dMin := p.Delay.MinOver(w.TS, w.TL)
+	_, dMax := p.Delay.MaxOver(w.TS, w.TL)
+	_, tMin := p.Trans.MinOver(w.TS, w.TL)
+	_, tMax := p.Trans.MaxOver(w.TS, w.TL)
+	return sta.Window{
+		AS: w.AS + dMin + loadD,
+		AL: w.AL + dMax + loadD,
+		TS: tMin + loadT,
+		TL: tMax + loadT,
+	}, nil
+}
+
+// ctrlInput captures one input that can make a to-controlling transition.
+type ctrlInput struct {
+	pin      int
+	w        sta.Window
+	definite bool
+}
+
+// collect returns the inputs whose transition in the given direction is not
+// ruled out, with their windows.
+func collect(ins []*LineInfo, rising bool) []ctrlInput {
+	var out []ctrlInput
+	for i, li := range ins {
+		var s nineval.State
+		var w sta.Window
+		if rising {
+			s, w = li.SRise, li.Rise
+		} else {
+			s, w = li.SFall, li.Fall
+		}
+		if s == nineval.SNo {
+			continue
+		}
+		out = append(out, ctrlInput{pin: i, w: w, definite: s == nineval.SYes})
+	}
+	return out
+}
+
+// refineCtrl computes the to-controlling output window under transition
+// states. ctrlRising is the direction of the input transitions (falling for
+// NAND, rising for NOR).
+func refineCtrl(cell *core.CellModel, g *netlist.Gate, ins []*LineInfo, ctrlRising bool, extraLoad float64, mode sta.Mode) (sta.Window, error) {
+	allowed := collect(ins, ctrlRising)
+	if len(allowed) == 0 {
+		return sta.Window{}, fmt.Errorf("to-controlling response possible but no input can transition")
+	}
+
+	var out sta.Window
+	out.AS = math.Inf(1)
+	out.TS = math.Inf(1)
+	out.TL = math.Inf(-1)
+
+	single := func(a ctrlInput) (dMin, dMax, tMin, tMax float64) {
+		p := &cell.CtrlPins[a.pin]
+		loadD := p.DelayLoadSlope * extraLoad
+		loadT := p.TransLoadSlope * extraLoad
+		_, dMin = p.Delay.MinOver(a.w.TS, a.w.TL)
+		_, dMax = p.Delay.MaxOver(a.w.TS, a.w.TL)
+		_, tMin = p.Trans.MinOver(a.w.TS, a.w.TL)
+		_, tMax = p.Trans.MaxOver(a.w.TS, a.w.TL)
+		return dMin + loadD, dMax + loadD, tMin + loadT, tMax + loadT
+	}
+
+	// Latest arrival (Table 1's A..L rules): definite switchers bound how
+	// late the output can switch — take the min over their worst-case
+	// corners; with no definite switcher, the slowest potential single
+	// switcher is the bound.
+	var definite []ctrlInput
+	for _, a := range allowed {
+		if a.definite {
+			definite = append(definite, a)
+		}
+	}
+	if len(definite) > 0 {
+		out.AL = math.Inf(1)
+		for _, a := range definite {
+			_, dMax, _, _ := single(a)
+			if v := a.w.AL + dMax; v < out.AL {
+				out.AL = v
+			}
+		}
+	} else {
+		out.AL = math.Inf(-1)
+		for _, a := range allowed {
+			_, dMax, _, _ := single(a)
+			if v := a.w.AL + dMax; v > out.AL {
+				out.AL = v
+			}
+		}
+	}
+
+	// Earliest arrival and transition bounds over the allowed set.
+	for _, a := range allowed {
+		dMin, _, tMin, tMax := single(a)
+		if v := a.w.AS + dMin; v < out.AS {
+			out.AS = v
+		}
+		if tMin < out.TS {
+			out.TS = tMin
+		}
+		if tMax > out.TL {
+			out.TL = tMax
+		}
+	}
+
+	if mode == sta.ModeProposed && len(allowed) >= 2 {
+		multi := 1.0
+		if k := len(allowed); k >= 3 && len(cell.MultiFactor) >= k-2 {
+			if f := cell.MultiFactor[k-3]; f > 0 && f < 1 {
+				multi = f
+			}
+		}
+		for _, ax := range allowed {
+			for _, ay := range allowed {
+				if ax.pin == ay.pin {
+					continue
+				}
+				skew := ay.w.AS - ax.w.AS
+				base := math.Min(ax.w.AS, ay.w.AS)
+				for _, tx := range []float64{ax.w.TS, ax.w.TL} {
+					for _, ty := range []float64{ay.w.TS, ay.w.TL} {
+						d := cell.DelayCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad)
+						if v := base + d*multi; v < out.AS {
+							out.AS = v
+						}
+					}
+				}
+				lo := ay.w.AS - ax.w.AL
+				hi := ay.w.AL - ax.w.AS
+				skm := cell.SKminAt(ax.pin, ay.pin, ax.w.TS, ay.w.TS)
+				if skm < lo {
+					skm = lo
+				}
+				if skm > hi {
+					skm = hi
+				}
+				if tv := cell.TransCtrl2(ax.pin, ay.pin, ax.w.TS, ay.w.TS, skm, extraLoad); tv < out.TS {
+					out.TS = tv
+				}
+			}
+		}
+	}
+	_ = g
+	return out, nil
+}
+
+// refineNonCtrl computes the to-non-controlling output window under
+// transition states. ncRising is the direction of the input transitions
+// (rising for NAND, falling for NOR). With the NC extension, pairs of
+// inputs that can both transition widen the latest corners through the
+// Λ-shape surfaces.
+func refineNonCtrl(cell *core.CellModel, g *netlist.Gate, ins []*LineInfo, ncRising bool, extraLoad float64, mode sta.Mode, ncExt bool) (sta.Window, error) {
+	allowed := collect(ins, ncRising)
+	if len(allowed) == 0 {
+		return sta.Window{}, fmt.Errorf("to-non-controlling response possible but no input can transition")
+	}
+
+	var out sta.Window
+	out.AL = math.Inf(-1)
+	out.TS = math.Inf(1)
+	out.TL = math.Inf(-1)
+
+	single := func(a ctrlInput) (dMin, dMax, tMin, tMax float64) {
+		p := &cell.NonCtrlPins[a.pin]
+		loadD := p.DelayLoadSlope * extraLoad
+		loadT := p.TransLoadSlope * extraLoad
+		_, dMin = p.Delay.MinOver(a.w.TS, a.w.TL)
+		_, dMax = p.Delay.MaxOver(a.w.TS, a.w.TL)
+		_, tMin = p.Trans.MinOver(a.w.TS, a.w.TL)
+		_, tMax = p.Trans.MaxOver(a.w.TS, a.w.TL)
+		return dMin + loadD, dMax + loadD, tMin + loadT, tMax + loadT
+	}
+
+	// Earliest arrival: every definite switcher must complete (max over
+	// them at their earliest corners); with no definite switcher, the
+	// fastest single suffices.
+	var definite []ctrlInput
+	for _, a := range allowed {
+		if a.definite {
+			definite = append(definite, a)
+		}
+	}
+	if len(definite) > 0 {
+		out.AS = math.Inf(-1)
+		for _, a := range definite {
+			dMin, _, _, _ := single(a)
+			if v := a.w.AS + dMin; v > out.AS {
+				out.AS = v
+			}
+		}
+	} else {
+		out.AS = math.Inf(1)
+		for _, a := range allowed {
+			dMin, _, _, _ := single(a)
+			if v := a.w.AS + dMin; v < out.AS {
+				out.AS = v
+			}
+		}
+	}
+
+	for _, a := range allowed {
+		_, dMax, tMin, tMax := single(a)
+		if v := a.w.AL + dMax; v > out.AL {
+			out.AL = v
+		}
+		if tMin < out.TS {
+			out.TS = tMin
+		}
+		if tMax > out.TL {
+			out.TL = tMax
+		}
+	}
+
+	if ncExt && mode == sta.ModeProposed && len(allowed) >= 2 && len(cell.NCPairs) > 0 {
+		for _, ax := range allowed {
+			for _, ay := range allowed {
+				if ax.pin == ay.pin {
+					continue
+				}
+				lo := ay.w.AS - ax.w.AL
+				hi := ay.w.AL - ax.w.AS
+				skew := 0.0
+				if skew < lo {
+					skew = lo
+				}
+				if skew > hi {
+					skew = hi
+				}
+				base := math.Max(ax.w.AL, ay.w.AL)
+				for _, tx := range []float64{ax.w.TS, ax.w.TL} {
+					for _, ty := range []float64{ay.w.TS, ay.w.TL} {
+						d := cell.DelayNonCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad)
+						if v := base + d; v > out.AL {
+							out.AL = v
+						}
+						if tv := cell.TransNonCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad); tv > out.TL {
+							out.TL = tv
+						}
+					}
+				}
+			}
+		}
+	}
+	_ = g
+	return out, nil
+}

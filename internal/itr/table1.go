@@ -1,0 +1,134 @@
+package itr
+
+import (
+	"fmt"
+	"strings"
+
+	"sstiming/internal/nineval"
+)
+
+// Target identifies an ITR optimization target (OPT^Z_tr,extreme in
+// Section 5.2): an extreme value of the arrival time or transition time of
+// one transition direction at a line Z.
+type Target struct {
+	// Trans selects the transition-time target T (false selects the
+	// arrival-time target A).
+	Trans bool
+	// Rising selects the transition direction at Z.
+	Rising bool
+	// Largest selects the L extreme (false selects S, the smallest).
+	Largest bool
+}
+
+// String renders the target in the paper's notation, e.g. "A_R,S".
+func (t Target) String() string {
+	opt := "A"
+	if t.Trans {
+		opt = "T"
+	}
+	dir := "F"
+	if t.Rising {
+		dir = "R"
+	}
+	ext := "S"
+	if t.Largest {
+		ext = "L"
+	}
+	return fmt.Sprintf("%s_%s,%s", opt, dir, ext)
+}
+
+// AllTargets lists the eight optimization targets in Table 1's column order.
+func AllTargets() []Target {
+	return []Target{
+		{Trans: false, Rising: false, Largest: false}, // A_F,S
+		{Trans: false, Rising: false, Largest: true},  // A_F,L
+		{Trans: false, Rising: true, Largest: false},  // A_R,S
+		{Trans: false, Rising: true, Largest: true},   // A_R,L
+		{Trans: true, Rising: false, Largest: false},  // T_F,S
+		{Trans: true, Rising: false, Largest: true},   // T_F,L
+		{Trans: true, Rising: true, Largest: false},   // T_R,S
+		{Trans: true, Rising: true, Largest: true},    // T_R,L
+	}
+}
+
+// Setting is one implied assignment of the transition states (Sx, Sy) of the
+// two inputs of a NAND gate.
+type Setting struct {
+	SX, SY nineval.State
+}
+
+// ImpliedSettings reproduces Table 1 for a two-input NAND gate: given an
+// optimization target at the output Z and the current state sy of input Y's
+// relevant transition, it returns the candidate resolutions of input X's
+// zero (potential) state, derived from the five rules of Section 5.2 and
+// their maximisation duals:
+//
+//  1. S_Y = -1: X must transition to create a transition at Z.
+//  2. S_Y = 1 with a to-controlling transition at Y: a simultaneous
+//     transition at X speeds the output up — include it when minimising,
+//     exclude it when maximising.
+//  3. S_Y = 1 with a to-non-controlling transition at Y: an additional
+//     transition at X can only slow the output down (max combine) —
+//     exclude it when minimising, include it when maximising.
+//  4. S_Y = 0 with a possible to-controlling transition: resolve (1, 1)
+//     when minimising; try both single-switcher cases when maximising.
+//  5. S_Y = 0 with a possible to-non-controlling transition: try both
+//     single-switcher cases when minimising; resolve (1, 1) when
+//     maximising.
+//
+// For a NAND gate the to-controlling response is a rising output (falling
+// inputs), so targets with Rising=true are the to-controlling cases.
+// Transition-time targets follow the same pattern as the corresponding
+// arrival-time targets.
+func ImpliedSettings(tgt Target, sy nineval.State) []Setting {
+	toCtrl := tgt.Rising // NAND: rising output = to-controlling response
+
+	if sy == nineval.SNo {
+		// Rule 1.
+		return []Setting{{SX: nineval.SYes, SY: nineval.SNo}}
+	}
+
+	type k struct{ ctrl, largest, syDefinite bool }
+	switch (k{toCtrl, tgt.Largest, sy == nineval.SYes}) {
+	case k{true, false, true}: // rule 2, minimising
+		return []Setting{{nineval.SYes, nineval.SYes}}
+	case k{true, false, false}: // rule 4, minimising
+		return []Setting{{nineval.SYes, nineval.SYes}}
+	case k{true, true, true}: // rule 2 dual: avoid the speed-up
+		return []Setting{{nineval.SNo, nineval.SYes}}
+	case k{true, true, false}: // rule 4 dual: single switcher, either one
+		return []Setting{{nineval.SYes, nineval.SNo}, {nineval.SNo, nineval.SYes}}
+	case k{false, false, true}: // rule 3: extra riser only delays
+		return []Setting{{nineval.SNo, nineval.SYes}}
+	case k{false, false, false}: // rule 5: try both single switchers
+		return []Setting{{nineval.SYes, nineval.SNo}, {nineval.SNo, nineval.SYes}}
+	case k{false, true, true}: // rule 3 dual: more risers, later fall
+		return []Setting{{nineval.SYes, nineval.SYes}}
+	case k{false, true, false}: // rule 5 dual
+		return []Setting{{nineval.SYes, nineval.SYes}}
+	}
+	return nil
+}
+
+// Table1 renders the full derived table (all eight targets against the
+// three possible states of Y) in the layout of the paper's Table 1.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "S_Y")
+	for _, tgt := range AllTargets() {
+		fmt.Fprintf(&b, "%-16s", tgt)
+	}
+	b.WriteByte('\n')
+	for _, sy := range []nineval.State{nineval.SNo, nineval.SMaybe, nineval.SYes} {
+		fmt.Fprintf(&b, "%-8s", sy)
+		for _, tgt := range AllTargets() {
+			var cells []string
+			for _, s := range ImpliedSettings(tgt, sy) {
+				cells = append(cells, fmt.Sprintf("(%s,%s)", s.SX, s.SY))
+			}
+			fmt.Fprintf(&b, "%-16s", strings.Join(cells, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

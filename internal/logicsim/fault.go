@@ -1,0 +1,127 @@
+package logicsim
+
+import (
+	"fmt"
+
+	"sstiming/internal/netlist"
+)
+
+// FaultInjection models a crosstalk delay fault at simulation time (the
+// paper's Section 7 fault model): when the aggressor line carries a
+// transition whose arrival falls within Window of the victim's transition,
+// the victim's transition is slowed by ExtraDelay and its transition time
+// stretched by ExtraTrans. The slowdown then propagates downstream through
+// the ordinary delay model.
+type FaultInjection struct {
+	// Aggressor and Victim are the coupled nets.
+	Aggressor, Victim string
+	// AggRising/VicRising select the transition directions that couple
+	// (opposite directions slow the victim down).
+	AggRising, VicRising bool
+	// Window is the alignment window in seconds.
+	Window float64
+	// ExtraDelay is added to the victim's arrival when the fault is
+	// excited.
+	ExtraDelay float64
+	// ExtraTrans is added to the victim's transition time when excited.
+	ExtraTrans float64
+}
+
+// SimulateFaulty runs the two-pattern timing simulation with the crosstalk
+// fault injected. It returns the fault-free result, the faulty result, and
+// whether the fault was excited (transitions present, directions matching,
+// and aligned within the window). When the fault is not excited the faulty
+// result aliases the clean one.
+//
+// The implementation simulates fault-free first to obtain the victim and
+// aggressor transitions, decides excitation, and then re-runs the forward
+// pass with the victim's event displaced so that the slowdown propagates
+// downstream through the ordinary delay model.
+func SimulateFaulty(c *netlist.Circuit, v1, v2 Vector, f FaultInjection, opts Options) (clean, faulty *Result, excited bool, err error) {
+	if f.Aggressor == f.Victim {
+		return nil, nil, false, fmt.Errorf("logicsim: fault couples a net to itself: %q", f.Victim)
+	}
+	clean, err = Simulate(c, v1, v2, opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	agg, okA := clean.Events[f.Aggressor]
+	vic, okV := clean.Events[f.Victim]
+	if !okA || !okV {
+		return clean, clean, false, nil
+	}
+	if agg.Rising != f.AggRising || vic.Rising != f.VicRising {
+		return clean, clean, false, nil
+	}
+	if d := agg.Arrival - vic.Arrival; d > f.Window || d < -f.Window {
+		return clean, clean, false, nil
+	}
+
+	// Excited: re-run the forward pass, overriding the victim's event.
+	faulty, err = simulateWithOverride(c, v1, v2, opts, f.Victim, Event{
+		Rising:  vic.Rising,
+		Arrival: vic.Arrival + f.ExtraDelay,
+		Trans:   vic.Trans + f.ExtraTrans,
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return clean, faulty, true, nil
+}
+
+// simulateWithOverride repeats the timing pass, replacing the computed event
+// of one net with the given event before its fanout is evaluated. Logic
+// values are unchanged (a delay fault does not alter steady-state logic).
+func simulateWithOverride(c *netlist.Circuit, v1, v2 Vector, opts Options, overrideNet string, ev Event) (*Result, error) {
+	res := &Result{
+		V1:     make(map[string]int),
+		V2:     make(map[string]int),
+		Events: make(map[string]Event),
+	}
+	piTrans := opts.PITrans
+	if piTrans <= 0 {
+		piTrans = 0.2e-9
+	}
+	for _, pi := range c.PIs {
+		res.V1[pi] = v1[pi]
+		res.V2[pi] = v2[pi]
+		if v1[pi] != v2[pi] {
+			e := Event{Rising: v2[pi] == 1, Arrival: opts.PIArrival, Trans: piTrans}
+			if pi == overrideNet {
+				e = ev
+			}
+			res.Events[pi] = e
+		}
+	}
+
+	for _, gi := range c.TopoOrder() {
+		g := &c.Gates[gi]
+		cell, ok := opts.Lib.Cell(g.CellName())
+		if !ok {
+			return nil, fmt.Errorf("logicsim: no library cell %q for gate %q", g.CellName(), g.Output)
+		}
+		in1 := make([]int, len(g.Inputs))
+		in2 := make([]int, len(g.Inputs))
+		for i, in := range g.Inputs {
+			in1[i] = res.V1[in]
+			in2[i] = res.V2[in]
+		}
+		o1 := g.Kind.Eval(in1)
+		o2 := g.Kind.Eval(in2)
+		res.V1[g.Output] = o1
+		res.V2[g.Output] = o2
+		if o1 == o2 {
+			continue
+		}
+		extraLoad := float64(c.FanoutCount(g.Output)-1) * cell.RefLoad
+		e, err := gateEvent(c, g, cell, res, o2 == 1, extraLoad, opts.Mode, opts.NCExtension)
+		if err != nil {
+			return nil, err
+		}
+		if g.Output == overrideNet {
+			e = ev
+		}
+		res.Events[g.Output] = e
+	}
+	return res, nil
+}

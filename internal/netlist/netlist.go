@@ -1,0 +1,486 @@
+// Package netlist provides the gate-level circuit representation used by
+// static timing analysis, incremental timing refinement, timing simulation
+// and ATPG, together with a reader/writer for the ISCAS85 ".bench" netlist
+// format.
+//
+// Supported gate kinds are the primitives the characterised cell library
+// models: INV/NOT, BUF, and n-input NAND/NOR. Gate input order is
+// significant: input index i connects to stack position i of the cell
+// (position 0 closest to the output, per the paper's Figure 3).
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// GateKind enumerates the supported primitive gates.
+type GateKind int
+
+const (
+	// Inv is an inverter (NOT).
+	Inv GateKind = iota
+	// Buf is a non-inverting buffer.
+	Buf
+	// Nand is an n-input NAND.
+	Nand
+	// Nor is an n-input NOR.
+	Nor
+)
+
+// String returns the .bench keyword of the kind.
+func (k GateKind) String() string {
+	switch k {
+	case Inv:
+		return "NOT"
+	case Buf:
+		return "BUFF"
+	case Nand:
+		return "NAND"
+	case Nor:
+		return "NOR"
+	default:
+		return fmt.Sprintf("GateKind(%d)", int(k))
+	}
+}
+
+// Inverting reports whether the gate logically inverts.
+func (k GateKind) Inverting() bool { return k == Inv || k == Nand || k == Nor }
+
+// ControllingValue returns the controlling input value: 0 for NAND, 1 for
+// NOR. Inverters and buffers have no controlling value; they return -1.
+func (k GateKind) ControllingValue() int {
+	switch k {
+	case Nand:
+		return 0
+	case Nor:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Eval evaluates the gate function over binary inputs.
+func (k GateKind) Eval(in []int) int {
+	switch k {
+	case Inv:
+		return 1 - in[0]
+	case Buf:
+		return in[0]
+	case Nand:
+		for _, v := range in {
+			if v == 0 {
+				return 1
+			}
+		}
+		return 0
+	case Nor:
+		for _, v := range in {
+			if v == 1 {
+				return 0
+			}
+		}
+		return 1
+	default:
+		panic("netlist: unknown gate kind")
+	}
+}
+
+// Gate is one primitive gate instance.
+type Gate struct {
+	// ID is the gate's index in Circuit.Gates.
+	ID int
+	// Kind is the primitive type.
+	Kind GateKind
+	// Output is the driven net name.
+	Output string
+	// Inputs are the input net names; index = cell pin position.
+	Inputs []string
+}
+
+// CellName returns the library cell name implementing this gate
+// ("INV", "NAND2", "NOR3", ...). Buffers map to "INV" timing-wise (the
+// closest library cell; logic evaluation still treats them as buffers).
+func (g *Gate) CellName() string {
+	switch g.Kind {
+	case Inv, Buf:
+		return "INV"
+	default:
+		return fmt.Sprintf("%s%d", map[GateKind]string{Nand: "NAND", Nor: "NOR"}[g.Kind], len(g.Inputs))
+	}
+}
+
+// Circuit is a combinational gate-level circuit.
+type Circuit struct {
+	// Name identifies the circuit (e.g. "c17").
+	Name string
+	// PIs and POs are the primary input and output net names, in
+	// declaration order.
+	PIs []string
+	POs []string
+	// Gates are the gate instances.
+	Gates []Gate
+
+	driver map[string]int   // net -> driving gate index (absent for PIs)
+	fanout map[string][]int // net -> consuming gate indices
+	order  []int            // topologically sorted gate indices
+	level  []int            // per-gate logic level
+	isPI   map[string]bool
+}
+
+// New creates an empty circuit with the given name.
+func New(name string) *Circuit {
+	return &Circuit{Name: name}
+}
+
+// AddPI declares a primary input net.
+func (c *Circuit) AddPI(name string) {
+	c.PIs = append(c.PIs, name)
+	c.invalidate()
+}
+
+// AddPO declares a primary output net.
+func (c *Circuit) AddPO(name string) {
+	c.POs = append(c.POs, name)
+	c.invalidate()
+}
+
+// AddGate appends a gate and returns its ID.
+func (c *Circuit) AddGate(kind GateKind, output string, inputs ...string) int {
+	id := len(c.Gates)
+	c.Gates = append(c.Gates, Gate{ID: id, Kind: kind, Output: output, Inputs: append([]string(nil), inputs...)})
+	c.invalidate()
+	return id
+}
+
+func (c *Circuit) invalidate() {
+	c.driver = nil
+	c.fanout = nil
+	c.order = nil
+	c.level = nil
+	c.isPI = nil
+}
+
+// Build validates the circuit structure, indexes drivers/fanouts and
+// computes a topological order. It must be called (directly or via Parse)
+// before the traversal accessors are used.
+func (c *Circuit) Build() error {
+	c.driver = make(map[string]int, len(c.Gates))
+	c.fanout = make(map[string][]int)
+	c.isPI = make(map[string]bool, len(c.PIs))
+	for _, pi := range c.PIs {
+		if c.isPI[pi] {
+			return fmt.Errorf("netlist: %s: duplicate primary input %q", c.Name, pi)
+		}
+		c.isPI[pi] = true
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		g.ID = i
+		if len(g.Inputs) == 0 {
+			return fmt.Errorf("netlist: %s: gate %q has no inputs", c.Name, g.Output)
+		}
+		if (g.Kind == Inv || g.Kind == Buf) && len(g.Inputs) != 1 {
+			return fmt.Errorf("netlist: %s: %v gate %q must have exactly 1 input", c.Name, g.Kind, g.Output)
+		}
+		if _, dup := c.driver[g.Output]; dup {
+			return fmt.Errorf("netlist: %s: net %q has multiple drivers", c.Name, g.Output)
+		}
+		if c.isPI[g.Output] {
+			return fmt.Errorf("netlist: %s: net %q is both a primary input and gate output", c.Name, g.Output)
+		}
+		c.driver[g.Output] = i
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		for _, in := range g.Inputs {
+			if !c.isPI[in] {
+				if _, ok := c.driver[in]; !ok {
+					return fmt.Errorf("netlist: %s: gate %q input %q is undriven", c.Name, g.Output, in)
+				}
+			}
+			c.fanout[in] = append(c.fanout[in], i)
+		}
+	}
+	for _, po := range c.POs {
+		if !c.isPI[po] {
+			if _, ok := c.driver[po]; !ok {
+				return fmt.Errorf("netlist: %s: primary output %q is undriven", c.Name, po)
+			}
+		}
+	}
+
+	// Kahn topological sort over gates.
+	indeg := make([]int, len(c.Gates))
+	for i := range c.Gates {
+		for _, in := range c.Gates[i].Inputs {
+			if _, ok := c.driver[in]; ok {
+				indeg[i]++
+			}
+		}
+	}
+	queue := make([]int, 0, len(c.Gates))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	c.order = c.order[:0]
+	c.level = make([]int, len(c.Gates))
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		c.order = append(c.order, i)
+		lvl := 0
+		for _, in := range c.Gates[i].Inputs {
+			if d, ok := c.driver[in]; ok && c.level[d]+1 > lvl {
+				lvl = c.level[d] + 1
+			}
+		}
+		c.level[i] = lvl
+		for _, succ := range c.fanout[c.Gates[i].Output] {
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				queue = append(queue, succ)
+			}
+		}
+	}
+	if len(c.order) != len(c.Gates) {
+		return fmt.Errorf("netlist: %s: circuit contains a combinational cycle", c.Name)
+	}
+	return nil
+}
+
+// built panics if Build has not been called.
+func (c *Circuit) built() {
+	if c.order == nil && len(c.Gates) > 0 {
+		panic("netlist: Build() must be called before traversal")
+	}
+}
+
+// TopoOrder returns gate indices in topological (input-to-output) order.
+func (c *Circuit) TopoOrder() []int { c.built(); return c.order }
+
+// Level returns the logic level of gate i (0 = fed only by PIs).
+func (c *Circuit) Level(i int) int { c.built(); return c.level[i] }
+
+// Depth returns the maximum logic level plus one, or 0 for an empty circuit.
+func (c *Circuit) Depth() int {
+	c.built()
+	max := -1
+	for _, l := range c.level {
+		if l > max {
+			max = l
+		}
+	}
+	return max + 1
+}
+
+// Driver returns the gate index driving the net and whether one exists
+// (false for primary inputs).
+func (c *Circuit) Driver(net string) (int, bool) {
+	c.built()
+	i, ok := c.driver[net]
+	return i, ok
+}
+
+// Fanout returns the gate indices consuming the net.
+func (c *Circuit) Fanout(net string) []int { c.built(); return c.fanout[net] }
+
+// FanoutCount returns the number of gate inputs the net drives; nets feeding
+// primary outputs count at least 1 (the implicit output load).
+func (c *Circuit) FanoutCount(net string) int {
+	c.built()
+	n := len(c.fanout[net])
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// IsPI reports whether the net is a primary input.
+func (c *Circuit) IsPI(net string) bool { c.built(); return c.isPI[net] }
+
+// Nets returns all net names (PIs and gate outputs), sorted.
+func (c *Circuit) Nets() []string {
+	c.built()
+	seen := make(map[string]bool, len(c.PIs)+len(c.Gates))
+	var nets []string
+	for _, pi := range c.PIs {
+		if !seen[pi] {
+			seen[pi] = true
+			nets = append(nets, pi)
+		}
+	}
+	for i := range c.Gates {
+		out := c.Gates[i].Output
+		if !seen[out] {
+			seen[out] = true
+			nets = append(nets, out)
+		}
+	}
+	sort.Strings(nets)
+	return nets
+}
+
+// NumGates returns the gate count.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// Parse reads an ISCAS85 ".bench" format netlist:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(z)
+//	z = NAND(a, b)
+//	n1 = NOT(a)
+//
+// Accepted gate keywords: NOT/INV, BUF/BUFF, NAND, NOR, AND, OR.
+// AND and OR are decomposed into NAND+NOT / NOR+NOT pairs so that the
+// timing library's primitive cells cover every instance; the synthesised
+// inverter nets are named "<out>_n".
+func Parse(name string, r io.Reader) (*Circuit, error) {
+	c := New(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		up := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(up, "INPUT(") || strings.HasPrefix(up, "INPUT ("):
+			net, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s:%d: %w", name, lineNo, err)
+			}
+			c.AddPI(net)
+		case strings.HasPrefix(up, "OUTPUT(") || strings.HasPrefix(up, "OUTPUT ("):
+			net, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s:%d: %w", name, lineNo, err)
+			}
+			c.AddPO(net)
+		default:
+			out, kindName, ins, err := parseAssign(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s:%d: %w", name, lineNo, err)
+			}
+			switch strings.ToUpper(kindName) {
+			case "NOT", "INV":
+				c.AddGate(Inv, out, ins...)
+			case "BUF", "BUFF":
+				c.AddGate(Buf, out, ins...)
+			case "NAND":
+				c.AddGate(Nand, out, ins...)
+			case "NOR":
+				c.AddGate(Nor, out, ins...)
+			case "AND":
+				inner := out + "_n"
+				c.AddGate(Nand, inner, ins...)
+				c.AddGate(Inv, out, inner)
+			case "OR":
+				inner := out + "_n"
+				c.AddGate(Nor, inner, ins...)
+				c.AddGate(Inv, out, inner)
+			default:
+				return nil, fmt.Errorf("netlist: %s:%d: unsupported gate type %q", name, lineNo, kindName)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: %s: %w", name, err)
+	}
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func parseParen(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	net := strings.TrimSpace(line[open+1 : close])
+	if net == "" {
+		return "", fmt.Errorf("empty net name in %q", line)
+	}
+	return net, nil
+}
+
+func parseAssign(line string) (out, kind string, ins []string, err error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return "", "", nil, fmt.Errorf("malformed gate line %q", line)
+	}
+	out = strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close := strings.LastIndexByte(rhs, ')')
+	if open < 0 || close < open {
+		return "", "", nil, fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	kind = strings.TrimSpace(rhs[:open])
+	for _, part := range strings.Split(rhs[open+1:close], ",") {
+		p := strings.TrimSpace(part)
+		if p == "" {
+			return "", "", nil, fmt.Errorf("empty input in %q", rhs)
+		}
+		ins = append(ins, p)
+	}
+	if out == "" || kind == "" || len(ins) == 0 {
+		return "", "", nil, fmt.Errorf("malformed gate line %q", line)
+	}
+	return out, kind, ins, nil
+}
+
+// Write emits the circuit in .bench format.
+func (c *Circuit) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %d inputs, %d outputs, %d gates\n", c.Name, len(c.PIs), len(c.POs), len(c.Gates))
+	for _, pi := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", pi)
+	}
+	for _, po := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", po)
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Output, g.Kind, strings.Join(g.Inputs, ", "))
+	}
+	return bw.Flush()
+}
+
+// Stats summarises a circuit.
+type Stats struct {
+	Name   string
+	PIs    int
+	POs    int
+	Gates  int
+	Depth  int
+	ByKind map[GateKind]int
+}
+
+// Stats computes summary statistics; the circuit must be built.
+func (c *Circuit) Stats() Stats {
+	c.built()
+	s := Stats{
+		Name:   c.Name,
+		PIs:    len(c.PIs),
+		POs:    len(c.POs),
+		Gates:  len(c.Gates),
+		Depth:  c.Depth(),
+		ByKind: make(map[GateKind]int),
+	}
+	for i := range c.Gates {
+		s.ByKind[c.Gates[i].Kind]++
+	}
+	return s
+}

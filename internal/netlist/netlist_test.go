@@ -1,0 +1,232 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// c17Bench is the textbook ISCAS85 c17 netlist.
+const c17Bench = `# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+`
+
+func parseC17(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := Parse("c17", strings.NewReader(c17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseC17(t *testing.T) {
+	c := parseC17(t)
+	st := c.Stats()
+	if st.PIs != 5 || st.POs != 2 || st.Gates != 6 {
+		t.Errorf("c17 stats = %+v, want 5 PIs, 2 POs, 6 gates", st)
+	}
+	if st.ByKind[Nand] != 6 {
+		t.Errorf("c17 should be all NAND, got %v", st.ByKind)
+	}
+	if d := c.Depth(); d != 3 {
+		t.Errorf("c17 depth = %d, want 3", d)
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	c := parseC17(t)
+	pos := make(map[int]int)
+	for rank, gi := range c.TopoOrder() {
+		pos[gi] = rank
+	}
+	for i := range c.Gates {
+		for _, in := range c.Gates[i].Inputs {
+			if d, ok := c.Driver(in); ok {
+				if pos[d] >= pos[i] {
+					t.Errorf("gate %d (drives %s) ordered after consumer %d",
+						d, in, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDriverAndFanout(t *testing.T) {
+	c := parseC17(t)
+	if _, ok := c.Driver("1"); ok {
+		t.Error("PI should have no driver")
+	}
+	d, ok := c.Driver("22")
+	if !ok || c.Gates[d].Output != "22" {
+		t.Error("missing driver for net 22")
+	}
+	// Net 11 feeds gates 16 and 19.
+	if n := c.FanoutCount("11"); n != 2 {
+		t.Errorf("fanout of net 11 = %d, want 2", n)
+	}
+	// PO nets have an implicit load of at least 1.
+	if n := c.FanoutCount("22"); n != 1 {
+		t.Errorf("fanout of PO net 22 = %d, want 1", n)
+	}
+	if !c.IsPI("1") || c.IsPI("10") {
+		t.Error("IsPI misclassifies nets")
+	}
+}
+
+func TestGateEval(t *testing.T) {
+	cases := []struct {
+		k    GateKind
+		in   []int
+		want int
+	}{
+		{Inv, []int{0}, 1},
+		{Inv, []int{1}, 0},
+		{Buf, []int{1}, 1},
+		{Nand, []int{1, 1}, 0},
+		{Nand, []int{0, 1}, 1},
+		{Nor, []int{0, 0}, 1},
+		{Nor, []int{1, 0}, 0},
+		{Nand, []int{1, 1, 1}, 0},
+		{Nand, []int{1, 0, 1}, 1},
+	}
+	for _, cse := range cases {
+		if got := cse.k.Eval(cse.in); got != cse.want {
+			t.Errorf("%v%v = %d, want %d", cse.k, cse.in, got, cse.want)
+		}
+	}
+}
+
+func TestControllingValues(t *testing.T) {
+	if Nand.ControllingValue() != 0 || Nor.ControllingValue() != 1 {
+		t.Error("controlling values wrong")
+	}
+	if Inv.ControllingValue() != -1 || Buf.ControllingValue() != -1 {
+		t.Error("inverter/buffer should have no controlling value")
+	}
+	if !Nand.Inverting() || !Nor.Inverting() || !Inv.Inverting() || Buf.Inverting() {
+		t.Error("Inverting() wrong")
+	}
+}
+
+func TestCellName(t *testing.T) {
+	g := Gate{Kind: Nand, Inputs: []string{"a", "b", "c"}}
+	if n := g.CellName(); n != "NAND3" {
+		t.Errorf("cell name = %q, want NAND3", n)
+	}
+	g2 := Gate{Kind: Buf, Inputs: []string{"a"}}
+	if n := g2.CellName(); n != "INV" {
+		t.Errorf("buffer cell name = %q, want INV", n)
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	c := parseC17(t)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse("c17", &buf)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	if c2.NumGates() != c.NumGates() || len(c2.PIs) != len(c.PIs) || len(c2.POs) != len(c.POs) {
+		t.Errorf("round trip changed structure: %+v vs %+v", c2.Stats(), c.Stats())
+	}
+	if c2.Depth() != c.Depth() {
+		t.Errorf("round trip changed depth: %d vs %d", c2.Depth(), c.Depth())
+	}
+}
+
+func TestAndOrDecomposition(t *testing.T) {
+	src := `INPUT(a)
+INPUT(b)
+OUTPUT(z)
+OUTPUT(w)
+z = AND(a, b)
+w = OR(a, b)
+`
+	c, err := Parse("t", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Gates != 4 {
+		t.Fatalf("AND+OR should decompose to 4 gates, got %d", st.Gates)
+	}
+	if st.ByKind[Nand] != 1 || st.ByKind[Nor] != 1 || st.ByKind[Inv] != 2 {
+		t.Errorf("decomposition kinds = %v", st.ByKind)
+	}
+	// Logic check: z = a AND b through the decomposition.
+	evalNet := func(net string, a, b int) int {
+		vals := map[string]int{"a": a, "b": b}
+		for _, gi := range c.TopoOrder() {
+			g := &c.Gates[gi]
+			in := make([]int, len(g.Inputs))
+			for i, n := range g.Inputs {
+				in[i] = vals[n]
+			}
+			vals[g.Output] = g.Kind.Eval(in)
+		}
+		return vals[net]
+	}
+	for _, tc := range []struct{ a, b int }{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		if got := evalNet("z", tc.a, tc.b); got != tc.a&tc.b {
+			t.Errorf("AND(%d,%d) = %d", tc.a, tc.b, got)
+		}
+		if got := evalNet("w", tc.a, tc.b); got != tc.a|tc.b {
+			t.Errorf("OR(%d,%d) = %d", tc.a, tc.b, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"z = XOR(a, b)",                // unsupported type
+		"INPUT()",                      // empty net
+		"z = NAND(a, )",                // empty input
+		"garbage line",                 // no '='
+		"z = NAND a, b",                // missing parens
+		"INPUT(a)\nz = NAND(a, q)",     // undriven input q
+		"INPUT(a)\na = NOT(a)",         // PI redeclared as output
+		"INPUT(a)\nOUTPUT(q)",          // undriven PO
+		"INPUT(a)\nINPUT(a)",           // duplicate PI
+		"INPUT(a)\nz = NOT(a, a)",      // NOT with 2 inputs
+		"INPUT(a)\nz=NOT(a)\nz=NOT(a)", // multiple drivers
+	}
+	for _, src := range cases {
+		if _, err := Parse("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("expected parse/build error for %q", src)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	c := New("cyc")
+	c.AddPI("a")
+	c.AddGate(Nand, "x", "a", "y")
+	c.AddGate(Nand, "y", "a", "x")
+	if err := c.Build(); err == nil {
+		t.Error("expected cycle error")
+	}
+}
+
+func TestNets(t *testing.T) {
+	c := parseC17(t)
+	nets := c.Nets()
+	if len(nets) != 11 { // 5 PIs + 6 gate outputs
+		t.Errorf("nets = %v (len %d), want 11", nets, len(nets))
+	}
+}

@@ -1,0 +1,239 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseVerilog reads a structural Verilog netlist restricted to gate
+// primitives — the form in which the ISCAS85 suite also circulates:
+//
+//	module c17 (N1, N2, N3, N6, N7, N22, N23);
+//	  input N1, N2, N3, N6, N7;
+//	  output N22, N23;
+//	  wire N10, N11, N16, N19;
+//	  nand g0 (N10, N1, N3);
+//	  not  g1 (N5, N4);
+//	endmodule
+//
+// Supported primitives: nand, nor, not/inv, buf, and, or (the latter two are
+// decomposed into NAND+NOT / NOR+NOT, as in the .bench reader). The first
+// port of a primitive instantiation is its output. Instance names are
+// optional. Comments (// and /* */) are stripped.
+func ParseVerilog(name string, r io.Reader) (*Circuit, error) {
+	src, err := stripVerilogComments(r)
+	if err != nil {
+		return nil, fmt.Errorf("netlist: %s: %w", name, err)
+	}
+
+	c := New(name)
+	moduleSeen := false
+	ended := false
+
+	// Statements are ';'-terminated (module header included).
+	for _, stmt := range strings.Split(src, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if strings.HasPrefix(stmt, "endmodule") {
+			ended = true
+			// Anything after endmodule is ignored.
+			break
+		}
+		fields := strings.Fields(stmt)
+		keyword := strings.ToLower(fields[0])
+
+		switch keyword {
+		case "module":
+			if moduleSeen {
+				return nil, fmt.Errorf("netlist: %s: multiple modules are not supported", name)
+			}
+			moduleSeen = true
+			if c.Name == "" {
+				c.Name = name
+			}
+			if mn := moduleName(stmt); mn != "" {
+				c.Name = mn
+			}
+			// The port list itself carries no direction information;
+			// input/output declarations follow.
+		case "input", "output", "wire":
+			rest := strings.TrimSpace(strings.TrimPrefix(stmt, fields[0]))
+			for _, n := range splitPorts(rest) {
+				switch keyword {
+				case "input":
+					c.AddPI(n)
+				case "output":
+					c.AddPO(n)
+				}
+				// wires need no declaration in our model
+			}
+		case "nand", "nor", "not", "inv", "buf", "and", "or":
+			out, ins, err := parseInstance(stmt)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: %s: %w", name, err)
+			}
+			switch keyword {
+			case "nand":
+				c.AddGate(Nand, out, ins...)
+			case "nor":
+				c.AddGate(Nor, out, ins...)
+			case "not", "inv":
+				c.AddGate(Inv, out, ins...)
+			case "buf":
+				c.AddGate(Buf, out, ins...)
+			case "and":
+				inner := out + "_n"
+				c.AddGate(Nand, inner, ins...)
+				c.AddGate(Inv, out, inner)
+			case "or":
+				inner := out + "_n"
+				c.AddGate(Nor, inner, ins...)
+				c.AddGate(Inv, out, inner)
+			}
+		default:
+			return nil, fmt.Errorf("netlist: %s: unsupported statement %q", name, firstWords(stmt, 3))
+		}
+	}
+	if !moduleSeen {
+		return nil, fmt.Errorf("netlist: %s: no module declaration", name)
+	}
+	if !ended {
+		return nil, fmt.Errorf("netlist: %s: missing endmodule", name)
+	}
+	if err := c.Build(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteVerilog emits the circuit as a structural Verilog module.
+func (c *Circuit) WriteVerilog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	ports := append(append([]string{}, c.PIs...), c.POs...)
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitizeIdent(c.Name), strings.Join(identAll(ports), ", "))
+	if len(c.PIs) > 0 {
+		fmt.Fprintf(bw, "  input %s;\n", strings.Join(identAll(c.PIs), ", "))
+	}
+	if len(c.POs) > 0 {
+		fmt.Fprintf(bw, "  output %s;\n", strings.Join(identAll(c.POs), ", "))
+	}
+	// Internal wires: gate outputs that are not POs.
+	isPO := map[string]bool{}
+	for _, po := range c.POs {
+		isPO[po] = true
+	}
+	var wires []string
+	for i := range c.Gates {
+		if out := c.Gates[i].Output; !isPO[out] {
+			wires = append(wires, out)
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", strings.Join(identAll(wires), ", "))
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		prim := map[GateKind]string{Inv: "not", Buf: "buf", Nand: "nand", Nor: "nor"}[g.Kind]
+		ports := append([]string{g.Output}, g.Inputs...)
+		fmt.Fprintf(bw, "  %s g%d (%s);\n", prim, i, strings.Join(identAll(ports), ", "))
+	}
+	fmt.Fprintf(bw, "endmodule\n")
+	return bw.Flush()
+}
+
+// sanitizeIdent makes a net name a legal Verilog identifier: purely numeric
+// ISCAS names get an "n" prefix.
+func sanitizeIdent(s string) string {
+	if s == "" {
+		return "_"
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return "n" + s
+	}
+	return s
+}
+
+func identAll(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = sanitizeIdent(n)
+	}
+	return out
+}
+
+// moduleName extracts the identifier after "module".
+func moduleName(stmt string) string {
+	rest := strings.TrimSpace(strings.TrimPrefix(stmt, "module"))
+	end := strings.IndexAny(rest, " (\t\n")
+	if end < 0 {
+		return rest
+	}
+	return strings.TrimSpace(rest[:end])
+}
+
+// splitPorts splits a comma-separated identifier list.
+func splitPorts(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseInstance parses "prim [name] (out, in1, in2, ...)".
+func parseInstance(stmt string) (out string, ins []string, err error) {
+	open := strings.IndexByte(stmt, '(')
+	close := strings.LastIndexByte(stmt, ')')
+	if open < 0 || close < open {
+		return "", nil, fmt.Errorf("malformed primitive instantiation %q", firstWords(stmt, 3))
+	}
+	ports := splitPorts(stmt[open+1 : close])
+	if len(ports) < 2 {
+		return "", nil, fmt.Errorf("primitive needs an output and at least one input: %q", firstWords(stmt, 3))
+	}
+	return ports[0], ports[1:], nil
+}
+
+func firstWords(s string, n int) string {
+	f := strings.Fields(s)
+	if len(f) > n {
+		f = f[:n]
+	}
+	return strings.Join(f, " ")
+}
+
+// stripVerilogComments removes // line comments and /* */ block comments.
+func stripVerilogComments(r io.Reader) (string, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	s := string(data)
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], "//") {
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		if strings.HasPrefix(s[i:], "/*") {
+			end := strings.Index(s[i+2:], "*/")
+			if end < 0 {
+				return "", fmt.Errorf("unterminated block comment")
+			}
+			i += 2 + end + 2
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String(), nil
+}

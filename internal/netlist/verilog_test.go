@@ -1,0 +1,138 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const c17Verilog = `// ISCAS85 c17 in structural Verilog
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  /* six NAND2 gates */
+  nand g0 (N10, N1, N3);
+  nand g1 (N11, N3, N6);
+  nand g2 (N16, N2, N11);
+  nand g3 (N19, N11, N7);
+  nand g4 (N22, N10, N16);
+  nand g5 (N23, N16, N19);
+endmodule
+`
+
+func TestParseVerilogC17(t *testing.T) {
+	c, err := ParseVerilog("c17v", strings.NewReader(c17Verilog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if c.Name != "c17" {
+		t.Errorf("module name = %q, want c17", c.Name)
+	}
+	if st.PIs != 5 || st.POs != 2 || st.Gates != 6 || st.Depth != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ByKind[Nand] != 6 {
+		t.Errorf("kinds = %v", st.ByKind)
+	}
+}
+
+func TestVerilogLogicEquivalentToBench(t *testing.T) {
+	vc, err := ParseVerilog("c17", strings.NewReader(c17Verilog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Parse("c17", strings.NewReader(c17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net names differ (N-prefix); map by order of PIs/POs.
+	if len(vc.PIs) != len(bc.PIs) || len(vc.POs) != len(bc.POs) {
+		t.Fatal("interface mismatch")
+	}
+	eval := func(c *Circuit, bits int) map[string]int {
+		vals := map[string]int{}
+		for i, pi := range c.PIs {
+			vals[pi] = (bits >> i) & 1
+		}
+		for _, gi := range c.TopoOrder() {
+			g := &c.Gates[gi]
+			in := make([]int, len(g.Inputs))
+			for k, n := range g.Inputs {
+				in[k] = vals[n]
+			}
+			vals[g.Output] = g.Kind.Eval(in)
+		}
+		return vals
+	}
+	for bits := 0; bits < 32; bits++ {
+		va := eval(vc, bits)
+		vb := eval(bc, bits)
+		for i := range vc.POs {
+			if va[vc.POs[i]] != vb[bc.POs[i]] {
+				t.Fatalf("bits %05b: PO %d differs", bits, i)
+			}
+		}
+	}
+}
+
+func TestVerilogWriteRoundTrip(t *testing.T) {
+	orig, err := Parse("c17", strings.NewReader(c17Bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseVerilog("rt", &buf)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	so, sb := orig.Stats(), back.Stats()
+	if so.PIs != sb.PIs || so.POs != sb.POs || so.Gates != sb.Gates || so.Depth != sb.Depth {
+		t.Errorf("round trip changed structure: %+v vs %+v", so, sb)
+	}
+}
+
+func TestVerilogAndOrDecomposition(t *testing.T) {
+	src := `module m (a, b, z, w);
+  input a, b;
+  output z, w;
+  and (z, a, b);
+  or (w, a, b);
+endmodule`
+	c, err := ParseVerilog("m", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Gates != 4 || st.ByKind[Nand] != 1 || st.ByKind[Nor] != 1 || st.ByKind[Inv] != 2 {
+		t.Errorf("decomposition wrong: %+v", st)
+	}
+}
+
+func TestVerilogErrors(t *testing.T) {
+	cases := []string{
+		``,                       // empty
+		`module m (a); input a;`, // no endmodule
+		`input a; endmodule`,     // no module
+		`module m (a); input a; xor (z, a, a); endmodule`, // unsupported primitive
+		`module m (a); input a; nand g0 z, a; endmodule`,  // malformed instance
+		`module m (a); input a; nand (z); endmodule`,      // too few ports
+		`module m (a); module n (b); endmodule`,           // two modules
+		`module m (a); input a; /* unterminated`,          // bad comment
+	}
+	for _, src := range cases {
+		if _, err := ParseVerilog("bad", strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	if sanitizeIdent("22") != "n22" || sanitizeIdent("a1") != "a1" || sanitizeIdent("") != "_" {
+		t.Error("sanitizeIdent wrong")
+	}
+}

@@ -1,0 +1,211 @@
+package nineval
+
+import (
+	"math/rand"
+	"testing"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/netlist"
+)
+
+func TestStates(t *testing.T) {
+	cases := []struct {
+		v          Value
+		rise, fall State
+	}{
+		{V01, SYes, SNo},
+		{V10, SNo, SYes},
+		{V00, SNo, SNo},
+		{V11, SNo, SNo},
+		{V0X, SMaybe, SNo},
+		{VX1, SMaybe, SNo},
+		{V1X, SNo, SMaybe},
+		{VX0, SNo, SMaybe},
+		{VXX, SMaybe, SMaybe},
+	}
+	for _, c := range cases {
+		if got := c.v.StateRise(); got != c.rise {
+			t.Errorf("%v.StateRise() = %v, want %v", c.v, got, c.rise)
+		}
+		if got := c.v.StateFall(); got != c.fall {
+			t.Errorf("%v.StateFall() = %v, want %v", c.v, got, c.fall)
+		}
+		if got := c.v.StateDir(true); got != c.rise {
+			t.Errorf("StateDir(true) mismatch for %v", c.v)
+		}
+	}
+}
+
+func TestMeet(t *testing.T) {
+	if m, ok := VXX.Meet(V01); !ok || m != V01 {
+		t.Errorf("xx meet 01 = %v,%v", m, ok)
+	}
+	if m, ok := V0X.Meet(VX1); !ok || m != V01 {
+		t.Errorf("0x meet x1 = %v,%v", m, ok)
+	}
+	if _, ok := V01.Meet(V10); ok {
+		t.Error("01 meet 10 should conflict")
+	}
+	if m, ok := V11.Meet(V11); !ok || m != V11 {
+		t.Error("11 meet 11 should be 11")
+	}
+}
+
+func TestEvalNineValued(t *testing.T) {
+	// NAND(01, 01) = 10 (both rise -> output falls).
+	if got := Eval(netlist.Nand, []Value{V01, V01}); got != V10 {
+		t.Errorf("NAND(01,01) = %v, want 10", got)
+	}
+	// NAND(10, 11) = 01.
+	if got := Eval(netlist.Nand, []Value{V10, V11}); got != V01 {
+		t.Errorf("NAND(10,11) = %v, want 01", got)
+	}
+	// NAND(0x, 11): frame1 has a 0 -> 1; frame2 unknown -> 1x.
+	if got := Eval(netlist.Nand, []Value{V0X, V11}); got != V1X {
+		t.Errorf("NAND(0x,11) = %v, want 1x", got)
+	}
+	// NOR(01, 00) = 10.
+	if got := Eval(netlist.Nor, []Value{V01, V00}); got != V10 {
+		t.Errorf("NOR(01,00) = %v, want 10", got)
+	}
+	// INV(x1) = x0.
+	if got := Eval(netlist.Inv, []Value{VX1}); got != VX0 {
+		t.Errorf("INV(x1) = %v, want x0", got)
+	}
+	// BUF passes through.
+	if got := Eval(netlist.Buf, []Value{V0X}); got != V0X {
+		t.Errorf("BUF(0x) = %v, want 0x", got)
+	}
+}
+
+func TestImplyForward(t *testing.T) {
+	c := benchgen.C17()
+	cube := Cube{"1": V10, "3": V10, "2": V11, "6": V11, "7": V11}
+	out, ok := Imply(c, cube)
+	if !ok {
+		t.Fatal("consistent cube reported as conflict")
+	}
+	// Gate 10 = NAND(1,3): both fall -> output rises.
+	if got := out.Get("10"); got != V01 {
+		t.Errorf("net 10 = %v, want 01", got)
+	}
+	// Gate 11 = NAND(3,6): 3 falls, 6 high -> output rises.
+	if got := out.Get("11"); got != V01 {
+		t.Errorf("net 11 = %v, want 01", got)
+	}
+}
+
+func TestImplyBackward(t *testing.T) {
+	c := benchgen.C17()
+	// Force net 10 (NAND(1,3)) to 00: both frames need some input 0...
+	// 0 at the output of a NAND means ALL inputs are 1.
+	cube := Cube{"10": V00}
+	out, ok := Imply(c, cube)
+	if !ok {
+		t.Fatal("conflict on satisfiable cube")
+	}
+	if got := out.Get("1"); got != V11 {
+		t.Errorf("net 1 = %v, want 11 (backward all-ones)", got)
+	}
+	if got := out.Get("3"); got != V11 {
+		t.Errorf("net 3 = %v, want 11", got)
+	}
+	// And with 3=11 and 10's sibling gate: 11 = NAND(3,6) stays partial.
+}
+
+func TestImplyUnitPropagation(t *testing.T) {
+	c := benchgen.C17()
+	// 10 = NAND(1,3) = 11 and input 1 = 11 forces... output 1 with one
+	// input already non-controlling-value does not force the other.
+	// But output 1 with input 1 = 1 in both frames and input 3 unknown:
+	// no forcing. Output 1 with ALL other inputs at 1 forces remaining
+	// input to 0.
+	cube := Cube{"10": V11, "1": V11}
+	out, ok := Imply(c, cube)
+	if !ok {
+		t.Fatal("unexpected conflict")
+	}
+	if got := out.Get("3"); got != V00 {
+		t.Errorf("net 3 = %v, want 00 (unit propagation)", got)
+	}
+}
+
+func TestImplyConflict(t *testing.T) {
+	c := benchgen.C17()
+	// 1=0 forces 10=1; demanding 10=0 must conflict (frame 1).
+	cube := Cube{"1": V00, "10": V00}
+	if _, ok := Imply(c, cube); ok {
+		t.Error("expected conflict")
+	}
+}
+
+// TestImplySoundProperty: implication never rules out a consistent
+// completion. For random full binary vector pairs, seed the cube with a
+// random subset of the resulting line values; implication must succeed and
+// agree with the full evaluation everywhere it assigns a value.
+func TestImplySoundProperty(t *testing.T) {
+	c := benchgen.C17()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 64; trial++ {
+		// Full random evaluation.
+		full := make(map[string]Value)
+		for _, pi := range c.PIs {
+			full[pi] = Value{Frame(rng.Intn(2)), Frame(rng.Intn(2))}
+		}
+		for _, gi := range c.TopoOrder() {
+			g := &c.Gates[gi]
+			ins := make([]Value, len(g.Inputs))
+			for i, in := range g.Inputs {
+				ins[i] = full[in]
+			}
+			full[g.Output] = Eval(g.Kind, ins)
+		}
+		// Random subset as seed cube.
+		cube := Cube{}
+		for net, v := range full {
+			if rng.Intn(3) == 0 {
+				cube[net] = v
+			}
+		}
+		out, ok := Imply(c, cube)
+		if !ok {
+			t.Fatalf("trial %d: implication conflict on consistent cube %v", trial, cube)
+		}
+		for net, v := range out {
+			fv := full[net]
+			// Every assigned frame must match the full evaluation
+			// or be x.
+			if v.V1 != FX && v.V1 != fv.V1 {
+				t.Fatalf("trial %d: %s frame1 = %v, truth %v", trial, net, v, fv)
+			}
+			if v.V2 != FX && v.V2 != fv.V2 {
+				t.Fatalf("trial %d: %s frame2 = %v, truth %v", trial, net, v, fv)
+			}
+		}
+	}
+}
+
+func TestCubeHelpers(t *testing.T) {
+	cube := Cube{"a": V01}
+	if cube.Get("missing") != VXX {
+		t.Error("missing nets should read xx")
+	}
+	cl := cube.Clone()
+	cl["a"] = V10
+	if cube["a"] != V01 {
+		t.Error("Clone should not alias")
+	}
+	c2 := Cube{"b": V10, "a": V01}
+	if s := c2.String(); s != "a=01 b=10" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if V01.String() != "01" || VXX.String() != "xx" || V1X.String() != "1x" {
+		t.Error("value strings wrong")
+	}
+	if SYes.String() != "1" || SNo.String() != "-1" || SMaybe.String() != "0" {
+		t.Error("state strings wrong")
+	}
+}

@@ -1,0 +1,45 @@
+// Package prechar embeds the checked-in, fully characterised 0.5 um timing
+// library (produced by cmd/characterize over the default 5-point grid). It
+// plays the role of a vendor's pre-characterised .lib artefact: consumers of
+// STA, ITR and ATPG load it instead of re-running the 30-second
+// characterisation sweep.
+//
+// Regenerate with:
+//
+//	go run ./cmd/characterize -out internal/prechar/lib05.json
+package prechar
+
+import (
+	"bytes"
+	_ "embed"
+	"sync"
+
+	"sstiming/internal/core"
+)
+
+//go:embed lib05.json
+var data []byte
+
+var (
+	once sync.Once
+	lib  *core.Library
+	err  error
+)
+
+// Library returns the embedded characterised library.
+func Library() (*core.Library, error) {
+	once.Do(func() {
+		lib, err = core.LoadLibrary(bytes.NewReader(data))
+	})
+	return lib, err
+}
+
+// MustLibrary returns the embedded library or panics. Intended for tests,
+// benchmarks and examples where a corrupt artefact is a build error.
+func MustLibrary() *core.Library {
+	l, e := Library()
+	if e != nil {
+		panic("prechar: embedded library invalid: " + e.Error())
+	}
+	return l
+}

@@ -1,0 +1,99 @@
+package prechar
+
+import "testing"
+
+func TestEmbeddedLibraryLoads(t *testing.T) {
+	lib, err := Library()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"INV", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3"} {
+		if _, ok := lib.Cell(name); !ok {
+			t.Errorf("embedded library missing %s", name)
+		}
+	}
+	if lib.Vdd != 3.3 {
+		t.Errorf("Vdd = %g, want 3.3", lib.Vdd)
+	}
+}
+
+func TestEmbeddedLibraryPhysicallySane(t *testing.T) {
+	lib := MustLibrary()
+	const T = 0.5e-9
+	for name, m := range lib.Cells {
+		for pin := 0; pin < m.N; pin++ {
+			d := m.CtrlPins[pin].DelayAt(T, 0)
+			if d < 5e-12 || d > 3e-9 {
+				t.Errorf("%s pin %d ctrl delay %g outside sane range", name, pin, d)
+			}
+			tr := m.CtrlPins[pin].TransAt(T, 0)
+			if tr <= 0 || tr > 5e-9 {
+				t.Errorf("%s pin %d ctrl trans %g outside sane range", name, pin, tr)
+			}
+		}
+	}
+	// Simultaneous speed-up present in every multi-input cell.
+	for _, name := range []string{"NAND2", "NAND3", "NAND4", "NOR2", "NOR3"} {
+		m := lib.MustCell(name)
+		d0 := m.DelayCtrl2(0, 1, T, T, 0, 0)
+		single := m.CtrlPins[0].DelayAt(T, 0)
+		if d0 >= single {
+			t.Errorf("%s: zero-skew delay %g not below single-input %g", name, d0, single)
+		}
+	}
+}
+
+func TestEmbeddedLibraryPositionEffect(t *testing.T) {
+	// Deeper stack positions are slower (Figure 10's premise).
+	lib := MustLibrary()
+	const T = 0.5e-9
+	m := lib.MustCell("NAND4")
+	d0 := m.CtrlPins[0].DelayAt(T, 0)
+	d3 := m.CtrlPins[3].DelayAt(T, 0)
+	if d3 <= d0 {
+		t.Errorf("NAND4 position 3 delay %g should exceed position 0 delay %g", d3, d0)
+	}
+}
+
+func TestMultiFactorsCharacterised(t *testing.T) {
+	lib := MustLibrary()
+	for _, name := range []string{"NAND3", "NAND4", "NOR3"} {
+		m := lib.MustCell(name)
+		if len(m.MultiFactor) != m.N-2 {
+			t.Errorf("%s: %d multi factors, want %d", name, len(m.MultiFactor), m.N-2)
+			continue
+		}
+		for i, f := range m.MultiFactor {
+			if f <= 0 || f > 1 {
+				t.Errorf("%s factor[%d] = %g outside (0,1]", name, i, f)
+			}
+		}
+	}
+}
+
+func TestQualityMetadataPresent(t *testing.T) {
+	lib := MustLibrary()
+	for name, m := range lib.Cells {
+		if len(m.Quality) == 0 {
+			t.Errorf("%s: no fit-quality metadata", name)
+			continue
+		}
+		for key, q := range m.Quality {
+			if q.RMS < 0 || q.Max < q.RMS {
+				t.Errorf("%s %s: inconsistent stats %+v", name, key, q)
+			}
+		}
+		// The single-pin delay fits must be excellent.
+		for pin := 0; pin < m.N; pin++ {
+			key := "pin" + string(rune('0'+pin)) + "/ctrl/delay"
+			q, ok := m.Quality[key]
+			if !ok {
+				t.Errorf("%s: missing quality for %s", name, key)
+				continue
+			}
+			if q.R2 < 0.95 {
+				t.Errorf("%s %s: R2 = %.3f, want >= 0.95", name, key, q.R2)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// rcError runs a 1k/1pF RC driven by a ramp (0 to 1 V over [1 ns, 2 ns],
+// whose breakpoints land exactly on the step grid so the input is
+// piecewise-linear within every step) and returns the max absolute error
+// against the analytic solution over t ∈ [1.05 ns, 5 ns]. With a smooth,
+// exactly-resolved input the integrator's own order dominates the error.
+func rcError(t *testing.T, method Method, h float64) float64 {
+	t.Helper()
+	const (
+		tau = 1e-9 // R*C
+		t0  = 1e-9 // ramp start
+		tr  = 1e-9 // ramp duration
+	)
+	c := NewCircuit()
+	vin := c.Node("vin")
+	out := c.Node("out")
+	c.AddVSource(vin, 0, func(tt float64) float64 {
+		switch {
+		case tt <= t0:
+			return 0
+		case tt >= t0+tr:
+			return 1
+		default:
+			return (tt - t0) / tr
+		}
+	})
+	c.AddRes(vin, out, 1000)
+	c.AddCap(out, 0, 1e-12)
+	res, err := c.Transient(TransientOpts{TStop: 5e-9, TStep: h, Method: method})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Wave("out")
+
+	// Analytic RC response to the ramp.
+	analytic := func(tt float64) float64 {
+		switch {
+		case tt <= t0:
+			return 0
+		case tt <= t0+tr:
+			x := tt - t0
+			return (x - tau + tau*math.Exp(-x/tau)) / tr
+		default:
+			vEnd := (tr - tau + tau*math.Exp(-tr/tau)) / tr
+			return 1 + (vEnd-1)*math.Exp(-(tt-t0-tr)/tau)
+		}
+	}
+
+	var worst float64
+	for tt := 1.05e-9; tt <= 5e-9; tt += 0.05e-9 {
+		if e := math.Abs(w.At(tt) - analytic(tt)); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func TestTrapezoidalMoreAccurateThanBE(t *testing.T) {
+	const h = 20e-12
+	be := rcError(t, BackwardEuler, h)
+	tr := rcError(t, Trapezoidal, h)
+	if tr >= be {
+		t.Errorf("trapezoidal error %g not below backward-Euler %g at h=%g", tr, be, h)
+	}
+	// Second order vs first order: expect a substantial gap.
+	if tr > be/3 {
+		t.Errorf("trapezoidal advantage too small: %g vs %g", tr, be)
+	}
+}
+
+func TestConvergenceOrders(t *testing.T) {
+	// Halving the step should quarter the trapezoidal error (2nd order)
+	// but only halve the backward-Euler error (1st order).
+	beCoarse := rcError(t, BackwardEuler, 40e-12)
+	beFine := rcError(t, BackwardEuler, 20e-12)
+	trCoarse := rcError(t, Trapezoidal, 40e-12)
+	trFine := rcError(t, Trapezoidal, 20e-12)
+
+	beRatio := beCoarse / beFine
+	trRatio := trCoarse / trFine
+	if beRatio < 1.6 || beRatio > 2.6 {
+		t.Errorf("backward-Euler convergence ratio %.2f, want ~2 (1st order)", beRatio)
+	}
+	if trRatio < 3.0 {
+		t.Errorf("trapezoidal convergence ratio %.2f, want ~4 (2nd order)", trRatio)
+	}
+}
+
+func TestMethodsAgreeAtFineStep(t *testing.T) {
+	// A nonlinear circuit: both methods must converge to the same
+	// waveform as h -> 0. Compare NAND-style inverter delays at 0.5 ps.
+	delay := func(method Method) float64 {
+		c := NewCircuit()
+		// Simple RC low-pass of a ramp: delay = time shift at 50%.
+		vin := c.Node("vin")
+		out := c.Node("out")
+		c.AddVSource(vin, 0, func(tt float64) float64 {
+			switch {
+			case tt < 0.5e-9:
+				return 0
+			case tt > 0.7e-9:
+				return 1
+			default:
+				return (tt - 0.5e-9) / 0.2e-9
+			}
+		})
+		c.AddRes(vin, out, 2000)
+		c.AddCap(out, 0, 0.5e-12)
+		res, err := c.Transient(TransientOpts{TStop: 5e-9, TStep: 0.5e-12, Method: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := res.Wave("out").MeasureTransition(1.0, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr.Arrival
+	}
+	be := delay(BackwardEuler)
+	tr := delay(Trapezoidal)
+	if math.Abs(be-tr) > 2e-12 {
+		t.Errorf("methods disagree at fine step: BE %g vs trap %g", be, tr)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if BackwardEuler.String() != "backward-euler" || Trapezoidal.String() != "trapezoidal" {
+		t.Error("method names wrong")
+	}
+}

@@ -1,0 +1,458 @@
+// Package spice implements a small transistor-level transient circuit
+// simulator — the reproduction's stand-in for HSPICE.
+//
+// It performs modified nodal analysis (MNA) with Newton-Raphson iteration at
+// every time point and backward-Euler integration of capacitor currents.
+// Supported elements are resistors, two-terminal capacitors, independent
+// (time-varying) voltage sources, and square-law MOSFETs from package device.
+//
+// The simulator is sized for cell characterisation: circuits of a few dozen
+// nodes, simulated for a few nanoseconds at picosecond resolution. Matrices
+// are dense and solved by partial-pivot LU decomposition.
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"sstiming/internal/device"
+	"sstiming/internal/waveform"
+)
+
+// Ground is the name of the reference node. It is always node index 0.
+const Ground = "0"
+
+// gmin is a small conductance from every node to ground that keeps the
+// Jacobian non-singular when devices are cut off.
+const gmin = 1e-12
+
+// Circuit is a netlist under construction. Add elements, then call Transient.
+type Circuit struct {
+	nodeIndex map[string]int
+	nodeNames []string
+
+	mosfets []mosfet
+	caps    []capacitor
+	ress    []resistor
+	vsrcs   []vsource
+}
+
+type mosfet struct {
+	d, g, s int
+	params  *device.MOSParams
+	geom    device.Geometry
+}
+
+type capacitor struct {
+	a, b int
+	c    float64
+}
+
+type resistor struct {
+	a, b int
+	g    float64
+}
+
+// WaveFunc gives the value of an independent voltage source at time t.
+type WaveFunc func(t float64) float64
+
+type vsource struct {
+	p, m int
+	wave WaveFunc
+}
+
+// NewCircuit returns an empty circuit containing only the ground node.
+func NewCircuit() *Circuit {
+	c := &Circuit{nodeIndex: make(map[string]int)}
+	c.nodeIndex[Ground] = 0
+	c.nodeNames = append(c.nodeNames, Ground)
+	return c
+}
+
+// Node returns the index of the named node, creating it if necessary.
+// "0" and "gnd" both refer to ground.
+func (c *Circuit) Node(name string) int {
+	if name == "gnd" || name == "GND" {
+		name = Ground
+	}
+	if idx, ok := c.nodeIndex[name]; ok {
+		return idx
+	}
+	idx := len(c.nodeNames)
+	c.nodeIndex[name] = idx
+	c.nodeNames = append(c.nodeNames, name)
+	return idx
+}
+
+// NumNodes returns the number of nodes including ground.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// AddMOSFET adds a MOSFET with the given drain, gate and source node indices.
+// The bulk terminal is implicit (tied to the appropriate rail; body effect is
+// not modelled).
+func (c *Circuit) AddMOSFET(d, g, s int, params *device.MOSParams, geom device.Geometry) {
+	c.mosfets = append(c.mosfets, mosfet{d: d, g: g, s: s, params: params, geom: geom})
+}
+
+// AddCap adds a linear capacitor of value farads between nodes a and b.
+func (c *Circuit) AddCap(a, b int, farads float64) {
+	if farads <= 0 {
+		return
+	}
+	c.caps = append(c.caps, capacitor{a: a, b: b, c: farads})
+}
+
+// AddRes adds a linear resistor of value ohms between nodes a and b.
+func (c *Circuit) AddRes(a, b int, ohms float64) {
+	c.ress = append(c.ress, resistor{a: a, b: b, g: 1 / ohms})
+}
+
+// AddVSource adds an independent voltage source from node p (positive) to
+// node m whose value is wave(t).
+func (c *Circuit) AddVSource(p, m int, wave WaveFunc) {
+	c.vsrcs = append(c.vsrcs, vsource{p: p, m: m, wave: wave})
+}
+
+// AddDC adds a constant voltage source of the given value from p to ground.
+func (c *Circuit) AddDC(p int, volts float64) {
+	c.AddVSource(p, 0, func(float64) float64 { return volts })
+}
+
+// Method selects the numerical integration scheme for capacitor currents.
+type Method int
+
+const (
+	// BackwardEuler is the first-order implicit scheme: unconditionally
+	// stable and non-ringing, the default.
+	BackwardEuler Method = iota
+	// Trapezoidal is the second-order implicit scheme: more accurate at
+	// a given step size, at the cost of possible ringing on stiff
+	// discontinuities.
+	Trapezoidal
+)
+
+// String names the method.
+func (m Method) String() string {
+	if m == Trapezoidal {
+		return "trapezoidal"
+	}
+	return "backward-euler"
+}
+
+// TransientOpts controls a transient analysis.
+type TransientOpts struct {
+	// TStop is the simulation end time in seconds.
+	TStop float64
+	// TStep is the fixed integration step in seconds. Zero selects 1 ps.
+	TStep float64
+	// MaxNewton bounds Newton iterations per time point. Zero selects 60.
+	MaxNewton int
+	// VTol is the Newton convergence tolerance in volts. Zero selects 1 uV.
+	VTol float64
+	// Method selects the integration scheme (default BackwardEuler).
+	Method Method
+	// Record lists node names to record. Nil records every node.
+	Record []string
+}
+
+// Result holds the recorded waveforms of a transient analysis.
+type Result struct {
+	byName map[string]*waveform.Waveform
+}
+
+// Wave returns the waveform recorded for the named node, or nil if the node
+// was not recorded.
+func (r *Result) Wave(name string) *waveform.Waveform { return r.byName[name] }
+
+// Transient runs a transient analysis and returns the recorded waveforms.
+// The initial state is the DC operating point with all sources at their
+// t = 0 values.
+func (c *Circuit) Transient(opts TransientOpts) (*Result, error) {
+	if opts.TStop <= 0 {
+		return nil, fmt.Errorf("spice: TStop must be positive, got %g", opts.TStop)
+	}
+	h := opts.TStep
+	if h <= 0 {
+		h = 1e-12
+	}
+	maxNewton := opts.MaxNewton
+	if maxNewton <= 0 {
+		maxNewton = 60
+	}
+	vtol := opts.VTol
+	if vtol <= 0 {
+		vtol = 1e-6
+	}
+
+	nn := len(c.nodeNames) // includes ground
+	nv := len(c.vsrcs)
+	dim := (nn - 1) + nv // unknowns: node voltages 1..nn-1, then branch currents
+
+	s := newSolver(dim)
+	// x holds node voltages indexed by node (x[0] is ground, always 0)
+	// followed by branch currents.
+	volt := make([]float64, nn)
+	voltPrev := make([]float64, nn)
+	branch := make([]float64, nv)
+
+	// Recording setup.
+	record := opts.Record
+	if record == nil {
+		record = append([]string(nil), c.nodeNames...)
+	}
+	res := &Result{byName: make(map[string]*waveform.Waveform, len(record))}
+	recIdx := make([]int, 0, len(record))
+	recWaves := make([]*waveform.Waveform, 0, len(record))
+	for _, name := range record {
+		idx, ok := c.nodeIndex[name]
+		if !ok {
+			return nil, fmt.Errorf("spice: cannot record unknown node %q", name)
+		}
+		w := &waveform.Waveform{}
+		res.byName[name] = w
+		recIdx = append(recIdx, idx)
+		recWaves = append(recWaves, w)
+	}
+
+	// Per-capacitor current state for the trapezoidal method.
+	capCur := make([]float64, len(c.caps))
+
+	// DC operating point at t = 0 (capacitors open, currents zero).
+	if err := c.solvePoint(s, volt, branch, voltPrev, capCur, 0, 0, maxNewton, vtol, opts.Method); err != nil {
+		return nil, fmt.Errorf("spice: DC operating point: %w", err)
+	}
+	for i, w := range recWaves {
+		w.Append(0, volt[recIdx[i]])
+	}
+
+	steps := int(math.Ceil(opts.TStop / h))
+	for step := 1; step <= steps; step++ {
+		t := float64(step) * h
+		copy(voltPrev, volt)
+		if err := c.solvePoint(s, volt, branch, voltPrev, capCur, t, h, maxNewton, vtol, opts.Method); err != nil {
+			return nil, fmt.Errorf("spice: t=%.4gs: %w", t, err)
+		}
+		if opts.Method == Trapezoidal {
+			// Update stored capacitor currents:
+			// i_{n+1} = (2C/h)(v_{n+1} - v_n) - i_n.
+			for i := range c.caps {
+				cp := &c.caps[i]
+				dv := (volt[cp.a] - volt[cp.b]) - (voltPrev[cp.a] - voltPrev[cp.b])
+				capCur[i] = (2*cp.c/h)*dv - capCur[i]
+			}
+		}
+		for i, w := range recWaves {
+			w.Append(t, volt[recIdx[i]])
+		}
+	}
+	return res, nil
+}
+
+// solvePoint performs Newton-Raphson iteration for one time point. h == 0
+// means DC (capacitors are ignored). volt is used as the initial guess and
+// receives the solution; voltPrev holds the previous time point's voltages
+// (and capCur the previous capacitor currents) for the companion models.
+func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64, t, h float64, maxNewton int, vtol float64, method Method) error {
+	nn := len(c.nodeNames)
+	for iter := 0; iter < maxNewton; iter++ {
+		s.reset()
+
+		// gmin to ground on every non-ground node.
+		for i := 1; i < nn; i++ {
+			s.addG(i, i, gmin)
+		}
+
+		for i := range c.ress {
+			r := &c.ress[i]
+			s.addG(r.a, r.a, r.g)
+			s.addG(r.b, r.b, r.g)
+			s.addG(r.a, r.b, -r.g)
+			s.addG(r.b, r.a, -r.g)
+		}
+
+		if h > 0 {
+			for i := range c.caps {
+				cp := &c.caps[i]
+				var geq, ieq float64
+				if method == Trapezoidal {
+					// i_{n+1} = geq*v_{n+1} - (geq*v_n + i_n)
+					geq = 2 * cp.c / h
+					ieq = geq*(voltPrev[cp.a]-voltPrev[cp.b]) + capCur[i]
+				} else {
+					geq = cp.c / h
+					ieq = geq * (voltPrev[cp.a] - voltPrev[cp.b])
+				}
+				s.addG(cp.a, cp.a, geq)
+				s.addG(cp.b, cp.b, geq)
+				s.addG(cp.a, cp.b, -geq)
+				s.addG(cp.b, cp.a, -geq)
+				s.addI(cp.a, ieq)
+				s.addI(cp.b, -ieq)
+			}
+		}
+
+		for i := range c.mosfets {
+			m := &c.mosfets[i]
+			vgs := volt[m.g] - volt[m.s]
+			vds := volt[m.d] - volt[m.s]
+			ids, gm, gds := m.params.Ids(m.geom, vgs, vds)
+			ieq := ids - gm*vgs - gds*vds
+			// Current ids flows drain -> source.
+			s.addG(m.d, m.d, gds)
+			s.addG(m.d, m.s, -gds-gm)
+			s.addG(m.d, m.g, gm)
+			s.addG(m.s, m.d, -gds)
+			s.addG(m.s, m.s, gds+gm)
+			s.addG(m.s, m.g, -gm)
+			s.addI(m.d, -ieq)
+			s.addI(m.s, ieq)
+		}
+
+		for i := range c.vsrcs {
+			v := &c.vsrcs[i]
+			s.stampVSource(nn, i, v.p, v.m, v.wave(t))
+		}
+
+		x, err := s.solve()
+		if err != nil {
+			return err
+		}
+
+		// Extract the solution and check convergence with damping.
+		maxDelta := 0.0
+		for i := 1; i < nn; i++ {
+			newV := x[i-1]
+			d := newV - volt[i]
+			if math.Abs(d) > maxDelta {
+				maxDelta = math.Abs(d)
+			}
+			// Damp large Newton steps to aid convergence on the
+			// steep square-law characteristics.
+			const maxStep = 1.0
+			if d > maxStep {
+				newV = volt[i] + maxStep
+			} else if d < -maxStep {
+				newV = volt[i] - maxStep
+			}
+			volt[i] = newV
+		}
+		for i := 0; i < len(c.vsrcs); i++ {
+			branch[i] = x[nn-1+i]
+		}
+		if maxDelta < vtol {
+			return nil
+		}
+	}
+	return fmt.Errorf("newton iteration did not converge in %d iterations", maxNewton)
+}
+
+// solver is a dense MNA matrix with node-index based stamping. Row/column k
+// corresponds to node k+1 for k < nn-1 and to voltage-source branch
+// k-(nn-1) afterwards. Stamps referencing ground (node 0) are dropped.
+type solver struct {
+	dim int
+	a   []float64 // dim x dim, row-major
+	b   []float64
+	x   []float64
+	piv []int
+}
+
+func newSolver(dim int) *solver {
+	return &solver{
+		dim: dim,
+		a:   make([]float64, dim*dim),
+		b:   make([]float64, dim),
+		x:   make([]float64, dim),
+		piv: make([]int, dim),
+	}
+}
+
+func (s *solver) reset() {
+	for i := range s.a {
+		s.a[i] = 0
+	}
+	for i := range s.b {
+		s.b[i] = 0
+	}
+}
+
+// addG stamps a conductance entry between node rows/cols (1-based node
+// indices; ground entries are dropped).
+func (s *solver) addG(row, col int, g float64) {
+	if row == 0 || col == 0 {
+		return
+	}
+	s.a[(row-1)*s.dim+(col-1)] += g
+}
+
+// addI stamps a current source injection into a node's RHS entry.
+func (s *solver) addI(row int, i float64) {
+	if row == 0 {
+		return
+	}
+	s.b[row-1] += i
+}
+
+// stampVSource stamps the MNA rows of voltage source k with value e between
+// nodes p and m. nn is the total node count including ground.
+func (s *solver) stampVSource(nn, k, p, m int, e float64) {
+	br := (nn - 1) + k
+	if p != 0 {
+		s.a[(p-1)*s.dim+br] += 1
+		s.a[br*s.dim+(p-1)] += 1
+	}
+	if m != 0 {
+		s.a[(m-1)*s.dim+br] -= 1
+		s.a[br*s.dim+(m-1)] -= 1
+	}
+	s.b[br] = e
+}
+
+// solve performs an in-place partial-pivot LU solve of the stamped system.
+// The returned slice is reused between calls.
+func (s *solver) solve() ([]float64, error) {
+	n := s.dim
+	a := s.a
+	b := s.b
+
+	for col := 0; col < n; col++ {
+		// Pivot selection.
+		pivRow := col
+		pivVal := math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > pivVal {
+				pivVal = v
+				pivRow = r
+			}
+		}
+		if pivVal == 0 {
+			return nil, fmt.Errorf("singular MNA matrix at column %d", col)
+		}
+		if pivRow != col {
+			for k := col; k < n; k++ {
+				a[col*n+k], a[pivRow*n+k] = a[pivRow*n+k], a[col*n+k]
+			}
+			b[col], b[pivRow] = b[pivRow], b[col]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for k := col + 1; k < n; k++ {
+				a[r*n+k] -= f * a[col*n+k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r*n+k] * s.x[k]
+		}
+		s.x[r] = sum / a[r*n+r]
+	}
+	return s.x, nil
+}

@@ -1,0 +1,111 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/prechar"
+)
+
+func TestWorstPathC17(t *testing.T) {
+	lib := prechar.MustLibrary()
+	res, err := Analyze(benchgen.C17(), Options{Lib: lib, Mode: ModeProposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := res.WorstPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 {
+		t.Fatalf("path too short: %v", path)
+	}
+	// Starts at a PI, ends at a PO, matches the max arrival.
+	if !res.Circuit.IsPI(path[0].Net) {
+		t.Errorf("path does not start at a PI: %s", path[0].Net)
+	}
+	last := path[len(path)-1]
+	isPO := false
+	for _, po := range res.Circuit.POs {
+		if po == last.Net {
+			isPO = true
+		}
+	}
+	if !isPO {
+		t.Errorf("path does not end at a PO: %s", last.Net)
+	}
+	if math.Abs(last.Arrival-res.MaxPOArrival()) > 1e-15 {
+		t.Errorf("endpoint arrival %g != max PO arrival %g", last.Arrival, res.MaxPOArrival())
+	}
+	// Arrivals strictly increase along the path.
+	for i := 1; i < len(path); i++ {
+		if path[i].Arrival <= path[i-1].Arrival {
+			t.Errorf("arrivals not increasing at step %d: %v", i, path)
+			break
+		}
+	}
+	// Directions alternate through the all-NAND c17.
+	for i := 1; i < len(path); i++ {
+		if path[i].Rising == path[i-1].Rising {
+			t.Errorf("direction did not alternate through NAND at step %d", i)
+		}
+	}
+	// c17's depth is 3, so the path has 4 nodes.
+	if len(path) != 4 {
+		t.Errorf("c17 worst path has %d nodes, want 4: %s", len(path), FormatPath(path))
+	}
+	t.Logf("worst path: %s", FormatPath(path))
+}
+
+func TestCriticalPathConsistentAcrossBenchmarks(t *testing.T) {
+	lib := prechar.MustLibrary()
+	for _, name := range []string{"c432", "c880"} {
+		c, err := benchgen.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(c, Options{Lib: lib, Mode: ModeProposed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path, err := res.WorstPath()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Circuit.IsPI(path[0].Net) {
+			t.Errorf("%s: path start %s not a PI", name, path[0].Net)
+		}
+		if got := path[len(path)-1].Arrival; math.Abs(got-res.MaxPOArrival()) > 1e-12 {
+			t.Errorf("%s: endpoint %g vs max %g", name, got, res.MaxPOArrival())
+		}
+		for i := 1; i < len(path); i++ {
+			if path[i].Arrival < path[i-1].Arrival {
+				t.Errorf("%s: arrival decreased along path", name)
+				break
+			}
+		}
+	}
+}
+
+func TestCriticalPathErrors(t *testing.T) {
+	lib := prechar.MustLibrary()
+	res, err := Analyze(benchgen.C17(), Options{Lib: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.CriticalPath("nope", true); err == nil {
+		t.Error("expected error for unknown net")
+	}
+}
+
+func TestFormatPath(t *testing.T) {
+	s := FormatPath([]PathStep{
+		{Net: "a", Rising: true, Arrival: 0},
+		{Net: "z", Rising: false, Arrival: 0.5e-9},
+	})
+	if !strings.Contains(s, "a(R@0.000ns)") || !strings.Contains(s, "z(F@0.500ns)") || !strings.Contains(s, "->") {
+		t.Errorf("format = %q", s)
+	}
+}

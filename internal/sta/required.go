@@ -1,0 +1,239 @@
+package sta
+
+import (
+	"math"
+	"sort"
+
+	"sstiming/internal/core"
+	"sstiming/internal/netlist"
+)
+
+// Required is the per-direction required-time window of a line: the output
+// must not be reached before QS (hold-style lower bound) and must be reached
+// by QL (setup-style upper bound).
+type Required struct {
+	QS, QL float64
+}
+
+// LineRequired pairs the directional required windows of one line.
+type LineRequired struct {
+	Rise Required
+	Fall Required
+}
+
+// Constraint is the timing requirement applied at every primary output.
+type Constraint struct {
+	// MinTime is the earliest permitted PO arrival (hold check).
+	MinTime float64
+	// MaxTime is the latest permitted PO arrival (setup check).
+	MaxTime float64
+}
+
+// RequiredTimes performs the backward traversal of Section 4 and returns
+// the required-time windows for every line. It uses the arrival/transition
+// windows already computed by Analyze to evaluate the delay bounds along
+// each input-to-output arc.
+func (r *Result) RequiredTimes(cons Constraint) map[string]*LineRequired {
+	c := r.Circuit
+	req := make(map[string]*LineRequired, len(r.Lines))
+	get := func(net string) *LineRequired {
+		lr, ok := req[net]
+		if !ok {
+			lr = &LineRequired{
+				Rise: Required{QS: math.Inf(-1), QL: math.Inf(1)},
+				Fall: Required{QS: math.Inf(-1), QL: math.Inf(1)},
+			}
+			req[net] = lr
+		}
+		return lr
+	}
+
+	for _, po := range c.POs {
+		lr := get(po)
+		tighten(&lr.Rise, cons.MinTime, cons.MaxTime)
+		tighten(&lr.Fall, cons.MinTime, cons.MaxTime)
+	}
+
+	order := c.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		g := &c.Gates[order[i]]
+		cell, ok := r.libCell(g)
+		if !ok {
+			continue
+		}
+		extraLoad := float64(c.FanoutCount(g.Output)-1) * cell.RefLoad
+		zReq := get(g.Output)
+
+		for x, in := range g.Inputs {
+			inLT := r.Lines[in]
+			if inLT == nil {
+				continue
+			}
+			xReq := get(in)
+
+			// Direction mapping: which input direction produces
+			// which output direction.
+			type arc struct {
+				inRise bool
+				outReq *Required
+				ctrl   bool
+				inWin  Window
+			}
+			var arcs []arc
+			switch g.Kind {
+			case netlist.Inv:
+				arcs = []arc{
+					{inRise: false, outReq: &zReq.Rise, ctrl: true, inWin: inLT.Fall},
+					{inRise: true, outReq: &zReq.Fall, ctrl: false, inWin: inLT.Rise},
+				}
+			case netlist.Buf:
+				arcs = []arc{
+					{inRise: true, outReq: &zReq.Rise, ctrl: true, inWin: inLT.Rise},
+					{inRise: false, outReq: &zReq.Fall, ctrl: false, inWin: inLT.Fall},
+				}
+			case netlist.Nand:
+				arcs = []arc{
+					{inRise: false, outReq: &zReq.Rise, ctrl: true, inWin: inLT.Fall},
+					{inRise: true, outReq: &zReq.Fall, ctrl: false, inWin: inLT.Rise},
+				}
+			case netlist.Nor:
+				arcs = []arc{
+					{inRise: true, outReq: &zReq.Fall, ctrl: true, inWin: inLT.Rise},
+					{inRise: false, outReq: &zReq.Rise, ctrl: false, inWin: inLT.Fall},
+				}
+			}
+
+			for _, a := range arcs {
+				dMin, dMax := r.arcDelayBounds(cell, g, x, a.ctrl, a.inWin, extraLoad)
+				var tgt *Required
+				if a.inRise {
+					tgt = &xReq.Rise
+				} else {
+					tgt = &xReq.Fall
+				}
+				tighten(tgt, a.outReq.QS-dMin, a.outReq.QL-dMax)
+			}
+		}
+	}
+	return req
+}
+
+// arcDelayBounds returns [dMin, dMax] of the delay from input pin x to the
+// gate output for the given response direction. In proposed mode the
+// minimum additionally considers zero-skew simultaneous switching with each
+// other input (the fastest achievable corner).
+func (r *Result) arcDelayBounds(cell *core.CellModel, g *netlist.Gate, x int, ctrl bool, inWin Window, extraLoad float64) (dMin, dMax float64) {
+	pins := cell.NonCtrlPins
+	if ctrl {
+		pins = cell.CtrlPins
+	}
+	p := &pins[x]
+	loadD := p.DelayLoadSlope * extraLoad
+	_, dMin = p.Delay.MinOver(inWin.TS, inWin.TL)
+	_, dMax = p.Delay.MaxOver(inWin.TS, inWin.TL)
+	dMin += loadD
+	dMax += loadD
+
+	if ctrl && r.Mode == ModeProposed && cell.N >= 2 {
+		for y := 0; y < cell.N; y++ {
+			if y == x {
+				continue
+			}
+			// Fastest corner: the partner switches simultaneously
+			// with the shortest transition times.
+			yWin := r.partnerWindow(g, y, ctrl)
+			if d := cell.DelayCtrl2(x, y, inWin.TS, yWin.TS, 0, extraLoad); d < dMin {
+				dMin = d
+			}
+		}
+	}
+	return dMin, dMax
+}
+
+// partnerWindow returns the controlling-direction window of input pin y of
+// gate g (falling for NAND, rising for NOR).
+func (r *Result) partnerWindow(g *netlist.Gate, y int, ctrl bool) Window {
+	lt := r.Lines[g.Inputs[y]]
+	if lt == nil {
+		return Window{TS: 0.2e-9, TL: 0.2e-9}
+	}
+	rising := false
+	switch g.Kind {
+	case netlist.Nor:
+		rising = ctrl
+	case netlist.Nand:
+		rising = !ctrl
+	}
+	if rising {
+		return lt.Rise
+	}
+	return lt.Fall
+}
+
+func (r *Result) libCell(g *netlist.Gate) (*core.CellModel, bool) {
+	// The forward pass already resolved every cell; re-resolve from the
+	// window data by name lookup through any line. Cells are stored per
+	// analysis options, so keep a simple name->cell map on first use.
+	if r.cellCache == nil {
+		r.cellCache = map[string]*core.CellModel{}
+	}
+	name := g.CellName()
+	if m, ok := r.cellCache[name]; ok {
+		return m, m != nil
+	}
+	m := r.lib.Cells[name]
+	r.cellCache[name] = m
+	return m, m != nil
+}
+
+// tighten narrows a required window: QS may only grow, QL may only shrink.
+func tighten(q *Required, qs, ql float64) {
+	if qs > q.QS {
+		q.QS = qs
+	}
+	if ql < q.QL {
+		q.QL = ql
+	}
+}
+
+// Violation reports one timing check failure.
+type Violation struct {
+	// Net is the failing line.
+	Net string
+	// Rising selects the failing direction.
+	Rising bool
+	// Setup is true for a setup-style (too late) failure, false for a
+	// hold-style (too early) failure.
+	Setup bool
+	// Slack is the (negative) margin in seconds.
+	Slack float64
+}
+
+// CheckViolations compares the arrival windows against the required windows
+// derived from the PO constraint and returns every failing line, sorted by
+// slack (most negative first).
+func (r *Result) CheckViolations(cons Constraint) []Violation {
+	req := r.RequiredTimes(cons)
+	var out []Violation
+	for net, lt := range r.Lines {
+		lr, ok := req[net]
+		if !ok {
+			continue
+		}
+		check := func(w Window, q Required, rising bool) {
+			if math.IsInf(q.QL, 1) && math.IsInf(q.QS, -1) {
+				return
+			}
+			if s := q.QL - w.AL; s < 0 {
+				out = append(out, Violation{Net: net, Rising: rising, Setup: true, Slack: s})
+			}
+			if s := w.AS - q.QS; s < 0 {
+				out = append(out, Violation{Net: net, Rising: rising, Setup: false, Slack: s})
+			}
+		}
+		check(lt.Rise, lr.Rise, true)
+		check(lt.Fall, lr.Fall, false)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slack < out[j].Slack })
+	return out
+}

@@ -1,0 +1,424 @@
+// Package sta implements static timing analysis with min-max timing windows
+// (the paper's Section 4).
+//
+// For every line and both transition directions the analysis maintains the
+// earliest/latest arrival times and shortest/longest transition times
+// (Figure 7). Forward propagation uses the worst-case corner identification
+// rules of Section 4.2:
+//
+//   - earliest rising arrival (for NAND-class gates) exploits simultaneous
+//     to-controlling switching: the minimum over input pairs of the
+//     V-shape delay evaluated at the earliest-arrival skew, minimised over
+//     the four transition-time corners {S,L}×{S,L};
+//   - latest arrivals use only single-input pin-to-pin delays (a lagging
+//     simultaneous transition can only speed the output up), with the
+//     maximal delay taken at a range endpoint or at the interior peak of
+//     the bi-tonic delay-vs-transition-time curve (Figure 9);
+//   - shortest output transition times evaluate the pair transition
+//     surface at the achievable skew closest to SK_t,min, which may be
+//     non-zero.
+//
+// Backward propagation computes required-time windows and reports min
+// (hold-style) and max (setup-style) violations.
+//
+// The same engine runs under the conventional pin-to-pin (SDF-style) model
+// for the paper's Table 2 comparison.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"sstiming/internal/core"
+	"sstiming/internal/netlist"
+)
+
+// Mode selects the delay model used by the analysis.
+type Mode int
+
+const (
+	// ModeProposed uses the paper's simultaneous-switching model.
+	ModeProposed Mode = iota
+	// ModePinToPin uses the conventional pin-to-pin model.
+	ModePinToPin
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModePinToPin {
+		return "pin-to-pin"
+	}
+	return "proposed"
+}
+
+// Window is the per-direction timing window of one line: earliest/latest
+// arrival and shortest/longest transition time, in seconds (Figure 7).
+type Window struct {
+	AS, AL float64 // arrival: smallest, largest
+	TS, TL float64 // transition time: smallest, largest
+}
+
+// Valid reports structural sanity (AS <= AL, TS <= TL).
+func (w Window) Valid() bool {
+	return w.AS <= w.AL+1e-15 && w.TS <= w.TL+1e-15 && w.TS >= 0
+}
+
+// LineTiming is the pair of directional windows of one line.
+type LineTiming struct {
+	Rise Window
+	Fall Window
+}
+
+// PITiming describes the assumed stimulus at primary inputs.
+type PITiming struct {
+	ArrivalEarly, ArrivalLate float64
+	TransShort, TransLong     float64
+}
+
+// DefaultPITiming is the default stimulus: transitions released at t = 0
+// with a 0.2 ns input ramp.
+func DefaultPITiming() PITiming {
+	return PITiming{ArrivalEarly: 0, ArrivalLate: 0, TransShort: 0.2e-9, TransLong: 0.2e-9}
+}
+
+// Options configures an analysis.
+type Options struct {
+	// Lib is the characterised cell library (required).
+	Lib *core.Library
+	// Mode selects the delay model.
+	Mode Mode
+	// PI is the stimulus applied to every primary input; the zero value
+	// selects DefaultPITiming.
+	PI PITiming
+	// PerPI optionally overrides the stimulus for specific inputs.
+	PerPI map[string]PITiming
+	// NCExtension enables the simultaneous to-non-controlling Λ-shape
+	// model (the paper's Section 3.6 future work) in the latest-arrival
+	// and longest-transition corners of to-non-controlling responses.
+	// Requires a library characterised with charlib.Options.NCPairs.
+	// Off by default: the paper's published scope keeps pin-to-pin
+	// timing for these responses (and Table 2's max-delays identical
+	// across models).
+	NCExtension bool
+}
+
+// Result holds the computed windows for every line.
+type Result struct {
+	Circuit *netlist.Circuit
+	Mode    Mode
+	Lines   map[string]*LineTiming
+
+	lib       *core.Library
+	cellCache map[string]*core.CellModel
+}
+
+// Analyze runs forward window propagation over the circuit.
+func Analyze(c *netlist.Circuit, opts Options) (*Result, error) {
+	if opts.Lib == nil {
+		return nil, fmt.Errorf("sta: Options.Lib is required")
+	}
+	pi := opts.PI
+	if pi == (PITiming{}) {
+		pi = DefaultPITiming()
+	}
+
+	res := &Result{Circuit: c, Mode: opts.Mode, Lines: make(map[string]*LineTiming), lib: opts.Lib}
+	for _, name := range c.PIs {
+		p := pi
+		if o, ok := opts.PerPI[name]; ok {
+			p = o
+		}
+		w := Window{AS: p.ArrivalEarly, AL: p.ArrivalLate, TS: p.TransShort, TL: p.TransLong}
+		res.Lines[name] = &LineTiming{Rise: w, Fall: w}
+	}
+
+	for _, gi := range c.TopoOrder() {
+		g := &c.Gates[gi]
+		cell, ok := opts.Lib.Cell(g.CellName())
+		if !ok {
+			return nil, fmt.Errorf("sta: no library cell %q for gate %q", g.CellName(), g.Output)
+		}
+		ins := make([]*LineTiming, len(g.Inputs))
+		for i, in := range g.Inputs {
+			lt, ok := res.Lines[in]
+			if !ok {
+				return nil, fmt.Errorf("sta: gate %q input %q has no timing (order bug)", g.Output, in)
+			}
+			ins[i] = lt
+		}
+		extraLoad := float64(c.FanoutCount(g.Output)-1) * cell.RefLoad
+
+		out := &LineTiming{}
+		switch g.Kind {
+		case netlist.Inv:
+			out.Rise = propagateSingle(cell, 0, true, ins[0].Fall, extraLoad)
+			out.Fall = propagateSingle(cell, 0, false, ins[0].Rise, extraLoad)
+		case netlist.Buf:
+			// Buffers borrow the inverter cell's timing with
+			// non-inverting direction mapping (library
+			// approximation, see package doc).
+			out.Rise = propagateSingle(cell, 0, true, ins[0].Rise, extraLoad)
+			out.Fall = propagateSingle(cell, 0, false, ins[0].Fall, extraLoad)
+		case netlist.Nand:
+			inFall := windows(ins, false)
+			inRise := windows(ins, true)
+			out.Rise = propagateCtrl(cell, inFall, extraLoad, opts.Mode)
+			out.Fall = propagateNonCtrl(cell, inRise, extraLoad, opts.Mode, opts.NCExtension)
+		case netlist.Nor:
+			inRise := windows(ins, true)
+			inFall := windows(ins, false)
+			out.Fall = propagateCtrl(cell, inRise, extraLoad, opts.Mode)
+			out.Rise = propagateNonCtrl(cell, inFall, extraLoad, opts.Mode, opts.NCExtension)
+		default:
+			return nil, fmt.Errorf("sta: unsupported gate kind %v", g.Kind)
+		}
+		res.Lines[g.Output] = out
+	}
+	return res, nil
+}
+
+func windows(ins []*LineTiming, rising bool) []Window {
+	ws := make([]Window, len(ins))
+	for i, lt := range ins {
+		if rising {
+			ws[i] = lt.Rise
+		} else {
+			ws[i] = lt.Fall
+		}
+	}
+	return ws
+}
+
+// propagateSingle handles one-input cells: ctrl selects the CtrlPins
+// (to-controlling response: INV falling-in/rising-out) versus NonCtrlPins.
+func propagateSingle(cell *core.CellModel, pin int, ctrl bool, in Window, extraLoad float64) Window {
+	pins := cell.NonCtrlPins
+	if ctrl {
+		pins = cell.CtrlPins
+	}
+	p := &pins[pin]
+	loadD := p.DelayLoadSlope * extraLoad
+	loadT := p.TransLoadSlope * extraLoad
+
+	_, dMin := p.Delay.MinOver(in.TS, in.TL)
+	_, dMax := p.Delay.MaxOver(in.TS, in.TL)
+	_, tMin := p.Trans.MinOver(in.TS, in.TL)
+	_, tMax := p.Trans.MaxOver(in.TS, in.TL)
+	return Window{
+		AS: in.AS + dMin + loadD,
+		AL: in.AL + dMax + loadD,
+		TS: tMin + loadT,
+		TL: tMax + loadT,
+	}
+}
+
+// propagateCtrl computes the to-controlling output window (rising for NAND,
+// falling for NOR) from the input windows of the controlling-direction
+// transitions, per Section 4.2.
+func propagateCtrl(cell *core.CellModel, in []Window, extraLoad float64, mode Mode) Window {
+	n := len(in)
+	var out Window
+	out.AS = math.Inf(1)
+	out.AL = math.Inf(-1)
+	out.TS = math.Inf(1)
+	out.TL = math.Inf(-1)
+
+	// Latest arrival and longest transition: single-input pin-to-pin
+	// corners (a second simultaneous transition can only speed things
+	// up; the lagging-input case reduces to single-input timing).
+	for x := 0; x < n; x++ {
+		p := &cell.CtrlPins[x]
+		loadD := p.DelayLoadSlope * extraLoad
+		loadT := p.TransLoadSlope * extraLoad
+		_, dMax := p.Delay.MaxOver(in[x].TS, in[x].TL)
+		if v := in[x].AL + dMax + loadD; v > out.AL {
+			out.AL = v
+		}
+		_, tMax := p.Trans.MaxOver(in[x].TS, in[x].TL)
+		if v := tMax + loadT; v > out.TL {
+			out.TL = v
+		}
+		// Single-input candidates also bound the minimum corners
+		// (they are what remains in pin-to-pin mode, for one-input
+		// cells, and when pair data is missing).
+		_, dMin := p.Delay.MinOver(in[x].TS, in[x].TL)
+		if v := in[x].AS + dMin + loadD; v < out.AS {
+			out.AS = v
+		}
+		_, tMin := p.Trans.MinOver(in[x].TS, in[x].TL)
+		if v := tMin + loadT; v < out.TS {
+			out.TS = v
+		}
+	}
+
+	if mode == ModePinToPin || n < 2 {
+		return out
+	}
+
+	// Earliest arrival: pairwise simultaneous switching at the
+	// earliest-arrival skew, minimised over the four transition-time
+	// corners (Fig. 8's A_R,S rule). With three or more inputs all
+	// potentially switching δ-simultaneously, the extended model's n-way
+	// speed-up factor lower-bounds the delay further.
+	multi := 1.0
+	if n >= 3 && len(cell.MultiFactor) >= n-2 {
+		if f := cell.MultiFactor[n-3]; f > 0 && f < 1 {
+			multi = f
+		}
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x == y {
+				continue
+			}
+			skew := in[y].AS - in[x].AS
+			base := math.Min(in[x].AS, in[y].AS)
+			for _, tx := range []float64{in[x].TS, in[x].TL} {
+				for _, ty := range []float64{in[y].TS, in[y].TL} {
+					d := cell.DelayCtrl2(x, y, tx, ty, skew, extraLoad)
+					if v := base + d*multi; v < out.AS {
+						out.AS = v
+					}
+				}
+			}
+
+			// Shortest transition: evaluate at the achievable
+			// skew closest to SK_t,min (Fig. 8's T_R,S rule).
+			lo := in[y].AS - in[x].AL
+			hi := in[y].AL - in[x].AS
+			skm := cell.SKminAt(x, y, in[x].TS, in[y].TS)
+			if skm < lo {
+				skm = lo
+			}
+			if skm > hi {
+				skm = hi
+			}
+			if t := cell.TransCtrl2(x, y, in[x].TS, in[y].TS, skm, extraLoad); t < out.TS {
+				out.TS = t
+			}
+		}
+	}
+	return out
+}
+
+// propagateNonCtrl computes the to-non-controlling output window (falling
+// for NAND, rising for NOR). The *latest* arrival combines with max over
+// inputs (the output switches only after the last input reaches the
+// non-controlling value). The *earliest* arrival, however, combines with
+// min: with vectors unspecified, the fastest scenario has a single input
+// switching while every other input already holds the non-controlling
+// value. With the NC extension enabled (and the proposed model), the latest
+// corner additionally considers the Λ-shaped simultaneous-switching penalty
+// at the achievable skew closest to its zero-skew peak.
+func propagateNonCtrl(cell *core.CellModel, in []Window, extraLoad float64, mode Mode, ncExt bool) Window {
+	n := len(in)
+	var out Window
+	out.AS = math.Inf(1)
+	out.AL = math.Inf(-1)
+	out.TS = math.Inf(1)
+	out.TL = math.Inf(-1)
+
+	for x := 0; x < n; x++ {
+		p := &cell.NonCtrlPins[x]
+		loadD := p.DelayLoadSlope * extraLoad
+		loadT := p.TransLoadSlope * extraLoad
+		_, dMin := p.Delay.MinOver(in[x].TS, in[x].TL)
+		_, dMax := p.Delay.MaxOver(in[x].TS, in[x].TL)
+		if v := in[x].AS + dMin + loadD; v < out.AS {
+			out.AS = v
+		}
+		if v := in[x].AL + dMax + loadD; v > out.AL {
+			out.AL = v
+		}
+		_, tMin := p.Trans.MinOver(in[x].TS, in[x].TL)
+		if v := tMin + loadT; v < out.TS {
+			out.TS = v
+		}
+		_, tMax := p.Trans.MaxOver(in[x].TS, in[x].TL)
+		if v := tMax + loadT; v > out.TL {
+			out.TL = v
+		}
+	}
+
+	if ncExt && mode == ModeProposed && n >= 2 && len(cell.NCPairs) > 0 {
+		// Worst-case simultaneous to-non-controlling corner: both
+		// transitions at their latest arrivals, skew as close to the Λ
+		// peak (zero) as the windows allow, slowest transition times.
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if x == y {
+					continue
+				}
+				lo := in[y].AS - in[x].AL
+				hi := in[y].AL - in[x].AS
+				skew := 0.0
+				if skew < lo {
+					skew = lo
+				}
+				if skew > hi {
+					skew = hi
+				}
+				base := math.Max(in[x].AL, in[y].AL)
+				for _, tx := range []float64{in[x].TS, in[x].TL} {
+					for _, ty := range []float64{in[y].TS, in[y].TL} {
+						d := cell.DelayNonCtrl2(x, y, tx, ty, skew, extraLoad)
+						if v := base + d; v > out.AL {
+							out.AL = v
+						}
+						if tv := cell.TransNonCtrl2(x, y, tx, ty, skew, extraLoad); tv > out.TL {
+							out.TL = tv
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Window returns the directional window of a net.
+func (r *Result) Window(net string, rising bool) (Window, bool) {
+	lt, ok := r.Lines[net]
+	if !ok {
+		return Window{}, false
+	}
+	if rising {
+		return lt.Rise, true
+	}
+	return lt.Fall, true
+}
+
+// MinPOArrival returns the earliest arrival over all primary outputs and
+// both directions — the paper's Table 2 "min-delay at outputs" metric (the
+// lower edge of the union of the PO timing ranges).
+func (r *Result) MinPOArrival() float64 {
+	min := math.Inf(1)
+	for _, po := range r.Circuit.POs {
+		if lt, ok := r.Lines[po]; ok {
+			if lt.Rise.AS < min {
+				min = lt.Rise.AS
+			}
+			if lt.Fall.AS < min {
+				min = lt.Fall.AS
+			}
+		}
+	}
+	return min
+}
+
+// MaxPOArrival returns the latest arrival over all primary outputs and both
+// directions (the classical critical-path delay).
+func (r *Result) MaxPOArrival() float64 {
+	max := math.Inf(-1)
+	for _, po := range r.Circuit.POs {
+		if lt, ok := r.Lines[po]; ok {
+			if lt.Rise.AL > max {
+				max = lt.Rise.AL
+			}
+			if lt.Fall.AL > max {
+				max = lt.Fall.AL
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,273 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/netlist"
+	"sstiming/internal/prechar"
+)
+
+func analyzeC17(t *testing.T, mode Mode) *Result {
+	t.Helper()
+	lib := prechar.MustLibrary()
+	res, err := Analyze(benchgen.C17(), Options{Lib: lib, Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAnalyzeC17WindowsValid(t *testing.T) {
+	for _, mode := range []Mode{ModeProposed, ModePinToPin} {
+		res := analyzeC17(t, mode)
+		for net, lt := range res.Lines {
+			if !lt.Rise.Valid() || !lt.Fall.Valid() {
+				t.Errorf("mode %v: invalid window at %s: %+v", mode, net, lt)
+			}
+		}
+		if len(res.Lines) != 11 {
+			t.Errorf("mode %v: %d lines, want 11", mode, len(res.Lines))
+		}
+	}
+}
+
+func TestProposedMinDelayNotWorse(t *testing.T) {
+	// The paper's central STA claim (Table 2): the proposed model gives
+	// the same max-delay but smaller-or-equal (more accurate) min-delay,
+	// because pin-to-pin STA misses the simultaneous to-controlling
+	// speed-up. (The paper itself reports three benchmarks where the
+	// ranges tie; whether tiny c17 ties depends on the cell library.
+	// The strict inequality is asserted on c880 in
+	// TestTable2ShapeOnSyntheticBenchmark.)
+	prop := analyzeC17(t, ModeProposed)
+	p2p := analyzeC17(t, ModePinToPin)
+
+	minProp := prop.MinPOArrival()
+	minP2P := p2p.MinPOArrival()
+	if minProp > minP2P+1e-15 {
+		t.Errorf("proposed min-delay %g should not exceed pin-to-pin %g", minProp, minP2P)
+	}
+
+	maxProp := prop.MaxPOArrival()
+	maxP2P := p2p.MaxPOArrival()
+	if math.Abs(maxProp-maxP2P) > 1e-15 {
+		t.Errorf("max-delays should agree: proposed %g vs pin-to-pin %g", maxProp, maxP2P)
+	}
+}
+
+func TestPerLineContainment(t *testing.T) {
+	// Proposed-model windows must be contained in pin-to-pin windows:
+	// the only change is a smaller earliest arrival / shorter minimal
+	// transition.
+	prop := analyzeC17(t, ModeProposed)
+	p2p := analyzeC17(t, ModePinToPin)
+	for net, a := range prop.Lines {
+		b := p2p.Lines[net]
+		check := func(wa, wb Window, dir string) {
+			if wa.AS > wb.AS+1e-15 {
+				t.Errorf("%s %s: proposed AS %g above pin-to-pin %g", net, dir, wa.AS, wb.AS)
+			}
+			if math.Abs(wa.AL-wb.AL) > 1e-15 {
+				t.Errorf("%s %s: AL should agree (%g vs %g)", net, dir, wa.AL, wb.AL)
+			}
+			if wa.TS > wb.TS+1e-15 {
+				t.Errorf("%s %s: proposed TS %g above pin-to-pin %g", net, dir, wa.TS, wb.TS)
+			}
+			if math.Abs(wa.TL-wb.TL) > 1e-15 {
+				t.Errorf("%s %s: TL should agree (%g vs %g)", net, dir, wa.TL, wb.TL)
+			}
+		}
+		check(a.Rise, b.Rise, "rise")
+		check(a.Fall, b.Fall, "fall")
+	}
+}
+
+func TestInverterChainAccumulatesDelay(t *testing.T) {
+	lib := prechar.MustLibrary()
+	c := netlist.New("chain")
+	c.AddPI("a")
+	c.AddGate(netlist.Inv, "b", "a")
+	c.AddGate(netlist.Inv, "z", "b")
+	c.AddPO("z")
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(c, Options{Lib: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := res.Window("b", true)
+	wz, _ := res.Window("z", true)
+	if wb.AS <= 0 {
+		t.Errorf("first stage arrival %g, want > 0", wb.AS)
+	}
+	if wz.AS <= wb.AS {
+		t.Errorf("second stage arrival %g not after first %g", wz.AS, wb.AS)
+	}
+}
+
+func TestFanoutLoadSlowsGate(t *testing.T) {
+	lib := prechar.MustLibrary()
+	build := func(extraFan int) float64 {
+		c := netlist.New("fan")
+		c.AddPI("a")
+		c.AddGate(netlist.Inv, "b", "a")
+		c.AddGate(netlist.Inv, "z0", "b")
+		c.AddPO("z0")
+		for i := 1; i <= extraFan; i++ {
+			out := "z" + string(rune('0'+i))
+			c.AddGate(netlist.Inv, out, "b")
+			c.AddPO(out)
+		}
+		if err := c.Build(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Analyze(c, Options{Lib: lib})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, _ := res.Window("b", true)
+		return w.AL
+	}
+	if light, heavy := build(0), build(3); heavy <= light {
+		t.Errorf("fanout-4 arrival %g should exceed fanout-1 arrival %g", heavy, light)
+	}
+}
+
+func TestPerPIOverride(t *testing.T) {
+	lib := prechar.MustLibrary()
+	c := benchgen.C17()
+	res, err := Analyze(c, Options{
+		Lib:   lib,
+		PerPI: map[string]PITiming{"1": {ArrivalEarly: 1e-9, ArrivalLate: 2e-9, TransShort: 0.1e-9, TransLong: 0.3e-9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.Window("1", true)
+	if w.AS != 1e-9 || w.AL != 2e-9 {
+		t.Errorf("PI override not applied: %+v", w)
+	}
+	w2, _ := res.Window("2", true)
+	if w2.AS != 0 {
+		t.Errorf("default PI timing clobbered: %+v", w2)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	c := benchgen.C17()
+	if _, err := Analyze(c, Options{}); err == nil {
+		t.Error("expected error for missing library")
+	}
+	lib := prechar.MustLibrary()
+	// A circuit with an unsupported cell (NAND8).
+	big := netlist.New("big")
+	for i := 0; i < 8; i++ {
+		big.AddPI(string(rune('a' + i)))
+	}
+	big.AddGate(netlist.Nand, "z", "a", "b", "c", "d", "e", "f", "g", "h")
+	big.AddPO("z")
+	if err := big.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(big, Options{Lib: lib}); err == nil {
+		t.Error("expected error for missing NAND8 cell")
+	}
+}
+
+func TestTable2ShapeOnSyntheticBenchmark(t *testing.T) {
+	// Table 2's qualitative shape on a mid-size synthetic benchmark:
+	// pin-to-pin min-delay / proposed min-delay > 1.
+	lib := prechar.MustLibrary()
+	c, err := benchgen.Load("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Analyze(c, Options{Lib: lib, Mode: ModeProposed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2p, err := Analyze(c, Options{Lib: lib, Mode: ModePinToPin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := p2p.MinPOArrival() / prop.MinPOArrival()
+	if ratio <= 1.01 {
+		t.Errorf("min-delay ratio %g, want clearly above 1 (Table 2 shape)", ratio)
+	}
+	if ratio > 2.5 {
+		t.Errorf("min-delay ratio %g implausibly large", ratio)
+	}
+	t.Logf("c880 min-delay ratio (pin-to-pin / proposed) = %.3f", ratio)
+}
+
+func TestRequiredTimesAndViolations(t *testing.T) {
+	lib := prechar.MustLibrary()
+	res := analyzeC17(t, ModeProposed)
+
+	// Loose constraint: no violations.
+	loose := Constraint{MinTime: 0, MaxTime: 1e-6}
+	if v := res.CheckViolations(loose); len(v) != 0 {
+		t.Errorf("loose constraint should pass, got %d violations: %+v", len(v), v[0])
+	}
+
+	// Impossible setup constraint: violations appear and are sorted by
+	// slack.
+	tight := Constraint{MinTime: 0, MaxTime: 10e-12}
+	v := res.CheckViolations(tight)
+	if len(v) == 0 {
+		t.Fatal("tight constraint should produce violations")
+	}
+	for i := 1; i < len(v); i++ {
+		if v[i].Slack < v[i-1].Slack {
+			t.Error("violations not sorted by slack")
+			break
+		}
+	}
+	for _, vi := range v {
+		if !vi.Setup {
+			t.Errorf("expected only setup violations, got hold at %s", vi.Net)
+		}
+	}
+
+	// Impossible hold constraint: the outputs arrive before MinTime.
+	hold := Constraint{MinTime: 1e-6, MaxTime: 2e-6}
+	vh := res.CheckViolations(hold)
+	foundHold := false
+	for _, vi := range vh {
+		if !vi.Setup {
+			foundHold = true
+		}
+	}
+	if !foundHold {
+		t.Error("expected hold violations for MinTime = 1us")
+	}
+	_ = lib
+}
+
+func TestRequiredTimesBackwardConsistency(t *testing.T) {
+	res := analyzeC17(t, ModeProposed)
+	req := res.RequiredTimes(Constraint{MinTime: 0, MaxTime: 5e-9})
+	// PIs must have finite required windows (they reach POs).
+	for _, pi := range res.Circuit.PIs {
+		lr, ok := req[pi]
+		if !ok {
+			t.Fatalf("no required time at PI %s", pi)
+		}
+		if math.IsInf(lr.Rise.QL, 1) && math.IsInf(lr.Fall.QL, 1) {
+			t.Errorf("PI %s required window never tightened", pi)
+		}
+		// Required-at-input must precede required-at-output.
+		if lr.Rise.QL >= 5e-9 {
+			t.Errorf("PI %s rise QL %g not tightened below PO constraint", pi, lr.Rise.QL)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeProposed.String() != "proposed" || ModePinToPin.String() != "pin-to-pin" {
+		t.Error("mode names wrong")
+	}
+}

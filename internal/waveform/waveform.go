@@ -1,0 +1,189 @@
+// Package waveform provides sampled voltage waveforms and the timing
+// measurements used throughout the reproduction: arrival times (50% Vdd
+// crossings) and transition times (10%-90% Vdd), following the definitions
+// in Section 3 of the DAC 2001 paper.
+package waveform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Waveform is a piecewise-linear sampled waveform. Times must be appended in
+// strictly increasing order.
+type Waveform struct {
+	T []float64
+	V []float64
+}
+
+// Append adds one sample. Samples must arrive in increasing time order.
+func (w *Waveform) Append(t, v float64) {
+	w.T = append(w.T, t)
+	w.V = append(w.V, v)
+}
+
+// Len returns the number of samples.
+func (w *Waveform) Len() int { return len(w.T) }
+
+// At returns the linearly interpolated value at time t, clamping to the end
+// samples outside the recorded range.
+func (w *Waveform) At(t float64) float64 {
+	n := len(w.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= w.T[0] {
+		return w.V[0]
+	}
+	if t >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if w.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t0, t1 := w.T[lo], w.T[hi]
+	v0, v1 := w.V[lo], w.V[hi]
+	if t1 == t0 {
+		return v0
+	}
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Final returns the last sampled value.
+func (w *Waveform) Final() float64 {
+	if len(w.V) == 0 {
+		return 0
+	}
+	return w.V[len(w.V)-1]
+}
+
+// crossing finds threshold crossings by linear interpolation.
+// rising selects upward crossings (V passes level from below).
+func (w *Waveform) crossings(level float64, rising bool) []float64 {
+	var out []float64
+	for i := 1; i < len(w.T); i++ {
+		v0, v1 := w.V[i-1], w.V[i]
+		var hit bool
+		if rising {
+			hit = v0 < level && v1 >= level
+		} else {
+			hit = v0 > level && v1 <= level
+		}
+		if hit {
+			t0, t1 := w.T[i-1], w.T[i]
+			frac := (level - v0) / (v1 - v0)
+			out = append(out, t0+frac*(t1-t0))
+		}
+	}
+	return out
+}
+
+// FirstCross returns the first crossing of level in the given direction at or
+// after time t0.
+func (w *Waveform) FirstCross(level float64, rising bool, t0 float64) (float64, bool) {
+	for _, t := range w.crossings(level, rising) {
+		if t >= t0 {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// LastCross returns the final crossing of level in the given direction.
+func (w *Waveform) LastCross(level float64, rising bool) (float64, bool) {
+	cs := w.crossings(level, rising)
+	if len(cs) == 0 {
+		return 0, false
+	}
+	return cs[len(cs)-1], true
+}
+
+// Transition describes a measured single transition on a waveform.
+type Transition struct {
+	// Rising is true for a rising transition.
+	Rising bool
+	// Arrival is the 50% Vdd crossing time.
+	Arrival float64
+	// TransTime is the 10%-90% Vdd transition time.
+	TransTime float64
+}
+
+// MeasureTransition extracts the last full transition in the given direction
+// from the waveform, using the paper's thresholds: the arrival time is the
+// 0.5*Vdd crossing and the transition time spans 0.1*Vdd to 0.9*Vdd.
+func (w *Waveform) MeasureTransition(vdd float64, rising bool) (Transition, error) {
+	arr, ok := w.LastCross(0.5*vdd, rising)
+	if !ok {
+		dir := "rising"
+		if !rising {
+			dir = "falling"
+		}
+		return Transition{}, fmt.Errorf("waveform: no %s 50%% crossing found", dir)
+	}
+	lowLevel, highLevel := 0.1*vdd, 0.9*vdd
+	var tStart, tEnd float64
+	if rising {
+		// The 10% crossing immediately preceding the arrival and the
+		// 90% crossing following it.
+		tStart = w.lastCrossBefore(lowLevel, true, arr)
+		tEnd = w.firstCrossAfter(highLevel, true, arr)
+	} else {
+		tStart = w.lastCrossBefore(highLevel, false, arr)
+		tEnd = w.firstCrossAfter(lowLevel, false, arr)
+	}
+	if math.IsNaN(tStart) || math.IsNaN(tEnd) {
+		return Transition{}, fmt.Errorf("waveform: transition around t=%g does not span 10%%-90%%", arr)
+	}
+	return Transition{Rising: rising, Arrival: arr, TransTime: tEnd - tStart}, nil
+}
+
+func (w *Waveform) lastCrossBefore(level float64, rising bool, t float64) float64 {
+	cs := w.crossings(level, rising)
+	res := math.NaN()
+	for _, c := range cs {
+		if c <= t {
+			res = c
+		}
+	}
+	return res
+}
+
+func (w *Waveform) firstCrossAfter(level float64, rising bool, t float64) float64 {
+	for _, c := range w.crossings(level, rising) {
+		if c >= t {
+			return c
+		}
+	}
+	return math.NaN()
+}
+
+// Ramp returns a saturated-ramp stimulus function running from v0 to v1 with
+// the 50% point at arrival and a 10%-90% transition time of transTime.
+// For a linear ramp the full 0%-100% sweep lasts transTime/0.8 and is centred
+// on the arrival time.
+func Ramp(v0, v1, arrival, transTime float64) func(t float64) float64 {
+	full := transTime / 0.8
+	start := arrival - full/2
+	return func(t float64) float64 {
+		switch {
+		case t <= start:
+			return v0
+		case t >= start+full:
+			return v1
+		default:
+			return v0 + (v1-v0)*(t-start)/full
+		}
+	}
+}
+
+// Step returns a constant function (a "steady" input).
+func Step(v float64) func(t float64) float64 {
+	return func(float64) float64 { return v }
+}

@@ -1,0 +1,137 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAtInterpolation(t *testing.T) {
+	var w Waveform
+	w.Append(0, 0)
+	w.Append(1, 2)
+	w.Append(3, 2)
+	w.Append(4, 0)
+
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 1}, {1, 2}, {2, 2}, {3.5, 1}, {4, 0}, {9, 0},
+	}
+	for _, c := range cases {
+		if got := w.At(c.t); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("At(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+}
+
+func TestFirstLastCross(t *testing.T) {
+	var w Waveform
+	// A pulse: rise at ~1, fall at ~3.
+	w.Append(0, 0)
+	w.Append(1, 0)
+	w.Append(2, 1)
+	w.Append(3, 1)
+	w.Append(4, 0)
+
+	tr, ok := w.FirstCross(0.5, true, 0)
+	if !ok || !almostEq(tr, 1.5, 1e-12) {
+		t.Errorf("FirstCross rising = %v,%v want 1.5,true", tr, ok)
+	}
+	tf, ok := w.LastCross(0.5, false)
+	if !ok || !almostEq(tf, 3.5, 1e-12) {
+		t.Errorf("LastCross falling = %v,%v want 3.5,true", tf, ok)
+	}
+	if _, ok := w.FirstCross(0.5, true, 2.0); ok {
+		t.Errorf("FirstCross rising after t=2 should not exist")
+	}
+}
+
+func TestMeasureTransitionRising(t *testing.T) {
+	const vdd = 3.3
+	var w Waveform
+	// Linear ramp 0 -> vdd between t=10 and t=20.
+	w.Append(0, 0)
+	w.Append(10, 0)
+	w.Append(20, vdd)
+	w.Append(30, vdd)
+
+	tr, err := w.MeasureTransition(vdd, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(tr.Arrival, 15, 1e-9) {
+		t.Errorf("arrival = %g, want 15", tr.Arrival)
+	}
+	// 10%-90% of a 10-unit full ramp is 8 units.
+	if !almostEq(tr.TransTime, 8, 1e-9) {
+		t.Errorf("transTime = %g, want 8", tr.TransTime)
+	}
+}
+
+func TestMeasureTransitionFalling(t *testing.T) {
+	const vdd = 3.3
+	var w Waveform
+	w.Append(0, vdd)
+	w.Append(5, vdd)
+	w.Append(25, 0)
+	w.Append(40, 0)
+
+	tr, err := w.MeasureTransition(vdd, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(tr.Arrival, 15, 1e-9) {
+		t.Errorf("arrival = %g, want 15", tr.Arrival)
+	}
+	if !almostEq(tr.TransTime, 16, 1e-9) {
+		t.Errorf("transTime = %g, want 16", tr.TransTime)
+	}
+}
+
+func TestMeasureTransitionMissing(t *testing.T) {
+	const vdd = 3.3
+	var w Waveform
+	w.Append(0, 0)
+	w.Append(10, 0)
+	if _, err := w.MeasureTransition(vdd, true); err == nil {
+		t.Error("expected error for waveform with no transition")
+	}
+}
+
+func TestRampProperties(t *testing.T) {
+	// Property: the Ramp stimulus crosses 50% at its arrival time and its
+	// 10%-90% time equals the requested transition time.
+	f := func(arrRaw, trRaw uint16) bool {
+		arrival := 1e-9 + float64(arrRaw)*1e-13
+		trans := 1e-11 + float64(trRaw)*1e-13
+		r := Ramp(0, 3.3, arrival, trans)
+		if !almostEq(r(arrival), 3.3/2, 1e-9) {
+			return false
+		}
+		full := trans / 0.8
+		start := arrival - full/2
+		// 10% point and 90% point.
+		t10 := start + 0.1*full
+		t90 := start + 0.9*full
+		return almostEq(r(t10), 0.33, 1e-9) && almostEq(r(t90), 2.97, 1e-9) && almostEq(t90-t10, trans, 1e-15)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRampMonotone(t *testing.T) {
+	r := Ramp(3.3, 0, 1e-9, 0.4e-9)
+	prev := math.Inf(1)
+	for i := 0; i <= 100; i++ {
+		v := r(float64(i) * 3e-11)
+		if v > prev+1e-12 {
+			t.Fatalf("falling ramp not monotone at step %d", i)
+		}
+		prev = v
+	}
+	if r(0) != 3.3 || r(1e-8) != 0 {
+		t.Errorf("falling ramp endpoints wrong: %g, %g", r(0), r(1e-8))
+	}
+}
