@@ -1,0 +1,32 @@
+# Standard entry points for the sstiming reproduction. Everything is
+# stdlib-only Go; no generated files, no external tools.
+
+GO ?= go
+
+.PHONY: build test race vet verify bench bench-parallel clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 verification loop (see ROADMAP.md).
+verify: build vet test race
+
+# Regenerate every table & figure of the paper (slow).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Engine scaling: characterisation wall-clock vs worker count.
+bench-parallel:
+	$(GO) test -run '^$$' -bench=CharacterizeParallel -benchtime=3x .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,33 @@
+// Parallel-scaling benchmarks for the execution engine: characterisation is
+// the heaviest fan-out in the pipeline (hundreds of independent SPICE
+// transients), so it is the canonical measure of the engine's speed-up.
+//
+// Run with:
+//
+//	go test -bench=CharacterizeParallel -benchtime=1x
+package sstiming_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sstiming/internal/charlib"
+)
+
+// BenchmarkCharacterizeParallel characterises the reduced FastOptions
+// library at increasing engine worker counts. The produced libraries are
+// byte-identical across worker counts (asserted by the charlib tests); only
+// the wall-clock changes.
+func BenchmarkCharacterizeParallel(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := charlib.FastOptions()
+				opts.Jobs = jobs
+				if _, err := charlib.Characterize(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	atpg [-bench c432] [-faults 40] [-seed 42] [-skew 30ps] [-backtracks 48]
+//	atpg [-bench c432] [-faults 40] [-seed 42] [-skew 30ps] [-backtracks 48] [-jobs N] [-budget N] [-stats]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 
 	"sstiming/internal/atpg"
 	"sstiming/internal/benchgen"
+	"sstiming/internal/engine"
 	"sstiming/internal/prechar"
 )
 
@@ -23,7 +24,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "fault-list seed")
 	skewPS := flag.Float64("skew", 120, "alignment window scale in picoseconds")
 	backtracks := flag.Int("backtracks", 48, "backtrack budget per fault")
+	budget := flag.Int("budget", 0, "total campaign backtrack budget (0 = unbounded)")
+	jobs := flag.Int("jobs", 0, "worker pool width (0 = all CPUs, 1 = serial)")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	flag.Parse()
+
+	var met *engine.Metrics
+	if *stats {
+		met = engine.NewMetrics()
+		defer met.WriteText(os.Stderr)
+	}
 
 	lib, err := prechar.Library()
 	if err != nil {
@@ -38,9 +48,12 @@ func main() {
 	fmt.Printf("circuit %s: %d crosstalk faults, backtrack budget %d\n", *bench, len(faults), *backtracks)
 	for _, useITR := range []bool{false, true} {
 		s, err := atpg.RunCampaign(c, faults, atpg.Options{
-			Lib:           lib,
-			UseITR:        useITR,
-			MaxBacktracks: *backtracks,
+			Lib:            lib,
+			UseITR:         useITR,
+			MaxBacktracks:  *backtracks,
+			CampaignBudget: *budget,
+			Jobs:           *jobs,
+			Metrics:        met,
 		})
 		if err != nil {
 			fail(err)

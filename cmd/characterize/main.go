@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	characterize [-out lib05.json] [-fast] [-v]
+//	characterize [-out lib05.json] [-fast] [-jobs N] [-stats] [-v]
 package main
 
 import (
@@ -16,11 +16,14 @@ import (
 	"sort"
 
 	"sstiming/internal/charlib"
+	"sstiming/internal/engine"
 )
 
 func main() {
 	out := flag.String("out", "lib05.json", "output library path")
 	fast := flag.Bool("fast", false, "use the reduced characterisation grid")
+	jobs := flag.Int("jobs", 0, "worker pool width (0 = all CPUs, 1 = serial)")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
 
@@ -31,6 +34,10 @@ func main() {
 	// The shipped artefact carries the Section 3.6 extension surfaces;
 	// consumers only use them behind their NCExtension flags.
 	opts.NCPairs = true
+	opts.Jobs = *jobs
+	if *stats {
+		opts.Metrics = engine.NewMetrics()
+	}
 	if *verbose {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -38,6 +45,9 @@ func main() {
 	}
 
 	lib, err := charlib.Characterize(opts)
+	if *stats {
+		opts.Metrics.WriteText(os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(1)

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ssta [-lib lib.json] [-bench c880 | -netlist file.bench] [-windows]
+//	ssta [-lib lib.json] [-bench c880 | -netlist file.bench] [-jobs N] [-stats] [-windows]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"sstiming/internal/benchgen"
 	"sstiming/internal/core"
+	"sstiming/internal/engine"
 	"sstiming/internal/netlist"
 	"sstiming/internal/prechar"
 	"sstiming/internal/sdf"
@@ -27,9 +28,17 @@ func main() {
 	libPath := flag.String("lib", "", "characterised library JSON (default: embedded 0.5um library)")
 	bench := flag.String("bench", "c17", "benchmark name (c17, c432, c880, ...)")
 	netFile := flag.String("netlist", "", ".bench netlist file (overrides -bench)")
+	jobs := flag.Int("jobs", 0, "worker pool width (0 = all CPUs, 1 = serial)")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	windows := flag.Bool("windows", false, "print per-line timing windows")
 	sdfOut := flag.String("sdf", "", "write the circuit's pin-to-pin delays to this SDF file")
 	flag.Parse()
+
+	var met *engine.Metrics
+	if *stats {
+		met = engine.NewMetrics()
+		defer met.WriteText(os.Stderr)
+	}
 
 	lib, err := loadLibrary(*libPath)
 	if err != nil {
@@ -64,7 +73,7 @@ func main() {
 
 	results := map[sta.Mode]*sta.Result{}
 	for _, mode := range []sta.Mode{sta.ModePinToPin, sta.ModeProposed} {
-		res, err := sta.Analyze(c, sta.Options{Lib: lib, Mode: mode})
+		res, err := sta.Analyze(c, sta.Options{Lib: lib, Mode: mode, Jobs: *jobs, Metrics: met})
 		if err != nil {
 			fail(err)
 		}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"sstiming/internal/benchgen"
+	"sstiming/internal/engine"
 	"sstiming/internal/logicsim"
 	"sstiming/internal/netlist"
 	"sstiming/internal/prechar"
@@ -31,7 +32,15 @@ func main() {
 	v2Str := flag.String("v2", "", "second frame PI assignments (pi=val,...)")
 	pinToPin := flag.Bool("pin2pin", false, "use the pin-to-pin delay model")
 	faultStr := flag.String("fault", "", "inject crosstalk fault: agg<R|F>:victim<R|F>:window_ps:delta_ps")
+	jobs := flag.Int("jobs", 0, "worker pool width (0 = all CPUs, 1 = serial)")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	flag.Parse()
+
+	var met *engine.Metrics
+	if *stats {
+		met = engine.NewMetrics()
+		defer met.WriteText(os.Stderr)
+	}
 
 	lib, err := prechar.Library()
 	if err != nil {
@@ -73,7 +82,7 @@ func main() {
 	if *pinToPin {
 		mode = logicsim.ModePinToPin
 	}
-	opts := logicsim.Options{Lib: lib, Mode: mode}
+	opts := logicsim.Options{Lib: lib, Mode: mode, Jobs: *jobs, Metrics: met}
 
 	var res *logicsim.Result
 	if *faultStr != "" {

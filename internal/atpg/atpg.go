@@ -25,12 +25,16 @@
 package atpg
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"sstiming/internal/core"
+	"sstiming/internal/engine"
 	"sstiming/internal/itr"
 	"sstiming/internal/logicsim"
 	"sstiming/internal/netlist"
@@ -109,6 +113,20 @@ type Options struct {
 	// DetectThreshold is the minimum primary-output arrival shift that
 	// counts as detection; zero selects FaultDelay/2.
 	DetectThreshold float64
+	// Ctx, when non-nil, cancels the search; a cancelled fault reports
+	// Aborted.
+	Ctx context.Context
+	// Jobs bounds the engine worker pool RunCampaign uses to target
+	// faults concurrently; zero or one runs serially. Per-fault results
+	// are independent of the worker count.
+	Jobs int
+	// CampaignBudget, when positive, bounds the total backtracks summed
+	// over all faults of RunCampaign; once exhausted the remaining
+	// faults are aborted (the paper's bounded-effort campaign setup).
+	CampaignBudget int
+	// Metrics, when non-nil, counts targeted faults, decisions and
+	// backtracks.
+	Metrics *engine.Metrics
 }
 
 // Result is the outcome of one fault's test generation.
@@ -129,6 +147,10 @@ type generator struct {
 	f    Fault
 	opts Options
 
+	// cancelled flags that the search stopped early because opts.Ctx was
+	// done; the fault then reports Aborted rather than Untestable.
+	cancelled bool
+
 	backtracks    int
 	decisions     int
 	leavesTried   int
@@ -148,6 +170,9 @@ func GenerateTest(c *netlist.Circuit, f Fault, opts Options) (Result, error) {
 	if opts.Lib == nil {
 		return Result{}, fmt.Errorf("atpg: Options.Lib is required")
 	}
+	if err := c.EnsureBuilt(); err != nil {
+		return Result{}, fmt.Errorf("atpg: %w", err)
+	}
 	if opts.MaxBacktracks <= 0 {
 		opts.MaxBacktracks = 64
 	}
@@ -165,6 +190,11 @@ func GenerateTest(c *netlist.Circuit, f Fault, opts Options) (Result, error) {
 	}
 
 	g := &generator{c: c, f: f, opts: opts}
+	defer func() {
+		opts.Metrics.Add(engine.ATPGFaults, 1)
+		opts.Metrics.Add(engine.ATPGDecisions, int64(g.decisions))
+		opts.Metrics.Add(engine.ATPGBacktracks, int64(g.backtracks))
+	}()
 	g.orderPIs()
 	g.conePOs = nil
 	cone := g.fanoutCone(f.Victim)
@@ -232,7 +262,7 @@ func GenerateTest(c *netlist.Circuit, f Fault, opts Options) (Result, error) {
 			g.opts.MaxBacktracks = cap
 		}
 		found, test = g.search(root, 0)
-		if found || g.backtracks >= total {
+		if found || g.cancelled || g.backtracks >= total {
 			break
 		}
 	}
@@ -247,7 +277,7 @@ func GenerateTest(c *netlist.Circuit, f Fault, opts Options) (Result, error) {
 	case found:
 		res.Outcome = Detected
 		res.Test = test
-	case g.backtracks >= g.opts.MaxBacktracks:
+	case g.cancelled || g.backtracks >= g.opts.MaxBacktracks:
 		res.Outcome = Aborted
 	default:
 		res.Outcome = Untestable
@@ -301,6 +331,10 @@ func (g *generator) orderPIs() {
 // values. Returns (true, test) on success. It stops expanding once the
 // backtrack budget is exhausted.
 func (g *generator) search(cube nineval.Cube, depth int) (bool, *TwoPattern) {
+	if g.opts.Ctx != nil && g.opts.Ctx.Err() != nil {
+		g.cancelled = true
+		return false, nil
+	}
 	if g.backtracks >= g.opts.MaxBacktracks {
 		return false, nil
 	}
@@ -733,14 +767,62 @@ type CampaignStats struct {
 }
 
 // RunCampaign generates tests for every fault and aggregates the outcome.
+// Faults are targeted concurrently on Options.Jobs workers; each fault's
+// search is independent, so per-fault results match a serial run. When
+// Options.CampaignBudget is positive, the campaign stops once the total
+// backtracks across faults exhaust it and the remaining faults count as
+// Aborted.
 func RunCampaign(c *netlist.Circuit, faults []Fault, opts Options) (CampaignStats, error) {
-	var s CampaignStats
-	for _, f := range faults {
-		r, err := GenerateTest(c, f, opts)
+	if err := c.EnsureBuilt(); err != nil {
+		return CampaignStats{}, fmt.Errorf("atpg: %w", err)
+	}
+	stop := opts.Metrics.StartTimer("atpg/campaign")
+	defer stop()
+
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	budget := int64(opts.CampaignBudget)
+	var spent atomic.Int64
+
+	results := make([]Result, len(faults))
+	ran := make([]bool, len(faults))
+	jobOpts := opts
+	jobOpts.Ctx = ctx
+	runErr := engine.Run(ctx, opts.Jobs, len(faults), func(_ context.Context, i int) error {
+		r, err := GenerateTest(c, faults[i], jobOpts)
 		if err != nil {
-			return s, fmt.Errorf("atpg: fault %s: %w", f, err)
+			return fmt.Errorf("atpg: fault %s: %w", faults[i], err)
 		}
-		switch r.Outcome {
+		results[i] = r
+		ran[i] = true
+		if budget > 0 && spent.Add(int64(r.Backtracks)) >= budget {
+			cancel() // budget exhausted: abort the remaining faults
+		}
+		return nil
+	})
+	if runErr != nil {
+		// A budget-triggered cancellation is the expected end of a
+		// bounded campaign, not a failure.
+		budgetHit := budget > 0 && spent.Load() >= budget
+		if !(budgetHit && errors.Is(runErr, context.Canceled)) {
+			return CampaignStats{}, runErr
+		}
+	}
+
+	var s CampaignStats
+	for i := range faults {
+		if !ran[i] {
+			// Never targeted (dropped after cancellation): the search
+			// effort ran out before this fault, so it is aborted.
+			s.Aborted++
+			continue
+		}
+		switch results[i].Outcome {
 		case Detected:
 			s.Detected++
 		case Untestable:
@@ -748,7 +830,7 @@ func RunCampaign(c *netlist.Circuit, faults []Fault, opts Options) (CampaignStat
 		default:
 			s.Aborted++
 		}
-		s.TotalBacktracks += r.Backtracks
+		s.TotalBacktracks += results[i].Backtracks
 	}
 	total := len(faults)
 	if total > 0 {

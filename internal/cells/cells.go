@@ -8,9 +8,11 @@
 package cells
 
 import (
+	"context"
 	"fmt"
 
 	"sstiming/internal/device"
+	"sstiming/internal/engine"
 	"sstiming/internal/spice"
 	"sstiming/internal/waveform"
 )
@@ -250,6 +252,10 @@ type SimOptions struct {
 	// Method selects the integration scheme (default spice.BackwardEuler;
 	// the characterisation harness uses spice.Trapezoidal).
 	Method spice.Method
+	// Ctx, when non-nil, cancels the underlying transient analysis.
+	Ctx context.Context
+	// Metrics, when non-nil, receives the simulator effort counters.
+	Metrics *engine.Metrics
 }
 
 // SimulateOutput builds and simulates the testbench and returns the output
@@ -282,10 +288,12 @@ func (c Config) SimulateOutput(drives []Drive, opts SimOptions) (*waveform.Wavef
 	}
 
 	res, err := ckt.Transient(spice.TransientOpts{
-		TStop:  tstop,
-		TStep:  tstep,
-		Method: opts.Method,
-		Record: []string{"out"},
+		TStop:   tstop,
+		TStep:   tstep,
+		Method:  opts.Method,
+		Record:  []string{"out"},
+		Ctx:     opts.Ctx,
+		Metrics: opts.Metrics,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("cells: %s simulation: %w", c.Name(), err)

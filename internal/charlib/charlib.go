@@ -9,14 +9,15 @@
 package charlib
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"sstiming/internal/cells"
 	"sstiming/internal/core"
 	"sstiming/internal/device"
+	"sstiming/internal/engine"
 	"sstiming/internal/fit"
 	"sstiming/internal/spice"
 )
@@ -52,6 +53,18 @@ type Options struct {
 	// Progress, when non-nil, receives one line per characterisation
 	// stage (useful for the CLI).
 	Progress func(format string, args ...any)
+	// Ctx, when non-nil, cancels the characterisation (checked between
+	// simulations and inside each transient analysis).
+	Ctx context.Context
+	// Jobs bounds the engine worker pool at each fan-out level (cells,
+	// and input pairs within a cell); zero selects GOMAXPROCS. Jobs == 1
+	// runs fully serially. Any value produces a byte-identical library:
+	// job results are placed by index, and the underlying simulations
+	// are deterministic.
+	Jobs int
+	// Metrics, when non-nil, accumulates characterisation and simulator
+	// effort counters across all workers.
+	Metrics *engine.Metrics
 }
 
 func (o *Options) fill() {
@@ -72,6 +85,9 @@ func (o *Options) fill() {
 	}
 	if o.Progress == nil {
 		o.Progress = func(string, ...any) {}
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 }
 
@@ -116,6 +132,8 @@ type measurement struct {
 type characterizer struct {
 	opts Options
 	cfg  cells.Config
+	// ctx is the cell's fan-out context, threaded into every simulation.
+	ctx context.Context
 
 	mu sync.Mutex
 	// memoPair caches two-input simultaneous to-controlling simulations.
@@ -145,25 +163,28 @@ func Characterize(opts Options) (*core.Library, error) {
 		Vdd:      opts.Tech.Vdd,
 		Cells:    make(map[string]*core.CellModel),
 	}
-	// Characterise cells concurrently; each cell's harness further
-	// parallelises across its input pairs.
+	// Characterise cells on the shared engine pool; each cell's harness
+	// further fans out across its input pairs. Results land by index, so
+	// any worker count yields an identical library.
+	stop := opts.Metrics.StartTimer("characterize")
+	defer stop()
 	models := make([]*core.CellModel, len(opts.Cells))
-	errs := make([]error, len(opts.Cells))
-	var wg sync.WaitGroup
-	for i, cfg := range opts.Cells {
-		wg.Add(1)
-		go func(i int, cfg cells.Config) {
-			defer wg.Done()
-			opts.Progress("characterizing %s", cfg.Name())
-			models[i], errs[i] = characterizeCell(opts, cfg)
-		}(i, cfg)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	err := engine.Run(opts.Ctx, opts.Jobs, len(opts.Cells), func(ctx context.Context, i int) error {
+		cfg := opts.Cells[i]
+		opts.Progress("characterizing %s", cfg.Name())
+		m, err := characterizeCell(ctx, opts, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("charlib: %s: %w", opts.Cells[i].Name(), err)
+			return fmt.Errorf("%s: %w", cfg.Name(), err)
 		}
-		lib.Cells[models[i].Name] = models[i]
+		models[i] = m
+		opts.Metrics.Add(engine.CharCells, 1)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("charlib: %w", err)
+	}
+	for _, m := range models {
+		lib.Cells[m.Name] = m
 	}
 	if err := lib.Validate(); err != nil {
 		return nil, err
@@ -171,7 +192,7 @@ func Characterize(opts Options) (*core.Library, error) {
 	return lib, nil
 }
 
-func characterizeCell(opts Options, cfg cells.Config) (*core.CellModel, error) {
+func characterizeCell(ctx context.Context, opts Options, cfg cells.Config) (*core.CellModel, error) {
 	n := cfg.N
 	if cfg.Kind == cells.Inv {
 		n = 1
@@ -179,6 +200,7 @@ func characterizeCell(opts Options, cfg cells.Config) (*core.CellModel, error) {
 	ch := &characterizer{
 		opts:       opts,
 		cfg:        cfg,
+		ctx:        ctx,
 		memoPair:   make(map[pairKey]measurement),
 		memoNCPair: make(map[pairKey]measurement),
 		singleCtrl: make(map[[2]int]measurement),
@@ -214,9 +236,9 @@ func characterizeCell(opts Options, cfg cells.Config) (*core.CellModel, error) {
 		return model, nil
 	}
 
-	// Ordered-pair simultaneous-switching surfaces, characterised
-	// concurrently (the simulations dominate; results are deterministic
-	// regardless of scheduling).
+	// Ordered-pair simultaneous-switching surfaces, characterised on the
+	// engine pool (the simulations dominate; entries land by index, so
+	// the model is identical regardless of scheduling).
 	type pairJob struct {
 		x, y int
 	}
@@ -229,46 +251,35 @@ func characterizeCell(opts Options, cfg cells.Config) (*core.CellModel, error) {
 		}
 	}
 	entries := make([]core.PairEntry, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, job := range jobs {
-		wg.Add(1)
-		go func(i int, job pairJob) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			opts.Progress("  pair (%d,%d)", job.x, job.y)
-			entries[i], errs[i] = ch.fitPair(job.x, job.y, model)
-		}(i, job)
-	}
-	wg.Wait()
-	for i, err := range errs {
+	err := engine.Run(ctx, opts.Jobs, len(jobs), func(_ context.Context, i int) error {
+		job := jobs[i]
+		opts.Progress("  pair (%d,%d)", job.x, job.y)
+		e, err := ch.fitPair(job.x, job.y, model)
 		if err != nil {
-			return nil, fmt.Errorf("pair (%d,%d): %w", jobs[i].x, jobs[i].y, err)
+			return fmt.Errorf("pair (%d,%d): %w", job.x, job.y, err)
 		}
+		entries[i] = e
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	model.Pairs = append(model.Pairs, entries...)
 
 	if opts.NCPairs {
 		ncEntries := make([]core.PairEntry, len(jobs))
-		ncErrs := make([]error, len(jobs))
-		var ncWG sync.WaitGroup
-		for i, job := range jobs {
-			ncWG.Add(1)
-			go func(i int, job pairJob) {
-				defer ncWG.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				opts.Progress("  nc-pair (%d,%d)", job.x, job.y)
-				ncEntries[i], ncErrs[i] = ch.fitNCPair(job.x, job.y)
-			}(i, job)
-		}
-		ncWG.Wait()
-		for i, err := range ncErrs {
+		err := engine.Run(ctx, opts.Jobs, len(jobs), func(_ context.Context, i int) error {
+			job := jobs[i]
+			opts.Progress("  nc-pair (%d,%d)", job.x, job.y)
+			e, err := ch.fitNCPair(job.x, job.y)
 			if err != nil {
-				return nil, fmt.Errorf("nc-pair (%d,%d): %w", jobs[i].x, jobs[i].y, err)
+				return fmt.Errorf("nc-pair (%d,%d): %w", job.x, job.y, err)
 			}
+			ncEntries[i] = e
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		model.NCPairs = append(model.NCPairs, ncEntries...)
 	}
@@ -345,12 +356,15 @@ func (ch *characterizer) simulate(drives map[int]cells.Drive, outRising bool, ex
 			all[i] = ch.steadyNonCtrl()
 		}
 	}
+	ch.opts.Metrics.Add(engine.CharJobs, 1)
 	cfg := ch.cfg
 	cfg.ExtraLoadCap += extraLoad
 	tr, err := cfg.MeasureResponse(all, outRising, cells.SimOptions{
-		TStop:  latest + maxTT + 2.5e-9,
-		TStep:  ch.opts.TStep,
-		Method: spice.Trapezoidal,
+		TStop:   latest + maxTT + 2.5e-9,
+		TStep:   ch.opts.TStep,
+		Method:  spice.Trapezoidal,
+		Ctx:     ch.ctx,
+		Metrics: ch.opts.Metrics,
 	})
 	if err != nil {
 		return measurement{}, err
@@ -512,38 +526,54 @@ func (ch *characterizer) fitPin(pin int, ctrl bool) (core.PinTiming, error) {
 // the sampled positive arm.
 func (ch *characterizer) fitPair(x, y int, model *core.CellModel) (core.PairEntry, error) {
 	grid := ch.opts.Grid
+
+	// Each (Tx,Ty) grid cell needs an independent bisection of the skew
+	// threshold — the deepest fan-out of the characterisation, run on the
+	// engine pool. Rows land by index, so the fitted surfaces are
+	// byte-identical to a serial sweep.
+	type pairRow struct {
+		d0, t0, sx, skmin float64
+	}
+	rows := make([]pairRow, len(grid)*len(grid))
+	err := engine.Run(ch.ctx, ch.opts.Jobs, len(rows), func(_ context.Context, i int) error {
+		txIdx, tyIdx := i/len(grid), i%len(grid)
+		dx, err := ch.measureSingleCtrl(x, txIdx)
+		if err != nil {
+			return err
+		}
+
+		m0, err := ch.measurePair(x, y, txIdx, tyIdx, 0)
+		if err != nil {
+			return err
+		}
+
+		sx, samples, err := ch.findSkewThreshold(x, y, txIdx, tyIdx, dx.delay)
+		if err != nil {
+			return err
+		}
+
+		// Minimal output transition time over the sampled positive
+		// arm (including zero skew).
+		samples = append(samples, sample{skew: 0, trans: m0.trans})
+		skMin, tMin := argminTrans(samples)
+
+		rows[i] = pairRow{d0: m0.delay, t0: tMin, sx: sx, skmin: skMin}
+		return nil
+	})
+	if err != nil {
+		return core.PairEntry{}, err
+	}
+
 	var txsNs, tysNs []float64
 	var d0Ns, t0Ns, sxNs, skminNs []float64
-
-	for txIdx := range grid {
-		for tyIdx := range grid {
-			dx, err := ch.measureSingleCtrl(x, txIdx)
-			if err != nil {
-				return core.PairEntry{}, err
-			}
-
-			m0, err := ch.measurePair(x, y, txIdx, tyIdx, 0)
-			if err != nil {
-				return core.PairEntry{}, err
-			}
-
-			sx, samples, err := ch.findSkewThreshold(x, y, txIdx, tyIdx, dx.delay)
-			if err != nil {
-				return core.PairEntry{}, err
-			}
-
-			// Minimal output transition time over the sampled
-			// positive arm (including zero skew).
-			samples = append(samples, sample{skew: 0, trans: m0.trans})
-			skMin, tMin := argminTrans(samples)
-
-			txsNs = append(txsNs, grid[txIdx]/1e-9)
-			tysNs = append(tysNs, grid[tyIdx]/1e-9)
-			d0Ns = append(d0Ns, m0.delay/1e-9)
-			t0Ns = append(t0Ns, tMin/1e-9)
-			sxNs = append(sxNs, sx/1e-9)
-			skminNs = append(skminNs, skMin/1e-9)
-		}
+	for i, row := range rows {
+		txIdx, tyIdx := i/len(grid), i%len(grid)
+		txsNs = append(txsNs, grid[txIdx]/1e-9)
+		tysNs = append(tysNs, grid[tyIdx]/1e-9)
+		d0Ns = append(d0Ns, row.d0/1e-9)
+		t0Ns = append(t0Ns, row.t0/1e-9)
+		sxNs = append(sxNs, row.sx/1e-9)
+		skminNs = append(skminNs, row.skmin/1e-9)
 	}
 
 	fitCross := func(key string, ys []float64) (core.Cross, error) {

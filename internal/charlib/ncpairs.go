@@ -1,11 +1,13 @@
 package charlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"sstiming/internal/cells"
 	"sstiming/internal/core"
+	"sstiming/internal/engine"
 	"sstiming/internal/fit"
 	"sstiming/internal/spice"
 )
@@ -118,29 +120,43 @@ func (ch *characterizer) measureSingleNC(pin, gridIdx int) (measurement, error) 
 // side arm anchors at the later input's pin-to-pin delay).
 func (ch *characterizer) fitNCPair(x, y int) (core.PairEntry, error) {
 	grid := ch.opts.Grid
+
+	// Grid cells fan out on the engine pool exactly like fitPair's; rows
+	// land by index for a scheduling-independent fit.
+	type ncRow struct {
+		d0, t0, s float64
+	}
+	rows := make([]ncRow, len(grid)*len(grid))
+	err := engine.Run(ch.ctx, ch.opts.Jobs, len(rows), func(_ context.Context, i int) error {
+		txIdx, tyIdx := i/len(grid), i%len(grid)
+		dy, err := ch.measureSingleNC(y, tyIdx)
+		if err != nil {
+			return err
+		}
+		m0, err := ch.measureNCPair(x, y, txIdx, tyIdx, 0)
+		if err != nil {
+			return err
+		}
+		s, err := ch.findNCSkewThreshold(x, y, txIdx, tyIdx, dy.delay)
+		if err != nil {
+			return err
+		}
+		rows[i] = ncRow{d0: m0.delay, t0: m0.trans, s: s}
+		return nil
+	})
+	if err != nil {
+		return core.PairEntry{}, err
+	}
+
 	var txsNs, tysNs []float64
 	var d0Ns, t0Ns, sNs []float64
-
-	for txIdx := range grid {
-		for tyIdx := range grid {
-			dy, err := ch.measureSingleNC(y, tyIdx)
-			if err != nil {
-				return core.PairEntry{}, err
-			}
-			m0, err := ch.measureNCPair(x, y, txIdx, tyIdx, 0)
-			if err != nil {
-				return core.PairEntry{}, err
-			}
-			s, err := ch.findNCSkewThreshold(x, y, txIdx, tyIdx, dy.delay)
-			if err != nil {
-				return core.PairEntry{}, err
-			}
-			txsNs = append(txsNs, grid[txIdx]/1e-9)
-			tysNs = append(tysNs, grid[tyIdx]/1e-9)
-			d0Ns = append(d0Ns, m0.delay/1e-9)
-			t0Ns = append(t0Ns, m0.trans/1e-9)
-			sNs = append(sNs, s/1e-9)
-		}
+	for i, row := range rows {
+		txIdx, tyIdx := i/len(grid), i%len(grid)
+		txsNs = append(txsNs, grid[txIdx]/1e-9)
+		tysNs = append(tysNs, grid[tyIdx]/1e-9)
+		d0Ns = append(d0Ns, row.d0/1e-9)
+		t0Ns = append(t0Ns, row.t0/1e-9)
+		sNs = append(sNs, row.s/1e-9)
 	}
 
 	fitCross := func(key string, ys []float64) (core.Cross, error) {

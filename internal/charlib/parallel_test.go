@@ -1,0 +1,86 @@
+package charlib
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"sstiming/internal/cells"
+	"sstiming/internal/device"
+	"sstiming/internal/engine"
+)
+
+// tinyOptions is a characterisation small enough to run twice in a test:
+// a 3-point grid over INV and NAND2 only.
+func tinyOptions() Options {
+	tech := device.Default05um()
+	return Options{
+		Tech: tech,
+		Grid: []float64{0.2e-9, 0.5e-9, 1.0e-9},
+		Cells: []cells.Config{
+			{Kind: cells.Inv, N: 1, Tech: tech, LoadInverter: true},
+			{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true},
+		},
+		TStep: 4e-12,
+	}
+}
+
+// TestParallelCharacterizationDeterministic asserts the tentpole guarantee:
+// a parallel characterisation produces a byte-identical library to a serial
+// one, because engine.Run places every job's result by index and the
+// underlying simulations are deterministic.
+func TestParallelCharacterizationDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterises twice; skipped in -short")
+	}
+	serialize := func(jobs int, met *engine.Metrics) []byte {
+		opts := tinyOptions()
+		opts.Jobs = jobs
+		opts.Metrics = met
+		lib, err := Characterize(opts)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		var buf bytes.Buffer
+		if err := lib.WriteJSON(&buf); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		return buf.Bytes()
+	}
+
+	met := engine.NewMetrics()
+	serial := serialize(1, nil)
+	parallel := serialize(4, met)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("parallel library differs from serial (serial %d bytes, parallel %d bytes)",
+			len(serial), len(parallel))
+	}
+
+	// The metrics sink must have seen the simulator effort of the
+	// parallel run.
+	snap := met.Snapshot()
+	for _, c := range []engine.Counter{
+		engine.CharCells, engine.CharJobs,
+		engine.SpiceTransients, engine.SpiceTransSteps, engine.SpiceNewtonIters,
+	} {
+		if snap.Counters[c.String()] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", c, snap.Counters[c.String()])
+		}
+	}
+	if snap.Counters[engine.CharCells.String()] != 2 {
+		t.Errorf("charlib/cells = %d, want 2", snap.Counters[engine.CharCells.String()])
+	}
+}
+
+// TestCharacterizeCancelled asserts that a cancelled context aborts the run
+// with a context error instead of finishing it.
+func TestCharacterizeCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := tinyOptions()
+	opts.Ctx = ctx
+	opts.Jobs = 2
+	if _, err := Characterize(opts); err == nil {
+		t.Fatal("Characterize with a cancelled context should fail")
+	}
+}

@@ -1,0 +1,192 @@
+// Package engine is the shared execution substrate of the reproduction.
+//
+// Every layer of the pipeline is embarrassingly parallel — thousands of
+// independent SPICE transients during characterisation, per-gate corner
+// evaluation inside one STA level, per-fault ATPG runs — and before this
+// package each layer grew its own ad-hoc goroutine fan-out (or none at
+// all). The engine centralises that machinery:
+//
+//   - Pool: a bounded worker pool with context cancellation, panic
+//     recovery and fail-fast error aggregation (errgroup-style, stdlib
+//     only);
+//   - Run: indexed fan-out over N independent jobs with deterministic
+//     result placement — job i writes slot i, so a parallel run produces
+//     byte-identical artefacts to a serial one;
+//   - Metrics: a process-wide instrumentation sink of atomic counters
+//     and wall-clock timers that every layer can feed (SPICE Newton
+//     iterations, transient steps, characterisation jobs, STA arcs, ITR
+//     implications, ATPG backtracks, ...).
+//
+// Consumers accept an optional *Metrics and a context.Context in their
+// Options; both are nil-safe, so instrumentation and cancellation cost
+// nothing when unused.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Workers normalises a job-count setting: n <= 0 selects GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Pool runs submitted jobs on at most a fixed number of goroutines.
+//
+// The first job error (or panic, converted to an error) cancels the pool
+// context; jobs submitted afterwards are dropped without running. Wait
+// returns the first error observed. A Pool must not be reused after Wait.
+type Pool struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPool creates a pool of the given width running under ctx. A nil ctx
+// selects context.Background(); workers <= 0 selects GOMAXPROCS.
+func NewPool(ctx context.Context, workers int) *Pool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	return &Pool{
+		ctx:    ctx,
+		cancel: cancel,
+		sem:    make(chan struct{}, Workers(workers)),
+	}
+}
+
+// Context returns the pool's context; jobs should pass it to blocking
+// sub-operations so cancellation propagates.
+func (p *Pool) Context() context.Context { return p.ctx }
+
+// Go submits one job. The call blocks until a worker slot is free (or the
+// pool is cancelled), bounding both concurrency and the goroutine count.
+func (p *Pool) Go(job func(ctx context.Context) error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.ctx.Done():
+		p.fail(p.ctx.Err())
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer func() { <-p.sem }()
+		if p.ctx.Err() != nil {
+			p.fail(p.ctx.Err())
+			return
+		}
+		if err := protect(p.ctx, job); err != nil {
+			p.fail(err)
+		}
+	}()
+}
+
+// fail records the first error and cancels the pool.
+func (p *Pool) fail(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.cancel()
+}
+
+// Wait blocks until every accepted job finished and returns the first
+// error observed (nil when all jobs succeeded).
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.cancel()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// protect runs the job and converts a panic into an error carrying the
+// recovered value and stack, so one crashing worker fails the fan-out
+// instead of killing the process.
+func protect(ctx context.Context, job func(ctx context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: worker panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return job(ctx)
+}
+
+// Run executes job(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 selects GOMAXPROCS; workers == 1 runs inline
+// with no goroutines at all).
+//
+// Ordering is deterministic by construction: each job owns index i and
+// writes only into its own result slot, so the assembled output is
+// independent of scheduling. On failure Run cancels outstanding jobs and
+// reports the lowest-indexed real job error it observed (never the
+// cancellation noise of jobs stopped by someone else's failure).
+func Run(ctx context.Context, workers, n int, job func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if Workers(workers) == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := protect(ctx, func(ctx context.Context) error { return job(ctx, i) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	p := NewPool(ctx, workers)
+	for i := 0; i < n; i++ {
+		i := i
+		p.Go(func(ctx context.Context) error {
+			errs[i] = protect(ctx, func(ctx context.Context) error { return job(ctx, i) })
+			return errs[i]
+		})
+	}
+	poolErr := p.Wait()
+	if poolErr == nil {
+		return nil
+	}
+	// Deterministic selection: lowest index wins, and a real job failure
+	// beats a context-cancellation error caused by someone else failing.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return poolErr
+}

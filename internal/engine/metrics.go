@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one engine-wide atomic counter. Counters are a fixed
+// enum (not free-form strings) so the hot paths pay one atomic add and no
+// map lookups.
+type Counter int
+
+const (
+	// SpiceTransients counts completed transient analyses.
+	SpiceTransients Counter = iota
+	// SpiceTransSteps counts accepted integration time steps.
+	SpiceTransSteps
+	// SpiceNewtonIters counts Newton-Raphson iterations across all time
+	// points (the innermost unit of simulation work).
+	SpiceNewtonIters
+	// CharJobs counts characterisation simulations issued by charlib
+	// (memoisation hits do not count).
+	CharJobs
+	// CharCells counts characterised cells.
+	CharCells
+	// STAGates counts gates propagated by sta.Analyze.
+	STAGates
+	// STAArcs counts timing arcs evaluated during window propagation
+	// (input pin x direction).
+	STAArcs
+	// ITRRefines counts itr.Refine invocations.
+	ITRRefines
+	// ITRImplications counts per-line window refinements under implied
+	// transition states.
+	ITRImplications
+	// SimGateEvals counts gate evaluations in two-pattern timing
+	// simulation.
+	SimGateEvals
+	// ATPGFaults counts fault targets attempted.
+	ATPGFaults
+	// ATPGDecisions counts PI value assignments explored by the PODEM
+	// search.
+	ATPGDecisions
+	// ATPGBacktracks counts search backtracks.
+	ATPGBacktracks
+
+	numCounters
+)
+
+// counterNames are the stable text labels used by Snapshot/WriteText.
+var counterNames = [numCounters]string{
+	SpiceTransients:  "spice/transients",
+	SpiceTransSteps:  "spice/transient_steps",
+	SpiceNewtonIters: "spice/newton_iters",
+	CharJobs:         "charlib/jobs",
+	CharCells:        "charlib/cells",
+	STAGates:         "sta/gates",
+	STAArcs:          "sta/arcs",
+	ITRRefines:       "itr/refines",
+	ITRImplications:  "itr/implications",
+	SimGateEvals:     "logicsim/gate_evals",
+	ATPGFaults:       "atpg/faults",
+	ATPGDecisions:    "atpg/decisions",
+	ATPGBacktracks:   "atpg/backtracks",
+}
+
+// String returns the counter's label.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return fmt.Sprintf("counter(%d)", int(c))
+	}
+	return counterNames[c]
+}
+
+// Metrics is a concurrency-safe instrumentation sink shared across every
+// layer of one run: counters are lock-free atomics, timers accumulate
+// wall-clock durations under a mutex (start/stop is coarse-grained).
+//
+// The zero value is ready to use, and all methods are nil-safe no-ops, so
+// layers thread an optional *Metrics without guarding every call site.
+type Metrics struct {
+	counters [numCounters]atomic.Int64
+
+	mu     sync.Mutex
+	timers map[string]*timerState
+}
+
+type timerState struct {
+	nanos int64
+	count int64
+}
+
+// NewMetrics returns an empty sink.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Add increments a counter by n. Safe on a nil receiver.
+func (m *Metrics) Add(c Counter, n int64) {
+	if m == nil || c < 0 || c >= numCounters {
+		return
+	}
+	m.counters[c].Add(n)
+}
+
+// Get returns a counter's current value. Safe on a nil receiver.
+func (m *Metrics) Get(c Counter) int64 {
+	if m == nil || c < 0 || c >= numCounters {
+		return 0
+	}
+	return m.counters[c].Load()
+}
+
+// StartTimer starts a named wall-clock timer and returns its stop
+// function. Concurrent timers under the same name accumulate. Safe on a
+// nil receiver (the returned stop is a no-op).
+func (m *Metrics) StartTimer(name string) (stop func()) {
+	if m == nil {
+		return func() {}
+	}
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d := time.Since(start)
+			m.mu.Lock()
+			if m.timers == nil {
+				m.timers = make(map[string]*timerState)
+			}
+			ts := m.timers[name]
+			if ts == nil {
+				ts = &timerState{}
+				m.timers[name] = ts
+			}
+			ts.nanos += int64(d)
+			ts.count++
+			m.mu.Unlock()
+		})
+	}
+}
+
+// TimerStat is the accumulated state of one named timer.
+type TimerStat struct {
+	// Total is the summed wall-clock duration across stops.
+	Total time.Duration
+	// Count is the number of start/stop cycles.
+	Count int64
+}
+
+// Snapshot is a point-in-time copy of a Metrics sink.
+type Snapshot struct {
+	// Counters maps counter label -> value; zero counters are omitted.
+	Counters map[string]int64
+	// Timers maps timer name -> accumulated stat.
+	Timers map[string]TimerStat
+}
+
+// Snapshot copies the current counter and timer values. Safe on a nil
+// receiver (returns an empty snapshot).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{Counters: make(map[string]int64), Timers: make(map[string]TimerStat)}
+	if m == nil {
+		return s
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := m.counters[c].Load(); v != 0 {
+			s.Counters[c.String()] = v
+		}
+	}
+	m.mu.Lock()
+	for name, ts := range m.timers {
+		s.Timers[name] = TimerStat{Total: time.Duration(ts.nanos), Count: ts.count}
+	}
+	m.mu.Unlock()
+	return s
+}
+
+// WriteText renders the snapshot as an aligned two-column report with
+// counters and timers sorted by label, so output is reproducible.
+func (s Snapshot) WriteText(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	width := 0
+	for name := range s.Counters {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	tnames := make([]string, 0, len(s.Timers))
+	for name := range s.Timers {
+		tnames = append(tnames, name)
+		if len(name)+len("timer/") > width {
+			width = len(name) + len("timer/")
+		}
+	}
+	sort.Strings(tnames)
+
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%-*s %12d\n", width, name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range tnames {
+		ts := s.Timers[name]
+		if _, err := fmt.Fprintf(w, "%-*s %12.3fs (%d run%s)\n",
+			width, "timer/"+name, ts.Total.Seconds(), ts.Count, plural(ts.Count)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func plural(n int64) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}
+
+// WriteText snapshots the sink and renders it; see Snapshot.WriteText.
+// Safe on a nil receiver.
+func (m *Metrics) WriteText(w io.Writer) error { return m.Snapshot().WriteText(w) }

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsSnapshotUnderConcurrency: counters accumulate exactly under
+// heavy concurrent hammering, and snapshots taken mid-flight never see a
+// value above the final total.
+func TestMetricsSnapshotUnderConcurrency(t *testing.T) {
+	m := NewMetrics()
+	const goroutines = 16
+	const addsEach = 1000
+	var wg sync.WaitGroup
+	stopSnap := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopSnap:
+				return
+			default:
+			}
+			s := m.Snapshot()
+			if v := s.Counters[SpiceNewtonIters.String()]; v > goroutines*addsEach {
+				t.Errorf("snapshot overshot: %d", v)
+				return
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < addsEach; i++ {
+				m.Add(SpiceNewtonIters, 1)
+				m.Add(ATPGBacktracks, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopSnap)
+
+	if got := m.Get(SpiceNewtonIters); got != goroutines*addsEach {
+		t.Fatalf("SpiceNewtonIters = %d, want %d", got, goroutines*addsEach)
+	}
+	if got := m.Get(ATPGBacktracks); got != 2*goroutines*addsEach {
+		t.Fatalf("ATPGBacktracks = %d, want %d", got, 2*goroutines*addsEach)
+	}
+	s := m.Snapshot()
+	if s.Counters[SpiceNewtonIters.String()] != goroutines*addsEach {
+		t.Fatalf("snapshot mismatch: %v", s.Counters)
+	}
+	// Zero counters are omitted from snapshots.
+	if _, ok := s.Counters[STAGates.String()]; ok {
+		t.Fatal("zero counter leaked into snapshot")
+	}
+}
+
+// TestMetricsNilSafety: every method is a safe no-op on a nil sink, so
+// layers can thread an optional *Metrics without guards.
+func TestMetricsNilSafety(t *testing.T) {
+	var m *Metrics
+	m.Add(CharJobs, 5)
+	if m.Get(CharJobs) != 0 {
+		t.Fatal("nil Get must return 0")
+	}
+	m.StartTimer("x")()
+	s := m.Snapshot()
+	if len(s.Counters) != 0 || len(s.Timers) != 0 {
+		t.Fatal("nil snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil WriteText wrote %q", buf.String())
+	}
+}
+
+// TestMetricsTimers: concurrent timers under one name accumulate duration
+// and count; stop is idempotent.
+func TestMetricsTimers(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop := m.StartTimer("work")
+			time.Sleep(2 * time.Millisecond)
+			stop()
+			stop() // idempotent
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	ts := s.Timers["work"]
+	if ts.Count != 4 {
+		t.Fatalf("timer count = %d, want 4", ts.Count)
+	}
+	if ts.Total < 8*time.Millisecond {
+		t.Fatalf("timer total = %v, want >= 8ms", ts.Total)
+	}
+}
+
+// TestMetricsWriteText: output is sorted, aligned and includes both
+// counters and timers.
+func TestMetricsWriteText(t *testing.T) {
+	m := NewMetrics()
+	m.Add(SpiceTransSteps, 123)
+	m.Add(CharJobs, 7)
+	stop := m.StartTimer("characterize")
+	stop()
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "charlib/jobs") ||
+		!strings.HasPrefix(lines[1], "spice/transient_steps") ||
+		!strings.HasPrefix(lines[2], "timer/characterize") {
+		t.Fatalf("unexpected ordering:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "7") || !strings.Contains(lines[1], "123") {
+		t.Fatalf("missing values:\n%s", out)
+	}
+}
+
+// TestMetricsThroughRun: a sink shared by pool workers sums correctly.
+func TestMetricsThroughRun(t *testing.T) {
+	m := NewMetrics()
+	if err := Run(context.Background(), 8, 100, func(_ context.Context, i int) error {
+		m.Add(STAGates, 1)
+		m.Add(STAArcs, int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Get(STAGates) != 100 {
+		t.Fatalf("STAGates = %d, want 100", m.Get(STAGates))
+	}
+	if m.Get(STAArcs) != 4950 {
+		t.Fatalf("STAArcs = %d, want 4950", m.Get(STAArcs))
+	}
+}

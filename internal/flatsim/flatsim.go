@@ -249,7 +249,11 @@ func evalFrame(c *netlist.Circuit, v logicsim.Vector) (map[string]int, error) {
 		for i, n := range g.Inputs {
 			in[i] = vals[n]
 		}
-		vals[g.Output] = g.Kind.Eval(in)
+		v, err := g.Kind.Eval(in)
+		if err != nil {
+			return nil, fmt.Errorf("flatsim: gate %q: %w", g.Output, err)
+		}
+		vals[g.Output] = v
 	}
 	return vals, nil
 }

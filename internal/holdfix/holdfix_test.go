@@ -144,7 +144,11 @@ func evalCircuit(c *netlist.Circuit, bits int) map[string]int {
 		for k, n := range g.Inputs {
 			in[k] = vals[n]
 		}
-		vals[g.Output] = g.Kind.Eval(in)
+		v, err := g.Kind.Eval(in)
+		if err != nil {
+			panic(err)
+		}
+		vals[g.Output] = v
 	}
 	return vals
 }

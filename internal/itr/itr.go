@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"sstiming/internal/core"
+	"sstiming/internal/engine"
 	"sstiming/internal/netlist"
 	"sstiming/internal/nineval"
 	"sstiming/internal/sta"
@@ -47,6 +48,9 @@ type Options struct {
 	// model (Section 3.6 future work) in the latest corners, mirroring
 	// sta.Options.NCExtension.
 	NCExtension bool
+	// Metrics, when non-nil, counts refinement passes and per-line
+	// implications.
+	Metrics *engine.Metrics
 }
 
 // LineInfo is the refined timing of one line.
@@ -100,6 +104,10 @@ func Refine(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Result, error
 	if opts.Lib == nil {
 		return nil, fmt.Errorf("itr: Options.Lib is required")
 	}
+	if err := c.EnsureBuilt(); err != nil {
+		return nil, fmt.Errorf("itr: %w", err)
+	}
+	opts.Metrics.Add(engine.ITRRefines, 1)
 	implied, ok := nineval.Imply(c, cube)
 	if !ok {
 		return nil, fmt.Errorf("itr: cube is logically inconsistent: %s", cube.String())
@@ -174,6 +182,7 @@ func Refine(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Result, error
 		if err != nil {
 			return nil, fmt.Errorf("itr: gate %q: %w", g.Output, err)
 		}
+		opts.Metrics.Add(engine.ITRImplications, 1)
 		res.Lines[g.Output] = li
 	}
 	return res, nil

@@ -106,8 +106,14 @@ func simulateWithOverride(c *netlist.Circuit, v1, v2 Vector, opts Options, overr
 			in1[i] = res.V1[in]
 			in2[i] = res.V2[in]
 		}
-		o1 := g.Kind.Eval(in1)
-		o2 := g.Kind.Eval(in2)
+		o1, err := g.Kind.Eval(in1)
+		if err != nil {
+			return nil, fmt.Errorf("logicsim: gate %q: %w", g.Output, err)
+		}
+		o2, err := g.Kind.Eval(in2)
+		if err != nil {
+			return nil, fmt.Errorf("logicsim: gate %q: %w", g.Output, err)
+		}
 		res.V1[g.Output] = o1
 		res.V2[g.Output] = o2
 		if o1 == o2 {

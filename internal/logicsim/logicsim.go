@@ -18,9 +18,11 @@
 package logicsim
 
 import (
+	"context"
 	"fmt"
 
 	"sstiming/internal/core"
+	"sstiming/internal/engine"
 	"sstiming/internal/netlist"
 )
 
@@ -64,6 +66,14 @@ type Options struct {
 	// to-non-controlling responses. Requires a library characterised
 	// with charlib.Options.NCPairs.
 	NCExtension bool
+	// Ctx, when non-nil, cancels the simulation between logic levels.
+	Ctx context.Context
+	// Jobs bounds the engine worker pool used to evaluate the gates of
+	// one logic level concurrently; zero or one runs serially. Results
+	// are independent of the worker count.
+	Jobs int
+	// Metrics, when non-nil, counts gate evaluations.
+	Metrics *engine.Metrics
 }
 
 // Result holds the simulation outcome.
@@ -79,6 +89,9 @@ type Result struct {
 func Simulate(c *netlist.Circuit, v1, v2 Vector, opts Options) (*Result, error) {
 	if opts.Lib == nil {
 		return nil, fmt.Errorf("logicsim: Options.Lib is required")
+	}
+	if err := c.EnsureBuilt(); err != nil {
+		return nil, fmt.Errorf("logicsim: %w", err)
 	}
 	piTrans := opts.PITrans
 	if piTrans <= 0 {
@@ -107,12 +120,23 @@ func Simulate(c *netlist.Circuit, v1, v2 Vector, opts Options) (*Result, error) 
 		}
 	}
 
-	for _, gi := range c.TopoOrder() {
+	// gateOut is one gate's evaluation result, staged per level so gates
+	// of the same logic level can run on the engine pool: within a level
+	// every gate reads only earlier levels' maps, and the writes are
+	// merged serially afterwards in topological order — identical to the
+	// serial schedule.
+	type gateOut struct {
+		o1, o2   int
+		ev       Event
+		switched bool
+	}
+	evalGate := func(gi int) (gateOut, error) {
 		g := &c.Gates[gi]
 		cell, ok := opts.Lib.Cell(g.CellName())
 		if !ok {
-			return nil, fmt.Errorf("logicsim: no library cell %q for gate %q", g.CellName(), g.Output)
+			return gateOut{}, fmt.Errorf("logicsim: no library cell %q for gate %q", g.CellName(), g.Output)
 		}
+		opts.Metrics.Add(engine.SimGateEvals, 1)
 
 		in1 := make([]int, len(g.Inputs))
 		in2 := make([]int, len(g.Inputs))
@@ -120,22 +144,82 @@ func Simulate(c *netlist.Circuit, v1, v2 Vector, opts Options) (*Result, error) 
 			in1[i] = res.V1[in]
 			in2[i] = res.V2[in]
 		}
-		o1 := g.Kind.Eval(in1)
-		o2 := g.Kind.Eval(in2)
-		res.V1[g.Output] = o1
-		res.V2[g.Output] = o2
+		o1, err := g.Kind.Eval(in1)
+		if err != nil {
+			return gateOut{}, fmt.Errorf("logicsim: gate %q: %w", g.Output, err)
+		}
+		o2, err := g.Kind.Eval(in2)
+		if err != nil {
+			return gateOut{}, fmt.Errorf("logicsim: gate %q: %w", g.Output, err)
+		}
+		out := gateOut{o1: o1, o2: o2}
 		if o1 == o2 {
-			continue
+			return out, nil
 		}
 
 		extraLoad := float64(c.FanoutCount(g.Output)-1) * cell.RefLoad
 		ev, err := gateEvent(c, g, cell, res, o2 == 1, extraLoad, opts.Mode, opts.NCExtension)
 		if err != nil {
-			return nil, err
+			return gateOut{}, err
 		}
-		res.Events[g.Output] = ev
+		out.ev, out.switched = ev, true
+		return out, nil
+	}
+
+	for _, lv := range levelGroups(c) {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, fmt.Errorf("logicsim: %w", err)
+		}
+		outs := make([]gateOut, len(lv))
+		if engine.Workers(opts.Jobs) == 1 || len(lv) == 1 {
+			for i, gi := range lv {
+				var err error
+				if outs[i], err = evalGate(gi); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			err := engine.Run(opts.Ctx, opts.Jobs, len(lv), func(_ context.Context, i int) error {
+				var err error
+				outs[i], err = evalGate(lv[i])
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, gi := range lv {
+			g := &c.Gates[gi]
+			res.V1[g.Output] = outs[i].o1
+			res.V2[g.Output] = outs[i].o2
+			if outs[i].switched {
+				res.Events[g.Output] = outs[i].ev
+			}
+		}
 	}
 	return res, nil
+}
+
+// levelGroups buckets the topological order by logic level; gates within
+// one bucket are mutually independent.
+func levelGroups(c *netlist.Circuit) [][]int {
+	var groups [][]int
+	for _, gi := range c.TopoOrder() {
+		lvl := c.Level(gi)
+		for len(groups) <= lvl {
+			groups = append(groups, nil)
+		}
+		groups[lvl] = append(groups[lvl], gi)
+	}
+	return groups
+}
+
+// ctxErr reports a nil-safe context error.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // gateEvent computes the output transition of a switching gate from its

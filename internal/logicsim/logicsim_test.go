@@ -33,7 +33,11 @@ func TestLogicValuesMatchDirectEvaluation(t *testing.T) {
 			for i, n := range g.Inputs {
 				in[i] = vals[n]
 			}
-			vals[g.Output] = g.Kind.Eval(in)
+			v, err := g.Kind.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[g.Output] = v
 		}
 		for net, want := range vals {
 			if res.V2[net] != want {

@@ -11,11 +11,16 @@ package netlist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 )
+
+// ErrUnknownKind reports a gate kind outside the supported primitives.
+// It is returned wrapped, so use errors.Is to test for it.
+var ErrUnknownKind = errors.New("unknown gate kind")
 
 // GateKind enumerates the supported primitive gates.
 type GateKind int
@@ -63,29 +68,32 @@ func (k GateKind) ControllingValue() int {
 	}
 }
 
-// Eval evaluates the gate function over binary inputs.
-func (k GateKind) Eval(in []int) int {
+// Eval evaluates the gate function over binary inputs. An unsupported
+// kind yields an error wrapping ErrUnknownKind (instead of a panic), so
+// simulators running inside an engine fan-out surface it through normal
+// error aggregation.
+func (k GateKind) Eval(in []int) (int, error) {
 	switch k {
 	case Inv:
-		return 1 - in[0]
+		return 1 - in[0], nil
 	case Buf:
-		return in[0]
+		return in[0], nil
 	case Nand:
 		for _, v := range in {
 			if v == 0 {
-				return 1
+				return 1, nil
 			}
 		}
-		return 0
+		return 0, nil
 	case Nor:
 		for _, v := range in {
 			if v == 1 {
-				return 0
+				return 0, nil
 			}
 		}
-		return 1
+		return 1, nil
 	default:
-		panic("netlist: unknown gate kind")
+		return 0, fmt.Errorf("netlist: %w: %v", ErrUnknownKind, k)
 	}
 }
 
@@ -124,11 +132,12 @@ type Circuit struct {
 	// Gates are the gate instances.
 	Gates []Gate
 
-	driver map[string]int   // net -> driving gate index (absent for PIs)
-	fanout map[string][]int // net -> consuming gate indices
-	order  []int            // topologically sorted gate indices
-	level  []int            // per-gate logic level
-	isPI   map[string]bool
+	driver  map[string]int   // net -> driving gate index (absent for PIs)
+	fanout  map[string][]int // net -> consuming gate indices
+	order   []int            // topologically sorted gate indices
+	level   []int            // per-gate logic level
+	isPI    map[string]bool
+	builtOK bool // Build succeeded since the last mutation
 }
 
 // New creates an empty circuit with the given name.
@@ -162,6 +171,7 @@ func (c *Circuit) invalidate() {
 	c.order = nil
 	c.level = nil
 	c.isPI = nil
+	c.builtOK = false
 }
 
 // Build validates the circuit structure, indexes drivers/fanouts and
@@ -251,25 +261,57 @@ func (c *Circuit) Build() error {
 	if len(c.order) != len(c.Gates) {
 		return fmt.Errorf("netlist: %s: circuit contains a combinational cycle", c.Name)
 	}
+	c.builtOK = true
 	return nil
 }
 
-// built panics if Build has not been called.
-func (c *Circuit) built() {
-	if c.order == nil && len(c.Gates) > 0 {
-		panic("netlist: Build() must be called before traversal")
+// EnsureBuilt builds the index structures if a mutation invalidated them
+// (or Build was never called) and returns any structural error, wrapped
+// with the circuit name. Consumers call this once at their entry points so
+// traversal never needs to panic.
+func (c *Circuit) EnsureBuilt() error {
+	if c.builtOK {
+		return nil
 	}
+	return c.Build()
 }
 
-// TopoOrder returns gate indices in topological (input-to-output) order.
-func (c *Circuit) TopoOrder() []int { c.built(); return c.order }
+// built lazily (re)builds the traversal indexes. Accessors that cannot
+// return an error fall back to zero values on a structurally invalid
+// circuit; callers wanting the diagnosis use EnsureBuilt.
+func (c *Circuit) built() bool {
+	if c.builtOK {
+		return true
+	}
+	return c.Build() == nil
+}
+
+// TopoOrder returns gate indices in topological (input-to-output) order,
+// or nil for a structurally invalid circuit (see EnsureBuilt).
+//
+// Like every traversal accessor, TopoOrder is safe for concurrent use
+// only after a successful Build/EnsureBuilt (lazy rebuilding mutates the
+// index structures).
+func (c *Circuit) TopoOrder() []int {
+	if !c.built() {
+		return nil
+	}
+	return c.order
+}
 
 // Level returns the logic level of gate i (0 = fed only by PIs).
-func (c *Circuit) Level(i int) int { c.built(); return c.level[i] }
+func (c *Circuit) Level(i int) int {
+	if !c.built() {
+		return 0
+	}
+	return c.level[i]
+}
 
 // Depth returns the maximum logic level plus one, or 0 for an empty circuit.
 func (c *Circuit) Depth() int {
-	c.built()
+	if !c.built() {
+		return 0
+	}
 	max := -1
 	for _, l := range c.level {
 		if l > max {
@@ -282,18 +324,27 @@ func (c *Circuit) Depth() int {
 // Driver returns the gate index driving the net and whether one exists
 // (false for primary inputs).
 func (c *Circuit) Driver(net string) (int, bool) {
-	c.built()
+	if !c.built() {
+		return 0, false
+	}
 	i, ok := c.driver[net]
 	return i, ok
 }
 
 // Fanout returns the gate indices consuming the net.
-func (c *Circuit) Fanout(net string) []int { c.built(); return c.fanout[net] }
+func (c *Circuit) Fanout(net string) []int {
+	if !c.built() {
+		return nil
+	}
+	return c.fanout[net]
+}
 
 // FanoutCount returns the number of gate inputs the net drives; nets feeding
 // primary outputs count at least 1 (the implicit output load).
 func (c *Circuit) FanoutCount(net string) int {
-	c.built()
+	if !c.built() {
+		return 1
+	}
 	n := len(c.fanout[net])
 	if n == 0 {
 		return 1
@@ -302,11 +353,10 @@ func (c *Circuit) FanoutCount(net string) int {
 }
 
 // IsPI reports whether the net is a primary input.
-func (c *Circuit) IsPI(net string) bool { c.built(); return c.isPI[net] }
+func (c *Circuit) IsPI(net string) bool { return c.built() && c.isPI[net] }
 
 // Nets returns all net names (PIs and gate outputs), sorted.
 func (c *Circuit) Nets() []string {
-	c.built()
 	seen := make(map[string]bool, len(c.PIs)+len(c.Gates))
 	var nets []string
 	for _, pi := range c.PIs {
@@ -470,7 +520,6 @@ type Stats struct {
 
 // Stats computes summary statistics; the circuit must be built.
 func (c *Circuit) Stats() Stats {
-	c.built()
 	s := Stats{
 		Name:   c.Name,
 		PIs:    len(c.PIs),

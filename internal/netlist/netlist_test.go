@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -103,9 +104,16 @@ func TestGateEval(t *testing.T) {
 		{Nand, []int{1, 0, 1}, 1},
 	}
 	for _, cse := range cases {
-		if got := cse.k.Eval(cse.in); got != cse.want {
+		got, err := cse.k.Eval(cse.in)
+		if err != nil {
+			t.Fatalf("%v%v: %v", cse.k, cse.in, err)
+		}
+		if got != cse.want {
 			t.Errorf("%v%v = %d, want %d", cse.k, cse.in, got, cse.want)
 		}
+	}
+	if _, err := GateKind(99).Eval([]int{1}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("unknown kind: err = %v, want ErrUnknownKind", err)
 	}
 }
 
@@ -178,7 +186,11 @@ w = OR(a, b)
 			for i, n := range g.Inputs {
 				in[i] = vals[n]
 			}
-			vals[g.Output] = g.Kind.Eval(in)
+			v, err := g.Kind.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[g.Output] = v
 		}
 		return vals[net]
 	}

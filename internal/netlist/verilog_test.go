@@ -62,7 +62,11 @@ func TestVerilogLogicEquivalentToBench(t *testing.T) {
 			for k, n := range g.Inputs {
 				in[k] = vals[n]
 			}
-			vals[g.Output] = g.Kind.Eval(in)
+			v, err := g.Kind.Eval(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vals[g.Output] = v
 		}
 		return vals
 	}

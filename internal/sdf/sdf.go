@@ -90,6 +90,9 @@ func (o *Options) fill() {
 // transition-time range (using the corner-aware MinOver/MaxOver, so bi-tonic
 // interior peaks are honoured).
 func FromLibrary(c *netlist.Circuit, lib *core.Library, opts Options) (*File, error) {
+	if err := c.EnsureBuilt(); err != nil {
+		return nil, fmt.Errorf("sdf: %w", err)
+	}
 	opts.fill()
 	f := &File{Design: c.Name}
 	for i := range c.Gates {

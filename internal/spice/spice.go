@@ -12,10 +12,12 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"sstiming/internal/device"
+	"sstiming/internal/engine"
 	"sstiming/internal/waveform"
 )
 
@@ -153,6 +155,12 @@ type TransientOpts struct {
 	Method Method
 	// Record lists node names to record. Nil records every node.
 	Record []string
+	// Ctx, when non-nil, cancels the analysis between time steps (the
+	// characterisation harness threads its fan-out context through here).
+	Ctx context.Context
+	// Metrics, when non-nil, receives the simulation effort counters
+	// (transients, time steps, Newton iterations).
+	Metrics *engine.Metrics
 }
 
 // Result holds the recorded waveforms of a transient analysis.
@@ -217,8 +225,19 @@ func (c *Circuit) Transient(opts TransientOpts) (*Result, error) {
 	// Per-capacitor current state for the trapezoidal method.
 	capCur := make([]float64, len(c.caps))
 
+	// Effort accounting is batched into locals and flushed once per
+	// analysis so the integration loop pays no atomic operations.
+	var stepsDone, newtonIters int64
+	defer func() {
+		opts.Metrics.Add(engine.SpiceTransients, 1)
+		opts.Metrics.Add(engine.SpiceTransSteps, stepsDone)
+		opts.Metrics.Add(engine.SpiceNewtonIters, newtonIters)
+	}()
+
 	// DC operating point at t = 0 (capacitors open, currents zero).
-	if err := c.solvePoint(s, volt, branch, voltPrev, capCur, 0, 0, maxNewton, vtol, opts.Method); err != nil {
+	iters, err := c.solvePoint(s, volt, branch, voltPrev, capCur, 0, 0, maxNewton, vtol, opts.Method)
+	newtonIters += int64(iters)
+	if err != nil {
 		return nil, fmt.Errorf("spice: DC operating point: %w", err)
 	}
 	for i, w := range recWaves {
@@ -227,11 +246,21 @@ func (c *Circuit) Transient(opts TransientOpts) (*Result, error) {
 
 	steps := int(math.Ceil(opts.TStop / h))
 	for step := 1; step <= steps; step++ {
+		// Cancellation check, amortised so the common (uncancelled)
+		// path costs one branch per chunk of steps.
+		if opts.Ctx != nil && step&0x3f == 0 {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("spice: transient cancelled: %w", err)
+			}
+		}
 		t := float64(step) * h
 		copy(voltPrev, volt)
-		if err := c.solvePoint(s, volt, branch, voltPrev, capCur, t, h, maxNewton, vtol, opts.Method); err != nil {
+		iters, err := c.solvePoint(s, volt, branch, voltPrev, capCur, t, h, maxNewton, vtol, opts.Method)
+		newtonIters += int64(iters)
+		if err != nil {
 			return nil, fmt.Errorf("spice: t=%.4gs: %w", t, err)
 		}
+		stepsDone++
 		if opts.Method == Trapezoidal {
 			// Update stored capacitor currents:
 			// i_{n+1} = (2C/h)(v_{n+1} - v_n) - i_n.
@@ -248,11 +277,12 @@ func (c *Circuit) Transient(opts TransientOpts) (*Result, error) {
 	return res, nil
 }
 
-// solvePoint performs Newton-Raphson iteration for one time point. h == 0
-// means DC (capacitors are ignored). volt is used as the initial guess and
-// receives the solution; voltPrev holds the previous time point's voltages
-// (and capCur the previous capacitor currents) for the companion models.
-func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64, t, h float64, maxNewton int, vtol float64, method Method) error {
+// solvePoint performs Newton-Raphson iteration for one time point,
+// returning the number of iterations spent. h == 0 means DC (capacitors
+// are ignored). volt is used as the initial guess and receives the
+// solution; voltPrev holds the previous time point's voltages (and capCur
+// the previous capacitor currents) for the companion models.
+func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64, t, h float64, maxNewton int, vtol float64, method Method) (int, error) {
 	nn := len(c.nodeNames)
 	for iter := 0; iter < maxNewton; iter++ {
 		s.reset()
@@ -315,7 +345,7 @@ func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64
 
 		x, err := s.solve()
 		if err != nil {
-			return err
+			return iter + 1, err
 		}
 
 		// Extract the solution and check convergence with damping.
@@ -340,10 +370,10 @@ func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64
 			branch[i] = x[nn-1+i]
 		}
 		if maxDelta < vtol {
-			return nil
+			return iter + 1, nil
 		}
 	}
-	return fmt.Errorf("newton iteration did not converge in %d iterations", maxNewton)
+	return maxNewton, fmt.Errorf("newton iteration did not converge in %d iterations", maxNewton)
 }
 
 // solver is a dense MNA matrix with node-index based stamping. Row/column k

@@ -26,10 +26,12 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"sstiming/internal/core"
+	"sstiming/internal/engine"
 	"sstiming/internal/netlist"
 )
 
@@ -100,6 +102,14 @@ type Options struct {
 	// timing for these responses (and Table 2's max-delays identical
 	// across models).
 	NCExtension bool
+	// Ctx, when non-nil, cancels the analysis between logic levels.
+	Ctx context.Context
+	// Jobs bounds the engine worker pool used to propagate the gates of
+	// one logic level concurrently; zero or one runs serially. Windows
+	// are independent of the worker count.
+	Jobs int
+	// Metrics, when non-nil, counts propagated gates and timing arcs.
+	Metrics *engine.Metrics
 }
 
 // Result holds the computed windows for every line.
@@ -117,10 +127,15 @@ func Analyze(c *netlist.Circuit, opts Options) (*Result, error) {
 	if opts.Lib == nil {
 		return nil, fmt.Errorf("sta: Options.Lib is required")
 	}
+	if err := c.EnsureBuilt(); err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
 	pi := opts.PI
 	if pi == (PITiming{}) {
 		pi = DefaultPITiming()
 	}
+	stop := opts.Metrics.StartTimer("sta/analyze")
+	defer stop()
 
 	res := &Result{Circuit: c, Mode: opts.Mode, Lines: make(map[string]*LineTiming), lib: opts.Lib}
 	for _, name := range c.PIs {
@@ -132,7 +147,12 @@ func Analyze(c *netlist.Circuit, opts Options) (*Result, error) {
 		res.Lines[name] = &LineTiming{Rise: w, Fall: w}
 	}
 
-	for _, gi := range c.TopoOrder() {
+	// propagateGate computes one gate's output windows from the already
+	// settled windows of its inputs. Gates of the same logic level read
+	// only earlier levels' lines, so one level can run on the engine pool
+	// with the writes merged serially afterwards — identical to the serial
+	// schedule.
+	propagateGate := func(gi int) (*LineTiming, error) {
 		g := &c.Gates[gi]
 		cell, ok := opts.Lib.Cell(g.CellName())
 		if !ok {
@@ -147,6 +167,8 @@ func Analyze(c *netlist.Circuit, opts Options) (*Result, error) {
 			ins[i] = lt
 		}
 		extraLoad := float64(c.FanoutCount(g.Output)-1) * cell.RefLoad
+		opts.Metrics.Add(engine.STAGates, 1)
+		opts.Metrics.Add(engine.STAArcs, 2*int64(len(g.Inputs)))
 
 		out := &LineTiming{}
 		switch g.Kind {
@@ -172,9 +194,52 @@ func Analyze(c *netlist.Circuit, opts Options) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("sta: unsupported gate kind %v", g.Kind)
 		}
-		res.Lines[g.Output] = out
+		return out, nil
+	}
+
+	for _, lv := range levelGroups(c) {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sta: %w", err)
+			}
+		}
+		outs := make([]*LineTiming, len(lv))
+		if engine.Workers(opts.Jobs) == 1 || len(lv) == 1 {
+			for i, gi := range lv {
+				var err error
+				if outs[i], err = propagateGate(gi); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			err := engine.Run(opts.Ctx, opts.Jobs, len(lv), func(_ context.Context, i int) error {
+				var err error
+				outs[i], err = propagateGate(lv[i])
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, gi := range lv {
+			res.Lines[c.Gates[gi].Output] = outs[i]
+		}
 	}
 	return res, nil
+}
+
+// levelGroups buckets the topological order by logic level; gates within
+// one bucket are mutually independent.
+func levelGroups(c *netlist.Circuit) [][]int {
+	var groups [][]int
+	for _, gi := range c.TopoOrder() {
+		lvl := c.Level(gi)
+		for len(groups) <= lvl {
+			groups = append(groups, nil)
+		}
+		groups[lvl] = append(groups[lvl], gi)
+	}
+	return groups
 }
 
 func windows(ins []*LineTiming, rising bool) []Window {

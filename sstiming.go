@@ -38,6 +38,7 @@ import (
 	"sstiming/internal/charlib"
 	"sstiming/internal/core"
 	"sstiming/internal/device"
+	"sstiming/internal/engine"
 	"sstiming/internal/holdfix"
 	"sstiming/internal/itr"
 	"sstiming/internal/logicsim"
@@ -71,6 +72,19 @@ type (
 	// CharOptions configures library characterisation.
 	CharOptions = charlib.Options
 )
+
+// Execution engine: scheduling and instrumentation shared by every layer.
+type (
+	// Metrics is the instrumentation sink of atomic effort counters and
+	// wall-clock timers; pass one through the Metrics field of the layer
+	// Options to collect statistics. All methods are nil-safe.
+	Metrics = engine.Metrics
+	// MetricsSnapshot is a point-in-time copy of a Metrics.
+	MetricsSnapshot = engine.Snapshot
+)
+
+// NewMetrics returns an empty instrumentation sink.
+func NewMetrics() *Metrics { return engine.NewMetrics() }
 
 // Netlists and circuits.
 type (
