@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-parallel clean
+# Total-coverage floor for `make cover`, in percent. Raise it when coverage
+# genuinely improves; never lower it to make a PR pass.
+COVER_FLOOR ?= 75.0
+
+.PHONY: build test race vet verify conformance cover bench bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -18,7 +22,24 @@ vet:
 	$(GO) vet ./...
 
 # Tier-1 verification loop (see ROADMAP.md).
-verify: build vet test race
+verify: build vet test race conformance
+
+# Short randomized differential campaign: cross-checks flatsim, logicsim,
+# STA, ITR and the delay-model structure against each other on random
+# circuits (see internal/conformance and DESIGN.md "Verification strategy").
+conformance:
+	$(GO) test -run TestConformance -race ./internal/conformance
+	$(GO) run ./cmd/conformance -seeds 8 -jobs 4
+
+# Coverage gate: emits coverage.out and fails if the total drops below
+# COVER_FLOOR.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) \
+		'/^total:/ { sub(/%/, "", $$3); \
+		  if ($$3 + 0 < floor + 0) { \
+		    printf "FAIL: total coverage %.1f%% is below the %.1f%% floor\n", $$3, floor; exit 1 } \
+		  printf "total coverage %.1f%% (floor %.1f%%)\n", $$3, floor }'
 
 # Regenerate every table & figure of the paper (slow).
 bench:

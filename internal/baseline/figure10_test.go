@@ -1,0 +1,109 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"sstiming/internal/core"
+	"sstiming/internal/prechar"
+)
+
+// TestFigure10Regimes pins the paper's Figure 10 comparison on the real
+// characterised library: each baseline model is accurate in its home regime
+// and fails by a predictable margin outside it, across the NAND stack
+// heights. The proposed model serves as the reference (it is the one fitted
+// to the transistor-level data; the conformance harness ties it to the
+// flattened simulation independently).
+//
+//   - Zero skew: the collapsing models (Jun, Nabavi) are near-exact, while
+//     pin-to-pin misses the whole simultaneous-switching speed-up.
+//   - Large skew: pin-to-pin is exact (the earliest input alone decides);
+//     Jun's merged arrival keeps growing with |skew|/2 and overshoots
+//     wildly; Nabavi additionally loses the stack position of the earliest
+//     input when that input is deep.
+//   - Deep stack, single input: the position-blind collapsing models quote
+//     input 0's curve for every position and miss the deep-position
+//     slow-down that pin-to-pin (and the proposed model) resolve.
+func TestFigure10Regimes(t *testing.T) {
+	lib, err := prechar.Library()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 0.4e-9 // input transition time for every probe
+
+	type probe func(cell *core.CellModel, deep int, m Model) float64
+	regimes := []struct {
+		name     string
+		eval     probe
+		accurate []Model // within accTol of the proposed reference
+		accTol   float64
+		errs     []Model // off by at least errMin
+		errMin   float64
+	}{
+		{
+			name: "zero skew, pair (0, deep)",
+			eval: func(cell *core.CellModel, deep int, m Model) float64 {
+				return m.CtrlDelay2(cell, 0, deep, T, T, 0)
+			},
+			accurate: []Model{Jun{}, Nabavi{}},
+			accTol:   1e-12,
+			errs:     []Model{PinToPin{}},
+			errMin:   50e-12, // the ignored speed-up is >= 57 ps on every NAND
+		},
+		{
+			name: "large skew, pair (0, deep)",
+			eval: func(cell *core.CellModel, deep int, m Model) float64 {
+				return m.CtrlDelay2(cell, 0, deep, T, T, 2e-9)
+			},
+			accurate: []Model{PinToPin{}, Nabavi{}},
+			accTol:   1e-12,
+			errs:     []Model{Jun{}},
+			errMin:   0.8e-9, // |skew|/2 = 1 ns of spurious delay
+		},
+		{
+			name: "large skew, pair (deep, 0)",
+			eval: func(cell *core.CellModel, deep int, m Model) float64 {
+				return m.CtrlDelay2(cell, deep, 0, T, T, 2e-9)
+			},
+			accurate: []Model{PinToPin{}},
+			accTol:   1e-12,
+			errs:     []Model{Jun{}, Nabavi{}}, // Nabavi quotes pin 0 for a deep input
+			errMin:   10e-12,
+		},
+		{
+			name: "single input at the deep stack position",
+			eval: func(cell *core.CellModel, deep int, m Model) float64 {
+				return m.CtrlDelay1(cell, deep, T)
+			},
+			accurate: []Model{PinToPin{}},
+			accTol:   0,
+			errs:     []Model{Jun{}, Nabavi{}},
+			errMin:   10e-12, // position spread is 18-35 ps across the stacks
+		},
+	}
+
+	for _, cellName := range []string{"NAND2", "NAND3", "NAND4"} {
+		cell, ok := lib.Cell(cellName)
+		if !ok {
+			t.Fatalf("library has no %s", cellName)
+		}
+		deep := cell.N - 1
+		for _, rg := range regimes {
+			truth := rg.eval(cell, deep, Proposed{})
+			for _, m := range rg.accurate {
+				got := rg.eval(cell, deep, m)
+				if e := math.Abs(got - truth); e > rg.accTol {
+					t.Errorf("%s, %s: %s = %.4g, want %.4g +- %.2g (err %.2g)",
+						cellName, rg.name, m.Name(), got, truth, rg.accTol, e)
+				}
+			}
+			for _, m := range rg.errs {
+				got := rg.eval(cell, deep, m)
+				if e := math.Abs(got - truth); e < rg.errMin {
+					t.Errorf("%s, %s: %s = %.4g unexpectedly close to reference %.4g (err %.2g < %.2g)",
+						cellName, rg.name, m.Name(), got, truth, e, rg.errMin)
+				}
+			}
+		}
+	}
+}

@@ -128,7 +128,18 @@ func pickKind(rng *rand.Rand) kindChoice {
 	return kindMix[0]
 }
 
-// Generate builds the deterministic synthetic circuit for a profile.
+// Generate builds the deterministic synthetic circuit for a profile, drawing
+// randomness from a source seeded with the profile's Seed. It is a thin
+// wrapper over GenerateRand.
+func Generate(p Profile) (*netlist.Circuit, error) {
+	return GenerateRand(p, rand.New(rand.NewSource(p.Seed)))
+}
+
+// GenerateRand builds the synthetic circuit for a profile using the caller's
+// random source, ignoring p.Seed. An explicit *rand.Rand keeps campaigns
+// that generate many circuits (e.g. the conformance harness) reproducible
+// and parallel-safe: each worker owns its source and no package-level state
+// is shared.
 //
 // Construction: gates are arranged in Depth levels. Each level's gates draw
 // their first input from the previous level's not-yet-consumed outputs (so
@@ -137,11 +148,13 @@ func pickKind(rng *rand.Rand) kindChoice {
 // producing the reconvergent fan-out structure that creates near-equal-depth
 // (δ-simultaneous) side inputs at multi-input gates. All unconsumed nets at
 // the end become primary outputs.
-func Generate(p Profile) (*netlist.Circuit, error) {
+func GenerateRand(p Profile, rng *rand.Rand) (*netlist.Circuit, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("benchgen: nil random source for profile %q", p.Name)
+	}
 	if p.PIs < 2 || p.Gates < p.Depth || p.Depth < 2 {
 		return nil, fmt.Errorf("benchgen: infeasible profile %+v", p)
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
 	c := netlist.New(p.Name)
 
 	pis := make([]string, p.PIs)
@@ -269,4 +282,20 @@ func Generate(p Profile) (*netlist.Circuit, error) {
 		return nil, fmt.Errorf("benchgen: %s: %w", p.Name, err)
 	}
 	return c, nil
+}
+
+// RandomProfile draws a small random circuit profile from the rng — the
+// shapes the conformance campaigns sweep: a handful of primary inputs, a few
+// levels of reconvergent logic, and a gate count small enough that the
+// flattened transistor-level oracle usually stays within flatsim.MaxNodes.
+// The returned profile's Seed is unset; pair it with GenerateRand.
+func RandomProfile(name string, rng *rand.Rand) Profile {
+	depth := 3 + rng.Intn(4) // 3..6
+	return Profile{
+		Name:  name,
+		PIs:   3 + rng.Intn(4),          // 3..6
+		POs:   2 + rng.Intn(3),          // 2..4
+		Gates: depth + 3 + rng.Intn(12), // depth+3 .. depth+14
+		Depth: depth,
+	}
 }

@@ -2,6 +2,7 @@ package benchgen
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
 	"sstiming/internal/netlist"
@@ -131,5 +132,76 @@ func TestProfileByName(t *testing.T) {
 	}
 	if _, ok := ProfileByName("c999"); ok {
 		t.Error("unexpected profile c999")
+	}
+}
+
+// benchText renders a circuit for byte-level comparison.
+func benchText(t *testing.T, c *netlist.Circuit) string {
+	t.Helper()
+	var w bytes.Buffer
+	if err := c.Write(&w); err != nil {
+		t.Fatal(err)
+	}
+	return w.String()
+}
+
+func TestGenerateRandReproducible(t *testing.T) {
+	p := Profile{Name: "r", PIs: 5, POs: 3, Gates: 24, Depth: 5}
+	a, err := GenerateRand(p, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRand(p, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benchText(t, a) != benchText(t, b) {
+		t.Error("same source seed produced different circuits")
+	}
+	c, err := GenerateRand(p, rand.New(rand.NewSource(43)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benchText(t, a) == benchText(t, c) {
+		t.Error("different source seeds produced identical circuits")
+	}
+}
+
+// TestGenerateIsThinWrapper pins the compatibility contract: Generate(p)
+// must equal GenerateRand with a source seeded from p.Seed, so existing
+// benchmark stand-ins are unchanged by the API split.
+func TestGenerateIsThinWrapper(t *testing.T) {
+	p, _ := ProfileByName("c499")
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRand(p, rand.New(rand.NewSource(p.Seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benchText(t, a) != benchText(t, b) {
+		t.Error("Generate diverges from GenerateRand(p, rand from p.Seed)")
+	}
+}
+
+func TestGenerateRandNilSource(t *testing.T) {
+	p := Profile{Name: "r", PIs: 5, POs: 3, Gates: 24, Depth: 5}
+	if _, err := GenerateRand(p, nil); err == nil {
+		t.Error("expected error for nil random source")
+	}
+}
+
+func TestRandomProfilesGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		p := RandomProfile("rp", rng)
+		c, err := GenerateRand(p, rng)
+		if err != nil {
+			t.Fatalf("profile %+v: %v", p, err)
+		}
+		if c.NumGates() == 0 || c.Depth() == 0 {
+			t.Fatalf("profile %+v: degenerate circuit", p)
+		}
 	}
 }

@@ -1,0 +1,224 @@
+package conformance
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sstiming/internal/core"
+	"sstiming/internal/engine"
+	"sstiming/internal/netlist"
+	"sstiming/internal/prechar"
+)
+
+// freshLib returns a private deep copy of the embedded library (prechar
+// memoizes a shared pointer, and some tests corrupt coefficients).
+func freshLib(t *testing.T) *core.Library {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := prechar.MustLibrary().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := core.LoadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// TestConformance is the tier-1 entry point (wired into make verify): a
+// short randomized campaign over every check must pass on a clean library.
+func TestConformance(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 3
+	}
+	m := engine.NewMetrics()
+	rep, err := Run(Options{
+		Lib:     prechar.MustLibrary(),
+		Seeds:   SeedRange(seeds, 1),
+		Jobs:    4,
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		var buf bytes.Buffer
+		rep.WriteText(&buf, 5)
+		t.Fatalf("clean-library campaign failed:\n%s", buf.String())
+	}
+	if rep.Seeds != seeds {
+		t.Errorf("Seeds = %d, want %d", rep.Seeds, seeds)
+	}
+	if len(rep.Checks) != len(AllChecks()) {
+		t.Errorf("ran %d checks, want %d", len(rep.Checks), len(AllChecks()))
+	}
+	for _, name := range rep.Checks {
+		if rep.Stats[name].Checked == 0 {
+			t.Errorf("check %s compared nothing", name)
+		}
+	}
+	if got := m.Get(engine.ConfSeeds); got != int64(seeds) {
+		t.Errorf("ConfSeeds metric = %d, want %d", got, seeds)
+	}
+	if m.Get(engine.ConfChecks) == 0 {
+		t.Error("ConfChecks metric not incremented")
+	}
+}
+
+// TestConformanceDetectsCorruption pins the harness's sensitivity: shifting
+// one characterised coefficient must produce violations against the
+// transistor-level oracle, each carrying a minimal parseable counterexample.
+func TestConformanceDetectsCorruption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	lib := freshLib(t)
+	// 300 ps on NAND2's pin-0 to-controlling delay: far outside the
+	// fitted model's real error, invisible to the self-consistency checks
+	// (STA and the simulator share the corrupted surface) but flagrant
+	// against the flattened transistor-level simulation.
+	lib.Cells["NAND2"].CtrlPins[0].Delay.K[2] += 0.3
+
+	rep, err := Run(Options{Lib: lib, Seeds: SeedRange(2, 1), Jobs: 2, MaxShrink: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passed() {
+		t.Fatal("corrupted library passed the campaign")
+	}
+	if rep.Stats["logic-flat"].Violations == 0 {
+		t.Error("corruption not caught by the transistor-level cross-check")
+	}
+	for _, v := range rep.Violations {
+		if v.Check != "logic-flat" {
+			continue
+		}
+		if v.Bench == "" || v.V1 == "" || v.V2 == "" {
+			t.Fatalf("violation lacks a counterexample: %+v", v)
+		}
+		c, err := netlist.Parse("ce", strings.NewReader(v.Bench))
+		if err != nil {
+			t.Fatalf("counterexample bench does not parse: %v\n%s", err, v.Bench)
+		}
+		if c.NumGates() == 0 {
+			t.Fatalf("counterexample has no gates:\n%s", v.Bench)
+		}
+		return
+	}
+	t.Fatal("no logic-flat violation found")
+}
+
+// TestRunIndependentOfJobs pins the determinism contract: the report,
+// including shrunk counterexamples, must not depend on the worker count.
+func TestRunIndependentOfJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	lib := freshLib(t)
+	lib.Cells["NAND2"].CtrlPins[0].Delay.K[2] += 0.3
+	opts := Options{Lib: lib, Seeds: SeedRange(3, 1)}
+
+	opts.Jobs = 1
+	serial, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Jobs = 4
+	parallel, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Violations, parallel.Violations) {
+		t.Errorf("violations differ across Jobs: %d serial vs %d parallel",
+			len(serial.Violations), len(parallel.Violations))
+	}
+	if !reflect.DeepEqual(serial.Stats, parallel.Stats) {
+		t.Errorf("stats differ across Jobs: %+v vs %+v", serial.Stats, parallel.Stats)
+	}
+}
+
+func TestSelectChecks(t *testing.T) {
+	all, err := selectChecks(nil)
+	if err != nil || len(all) != len(AllChecks()) {
+		t.Fatalf("selectChecks(nil) = %d checks, err %v", len(all), err)
+	}
+	one, err := selectChecks([]string{"sta-sound"})
+	if err != nil || len(one) != 1 || one[0].Name != "sta-sound" {
+		t.Fatalf("selectChecks(sta-sound) = %v, err %v", one, err)
+	}
+	if _, err := selectChecks([]string{"no-such-check"}); err == nil {
+		t.Error("unknown check name accepted")
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	got := SeedRange(3, 10)
+	want := []int64{10, 11, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SeedRange(3, 10) = %v, want %v", got, want)
+	}
+}
+
+func TestFanInCone(t *testing.T) {
+	c := netlist.New("cone")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddPI("c")
+	c.AddGate(netlist.Nand, "u", "a", "b")
+	c.AddGate(netlist.Inv, "v", "c")
+	c.AddGate(netlist.Nand, "w", "u", "a")
+	c.AddGate(netlist.Nand, "z", "u", "v")
+	c.AddPO("w")
+	c.AddPO("z")
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+
+	cone, ok := fanInCone(c, "w")
+	if !ok {
+		t.Fatal("no cone for w")
+	}
+	if got := cone.NumGates(); got != 2 {
+		t.Errorf("cone of w has %d gates, want 2 (u, w)", got)
+	}
+	if !reflect.DeepEqual(cone.PIs, []string{"a", "b"}) {
+		t.Errorf("cone PIs = %v, want [a b]", cone.PIs)
+	}
+	if !reflect.DeepEqual(cone.POs, []string{"w"}) {
+		t.Errorf("cone POs = %v, want [w]", cone.POs)
+	}
+
+	if _, ok := fanInCone(c, "a"); ok {
+		t.Error("primary input should have no cone")
+	}
+}
+
+func TestReportWriteText(t *testing.T) {
+	rep := &Report{
+		Seeds:  2,
+		Checks: []string{"sta-sound"},
+		Stats:  map[string]*CheckStat{"sta-sound": {Checked: 5, Violations: 1}},
+		Violations: []Violation{{
+			Check: "sta-sound", Seed: 1, Net: "n1",
+			Detail: "event outside window",
+			Bench:  "INPUT(a)\nOUTPUT(n1)\nn1 = NOT(a)\n",
+			V1:     "a:0", V2: "a:1",
+		}},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sta-sound", "FAIL", "5 checked", "seed 1", "net n1", "NOT(a)", "a:0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if rep.Passed() {
+		t.Error("report with violations reports Passed")
+	}
+}

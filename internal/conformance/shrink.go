@@ -1,0 +1,114 @@
+package conformance
+
+import (
+	"sstiming/internal/logicsim"
+	"sstiming/internal/netlist"
+)
+
+// failPred re-evaluates a violation on a candidate (circuit, vector pair):
+// true means the counterexample still reproduces. Errors are treated as
+// "does not reproduce" so shrinking never turns one failure into another.
+type failPred func(c *netlist.Circuit, v1, v2 logicsim.Vector) (bool, error)
+
+// shrink minimises a failing (circuit, vector pair) for the given net and
+// returns the formatted counterexample. Two passes run under a shared budget
+// of predicate evaluations (Options.MaxShrink):
+//
+//  1. structural: replace the circuit by the fan-in cone of the failing net.
+//     The cone must re-verify — fan-out counts (and with them every gate's
+//     extra load) change when sibling gates disappear, so the violation may
+//     be load-dependent and survive only in the full circuit.
+//  2. stimulus: for each primary input still transitioning, try pinning the
+//     second frame to the first (undoing the transition) and keep every
+//     change that still reproduces.
+//
+// If nothing smaller reproduces, the original artefacts are returned.
+func (e *seedEnv) shrink(c *netlist.Circuit, v1, v2 logicsim.Vector, net string, pred failPred) (bench, sv1, sv2 string) {
+	budget := e.opts.MaxShrink
+	try := func(tc *netlist.Circuit, tv1, tv2 logicsim.Vector) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		ok, err := pred(tc, tv1, tv2)
+		return err == nil && ok
+	}
+
+	if cone, ok := fanInCone(c, net); ok && cone.NumGates() < c.NumGates() {
+		// The vectors keep their full key set: the simulators only read
+		// the cone's own PIs, and restricting the maps would change
+		// nothing they observe.
+		if try(cone, v1, v2) {
+			c = cone
+		}
+	}
+
+	for _, pi := range c.PIs {
+		if v1[pi] == v2[pi] {
+			continue
+		}
+		tv2 := make(logicsim.Vector, len(v2))
+		for k, v := range v2 {
+			tv2[k] = v
+		}
+		tv2[pi] = v1[pi]
+		if try(c, v1, tv2) {
+			v2 = tv2
+		}
+	}
+
+	sv1, sv2 = formatVectors(c, v1, v2)
+	return benchText(c), sv1, sv2
+}
+
+// fanInCone extracts the transitive fan-in cone of net as a standalone
+// circuit: the same gates and names, primary inputs restricted to those
+// feeding the cone, and net as the only primary output. ok is false when net
+// is a primary input (nothing to extract) or the cone fails to build.
+func fanInCone(c *netlist.Circuit, net string) (*netlist.Circuit, bool) {
+	root, ok := c.Driver(net)
+	if !ok {
+		return nil, false
+	}
+	include := map[int]bool{root: true}
+	stack := []int{root}
+	for len(stack) > 0 {
+		gi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range c.Gates[gi].Inputs {
+			if d, ok := c.Driver(in); ok && !include[d] {
+				include[d] = true
+				stack = append(stack, d)
+			}
+		}
+	}
+
+	piNeeded := make(map[string]bool)
+	for gi := range include {
+		for _, in := range c.Gates[gi].Inputs {
+			if _, driven := c.Driver(in); !driven {
+				piNeeded[in] = true
+			}
+		}
+	}
+
+	cone := netlist.New(c.Name + "_cone")
+	for _, pi := range c.PIs {
+		if piNeeded[pi] {
+			cone.AddPI(pi)
+		}
+	}
+	// Gates go in topologically (every cone gate's driver set is inside the
+	// cone by construction, so inputs always precede outputs).
+	for _, gi := range c.TopoOrder() {
+		if include[gi] {
+			g := &c.Gates[gi]
+			cone.AddGate(g.Kind, g.Output, g.Inputs...)
+		}
+	}
+	cone.AddPO(net)
+	if err := cone.Build(); err != nil {
+		return nil, false
+	}
+	return cone, true
+}

@@ -47,6 +47,16 @@ const (
 	ATPGDecisions
 	// ATPGBacktracks counts search backtracks.
 	ATPGBacktracks
+	// ConfSeeds counts conformance campaign seeds executed.
+	ConfSeeds
+	// ConfChecks counts individual conformance check evaluations
+	// (one check run against one seed's artefacts).
+	ConfChecks
+	// ConfViolations counts conformance invariant violations found.
+	ConfViolations
+	// ConfSkipped counts conformance checks skipped (e.g. a generated
+	// circuit too large for the flattened transistor-level oracle).
+	ConfSkipped
 
 	numCounters
 )
@@ -66,6 +76,10 @@ var counterNames = [numCounters]string{
 	ATPGFaults:       "atpg/faults",
 	ATPGDecisions:    "atpg/decisions",
 	ATPGBacktracks:   "atpg/backtracks",
+	ConfSeeds:        "conformance/seeds",
+	ConfChecks:       "conformance/checks",
+	ConfViolations:   "conformance/violations",
+	ConfSkipped:      "conformance/skipped",
 }
 
 // String returns the counter's label.

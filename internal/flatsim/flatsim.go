@@ -10,6 +10,7 @@
 package flatsim
 
 import (
+	"errors"
 	"fmt"
 
 	"sstiming/internal/device"
@@ -21,6 +22,12 @@ import (
 
 // MaxNodes bounds the flattened circuit size (dense-solver regime).
 const MaxNodes = 120
+
+// ErrTooLarge reports a circuit whose flattened transistor netlist exceeds
+// MaxNodes. It is returned wrapped with the actual node count, so callers
+// that fall back to gate-level-only verification (e.g. the conformance
+// campaigns) test for it with errors.Is.
+var ErrTooLarge = errors.New("flattened circuit exceeds the dense-solver node limit")
 
 // Options configures a flattened simulation.
 type Options struct {
@@ -191,7 +198,7 @@ func Simulate(c *netlist.Circuit, v1, v2 logicsim.Vector, opts Options) (*Result
 	}
 
 	if nn := ckt.NumNodes(); nn > MaxNodes {
-		return nil, fmt.Errorf("flatsim: flattened circuit has %d nodes, exceeding the dense-solver limit %d", nn, MaxNodes)
+		return nil, fmt.Errorf("flatsim: %s: flattened circuit has %d nodes, limit %d: %w", c.Name, nn, MaxNodes, ErrTooLarge)
 	}
 
 	tstop := opts.TStop

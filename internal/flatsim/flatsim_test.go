@@ -1,8 +1,11 @@
 package flatsim
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sstiming/internal/benchgen"
@@ -156,8 +159,47 @@ func TestFlatRejectsOversizedCircuit(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := logicsim.RandomVector(c, func(int) int { return 1 })
-	if _, err := Simulate(c, v, v, Options{}); err == nil {
-		t.Error("expected dense-solver size error for c432")
+	_, err = Simulate(c, v, v, Options{})
+	if err == nil {
+		t.Fatal("expected dense-solver size error for c432")
+	}
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error does not wrap ErrTooLarge: %v", err)
+	}
+}
+
+// TestFlatTooLargeJustOverLimit pins the MaxNodes overflow path on the
+// smallest circuit that exceeds it: an inverter chain flattens to one node
+// per stage plus the input, vdd and ground, so MaxNodes-2 stages lands
+// exactly one node over the limit. The error must be descriptive (wrap
+// ErrTooLarge, name the circuit and report the counts) — never a panic.
+func TestFlatTooLargeJustOverLimit(t *testing.T) {
+	c := netlist.New("chainover")
+	c.AddPI("a")
+	prev := "a"
+	for i := 0; i < MaxNodes-2; i++ {
+		out := fmt.Sprintf("n%d", i)
+		c.AddGate(netlist.Inv, out, prev)
+		prev = out
+	}
+	c.AddPO(prev)
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+
+	v0 := logicsim.RandomVector(c, func(int) int { return 0 })
+	v1 := logicsim.RandomVector(c, func(int) int { return 1 })
+	_, err := Simulate(c, v0, v1, Options{})
+	if err == nil {
+		t.Fatal("expected node-limit error")
+	}
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error does not wrap ErrTooLarge: %v", err)
+	}
+	for _, want := range []string{"chainover", fmt.Sprint(MaxNodes + 1), fmt.Sprint(MaxNodes)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
 	}
 }
 

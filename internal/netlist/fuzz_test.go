@@ -1,0 +1,54 @@
+package netlist
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseBench hammers the .bench parser with arbitrary bytes. Parse must
+// never panic; when it accepts an input, the circuit must be internally
+// consistent (built, topologically ordered) and survive a Write/Parse
+// round trip without changing shape.
+func FuzzParseBench(f *testing.F) {
+	f.Add([]byte("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n"))
+	f.Add([]byte("# comment\n\nINPUT(a)\nOUTPUT(y)\nn1 = NOT(a)\ny = BUFF(n1)\n"))
+	f.Add([]byte("INPUT (a)\nINPUT(b)\nOUTPUT(z)\nw = AND(a, b)\nz = OR(w, a)\n"))
+	f.Add([]byte("INPUT(a)\nOUTPUT(z)\nz = XOR(a, a)\n"))
+	f.Add([]byte("z = NAND(,)\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted circuits must be fully built and self-consistent.
+		if got := len(c.TopoOrder()); got != c.NumGates() {
+			t.Fatalf("topo order has %d entries for %d gates", got, c.NumGates())
+		}
+		for _, net := range c.Nets() {
+			if _, ok := c.Driver(net); !ok && !c.IsPI(net) {
+				t.Fatalf("net %q has neither driver nor PI status", net)
+			}
+		}
+
+		// Round trip: writing and re-reading must preserve the structure.
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			t.Fatalf("write of accepted circuit failed: %v", err)
+		}
+		c2, err := Parse("fuzz", strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip does not parse: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(c.PIs, c2.PIs) || !reflect.DeepEqual(c.POs, c2.POs) {
+			t.Fatalf("round trip changed PIs/POs: %v/%v -> %v/%v", c.PIs, c.POs, c2.PIs, c2.POs)
+		}
+		if c.NumGates() != c2.NumGates() || c.Depth() != c2.Depth() {
+			t.Fatalf("round trip changed shape: %d gates depth %d -> %d gates depth %d",
+				c.NumGates(), c.Depth(), c2.NumGates(), c2.Depth())
+		}
+	})
+}

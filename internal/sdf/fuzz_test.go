@@ -1,0 +1,108 @@
+package sdf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSDF hammers the SDF reader with arbitrary bytes. Parse must never
+// panic; when it accepts an input whose names and delay values are
+// representable by Write (plain atoms, moderate finite delays), a
+// Write/Parse round trip must preserve the file's structure and values to
+// the writer's printed precision.
+func FuzzParseSDF(f *testing.F) {
+	f.Add([]byte(`(DELAYFILE
+  (SDFVERSION "2.1")
+  (DESIGN "c17")
+  (TIMESCALE 1ns)
+  (CELL
+    (CELLTYPE "NAND2")
+    (INSTANCE n10)
+    (DELAY (ABSOLUTE
+      (IOPATH in0 out (0.061:0.0674:0.0885) (0.0571:0.0632:0.0843)
+      )
+    ))
+  )
+)
+`))
+	f.Add([]byte("(DELAYFILE (DESIGN \"x\") (UNKNOWN (NESTED forms) ignored))"))
+	f.Add([]byte("(DELAYFILE"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !writable(file) {
+			return
+		}
+		var buf bytes.Buffer
+		if err := file.Write(&buf); err != nil {
+			t.Fatalf("write of accepted file failed: %v", err)
+		}
+		got, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip does not parse: %v\n%s", err, buf.String())
+		}
+		if got.Design != file.Design || len(got.Cells) != len(file.Cells) {
+			t.Fatalf("round trip changed file: design %q/%d cells -> %q/%d cells",
+				file.Design, len(file.Cells), got.Design, len(got.Cells))
+		}
+		for i := range file.Cells {
+			a, b := &file.Cells[i], &got.Cells[i]
+			if a.CellType != b.CellType || a.Instance != b.Instance || len(a.Paths) != len(b.Paths) {
+				t.Fatalf("round trip changed cell %d: %+v -> %+v", i, a, b)
+			}
+			for j := range a.Paths {
+				pa, pb := a.Paths[j], b.Paths[j]
+				if pa.From != pb.From || pa.To != pb.To {
+					t.Fatalf("round trip changed path %d/%d ports: %+v -> %+v", i, j, pa, pb)
+				}
+				for _, v := range [][2]float64{
+					{pa.Rise.Min, pb.Rise.Min}, {pa.Rise.Typ, pb.Rise.Typ}, {pa.Rise.Max, pb.Rise.Max},
+					{pa.Fall.Min, pb.Fall.Min}, {pa.Fall.Typ, pb.Fall.Typ}, {pa.Fall.Max, pb.Fall.Max},
+				} {
+					if math.Abs(v[0]-v[1]) > 1e-5*math.Max(math.Abs(v[0]), math.Abs(v[1])) {
+						t.Fatalf("round trip drifted value %g -> %g in cell %d path %d", v[0], v[1], i, j)
+					}
+				}
+			}
+		}
+	})
+}
+
+// writable reports whether Write can represent the file faithfully: the
+// writer emits instance and port names as bare atoms (so they must be plain
+// tokens), quotes design and cell type (so they must not contain quotes),
+// and prints delays with 6 significant digits on a nanosecond scale (so they
+// must be finite and of sane magnitude).
+func writable(f *File) bool {
+	atom := func(s string) bool {
+		return s != "" && !strings.ContainsAny(s, " \t\n\r()\"")
+	}
+	quoted := func(s string) bool {
+		return !strings.ContainsAny(s, "\"\\")
+	}
+	val := func(v float64) bool {
+		return !math.IsNaN(v) && math.Abs(v) < 1e6 // < 10^15 ns: prints without overflow
+	}
+	triple := func(tr Triple) bool { return val(tr.Min) && val(tr.Typ) && val(tr.Max) }
+	if !quoted(f.Design) {
+		return false
+	}
+	for i := range f.Cells {
+		c := &f.Cells[i]
+		if !quoted(c.CellType) || !atom(c.Instance) {
+			return false
+		}
+		for _, p := range c.Paths {
+			if !atom(p.From) || !atom(p.To) || !triple(p.Rise) || !triple(p.Fall) {
+				return false
+			}
+		}
+	}
+	return true
+}
