@@ -7,7 +7,7 @@ GO ?= go
 # genuinely improves; never lower it to make a PR pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race vet verify conformance cover bench bench-parallel clean
+.PHONY: build test race vet verify conformance chaos cover bench bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 # Tier-1 verification loop (see ROADMAP.md).
-verify: build vet test race conformance
+verify: build vet test race conformance chaos
 
 # Short randomized differential campaign: cross-checks flatsim, logicsim,
 # STA, ITR and the delay-model structure against each other on random
@@ -30,6 +30,15 @@ verify: build vet test race conformance
 conformance:
 	$(GO) test -run TestConformance -race ./internal/conformance
 	$(GO) run ./cmd/conformance -seeds 8 -jobs 4
+
+# Fault-injection suite: deterministic chaos tests that force solver
+# non-convergence, NaN poisoning and worker panics, then assert the
+# recovery ladder, graceful degradation and error taxonomy hold — under
+# the race detector, since recovery paths run on the parallel engine pool
+# (see DESIGN.md "Robustness & failure handling").
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/spice ./internal/charlib \
+		./internal/conformance ./internal/faultinject ./internal/engine
 
 # Coverage gate: emits coverage.out and fails if the total drops below
 # COVER_FLOOR.

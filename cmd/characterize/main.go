@@ -7,6 +7,13 @@
 // Usage:
 //
 //	characterize [-out lib05.json] [-fast] [-jobs N] [-stats] [-v]
+//	             [-health] [-max-degraded F] [-retries N]
+//	             [-inject kind] [-inject-rate F] [-inject-seed S] [-inject-persist]
+//
+// The -inject* flags drive the deterministic fault-injection harness
+// (internal/faultinject) for resilience testing: a seeded fraction of all
+// solver time points is forced to fail, exercising the recovery, retry and
+// graceful-degradation machinery end to end.
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 
 	"sstiming/internal/charlib"
 	"sstiming/internal/engine"
+	"sstiming/internal/faultinject"
+	"sstiming/internal/spice"
 )
 
 func main() {
@@ -25,6 +34,13 @@ func main() {
 	jobs := flag.Int("jobs", 0, "worker pool width (0 = all CPUs, 1 = serial)")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	verbose := flag.Bool("v", false, "print progress")
+	health := flag.Bool("health", false, "print the per-cell characterisation health summary to stderr")
+	maxDegraded := flag.Float64("max-degraded", 0, "max tolerated fraction of degraded points per cell (0 = default 0.25, negative forbids)")
+	retries := flag.Int("retries", 0, "per-point retry budget with tightened solver settings (0 = default 2, negative disables)")
+	injectKind := flag.String("inject", "", "fault kind to inject: noconv, nan or panic (empty disables)")
+	injectRate := flag.Float64("inject-rate", 0.05, "fraction of solver time points faulted when -inject is set")
+	injectSeed := flag.Int64("inject-seed", 1, "fault-injection plan seed")
+	injectPersist := flag.Bool("inject-persist", false, "re-fire injected faults on recovery attempts too (defeats the solver ladder)")
 	flag.Parse()
 
 	var opts charlib.Options
@@ -35,6 +51,8 @@ func main() {
 	// consumers only use them behind their NCExtension flags.
 	opts.NCPairs = true
 	opts.Jobs = *jobs
+	opts.Retries = *retries
+	opts.MaxDegradedFrac = *maxDegraded
 	if *stats {
 		opts.Metrics = engine.NewMetrics()
 	}
@@ -43,8 +61,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	var plan *faultinject.Plan
+	if *injectKind != "" {
+		kind, err := spice.ParseFaultKind(*injectKind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			os.Exit(1)
+		}
+		plan = faultinject.NewPlan(*injectSeed, *injectRate, kind, *injectPersist)
+		opts.NewFaultHook = plan.NextHook
+	}
 
 	lib, err := charlib.Characterize(opts)
+	if plan != nil {
+		fmt.Fprintf(os.Stderr, "fault injection: %d faults across %d transients (kind %s, rate %g, seed %d)\n",
+			plan.Injected(), plan.Transients(), *injectKind, *injectRate, *injectSeed)
+	}
+	if *health && lib != nil {
+		if werr := lib.WriteHealth(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", werr)
+		}
+	}
 	if *stats {
 		opts.Metrics.WriteText(os.Stderr)
 	}

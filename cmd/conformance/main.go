@@ -11,6 +11,13 @@
 //	conformance [-lib lib.json] [-seeds N] [-seed-base B] [-jobs N]
 //	            [-checks a,b,...] [-tol spec] [-flat-trials N]
 //	            [-max-violations N] [-stats] [-json] [-list]
+//	            [-health] [-max-degraded F]
+//
+// The -health flag prints the library's characterisation health record (per
+// cell: attempted, retried and degraded point counts); -max-degraded refuses
+// to campaign against a library whose worst cell exceeds the given degraded
+// fraction — interpolated characterisation points weaken the oracle the
+// campaign trusts.
 //
 // The -tol flag accepts comma-separated key=seconds pairs, e.g.
 // "window=2e-12,flatabs=150e-12"; keys are window, flatabs, flatrel (ratio),
@@ -43,6 +50,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
 	list := flag.Bool("list", false, "list the available checks and exit")
+	health := flag.Bool("health", false, "print the library's characterisation health summary to stderr")
+	maxDegraded := flag.Float64("max-degraded", 0, "refuse libraries whose worst cell exceeds this degraded fraction (0 = default 0.25, negative forbids)")
 	flag.Parse()
 
 	if *list {
@@ -61,6 +70,21 @@ func main() {
 	lib, err := loadLibrary(*libPath)
 	if err != nil {
 		fail(err)
+	}
+	if *health {
+		if err := lib.WriteHealth(os.Stderr); err != nil {
+			fail(err)
+		}
+	}
+	budget := *maxDegraded
+	if budget == 0 {
+		budget = 0.25
+	} else if budget < 0 {
+		budget = 0
+	}
+	if frac := lib.MaxDegradedFrac(); frac > budget {
+		fail(fmt.Errorf("library health: worst cell has %.1f%% degraded characterisation points, budget is %.1f%% (see -max-degraded)",
+			100*frac, 100*budget))
 	}
 	tol, err := parseTol(*tolFlag)
 	if err != nil {

@@ -252,6 +252,17 @@ type SimOptions struct {
 	// Method selects the integration scheme (default spice.BackwardEuler;
 	// the characterisation harness uses spice.Trapezoidal).
 	Method spice.Method
+	// MaxNewton bounds Newton iterations per time point; zero keeps the
+	// solver default. The characterisation retry path raises it.
+	MaxNewton int
+	// VTol is the Newton convergence tolerance; zero keeps the default.
+	VTol float64
+	// MaxStepHalvings bounds the solver's non-convergence recovery ladder;
+	// zero keeps the default, negative disables recovery.
+	MaxStepHalvings int
+	// FaultHook, when non-nil, injects deterministic solver faults for
+	// chaos testing (see internal/faultinject).
+	FaultHook spice.FaultHook
 	// Ctx, when non-nil, cancels the underlying transient analysis.
 	Ctx context.Context
 	// Metrics, when non-nil, receives the simulator effort counters.
@@ -288,12 +299,16 @@ func (c Config) SimulateOutput(drives []Drive, opts SimOptions) (*waveform.Wavef
 	}
 
 	res, err := ckt.Transient(spice.TransientOpts{
-		TStop:   tstop,
-		TStep:   tstep,
-		Method:  opts.Method,
-		Record:  []string{"out"},
-		Ctx:     opts.Ctx,
-		Metrics: opts.Metrics,
+		TStop:           tstop,
+		TStep:           tstep,
+		MaxNewton:       opts.MaxNewton,
+		VTol:            opts.VTol,
+		Method:          opts.Method,
+		Record:          []string{"out"},
+		Ctx:             opts.Ctx,
+		MaxStepHalvings: opts.MaxStepHalvings,
+		FaultHook:       opts.FaultHook,
+		Metrics:         opts.Metrics,
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("cells: %s simulation: %w", c.Name(), err)

@@ -50,6 +50,24 @@ type Options struct {
 	// to-non-controlling surfaces (the paper's Section 3.6 future work;
 	// roughly doubles the pair-characterisation cost).
 	NCPairs bool
+	// Retries bounds the per-point retry ladder: a simulation whose solver
+	// fails recoverably (non-convergence, numerical blow-up) even after the
+	// solver's own step-halving recovery is re-run with tightened settings
+	// (halved step, doubled Newton budget) up to this many times. Zero
+	// selects 2; negative disables retries. The first attempt always uses
+	// the unmodified settings, so a clean run is byte-identical whatever
+	// the value.
+	Retries int
+	// MaxDegradedFrac is the graceful-degradation budget: the largest
+	// tolerated fraction of a cell's characterisation points that may be
+	// interpolated from neighbours after all retries fail. Zero selects
+	// 0.25; negative forbids degradation entirely. Beyond the budget the
+	// cell's characterisation fails hard.
+	MaxDegradedFrac float64
+	// NewFaultHook, when non-nil, supplies one fault-injection hook per
+	// transient analysis (see internal/faultinject.Plan.NextHook). Chaos
+	// testing only; production runs leave it nil.
+	NewFaultHook func() spice.FaultHook
 	// Progress, when non-nil, receives one line per characterisation
 	// stage (useful for the CLI).
 	Progress func(format string, args ...any)
@@ -82,6 +100,16 @@ func (o *Options) fill() {
 	}
 	if o.SkewTol <= 0 {
 		o.SkewTol = 4e-12
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.MaxDegradedFrac == 0 {
+		o.MaxDegradedFrac = 0.25
+	} else if o.MaxDegradedFrac < 0 {
+		o.MaxDegradedFrac = 0
 	}
 	if o.Progress == nil {
 		o.Progress = func(string, ...any) {}
@@ -146,6 +174,9 @@ type characterizer struct {
 	singleNC   map[[2]int]measurement
 	// quality accumulates per-surface fit statistics (ns domain).
 	quality map[string]core.FitQuality
+	// health accumulates resilience bookkeeping: attempted points, retried
+	// simulations and degraded (interpolated) points.
+	health core.CellHealth
 }
 
 type pairKey struct {
@@ -172,8 +203,15 @@ func Characterize(opts Options) (*core.Library, error) {
 	err := engine.Run(opts.Ctx, opts.Jobs, len(opts.Cells), func(ctx context.Context, i int) error {
 		cfg := opts.Cells[i]
 		opts.Progress("characterizing %s", cfg.Name())
-		m, err := characterizeCell(ctx, opts, cfg)
-		if err != nil {
+		// Safely labels a crash (e.g. an injected panic deep inside a
+		// simulation) with the cell name; the bare pool-level recovery
+		// would only report the goroutine.
+		var m *core.CellModel
+		if err := engine.Safely(func() error {
+			var err error
+			m, err = characterizeCell(ctx, opts, cfg)
+			return err
+		}); err != nil {
 			return fmt.Errorf("%s: %w", cfg.Name(), err)
 		}
 		models[i] = m
@@ -232,7 +270,9 @@ func characterizeCell(ctx context.Context, opts Options, cfg cells.Config) (*cor
 	}
 
 	if opts.SkipPairs {
-		model.Quality = ch.quality
+		if err := ch.finish(model); err != nil {
+			return nil, err
+		}
 		return model, nil
 	}
 
@@ -290,7 +330,9 @@ func characterizeCell(ctx context.Context, opts Options, cfg cells.Config) (*cor
 			return nil, fmt.Errorf("multi-input factors: %w", err)
 		}
 	}
-	model.Quality = ch.quality
+	if err := ch.finish(model); err != nil {
+		return nil, err
+	}
 	return model, nil
 }
 
@@ -356,16 +398,9 @@ func (ch *characterizer) simulate(drives map[int]cells.Drive, outRising bool, ex
 			all[i] = ch.steadyNonCtrl()
 		}
 	}
-	ch.opts.Metrics.Add(engine.CharJobs, 1)
 	cfg := ch.cfg
 	cfg.ExtraLoadCap += extraLoad
-	tr, err := cfg.MeasureResponse(all, outRising, cells.SimOptions{
-		TStop:   latest + maxTT + 2.5e-9,
-		TStep:   ch.opts.TStep,
-		Method:  spice.Trapezoidal,
-		Ctx:     ch.ctx,
-		Metrics: ch.opts.Metrics,
-	})
+	tr, err := ch.runSim(cfg, all, outRising, latest, maxTT)
 	if err != nil {
 		return measurement{}, err
 	}
@@ -443,6 +478,10 @@ func (ch *characterizer) measurePair(x, y, txIdx, tyIdx int, skew float64) (meas
 }
 
 // fitPin characterises one pin's single-transition timing functions.
+//
+// A grid sample whose simulation fails recoverably even after the retry
+// ladder is dropped from the fit and recorded as degraded; at least three
+// samples must survive for the quadratic fit to stay determined.
 func (ch *characterizer) fitPin(pin int, ctrl bool) (core.PinTiming, error) {
 	grid := ch.opts.Grid
 	var tsNs, delaysNs, transNs []float64
@@ -450,6 +489,12 @@ func (ch *characterizer) fitPin(pin int, ctrl bool) (core.PinTiming, error) {
 	if !ctrl {
 		outRising = !outRising
 	}
+	dir := "nc"
+	if ctrl {
+		dir = "ctrl"
+	}
+	surface := fmt.Sprintf("pin%d/%s", pin, dir)
+	ch.notePoints(len(grid) + 1) // grid samples + the load-slope point
 
 	for gi, tt := range grid {
 		var m measurement
@@ -462,17 +507,20 @@ func (ch *characterizer) fitPin(pin int, ctrl bool) (core.PinTiming, error) {
 				outRising, 0, stimulusArrival, tt)
 		}
 		if err != nil {
-			return core.PinTiming{}, err
+			if !spice.IsRecoverable(err) {
+				return core.PinTiming{}, err
+			}
+			ch.noteDegraded(surface, tt, 0, err)
+			continue
 		}
 		tsNs = append(tsNs, tt/1e-9)
 		delaysNs = append(delaysNs, m.delay/1e-9)
 		transNs = append(transNs, m.trans/1e-9)
 	}
-
-	dir := "nc"
-	if ctrl {
-		dir = "ctrl"
+	if len(tsNs) < 3 {
+		return core.PinTiming{}, fmt.Errorf("only %d of %d grid samples converged, quadratic fit needs 3", len(tsNs), len(grid))
 	}
+
 	kd, kdSt, err := fit.FitQuad(tsNs, delaysNs)
 	if err != nil {
 		return core.PinTiming{}, fmt.Errorf("delay fit: %w", err)
@@ -503,21 +551,27 @@ func (ch *characterizer) fitPin(pin int, ctrl bool) (core.PinTiming, error) {
 			map[int]cells.Drive{pin: ch.nonCtrlDrive(stimulusArrival, tt)},
 			outRising, 0, stimulusArrival, tt)
 	}
-	if err != nil {
+	if err == nil {
+		var drive cells.Drive
+		if ctrl {
+			drive = ch.ctrlDrive(stimulusArrival, tt)
+		} else {
+			drive = ch.nonCtrlDrive(stimulusArrival, tt)
+		}
+		var loaded measurement
+		loaded, err = ch.simulate(map[int]cells.Drive{pin: drive}, outRising, extra, stimulusArrival, tt)
+		if err == nil {
+			pt.DelayLoadSlope = (loaded.delay - base.delay) / extra
+			pt.TransLoadSlope = (loaded.trans - base.trans) / extra
+			return pt, nil
+		}
+	}
+	if !spice.IsRecoverable(err) {
 		return core.PinTiming{}, err
 	}
-	var drive cells.Drive
-	if ctrl {
-		drive = ch.ctrlDrive(stimulusArrival, tt)
-	} else {
-		drive = ch.nonCtrlDrive(stimulusArrival, tt)
-	}
-	loaded, err := ch.simulate(map[int]cells.Drive{pin: drive}, outRising, extra, stimulusArrival, tt)
-	if err != nil {
-		return core.PinTiming{}, err
-	}
-	pt.DelayLoadSlope = (loaded.delay - base.delay) / extra
-	pt.TransLoadSlope = (loaded.trans - base.trans) / extra
+	// Degrade to a zero load slope (the reference-load delay stays exact);
+	// conservative only for loads above the reference.
+	ch.noteDegraded(surface+"/load", tt, 0, err)
 	return pt, nil
 }
 
@@ -531,33 +585,50 @@ func (ch *characterizer) fitPair(x, y int, model *core.CellModel) (core.PairEntr
 	// threshold — the deepest fan-out of the characterisation, run on the
 	// engine pool. Rows land by index, so the fitted surfaces are
 	// byte-identical to a serial sweep.
+	pairKeyName := fmt.Sprintf("pair%d:%d", x, y)
 	type pairRow struct {
 		d0, t0, sx, skmin float64
 	}
 	rows := make([]pairRow, len(grid)*len(grid))
+	ch.notePoints(len(rows))
+	// failed marks grid cells whose simulations never converged; they are
+	// interpolated from neighbours after the fan-out. rowErrs keeps the
+	// failure causes for the health record.
+	failed := make([]bool, len(rows))
+	rowErrs := make([]error, len(rows))
 	err := engine.Run(ch.ctx, ch.opts.Jobs, len(rows), func(_ context.Context, i int) error {
 		txIdx, tyIdx := i/len(grid), i%len(grid)
-		dx, err := ch.measureSingleCtrl(x, txIdx)
+		row, err := func() (pairRow, error) {
+			dx, err := ch.measureSingleCtrl(x, txIdx)
+			if err != nil {
+				return pairRow{}, err
+			}
+
+			m0, err := ch.measurePair(x, y, txIdx, tyIdx, 0)
+			if err != nil {
+				return pairRow{}, err
+			}
+
+			sx, samples, err := ch.findSkewThreshold(x, y, txIdx, tyIdx, dx.delay)
+			if err != nil {
+				return pairRow{}, err
+			}
+
+			// Minimal output transition time over the sampled positive
+			// arm (including zero skew).
+			samples = append(samples, sample{skew: 0, trans: m0.trans})
+			skMin, tMin := argminTrans(samples)
+			return pairRow{d0: m0.delay, t0: tMin, sx: sx, skmin: skMin}, nil
+		}()
 		if err != nil {
-			return err
+			if !spice.IsRecoverable(err) {
+				return err
+			}
+			failed[i] = true
+			rowErrs[i] = err
+			return nil
 		}
-
-		m0, err := ch.measurePair(x, y, txIdx, tyIdx, 0)
-		if err != nil {
-			return err
-		}
-
-		sx, samples, err := ch.findSkewThreshold(x, y, txIdx, tyIdx, dx.delay)
-		if err != nil {
-			return err
-		}
-
-		// Minimal output transition time over the sampled positive
-		// arm (including zero skew).
-		samples = append(samples, sample{skew: 0, trans: m0.trans})
-		skMin, tMin := argminTrans(samples)
-
-		rows[i] = pairRow{d0: m0.delay, t0: tMin, sx: sx, skmin: skMin}
+		rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -574,6 +645,14 @@ func (ch *characterizer) fitPair(x, y int, model *core.CellModel) (core.PairEntr
 		t0Ns = append(t0Ns, row.t0/1e-9)
 		sxNs = append(sxNs, row.sx/1e-9)
 		skminNs = append(skminNs, row.skmin/1e-9)
+	}
+	if err := interpolateGrid(len(grid), failed, d0Ns, t0Ns, sxNs, skminNs); err != nil {
+		return core.PairEntry{}, fmt.Errorf("%s: %w", pairKeyName, err)
+	}
+	for i, f := range failed {
+		if f {
+			ch.noteDegraded(pairKeyName, grid[i/len(grid)], grid[i%len(grid)], rowErrs[i])
+		}
 	}
 
 	fitCross := func(key string, ys []float64) (core.Cross, error) {
@@ -596,7 +675,6 @@ func (ch *characterizer) fitPair(x, y int, model *core.CellModel) (core.PairEntr
 		}, nil
 	}
 
-	pairKeyName := fmt.Sprintf("pair%d:%d", x, y)
 	d0, err := fitCross(pairKeyName+"/D0", d0Ns)
 	if err != nil {
 		return core.PairEntry{}, fmt.Errorf("D0 fit: %w", err)
@@ -717,9 +795,22 @@ func (ch *characterizer) fitMultiFactors(model *core.CellModel) error {
 			drives[pin] = ch.ctrlDrive(stimulusArrival, tt)
 			events = append(events, core.InputEvent{Pin: pin, Arrival: stimulusArrival, Trans: tt})
 		}
+		ch.notePoints(1)
 		meas, err := ch.simulate(drives, ch.cfg.OutputRisesOnControlling(), 0, stimulusArrival, tt)
 		if err != nil {
-			return err
+			if !spice.IsRecoverable(err) {
+				return err
+			}
+			// Conservative fallback: carry the previous factor forward
+			// (or no speed-up at all), preserving the non-increasing
+			// sequence the STA bound relies on.
+			factor := 1.0
+			if ln := len(model.MultiFactor); ln > 0 {
+				factor = model.MultiFactor[ln-1]
+			}
+			ch.noteDegraded(fmt.Sprintf("multi%d", k), tt, 0, err)
+			model.MultiFactor = append(model.MultiFactor, factor)
+			continue
 		}
 		// Pairwise model prediction without multi factors.
 		saved := model.MultiFactor

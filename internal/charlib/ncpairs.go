@@ -78,12 +78,7 @@ func (ch *characterizer) simulateNC(drives map[int]cells.Drive, outRising bool, 
 			all[i] = ch.steadyNonCtrl()
 		}
 	}
-	cfg := ch.cfg
-	tr, err := cfg.MeasureResponse(all, outRising, cells.SimOptions{
-		TStop:  latest + maxTT + 2.5e-9,
-		TStep:  ch.opts.TStep,
-		Method: spice.Trapezoidal,
-	})
+	tr, err := ch.runSim(ch.cfg, all, outRising, latest, maxTT)
 	if err != nil {
 		return measurement{}, err
 	}
@@ -123,25 +118,42 @@ func (ch *characterizer) fitNCPair(x, y int) (core.PairEntry, error) {
 
 	// Grid cells fan out on the engine pool exactly like fitPair's; rows
 	// land by index for a scheduling-independent fit.
+	keyName := fmt.Sprintf("ncpair%d:%d", x, y)
 	type ncRow struct {
 		d0, t0, s float64
 	}
 	rows := make([]ncRow, len(grid)*len(grid))
+	ch.notePoints(len(rows))
+	// Grid cells that never converge are interpolated from neighbours after
+	// the fan-out, mirroring fitPair's graceful degradation.
+	failed := make([]bool, len(rows))
+	rowErrs := make([]error, len(rows))
 	err := engine.Run(ch.ctx, ch.opts.Jobs, len(rows), func(_ context.Context, i int) error {
 		txIdx, tyIdx := i/len(grid), i%len(grid)
-		dy, err := ch.measureSingleNC(y, tyIdx)
+		row, err := func() (ncRow, error) {
+			dy, err := ch.measureSingleNC(y, tyIdx)
+			if err != nil {
+				return ncRow{}, err
+			}
+			m0, err := ch.measureNCPair(x, y, txIdx, tyIdx, 0)
+			if err != nil {
+				return ncRow{}, err
+			}
+			s, err := ch.findNCSkewThreshold(x, y, txIdx, tyIdx, dy.delay)
+			if err != nil {
+				return ncRow{}, err
+			}
+			return ncRow{d0: m0.delay, t0: m0.trans, s: s}, nil
+		}()
 		if err != nil {
-			return err
+			if !spice.IsRecoverable(err) {
+				return err
+			}
+			failed[i] = true
+			rowErrs[i] = err
+			return nil
 		}
-		m0, err := ch.measureNCPair(x, y, txIdx, tyIdx, 0)
-		if err != nil {
-			return err
-		}
-		s, err := ch.findNCSkewThreshold(x, y, txIdx, tyIdx, dy.delay)
-		if err != nil {
-			return err
-		}
-		rows[i] = ncRow{d0: m0.delay, t0: m0.trans, s: s}
+		rows[i] = row
 		return nil
 	})
 	if err != nil {
@@ -157,6 +169,14 @@ func (ch *characterizer) fitNCPair(x, y int) (core.PairEntry, error) {
 		d0Ns = append(d0Ns, row.d0/1e-9)
 		t0Ns = append(t0Ns, row.t0/1e-9)
 		sNs = append(sNs, row.s/1e-9)
+	}
+	if err := interpolateGrid(len(grid), failed, d0Ns, t0Ns, sNs); err != nil {
+		return core.PairEntry{}, fmt.Errorf("%s: %w", keyName, err)
+	}
+	for i, f := range failed {
+		if f {
+			ch.noteDegraded(keyName, grid[i/len(grid)], grid[i%len(grid)], rowErrs[i])
+		}
 	}
 
 	fitCross := func(key string, ys []float64) (core.Cross, error) {
@@ -178,7 +198,6 @@ func (ch *characterizer) fitNCPair(x, y int) (core.PairEntry, error) {
 			Kxx: k[4], Kyy: k[5], Kxxy: k[6], Kxyy: k[7],
 		}, nil
 	}
-	keyName := fmt.Sprintf("ncpair%d:%d", x, y)
 	d0, err := fitCross(keyName+"/D0", d0Ns)
 	if err != nil {
 		return core.PairEntry{}, fmt.Errorf("NC D0 fit: %w", err)

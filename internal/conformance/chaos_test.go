@@ -1,0 +1,110 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sstiming/internal/engine"
+	"sstiming/internal/faultinject"
+	"sstiming/internal/prechar"
+	"sstiming/internal/spice"
+)
+
+// TestChaosCampaignSkipsUnconvergedFlatTrials drives persistent solver
+// faults into every flattened transistor-level simulation: the campaign must
+// complete without harness errors, count the lost trials as skips, and must
+// NOT blame the timing model (no violations from the flat checks).
+func TestChaosCampaignSkipsUnconvergedFlatTrials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Rate 0.01 with thousands of steps per flattened transient: every
+	// trial faults early and persistently, so none can converge.
+	plan := faultinject.NewPlan(11, 0.01, spice.FaultNoConverge, true)
+	met := engine.NewMetrics()
+	rep, err := Run(Options{
+		Lib:          prechar.MustLibrary(),
+		Seeds:        SeedRange(3, 1),
+		Jobs:         1,
+		Checks:       []string{"logic-flat", "flat-sta"},
+		NewFaultHook: plan.NextHook,
+		Metrics:      met,
+	})
+	if err != nil {
+		t.Fatalf("campaign did not survive fault injection: %v", err)
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("plan injected no faults — vacuous test")
+	}
+	if !rep.Passed() {
+		t.Errorf("injected solver failures were reported as model violations:\n%+v", rep.Violations)
+	}
+	skipped := 0
+	for _, st := range rep.Stats {
+		skipped += st.Skipped
+	}
+	if skipped == 0 {
+		t.Error("no skips recorded although every flat trial was faulted")
+	}
+	if got := met.Get(engine.SpiceUnrecovered); got == 0 {
+		t.Error("SpiceUnrecovered metric not fed by the campaign")
+	}
+}
+
+// TestChaosCampaignMatchesCleanRunUnderRecoverableFaults injects one-shot
+// faults (always recovered inside the solver) and checks the campaign
+// reaches the same verdict as a clean run.
+func TestChaosCampaignMatchesCleanRunUnderRecoverableFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	run := func(hook func() spice.FaultHook) *Report {
+		t.Helper()
+		rep, err := Run(Options{
+			Lib:          prechar.MustLibrary(),
+			Seeds:        SeedRange(2, 1),
+			Jobs:         1,
+			Checks:       []string{"logic-flat"},
+			NewFaultHook: hook,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	clean := run(nil)
+	plan := faultinject.NewPlan(5, 0.02, spice.FaultNoConverge, false)
+	faulted := run(plan.NextHook)
+	if plan.Injected() == 0 {
+		t.Fatal("plan injected no faults — vacuous test")
+	}
+	if clean.Passed() != faulted.Passed() {
+		t.Errorf("verdict changed under recoverable faults: clean %v, faulted %v",
+			clean.Passed(), faulted.Passed())
+	}
+	cs, fs := clean.Stats["logic-flat"], faulted.Stats["logic-flat"]
+	if cs.Checked != fs.Checked || cs.Skipped != fs.Skipped {
+		t.Errorf("effort changed under recoverable faults: clean %+v, faulted %+v", cs, fs)
+	}
+}
+
+// TestChaosCampaignCancellation cancels the campaign up front: the error
+// must carry the cancellation taxonomy, not a model violation or a
+// numerical-failure disguise.
+func TestChaosCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(Options{
+		Lib:   prechar.MustLibrary(),
+		Seeds: SeedRange(2, 1),
+		Jobs:  1,
+		Ctx:   ctx,
+	})
+	if err == nil {
+		t.Fatal("cancelled campaign returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sstiming/internal/logicsim"
 	"sstiming/internal/netlist"
 	"sstiming/internal/nineval"
+	"sstiming/internal/spice"
 	"sstiming/internal/sta"
 )
 
@@ -126,7 +127,21 @@ func (e *seedEnv) flat() ([]*flatsim.Result, []error, error) {
 	e.flats = make([]*flatsim.Result, n)
 	e.flatErrs = make([]error, n)
 	for i := 0; i < n; i++ {
-		res, err := flatsim.Simulate(c, vecs[i][0], vecs[i][1], flatsim.Options{})
+		fo := flatsim.Options{Ctx: e.ctx, Metrics: e.opts.Metrics}
+		if e.opts.NewFaultHook != nil {
+			fo.FaultHook = e.opts.NewFaultHook()
+		}
+		res, err := flatsim.Simulate(c, vecs[i][0], vecs[i][1], fo)
+		if errors.Is(err, spice.ErrCancelled) {
+			return nil, nil, err
+		}
+		if err != nil && spice.IsRecoverable(err) {
+			// The solver never converged even through its recovery
+			// ladder: the trial yields no oracle data, so the checks
+			// count a skip (nil result, nil error) instead of blaming
+			// the timing model for a numerical failure.
+			continue
+		}
 		if errors.Is(err, flatsim.ErrTooLarge) {
 			// Oversized generated circuit: the campaign counts the
 			// skip instead of failing (satellite of the MaxNodes

@@ -44,6 +44,7 @@ import (
 	"sstiming/internal/flatsim"
 	"sstiming/internal/logicsim"
 	"sstiming/internal/netlist"
+	"sstiming/internal/spice"
 	"sstiming/internal/sta"
 )
 
@@ -126,6 +127,10 @@ type Options struct {
 	MaxShrink int
 	// Ctx, when non-nil, cancels the campaign between seeds.
 	Ctx context.Context
+	// NewFaultHook, when non-nil, supplies one solver fault-injection hook
+	// per flattened transient (see internal/faultinject.Plan.NextHook).
+	// Chaos testing only; production campaigns leave it nil.
+	NewFaultHook func() spice.FaultHook
 	// Metrics, when non-nil, accumulates campaign counters.
 	Metrics *engine.Metrics
 }
@@ -278,6 +283,7 @@ func Run(opts Options) (*Report, error) {
 	results := make([]*seedEnv, len(opts.Seeds))
 	err = engine.Run(opts.Ctx, opts.Jobs, len(opts.Seeds), func(ctx context.Context, i int) error {
 		e := newSeedEnv(&opts, opts.Seeds[i])
+		e.ctx = ctx
 		opts.Metrics.Add(engine.ConfSeeds, 1)
 		for _, ck := range checks {
 			opts.Metrics.Add(engine.ConfChecks, 1)
@@ -327,6 +333,9 @@ type seedEnv struct {
 	seed int64
 	lib  *core.Library
 	tol  Tolerances
+	// ctx is the campaign worker's context, threaded into the flattened
+	// transistor-level simulations (the longest-running solver calls).
+	ctx context.Context
 
 	stats      map[string]*CheckStat
 	violations []Violation

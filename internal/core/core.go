@@ -216,6 +216,10 @@ type CellModel struct {
 	// keyed e.g. "pin0/ctrl/delay" or "pair0:1/D0". Values are in the
 	// nanosecond fitting domain. Optional characterisation metadata.
 	Quality map[string]FitQuality `json:",omitempty"`
+	// Health records the resilience outcome of characterisation (retries,
+	// degraded points). Nil when characterisation was fully clean, so
+	// healthy artefacts are unchanged byte for byte.
+	Health *CellHealth `json:",omitempty"`
 }
 
 // FitQuality summarises one surface fit (nanosecond domain).

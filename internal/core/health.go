@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CellHealth records the resilience outcome of one cell's characterisation:
+// how many points were attempted, how many simulations needed a retry with
+// tightened solver settings, and which points never converged and were
+// replaced by interpolation from neighbouring grid points (degraded). A
+// fully clean characterisation attaches no health record at all, so library
+// artefacts are byte-identical to pre-resilience output.
+type CellHealth struct {
+	// Points is the number of characterisation points attempted.
+	Points int
+	// Retried counts simulations that only converged after a retry with
+	// tightened solver settings (smaller step, larger Newton budget).
+	Retried int `json:",omitempty"`
+	// Degraded lists points that never converged and were interpolated
+	// from converged neighbours (or replaced by a conservative default).
+	Degraded []DegradedPoint `json:",omitempty"`
+}
+
+// DegradedFrac returns the degraded fraction of attempted points.
+func (h *CellHealth) DegradedFrac() float64 {
+	if h == nil || h.Points == 0 {
+		return 0
+	}
+	return float64(len(h.Degraded)) / float64(h.Points)
+}
+
+// DegradedPoint identifies one characterisation point that was degraded.
+type DegradedPoint struct {
+	// Surface names the fitted surface the point belongs to, using the
+	// Quality-map key convention (e.g. "pair0:1", "pin2/ctrl", "multi3").
+	Surface string
+	// Tx and Ty are the grid transition times of the point in seconds
+	// (Ty is zero for single-input surfaces).
+	Tx float64
+	Ty float64 `json:",omitempty"`
+	// Reason summarises the solver failure that forced the degradation.
+	Reason string
+}
+
+// DegradedPoints returns the total number of degraded characterisation
+// points recorded across the library's cells.
+func (l *Library) DegradedPoints() int {
+	n := 0
+	for _, m := range l.Cells {
+		if m.Health != nil {
+			n += len(m.Health.Degraded)
+		}
+	}
+	return n
+}
+
+// MaxDegradedFrac returns the largest per-cell degraded fraction in the
+// library (zero for a fully healthy library).
+func (l *Library) MaxDegradedFrac() float64 {
+	worst := 0.0
+	for _, m := range l.Cells {
+		if f := m.Health.DegradedFrac(); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// WriteHealth renders a per-cell characterisation health summary: one line
+// per cell with attempted/retried/degraded counts, then the degraded points
+// in detail. Cells are sorted by name for reproducible output.
+func (l *Library) WriteHealth(w io.Writer) error {
+	names := make([]string, 0, len(l.Cells))
+	width := len("cell")
+	for name := range l.Cells {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w, "%-*s %8s %8s %9s\n", width, "cell", "points", "retried", "degraded"); err != nil {
+		return err
+	}
+	for _, name := range names {
+		h := l.Cells[name].Health
+		if h == nil {
+			if _, err := fmt.Fprintf(w, "%-*s %8s %8d %9d\n", width, name, "-", 0, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%-*s %8d %8d %9d (%.1f%%)\n",
+			width, name, h.Points, h.Retried, len(h.Degraded), 100*h.DegradedFrac()); err != nil {
+			return err
+		}
+	}
+	for _, name := range names {
+		h := l.Cells[name].Health
+		if h == nil {
+			continue
+		}
+		for _, d := range h.Degraded {
+			if _, err := fmt.Fprintf(w, "  %s %s Tx=%.3gns Ty=%.3gns: %s\n",
+				name, d.Surface, d.Tx*1e9, d.Ty*1e9, d.Reason); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

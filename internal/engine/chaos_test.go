@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestChaosSafelyContainsPanic: Safely must convert a panic into an error
+// carrying the payload and a stack trace, pass real errors through
+// unchanged, and stay transparent on success.
+func TestChaosSafelyContainsPanic(t *testing.T) {
+	err := Safely(func() error { panic("boom at pair 3:7") })
+	if err == nil {
+		t.Fatal("Safely swallowed a panic")
+	}
+	if !strings.Contains(err.Error(), "engine: worker panic") ||
+		!strings.Contains(err.Error(), "boom at pair 3:7") {
+		t.Errorf("panic payload lost: %v", err)
+	}
+	if !strings.Contains(err.Error(), "chaos_test.go") {
+		t.Errorf("no stack trace attached: %.120s", err.Error())
+	}
+
+	sentinel := errors.New("plain failure")
+	if got := Safely(func() error { return sentinel }); !errors.Is(got, sentinel) {
+		t.Errorf("Safely rewrapped a plain error: %v", got)
+	}
+	if got := Safely(func() error { return nil }); got != nil {
+		t.Errorf("Safely invented an error: %v", got)
+	}
+}
+
+// TestChaosRunSurvivesPanickingWorkers fans out jobs where some panic: the
+// pool must contain every crash, cancel the siblings, and report the
+// lowest-indexed failure so repeated runs blame the same job.
+func TestChaosRunSurvivesPanickingWorkers(t *testing.T) {
+	var started atomic.Int64
+	err := Run(context.Background(), 4, 32, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i%5 == 3 {
+			panic("chaos worker down")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking fan-out reported success")
+	}
+	if !strings.Contains(err.Error(), "engine: worker panic") ||
+		!strings.Contains(err.Error(), "chaos worker down") {
+		t.Errorf("crash not converted by the pool: %v", err)
+	}
+	if started.Load() == 0 {
+		t.Error("no jobs ran")
+	}
+	// The process is still alive and the pool still usable.
+	if err := Run(context.Background(), 4, 8, func(context.Context, int) error { return nil }); err != nil {
+		t.Errorf("pool unusable after contained panics: %v", err)
+	}
+}

@@ -130,6 +130,15 @@ func protect(ctx context.Context, job func(ctx context.Context) error) (err erro
 	return job(ctx)
 }
 
+// Safely runs fn and converts a panic into an error (same containment as the
+// pool's per-job recovery). Fan-out callers wrap job bodies with it when they
+// want to attach their own context (which cell, which pair) to a crash before
+// the pool sees it — a bare pool-level recovery only knows the goroutine, not
+// the work item.
+func Safely(fn func() error) error {
+	return protect(context.Background(), func(context.Context) error { return fn() })
+}
+
 // Run executes job(ctx, i) for every i in [0, n) on at most workers
 // goroutines (workers <= 0 selects GOMAXPROCS; workers == 1 runs inline
 // with no goroutines at all).

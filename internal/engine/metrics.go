@@ -22,9 +22,31 @@ const (
 	// SpiceNewtonIters counts Newton-Raphson iterations across all time
 	// points (the innermost unit of simulation work).
 	SpiceNewtonIters
+	// SpiceStepRetries counts time points that failed to converge and
+	// entered the step-halving recovery ladder.
+	SpiceStepRetries
+	// SpiceStepHalvings counts halving levels attempted across all
+	// recoveries (a point rescued at h/4 contributes 2).
+	SpiceStepHalvings
+	// SpiceGminSteps counts gmin continuation solves spent rescuing DC
+	// operating points.
+	SpiceGminSteps
+	// SpiceRecovered counts time points rescued by the recovery ladder.
+	SpiceRecovered
+	// SpiceUnrecovered counts time points the recovery ladder gave up on
+	// (the transient then fails with a typed error).
+	SpiceUnrecovered
+	// FaultsInjected counts faults forced by a FaultHook (chaos testing).
+	FaultsInjected
 	// CharJobs counts characterisation simulations issued by charlib
 	// (memoisation hits do not count).
 	CharJobs
+	// CharRetries counts characterisation simulations that only succeeded
+	// after a retry with tightened solver settings.
+	CharRetries
+	// CharDegraded counts characterisation points that never converged and
+	// were interpolated from neighbouring grid points.
+	CharDegraded
 	// CharCells counts characterised cells.
 	CharCells
 	// STAGates counts gates propagated by sta.Analyze.
@@ -63,23 +85,31 @@ const (
 
 // counterNames are the stable text labels used by Snapshot/WriteText.
 var counterNames = [numCounters]string{
-	SpiceTransients:  "spice/transients",
-	SpiceTransSteps:  "spice/transient_steps",
-	SpiceNewtonIters: "spice/newton_iters",
-	CharJobs:         "charlib/jobs",
-	CharCells:        "charlib/cells",
-	STAGates:         "sta/gates",
-	STAArcs:          "sta/arcs",
-	ITRRefines:       "itr/refines",
-	ITRImplications:  "itr/implications",
-	SimGateEvals:     "logicsim/gate_evals",
-	ATPGFaults:       "atpg/faults",
-	ATPGDecisions:    "atpg/decisions",
-	ATPGBacktracks:   "atpg/backtracks",
-	ConfSeeds:        "conformance/seeds",
-	ConfChecks:       "conformance/checks",
-	ConfViolations:   "conformance/violations",
-	ConfSkipped:      "conformance/skipped",
+	SpiceTransients:   "spice/transients",
+	SpiceTransSteps:   "spice/transient_steps",
+	SpiceNewtonIters:  "spice/newton_iters",
+	SpiceStepRetries:  "spice/step_retries",
+	SpiceStepHalvings: "spice/step_halvings",
+	SpiceGminSteps:    "spice/gmin_steps",
+	SpiceRecovered:    "spice/recovered_points",
+	SpiceUnrecovered:  "spice/unrecovered_points",
+	FaultsInjected:    "faultinject/injected",
+	CharJobs:          "charlib/jobs",
+	CharRetries:       "charlib/retries",
+	CharDegraded:      "charlib/degraded_points",
+	CharCells:         "charlib/cells",
+	STAGates:          "sta/gates",
+	STAArcs:           "sta/arcs",
+	ITRRefines:        "itr/refines",
+	ITRImplications:   "itr/implications",
+	SimGateEvals:      "logicsim/gate_evals",
+	ATPGFaults:        "atpg/faults",
+	ATPGDecisions:     "atpg/decisions",
+	ATPGBacktracks:    "atpg/backtracks",
+	ConfSeeds:         "conformance/seeds",
+	ConfChecks:        "conformance/checks",
+	ConfViolations:    "conformance/violations",
+	ConfSkipped:       "conformance/skipped",
 }
 
 // String returns the counter's label.

@@ -10,10 +10,12 @@
 package flatsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"sstiming/internal/device"
+	"sstiming/internal/engine"
 	"sstiming/internal/logicsim"
 	"sstiming/internal/netlist"
 	"sstiming/internal/spice"
@@ -41,6 +43,13 @@ type Options struct {
 	TStop float64
 	// TStep is the integration step; zero selects 2 ps.
 	TStep float64
+	// Ctx, when non-nil, cancels the underlying transient analysis.
+	Ctx context.Context
+	// FaultHook, when non-nil, injects deterministic solver faults for
+	// chaos testing (see internal/faultinject).
+	FaultHook spice.FaultHook
+	// Metrics, when non-nil, receives the simulator effort counters.
+	Metrics *engine.Metrics
 }
 
 // Event is a measured transition on one net.
@@ -210,7 +219,14 @@ func Simulate(c *netlist.Circuit, v1, v2 logicsim.Vector, opts Options) (*Result
 	for gi := range c.Gates {
 		record = append(record, c.Gates[gi].Output)
 	}
-	res, err := ckt.Transient(spice.TransientOpts{TStop: tstop, TStep: tstep, Record: record})
+	res, err := ckt.Transient(spice.TransientOpts{
+		TStop:     tstop,
+		TStep:     tstep,
+		Record:    record,
+		Ctx:       opts.Ctx,
+		FaultHook: opts.FaultHook,
+		Metrics:   opts.Metrics,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("flatsim: %w", err)
 	}

@@ -1,0 +1,66 @@
+package spice
+
+import "fmt"
+
+// FaultKind enumerates the failures a FaultHook can force into a transient
+// analysis for chaos testing. The injection points are chosen so each kind
+// exercises a distinct real failure path: FaultNoConverge takes the
+// non-convergence exit of the Newton loop, FaultNaN poisons the linear-solve
+// output so the NaN/Inf guard must catch it, and FaultPanic crashes the
+// worker so the engine pool's panic recovery must contain it.
+type FaultKind int
+
+const (
+	// FaultNone injects nothing.
+	FaultNone FaultKind = iota
+	// FaultNoConverge forces the time point to report non-convergence.
+	FaultNoConverge
+	// FaultNaN poisons the linear-solve output with NaN, exercising the
+	// numerical guard.
+	FaultNaN
+	// FaultPanic panics inside the solve, exercising pool panic recovery.
+	FaultPanic
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultNoConverge:
+		return "noconv"
+	case FaultNaN:
+		return "nan"
+	case FaultPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// ParseFaultKind resolves a fault kind name (as printed by String).
+func ParseFaultKind(s string) (FaultKind, error) {
+	switch s {
+	case "", "none":
+		return FaultNone, nil
+	case "noconv":
+		return FaultNoConverge, nil
+	case "nan":
+		return FaultNaN, nil
+	case "panic":
+		return FaultPanic, nil
+	default:
+		return FaultNone, fmt.Errorf("spice: unknown fault kind %q (want none, noconv, nan or panic)", s)
+	}
+}
+
+// FaultHook is consulted once per attempted time-point solve with the
+// transient step index (0 = the DC operating point), the simulated time, and
+// the recovery attempt number (0 = first try; step-halving retries and gmin
+// continuation steps pass attempt >= 1). Returning a kind other than
+// FaultNone forces that fault deterministically — see internal/faultinject
+// for seeded plan constructors.
+//
+// A hook instance serves exactly one transient analysis; stateful plans hand
+// out a fresh hook per transient.
+type FaultHook func(step int, t float64, attempt int) FaultKind

@@ -155,11 +155,24 @@ type TransientOpts struct {
 	Method Method
 	// Record lists node names to record. Nil records every node.
 	Record []string
-	// Ctx, when non-nil, cancels the analysis between time steps (the
-	// characterisation harness threads its fan-out context through here).
+	// Ctx, when non-nil, cancels the analysis; it is observed inside the
+	// Newton loop of every time point, so even a single large flattened
+	// solve cancels promptly. Cancellation returns an error wrapping both
+	// ErrCancelled and the context's own error.
 	Ctx context.Context
+	// MaxStepHalvings bounds the non-convergence recovery ladder: a time
+	// point that fails to converge is retried with the step repeatedly
+	// halved (sub-stepping to reach the same point) up to this many levels,
+	// i.e. down to TStep/2^MaxStepHalvings. Zero selects 4; negative
+	// disables recovery. Recovery only activates on failure, so a clean
+	// analysis is bit-identical whatever the setting.
+	MaxStepHalvings int
+	// FaultHook, when non-nil, is consulted before each time-point solve
+	// and can force a deterministic failure for chaos testing (see
+	// internal/faultinject). Production runs leave it nil.
+	FaultHook FaultHook
 	// Metrics, when non-nil, receives the simulation effort counters
-	// (transients, time steps, Newton iterations).
+	// (transients, time steps, Newton iterations, recovery activity).
 	Metrics *engine.Metrics
 }
 
@@ -225,20 +238,57 @@ func (c *Circuit) Transient(opts TransientOpts) (*Result, error) {
 	// Per-capacitor current state for the trapezoidal method.
 	capCur := make([]float64, len(c.caps))
 
+	maxHalvings := opts.MaxStepHalvings
+	if maxHalvings == 0 {
+		maxHalvings = 4
+	}
+	if maxHalvings < 0 {
+		maxHalvings = 0
+	}
+	sc := &solveCtx{
+		s:         s,
+		maxNewton: maxNewton,
+		vtol:      vtol,
+		method:    opts.Method,
+		ctx:       opts.Ctx,
+		hook:      opts.FaultHook,
+		gmin:      gmin,
+	}
+
 	// Effort accounting is batched into locals and flushed once per
 	// analysis so the integration loop pays no atomic operations.
 	var stepsDone, newtonIters int64
+	var retries, halvings, recovered, unrecovered int64
 	defer func() {
 		opts.Metrics.Add(engine.SpiceTransients, 1)
 		opts.Metrics.Add(engine.SpiceTransSteps, stepsDone)
 		opts.Metrics.Add(engine.SpiceNewtonIters, newtonIters)
+		opts.Metrics.Add(engine.SpiceStepRetries, retries)
+		opts.Metrics.Add(engine.SpiceStepHalvings, halvings)
+		opts.Metrics.Add(engine.SpiceGminSteps, sc.gminSteps)
+		opts.Metrics.Add(engine.SpiceRecovered, recovered)
+		opts.Metrics.Add(engine.SpiceUnrecovered, unrecovered)
+		opts.Metrics.Add(engine.FaultsInjected, sc.injected)
 	}()
 
 	// DC operating point at t = 0 (capacitors open, currents zero).
-	iters, err := c.solvePoint(s, volt, branch, voltPrev, capCur, 0, 0, maxNewton, vtol, opts.Method)
+	iters, err := c.solvePoint(sc, volt, branch, voltPrev, capCur, 0, 0, 0, 0)
 	newtonIters += int64(iters)
 	if err != nil {
-		return nil, fmt.Errorf("spice: DC operating point: %w", err)
+		if !IsRecoverable(err) || maxHalvings == 0 {
+			return nil, fmt.Errorf("spice: DC operating point: %w", err)
+		}
+		// Recovery: gmin stepping. Start from a heavily damped system and
+		// relax the extra conductance decade by decade, warm-starting each
+		// continuation solve from the previous solution.
+		retries++
+		gIters, gerr := c.solveDCGmin(sc, volt, branch, voltPrev, capCur)
+		newtonIters += gIters
+		if gerr != nil {
+			unrecovered++
+			return nil, fmt.Errorf("spice: DC operating point (gmin stepping failed too): %w", gerr)
+		}
+		recovered++
 	}
 	for i, w := range recWaves {
 		w.Append(0, volt[recIdx[i]])
@@ -246,30 +296,31 @@ func (c *Circuit) Transient(opts TransientOpts) (*Result, error) {
 
 	steps := int(math.Ceil(opts.TStop / h))
 	for step := 1; step <= steps; step++ {
-		// Cancellation check, amortised so the common (uncancelled)
-		// path costs one branch per chunk of steps.
-		if opts.Ctx != nil && step&0x3f == 0 {
-			if err := opts.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("spice: transient cancelled: %w", err)
-			}
-		}
 		t := float64(step) * h
 		copy(voltPrev, volt)
-		iters, err := c.solvePoint(s, volt, branch, voltPrev, capCur, t, h, maxNewton, vtol, opts.Method)
+		iters, err := c.solvePoint(sc, volt, branch, voltPrev, capCur, t, h, step, 0)
 		newtonIters += int64(iters)
-		if err != nil {
+		switch {
+		case err == nil:
+			if opts.Method == Trapezoidal {
+				c.updateCapCur(volt, voltPrev, capCur, h)
+			}
+		case !IsRecoverable(err) || maxHalvings == 0:
 			return nil, fmt.Errorf("spice: t=%.4gs: %w", t, err)
+		default:
+			// Recovery: retry the step with the integration step
+			// repeatedly halved, sub-stepping across the same interval.
+			retries++
+			rIters, used, rerr := c.recoverStep(sc, volt, branch, voltPrev, capCur, t-h, h, step, maxHalvings)
+			newtonIters += rIters
+			halvings += int64(used)
+			if rerr != nil {
+				unrecovered++
+				return nil, fmt.Errorf("spice: t=%.4gs (after %d step-halving levels): %w", t, used, rerr)
+			}
+			recovered++
 		}
 		stepsDone++
-		if opts.Method == Trapezoidal {
-			// Update stored capacitor currents:
-			// i_{n+1} = (2C/h)(v_{n+1} - v_n) - i_n.
-			for i := range c.caps {
-				cp := &c.caps[i]
-				dv := (volt[cp.a] - volt[cp.b]) - (voltPrev[cp.a] - voltPrev[cp.b])
-				capCur[i] = (2*cp.c/h)*dv - capCur[i]
-			}
-		}
 		for i, w := range recWaves {
 			w.Append(t, volt[recIdx[i]])
 		}
@@ -277,19 +328,162 @@ func (c *Circuit) Transient(opts TransientOpts) (*Result, error) {
 	return res, nil
 }
 
+// updateCapCur advances the stored trapezoidal capacitor currents after an
+// accepted step of size h: i_{n+1} = (2C/h)(v_{n+1} − v_n) − i_n.
+func (c *Circuit) updateCapCur(volt, voltPrev, capCur []float64, h float64) {
+	for i := range c.caps {
+		cp := &c.caps[i]
+		dv := (volt[cp.a] - volt[cp.b]) - (voltPrev[cp.a] - voltPrev[cp.b])
+		capCur[i] = (2*cp.c/h)*dv - capCur[i]
+	}
+}
+
+// recoverStep rescues a non-convergent time point by sub-stepping: attempt k
+// restarts from the last converged state and integrates the interval
+// [tPrev, tPrev+h] in 2^k sub-steps of h/2^k. It returns the Newton
+// iterations spent, the deepest halving level attempted, and nil on success
+// (volt/branch/capCur then hold the state at tPrev+h).
+func (c *Circuit) recoverStep(sc *solveCtx, volt, branch, voltPrev, capCur []float64, tPrev, h float64, step, maxHalvings int) (iters int64, level int, err error) {
+	// voltPrev still holds the last converged voltages (the failed solve
+	// mutated only volt), and capCur was last updated at tPrev.
+	base := append([]float64(nil), voltPrev...)
+	capBase := append([]float64(nil), capCur...)
+	for k := 1; k <= maxHalvings; k++ {
+		level = k
+		nsub := 1 << uint(k)
+		hs := h / float64(nsub)
+		copy(volt, base)
+		copy(capCur, capBase)
+		ok := true
+		for j := 1; j <= nsub; j++ {
+			tj := tPrev + hs*float64(j)
+			copy(voltPrev, volt)
+			it, serr := c.solvePoint(sc, volt, branch, voltPrev, capCur, tj, hs, step, k)
+			iters += int64(it)
+			if serr != nil {
+				if !IsRecoverable(serr) {
+					return iters, k, serr
+				}
+				ok = false
+				err = serr
+				break
+			}
+			if sc.method == Trapezoidal {
+				c.updateCapCur(volt, voltPrev, capCur, hs)
+			}
+		}
+		if ok {
+			return iters, k, nil
+		}
+	}
+	// Leave the last converged state in place for the caller's diagnostics.
+	copy(volt, base)
+	copy(capCur, capBase)
+	return iters, maxHalvings, err
+}
+
+// dcGminStart is the initial extra node-to-ground conductance of the gmin
+// stepping ladder; it is relaxed one decade per continuation solve down to
+// the nominal gmin.
+const dcGminStart = 1e-3
+
+// solveDCGmin rescues a non-convergent DC operating point by gmin stepping.
+func (c *Circuit) solveDCGmin(sc *solveCtx, volt, branch, voltPrev, capCur []float64) (iters int64, err error) {
+	// Restart from a clean state: the failed attempt may have left volt
+	// poisoned (NaN) or far outside the basin of attraction.
+	for i := range volt {
+		volt[i] = 0
+	}
+	for i := range branch {
+		branch[i] = 0
+	}
+	attempt := 0
+	for g := dcGminStart; ; g /= 10 {
+		if g < gmin {
+			g = gmin
+		}
+		attempt++
+		sc.gmin = g
+		sc.gminSteps++
+		it, serr := c.solvePoint(sc, volt, branch, voltPrev, capCur, 0, 0, 0, attempt)
+		iters += int64(it)
+		if serr != nil {
+			sc.gmin = gmin
+			return iters, serr
+		}
+		if g == gmin {
+			sc.gmin = gmin
+			return iters, nil
+		}
+	}
+}
+
+// solveCtx bundles the per-analysis solver configuration threaded through
+// every time-point solve.
+type solveCtx struct {
+	s         *solver
+	maxNewton int
+	vtol      float64
+	method    Method
+	ctx       context.Context
+	hook      FaultHook
+	// gmin is the node-to-ground conductance stamped on every non-ground
+	// node; the DC gmin-stepping ladder temporarily raises it.
+	gmin float64
+	// gminSteps and injected batch metrics locals for the deferred flush.
+	gminSteps int64
+	injected  int64
+}
+
+// unknownName names MNA unknown i (0-based solver row): a node voltage for
+// the first nn-1 rows, a voltage-source branch current afterwards.
+func (c *Circuit) unknownName(i int) string {
+	if i < len(c.nodeNames)-1 {
+		return c.nodeNames[i+1]
+	}
+	return fmt.Sprintf("vsource#%d", i-(len(c.nodeNames)-1))
+}
+
 // solvePoint performs Newton-Raphson iteration for one time point,
 // returning the number of iterations spent. h == 0 means DC (capacitors
 // are ignored). volt is used as the initial guess and receives the
 // solution; voltPrev holds the previous time point's voltages (and capCur
-// the previous capacitor currents) for the companion models.
-func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64, t, h float64, maxNewton int, vtol float64, method Method) (int, error) {
+// the previous capacitor currents) for the companion models. step and
+// attempt identify the point for diagnostics and fault injection.
+func (c *Circuit) solvePoint(sc *solveCtx, volt, branch, voltPrev, capCur []float64, t, h float64, step, attempt int) (int, error) {
+	fault := FaultNone
+	if sc.hook != nil {
+		fault = sc.hook(step, t, attempt)
+	}
+	if fault != FaultNone {
+		sc.injected++
+	}
+	switch fault {
+	case FaultPanic:
+		panic(fmt.Sprintf("faultinject: forced panic at step %d (t=%.4gs)", step, t))
+	case FaultNoConverge:
+		return 0, &SolveError{Kind: ErrNoConvergence, Time: t, Step: step, Attempt: attempt, Injected: true}
+	}
+
+	s := sc.s
+	maxNewton, vtol, method := sc.maxNewton, sc.vtol, sc.method
 	nn := len(c.nodeNames)
+	worst := 0
+	residual := 0.0
 	for iter := 0; iter < maxNewton; iter++ {
+		// Observe cancellation inside the Newton loop: each iteration is a
+		// dense LU solve, so even one large flattened circuit reacts to
+		// cancellation within a single iteration, not a whole transient.
+		if sc.ctx != nil {
+			if cerr := sc.ctx.Err(); cerr != nil {
+				return iter, cancelled(cerr)
+			}
+		}
 		s.reset()
 
 		// gmin to ground on every non-ground node.
 		for i := 1; i < nn; i++ {
-			s.addG(i, i, gmin)
+			s.addG(i, i, sc.gmin)
 		}
 
 		for i := range c.ress {
@@ -345,7 +539,27 @@ func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64
 
 		x, err := s.solve()
 		if err != nil {
-			return iter + 1, err
+			return iter + 1, &SolveError{
+				Kind: ErrNumerical, Time: t, Step: step, Attempt: attempt,
+				Iters: iter + 1, Cause: err,
+			}
+		}
+		if fault == FaultNaN && iter == 0 && len(x) > 0 {
+			// Poison the solve output instead of returning an error
+			// directly, so the injection exercises the real guard below.
+			x[0] = math.NaN()
+		}
+		// Guard the linear-solve output: a NaN/Inf entry must surface as a
+		// typed numerical error naming the offending unknown — without the
+		// guard a NaN poisons every later comparison and the loop either
+		// "converges" on garbage or spins to the iteration cap.
+		for i := range x {
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return iter + 1, &SolveError{
+					Kind: ErrNumerical, Time: t, Step: step, Attempt: attempt,
+					Iters: iter + 1, Node: c.unknownName(i), Injected: fault == FaultNaN,
+				}
+			}
 		}
 
 		// Extract the solution and check convergence with damping.
@@ -355,6 +569,7 @@ func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64
 			d := newV - volt[i]
 			if math.Abs(d) > maxDelta {
 				maxDelta = math.Abs(d)
+				worst = i
 			}
 			// Damp large Newton steps to aid convergence on the
 			// steep square-law characteristics.
@@ -372,8 +587,12 @@ func (c *Circuit) solvePoint(s *solver, volt, branch, voltPrev, capCur []float64
 		if maxDelta < vtol {
 			return iter + 1, nil
 		}
+		residual = maxDelta
 	}
-	return maxNewton, fmt.Errorf("newton iteration did not converge in %d iterations", maxNewton)
+	return maxNewton, &SolveError{
+		Kind: ErrNoConvergence, Time: t, Step: step, Attempt: attempt,
+		Iters: maxNewton, Node: c.nodeNames[worst], Residual: residual,
+	}
 }
 
 // solver is a dense MNA matrix with node-index based stamping. Row/column k
