@@ -7,7 +7,7 @@ GO ?= go
 # genuinely improves; never lower it to make a PR pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race vet verify conformance chaos cover bench bench-parallel clean
+.PHONY: build test race vet verify conformance chaos service-smoke cover bench bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 # Tier-1 verification loop (see ROADMAP.md).
-verify: build vet test race conformance chaos
+verify: build vet test race conformance chaos service-smoke
 
 # Short randomized differential campaign: cross-checks flatsim, logicsim,
 # STA, ITR and the delay-model structure against each other on random
@@ -38,7 +38,14 @@ conformance:
 # (see DESIGN.md "Robustness & failure handling").
 chaos:
 	$(GO) test -race -run 'Chaos' ./internal/spice ./internal/charlib \
-		./internal/conformance ./internal/faultinject ./internal/engine
+		./internal/conformance ./internal/faultinject ./internal/engine \
+		./internal/service
+
+# Service smoke test: start the timingd daemon on a random loopback port,
+# POST an example netlist, require a 200 STA response and a clean graceful
+# drain (see cmd/timingd -selfcheck and DESIGN.md "Serving architecture").
+service-smoke:
+	$(GO) run ./cmd/timingd -selfcheck
 
 # Coverage gate: emits coverage.out and fails if the total drops below
 # COVER_FLOOR.

@@ -1,0 +1,211 @@
+// Command timingd is the timing-analysis service daemon: it loads a
+// characterised cell library once and serves STA, ITR and conformance
+// spot-check jobs over HTTP/JSON (see internal/service and DESIGN.md §10).
+//
+// Usage:
+//
+//	timingd [-addr :8080] [-lib lib.json] [-jobs N] [-queue-depth N]
+//	        [-timeout 30s] [-drain 15s] [-max-gates N] [-stats] [-selfcheck]
+//
+// Endpoints:
+//
+//	POST /analyze      run STA on a posted netlist
+//	POST /refine       run ITR under a partial two-frame cube
+//	POST /conformance  run a randomized differential spot check
+//	GET  /healthz      liveness
+//	GET  /readyz       readiness (drain state, circuit breaker)
+//	GET  /metrics      engine counters + per-endpoint latency histograms
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: readiness fails first,
+// new jobs are refused, in-flight jobs get -drain to finish, then the
+// listener closes.
+//
+// -selfcheck runs the service smoke test instead of serving: bind a random
+// loopback port, POST an example netlist, require a 200 STA response and a
+// clean drain, exit 0/1. `make service-smoke` uses it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/core"
+	"sstiming/internal/engine"
+	"sstiming/internal/prechar"
+	"sstiming/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	libPath := flag.String("lib", "", "characterised library JSON (default: embedded 0.5um library)")
+	jobs := flag.Int("jobs", 0, "concurrent jobs (0 = all CPUs)")
+	queueDepth := flag.Int("queue-depth", 0, "queued jobs beyond the running ones before shedding (0 = 2x jobs)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful drain deadline on SIGTERM")
+	maxGates := flag.Int("max-gates", 0, "admission cap on posted netlist size (0 = default, -1 = unlimited)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "solver failures tripping the circuit breaker (0 = default 5, -1 = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "breaker open duration before a half-open probe (0 = default 10s)")
+	stats := flag.Bool("stats", false, "dump engine metrics to stderr on exit")
+	selfcheck := flag.Bool("selfcheck", false, "run the service smoke test and exit")
+	flag.Parse()
+
+	lib, err := loadLibrary(*libPath)
+	if err != nil {
+		fail(err)
+	}
+	met := engine.NewMetrics()
+	srv, err := service.New(service.Options{
+		Lib:            lib,
+		Workers:        *jobs,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		MaxGates:       *maxGates,
+		Breaker: service.BreakerConfig{
+			Threshold: *breakerThreshold,
+			Cooldown:  *breakerCooldown,
+		},
+		Metrics: met,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *stats {
+		defer met.WriteText(os.Stderr)
+	}
+
+	if *selfcheck {
+		if err := smoke(srv, *drain); err != nil {
+			fail(fmt.Errorf("selfcheck: %w", err))
+		}
+		fmt.Println("timingd: selfcheck ok")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("timingd: listening on http://%s (%d cells in library)\n",
+		ln.Addr(), len(lib.Cells))
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "timingd: %v — draining (deadline %s)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Readiness fails and new jobs are refused first; then wait for
+		// in-flight jobs, then for in-flight HTTP exchanges.
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "timingd: %v\n", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "timingd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "timingd: drained cleanly")
+	case err := <-errc:
+		fail(err)
+	}
+}
+
+// smoke is the in-process service smoke test behind -selfcheck: real HTTP
+// over loopback, an example netlist, a 200 with sane timing numbers, and a
+// clean drain.
+func smoke(srv *service.Server, drain time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Readiness must hold before traffic.
+	if err := expectStatus(client, base+"/readyz", http.StatusOK); err != nil {
+		return err
+	}
+
+	// POST the example netlist (the paper's c17) for STA.
+	var bench bytes.Buffer
+	if err := benchgen.C17().Write(&bench); err != nil {
+		return err
+	}
+	body, _ := json.Marshal(map[string]any{"netlist": bench.String(), "format": "bench"})
+	resp, err := client.Post(base+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/analyze returned %d: %s", resp.StatusCode, raw)
+	}
+	var ar service.AnalyzeResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		return fmt.Errorf("/analyze response is not valid JSON: %w", err)
+	}
+	if ar.Circuit.Gates == 0 || ar.MaxPOArrival <= 0 || ar.MinPOArrival > ar.MaxPOArrival {
+		return fmt.Errorf("/analyze response is not sane: %s", raw)
+	}
+	fmt.Printf("timingd: /analyze %s: min %.4g s, max %.4g s (request %s)\n",
+		ar.Circuit.Name, ar.MinPOArrival, ar.MaxPOArrival, ar.RequestID)
+
+	// Clean drain: readiness fails, in-flight work finishes, listener closes.
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return err
+	}
+	if err := expectStatus(client, base+"/readyz", http.StatusServiceUnavailable); err != nil {
+		return fmt.Errorf("readiness did not fail after drain: %w", err)
+	}
+	return hs.Shutdown(ctx)
+}
+
+func expectStatus(client *http.Client, url string, want int) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("GET %s returned %d (want %d): %s", url, resp.StatusCode, want, raw)
+	}
+	return nil
+}
+
+func loadLibrary(path string) (*core.Library, error) {
+	if path == "" {
+		return prechar.Library()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadLibrary(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "timingd:", err)
+	os.Exit(1)
+}

@@ -29,7 +29,31 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
+
+// ErrPoolClosed is returned by Pool.Go when the pool no longer accepts
+// jobs: after Close or Wait, or once the pool context is cancelled. A
+// typed sentinel lets long-lived submitters (the service daemon's job
+// queue) distinguish "we are shutting down" from load shedding or a job
+// failure.
+var ErrPoolClosed = errors.New("engine: pool closed")
+
+// PanicError is the error a recovered worker panic is converted into. It
+// carries the recovered value and the goroutine stack at the point of the
+// panic, so supervisors (the service daemon's request path) can map crashes
+// to 500-style responses without string matching.
+type PanicError struct {
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error keeps the historical "engine: worker panic" message shape.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: worker panic: %v\n%s", e.Value, e.Stack)
+}
 
 // Workers normalises a job-count setting: n <= 0 selects GOMAXPROCS.
 func Workers(n int) int {
@@ -42,13 +66,15 @@ func Workers(n int) int {
 // Pool runs submitted jobs on at most a fixed number of goroutines.
 //
 // The first job error (or panic, converted to an error) cancels the pool
-// context; jobs submitted afterwards are dropped without running. Wait
-// returns the first error observed. A Pool must not be reused after Wait.
+// context; jobs submitted afterwards are rejected with ErrPoolClosed. Wait
+// returns the first error observed. A Pool must not be reused after Wait
+// (Go reports ErrPoolClosed once Wait or Close has run).
 type Pool struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	sem    chan struct{}
 	wg     sync.WaitGroup
+	closed atomic.Bool
 
 	mu  sync.Mutex
 	err error
@@ -74,12 +100,29 @@ func (p *Pool) Context() context.Context { return p.ctx }
 
 // Go submits one job. The call blocks until a worker slot is free (or the
 // pool is cancelled), bounding both concurrency and the goroutine count.
-func (p *Pool) Go(job func(ctx context.Context) error) {
+//
+// Go reports ErrPoolClosed — without running the job — once the pool has
+// been closed (Close or Wait) or its context cancelled; in the cancelled
+// case the returned error additionally wraps the context's error, and the
+// cancellation is still recorded for Wait. A nil return means the job was
+// accepted and will run.
+func (p *Pool) Go(job func(ctx context.Context) error) error {
+	if p.closed.Load() {
+		return ErrPoolClosed
+	}
+	if err := p.ctx.Err(); err != nil {
+		p.fail(err)
+		return fmt.Errorf("%w: %w", ErrPoolClosed, err)
+	}
 	select {
 	case p.sem <- struct{}{}:
 	case <-p.ctx.Done():
 		p.fail(p.ctx.Err())
-		return
+		return fmt.Errorf("%w: %w", ErrPoolClosed, p.ctx.Err())
+	}
+	if p.closed.Load() {
+		<-p.sem
+		return ErrPoolClosed
 	}
 	p.wg.Add(1)
 	go func() {
@@ -93,7 +136,14 @@ func (p *Pool) Go(job func(ctx context.Context) error) {
 			p.fail(err)
 		}
 	}()
+	return nil
 }
+
+// Close marks the pool as no longer accepting jobs: subsequent Go calls
+// return ErrPoolClosed without running. Jobs already accepted keep running;
+// Close does not cancel the pool context (use the parent context for that).
+// Close is idempotent and safe to call concurrently with Go.
+func (p *Pool) Close() { p.closed.Store(true) }
 
 // fail records the first error and cancels the pool.
 func (p *Pool) fail(err error) {
@@ -109,8 +159,11 @@ func (p *Pool) fail(err error) {
 }
 
 // Wait blocks until every accepted job finished and returns the first
-// error observed (nil when all jobs succeeded).
+// error observed (nil when all jobs succeeded). Wait closes the pool, so
+// later submissions fail with ErrPoolClosed rather than racing a finished
+// fan-out.
 func (p *Pool) Wait() error {
+	p.closed.Store(true)
 	p.wg.Wait()
 	p.cancel()
 	p.mu.Lock()
@@ -124,7 +177,7 @@ func (p *Pool) Wait() error {
 func protect(ctx context.Context, job func(ctx context.Context) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: worker panic: %v\n%s", r, debug.Stack())
+			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
 	return job(ctx)
@@ -171,10 +224,15 @@ func Run(ctx context.Context, workers, n int, job func(ctx context.Context, i in
 	p := NewPool(ctx, workers)
 	for i := 0; i < n; i++ {
 		i := i
-		p.Go(func(ctx context.Context) error {
+		submitErr := p.Go(func(ctx context.Context) error {
 			errs[i] = protect(ctx, func(ctx context.Context) error { return job(ctx, i) })
 			return errs[i]
 		})
+		if submitErr != nil {
+			// The pool context is cancelled (a job failed, or the caller's
+			// context fired); further submissions would all be rejected too.
+			break
+		}
 	}
 	poolErr := p.Wait()
 	if poolErr == nil {

@@ -79,6 +79,24 @@ const (
 	// ConfSkipped counts conformance checks skipped (e.g. a generated
 	// circuit too large for the flattened transistor-level oracle).
 	ConfSkipped
+	// SvcRequests counts HTTP requests accepted by the timing service
+	// (all endpoints, after routing).
+	SvcRequests
+	// SvcShed counts requests rejected by admission control because the
+	// job queue was full (429 responses).
+	SvcShed
+	// SvcTimeouts counts requests that exceeded their deadline (504
+	// responses with spice.ErrCancelled in the chain).
+	SvcTimeouts
+	// SvcPanics counts handler or job panics converted into 500 responses
+	// instead of killing the daemon.
+	SvcPanics
+	// SvcBreakerTrips counts circuit-breaker transitions into the open
+	// state after a solver-failure burst.
+	SvcBreakerTrips
+	// SvcDegraded counts solver-backed requests answered with a degraded
+	// 503 response while the breaker was open.
+	SvcDegraded
 
 	numCounters
 )
@@ -110,6 +128,12 @@ var counterNames = [numCounters]string{
 	ConfChecks:        "conformance/checks",
 	ConfViolations:    "conformance/violations",
 	ConfSkipped:       "conformance/skipped",
+	SvcRequests:       "service/requests",
+	SvcShed:           "service/shed",
+	SvcTimeouts:       "service/timeouts",
+	SvcPanics:         "service/panics",
+	SvcBreakerTrips:   "service/breaker_trips",
+	SvcDegraded:       "service/degraded_responses",
 }
 
 // String returns the counter's label.

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolGoReportsClosed: submissions after Close, after Wait, or after the
+// pool context fired must return the typed ErrPoolClosed — never silently
+// drop the job — so a long-lived submitter (the service daemon's queue) can
+// tell shutdown apart from shed load.
+func TestPoolGoReportsClosed(t *testing.T) {
+	t.Run("after Close", func(t *testing.T) {
+		p := NewPool(context.Background(), 2)
+		p.Close()
+		var ran atomic.Bool
+		err := p.Go(func(context.Context) error { ran.Store(true); return nil })
+		if !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("err = %v, want ErrPoolClosed", err)
+		}
+		if ran.Load() {
+			t.Fatal("job ran on a closed pool")
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatalf("Wait on a cleanly closed pool: %v", err)
+		}
+	})
+
+	t.Run("after Wait", func(t *testing.T) {
+		p := NewPool(context.Background(), 2)
+		if err := p.Go(func(context.Context) error { return nil }); err != nil {
+			t.Fatalf("first submission rejected: %v", err)
+		}
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Go(func(context.Context) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("reuse after Wait: err = %v, want ErrPoolClosed", err)
+		}
+	})
+
+	t.Run("after context cancel", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		p := NewPool(ctx, 1)
+		cancel()
+		err := p.Go(func(context.Context) error { return nil })
+		if !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("err = %v, want ErrPoolClosed", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled in the chain", err)
+		}
+	})
+}
+
+// TestCloseLetsInflightFinish: Close stops new submissions but never aborts
+// jobs already accepted — the graceful-drain contract.
+func TestCloseLetsInflightFinish(t *testing.T) {
+	p := NewPool(context.Background(), 1)
+	release := make(chan struct{})
+	var finished atomic.Bool
+	if err := p.Go(func(context.Context) error {
+		<-release
+		finished.Store(true)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if err := p.Go(func(context.Context) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("post-Close submission: err = %v, want ErrPoolClosed", err)
+	}
+	close(release)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !finished.Load() {
+		t.Fatal("in-flight job did not finish after Close")
+	}
+}
+
+// TestPanicErrorTyped: a recovered worker panic must surface as a
+// *PanicError carrying the panic value, retrievable with errors.As.
+func TestPanicErrorTyped(t *testing.T) {
+	err := Safely(func() error { panic("kaboom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T does not unwrap to *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("Value = %v, want kaboom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+}

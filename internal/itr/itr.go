@@ -22,6 +22,7 @@
 package itr
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,6 +30,7 @@ import (
 	"sstiming/internal/engine"
 	"sstiming/internal/netlist"
 	"sstiming/internal/nineval"
+	"sstiming/internal/spice"
 	"sstiming/internal/sta"
 )
 
@@ -48,6 +50,10 @@ type Options struct {
 	// model (Section 3.6 future work) in the latest corners, mirroring
 	// sta.Options.NCExtension.
 	NCExtension bool
+	// Ctx, when non-nil, cancels the refinement between gates. A cancelled
+	// refinement returns an error wrapping spice.ErrCancelled and the
+	// context's own error — never a partial result.
+	Ctx context.Context
 	// Metrics, when non-nil, counts refinement passes and per-line
 	// implications.
 	Metrics *engine.Metrics
@@ -107,6 +113,9 @@ func Refine(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Result, error
 	if err := c.EnsureBuilt(); err != nil {
 		return nil, fmt.Errorf("itr: %w", err)
 	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	opts.Metrics.Add(engine.ITRRefines, 1)
 	implied, ok := nineval.Imply(c, cube)
 	if !ok {
@@ -132,6 +141,9 @@ func Refine(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Result, error
 	}
 
 	for _, gi := range c.TopoOrder() {
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
 		g := &c.Gates[gi]
 		cell, ok := opts.Lib.Cell(g.CellName())
 		if !ok {
@@ -185,7 +197,21 @@ func Refine(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Result, error
 		opts.Metrics.Add(engine.ITRImplications, 1)
 		res.Lines[g.Output] = li
 	}
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// ctxErr folds a fired context into the solver error taxonomy.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("itr: %w", spice.Cancelled(err))
+	}
+	return nil
 }
 
 // refineSingle handles one-input cells. inRising selects which input

@@ -1,0 +1,103 @@
+package netlist
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// verilogRoundTrippable reports whether every name in the circuit is a
+// sanitize-stable Verilog identifier. WriteVerilog renames anything else
+// (sanitizeIdent), and a rename can collide two distinct nets, so the
+// Write/Parse round trip is only required to preserve shape for circuits
+// whose names survive emission verbatim.
+func verilogRoundTrippable(c *Circuit) bool {
+	ok := func(s string) bool {
+		if s == "" || (s[0] >= '0' && s[0] <= '9') {
+			return false
+		}
+		for i := 0; i < len(s); i++ {
+			b := s[i]
+			switch {
+			case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z',
+				b >= '0' && b <= '9', b == '_':
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !ok(c.Name) {
+		return false
+	}
+	for _, net := range c.Nets() {
+		if !ok(net) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParseVerilog hammers the structural-Verilog parser with arbitrary
+// bytes. ParseVerilog must never panic; when it accepts an input, the
+// circuit must be internally consistent, and — for circuits whose names are
+// already legal identifiers — a WriteVerilog/ParseVerilog round trip must
+// preserve the shape.
+func FuzzParseVerilog(f *testing.F) {
+	f.Add([]byte(`module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g0 (N10, N1, N3);
+  nand g1 (N11, N3, N6);
+  nand g2 (N16, N2, N11);
+  nand g3 (N19, N11, N7);
+  nand g4 (N22, N10, N16);
+  nand g5 (N23, N16, N19);
+endmodule
+`))
+	f.Add([]byte("module m (a, z);\n input a;\n output z;\n not (z, a);\nendmodule\n"))
+	f.Add([]byte("module m (a, b, z); // line comment\n input a, b;\n output z;\n and g (z, a, b);\nendmodule\n"))
+	f.Add([]byte("module m (a, b, z);\n input a, b;\n output z;\n /* block\n comment */ or (z, a, b);\nendmodule\n"))
+	f.Add([]byte("module 1bad (2, 3);\n input 2;\n output 3;\n buf (3, 2);\nendmodule\n"))
+	f.Add([]byte("module m ();\nendmodule\n"))
+	f.Add([]byte("nand (z, a)"))
+	f.Add([]byte("/* unterminated"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseVerilog("fuzz", bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted circuits must be fully built and self-consistent.
+		if got := len(c.TopoOrder()); got != c.NumGates() {
+			t.Fatalf("topo order has %d entries for %d gates", got, c.NumGates())
+		}
+		for _, net := range c.Nets() {
+			if _, ok := c.Driver(net); !ok && !c.IsPI(net) {
+				t.Fatalf("net %q has neither driver nor PI status", net)
+			}
+		}
+
+		if !verilogRoundTrippable(c) {
+			return
+		}
+		var buf bytes.Buffer
+		if err := c.WriteVerilog(&buf); err != nil {
+			t.Fatalf("write of accepted circuit failed: %v", err)
+		}
+		c2, err := ParseVerilog("fuzz", strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip does not parse: %v\n%s", err, buf.String())
+		}
+		if !reflect.DeepEqual(c.PIs, c2.PIs) || !reflect.DeepEqual(c.POs, c2.POs) {
+			t.Fatalf("round trip changed PIs/POs: %v/%v -> %v/%v", c.PIs, c.POs, c2.PIs, c2.POs)
+		}
+		if c.NumGates() != c2.NumGates() || c.Depth() != c2.Depth() {
+			t.Fatalf("round trip changed shape: %d gates depth %d -> %d gates depth %d",
+				c.NumGates(), c.Depth(), c2.NumGates(), c2.Depth())
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"sstiming/internal/engine"
+)
+
+// ErrDegraded is returned by the breaker while it is open: solver-backed
+// jobs are refused with a degraded 503 response instead of being queued
+// into a solver that is currently failing. Read-only analyses (STA, ITR —
+// pure characterised-table lookups) keep serving.
+var ErrDegraded = errors.New("service: circuit breaker open — solver-backed analysis temporarily degraded")
+
+// BreakerState is the circuit breaker's state machine position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: normal operation, failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: a solver-failure burst tripped the breaker; solver-backed
+	// jobs are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe job is allowed
+	// through. Success closes the breaker, failure reopens it.
+	BreakerHalfOpen
+)
+
+// String names the state (used in /readyz and error payloads).
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the number of solver failures within Window that trips
+	// the breaker; zero selects 5, negative disables the breaker.
+	Threshold int
+	// Window is the sliding interval failures are counted over; zero
+	// selects 30 s.
+	Window time.Duration
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe; zero selects 10 s.
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 30 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+}
+
+// breaker is a classic three-state circuit breaker fed by the spice solver
+// error taxonomy: conformance jobs report every unrecovered solver failure
+// (spice.IsRecoverable errors that escaped the recovery ladder) and every
+// clean completion. It exists so a failing solver degrades one endpoint
+// instead of saturating the worker pool with doomed jobs.
+type breaker struct {
+	cfg BreakerConfig
+	met *engine.Metrics
+	// now is the clock, injectable for tests.
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	firstFail time.Time
+	openedAt  time.Time
+	probing   bool
+}
+
+func newBreaker(cfg BreakerConfig, met *engine.Metrics) *breaker {
+	cfg.fill()
+	return &breaker{cfg: cfg, met: met, now: time.Now}
+}
+
+// Allow reports whether a solver-backed job may run now. While open it
+// returns ErrDegraded; when the cooldown has elapsed it admits exactly one
+// probe (transitioning to half-open).
+func (b *breaker) Allow() error {
+	if b.cfg.Threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ErrDegraded
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return nil
+	case BreakerHalfOpen:
+		if b.probing {
+			return ErrDegraded
+		}
+		b.probing = true
+		return nil
+	default:
+		return nil
+	}
+}
+
+// RecordFailure feeds one solver failure into the state machine.
+func (b *breaker) RecordFailure() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: reopen and restart the cooldown.
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.met.Add(engine.SvcBreakerTrips, 1)
+	case BreakerClosed:
+		if b.failures == 0 || now.Sub(b.firstFail) > b.cfg.Window {
+			b.failures = 0
+			b.firstFail = now
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.failures = 0
+			b.met.Add(engine.SvcBreakerTrips, 1)
+		}
+	}
+}
+
+// RecordSuccess feeds one clean solver-backed job completion: it resets the
+// failure count and closes a half-open breaker.
+func (b *breaker) RecordSuccess() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerClosed
+		b.probing = false
+	}
+	b.failures = 0
+}
+
+// State returns the current state.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter is the remaining cooldown, rounded up to whole seconds — the
+// Retry-After hint on degraded responses (minimum 1 s).
+func (b *breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return time.Second
+	}
+	rem := b.cfg.Cooldown - b.now().Sub(b.openedAt)
+	if rem < time.Second {
+		rem = time.Second
+	}
+	return rem.Round(time.Second)
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sstiming/internal/engine"
+)
+
+// fakeClock drives the breaker's injectable clock from a single test
+// goroutine.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock     { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(cfg BreakerConfig, met *engine.Metrics) (*breaker, *fakeClock) {
+	if met == nil {
+		met = engine.NewMetrics()
+	}
+	b := newBreaker(cfg, met)
+	clk := newFakeClock()
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	met := engine.NewMetrics()
+	b, _ := newTestBreaker(BreakerConfig{Threshold: 3, Window: 10 * time.Second, Cooldown: 5 * time.Second}, met)
+
+	b.RecordFailure()
+	b.RecordFailure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow below threshold = %v, want nil", err)
+	}
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after 3/3 failures = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Allow while open = %v, want ErrDegraded", err)
+	}
+	if got := met.Get(engine.SvcBreakerTrips); got != 1 {
+		t.Errorf("SvcBreakerTrips = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Window: 10 * time.Second, Cooldown: 5 * time.Second}, nil)
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+
+	// Cooldown not yet elapsed: still degraded.
+	clk.advance(4 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Allow before cooldown = %v, want ErrDegraded", err)
+	}
+
+	// Cooldown elapsed: exactly one probe is admitted.
+	clk.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("second Allow during probe = %v, want ErrDegraded", err)
+	}
+
+	// Probe success closes the breaker.
+	b.RecordSuccess()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after recovery = %v, want nil", err)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	met := engine.NewMetrics()
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Window: 10 * time.Second, Cooldown: 5 * time.Second}, met)
+	b.RecordFailure() // trip 1
+	clk.advance(6 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	b.RecordFailure() // probe fails: trip 2, cooldown restarts
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	clk.advance(4 * time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Allow during restarted cooldown = %v, want ErrDegraded", err)
+	}
+	if got := met.Get(engine.SvcBreakerTrips); got != 2 {
+		t.Errorf("SvcBreakerTrips = %d, want 2", got)
+	}
+}
+
+func TestBreakerWindowExpiry(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 2, Window: 10 * time.Second, Cooldown: 5 * time.Second}, nil)
+	b.RecordFailure()
+	// The first failure ages out of the window before the second lands:
+	// no burst, no trip.
+	clk.advance(11 * time.Second)
+	b.RecordFailure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (failures outside one window)", got)
+	}
+	// Two failures inside one window do trip.
+	clk.advance(time.Second)
+	b.RecordFailure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open (burst within window)", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Threshold: 2, Window: 10 * time.Second, Cooldown: 5 * time.Second}, nil)
+	b.RecordFailure()
+	b.RecordSuccess()
+	b.RecordFailure()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (success between failures resets the count)", got)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Threshold: -1}, nil)
+	for i := 0; i < 100; i++ {
+		b.RecordFailure()
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("disabled breaker refused a job: %v", err)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("disabled breaker state = %v, want closed", got)
+	}
+}
+
+func TestBreakerRetryAfter(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Window: 10 * time.Second, Cooldown: 8 * time.Second}, nil)
+	b.RecordFailure()
+	if got := b.RetryAfter(); got != 8*time.Second {
+		t.Errorf("RetryAfter right after trip = %v, want 8s", got)
+	}
+	clk.advance(7500 * time.Millisecond)
+	if got := b.RetryAfter(); got < time.Second {
+		t.Errorf("RetryAfter near cooldown end = %v, want >= 1s", got)
+	}
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/engine"
+	"sstiming/internal/faultinject"
+	"sstiming/internal/spice"
+)
+
+// TestChaosPersistentFaultsTripBreaker injects persistent solver faults
+// (they defeat the recovery ladder, so every flattened trial escalates to an
+// unrecovered failure) into the daemon's conformance endpoint and asserts
+// the graceful-degradation contract: the breaker trips, further
+// solver-backed jobs are refused with a degraded 503, readiness fails — and
+// the read-only analyses keep serving throughout.
+func TestChaosPersistentFaultsTripBreaker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	plan := faultinject.NewPlan(11, 0.01, spice.FaultNoConverge, true)
+	met := engine.NewMetrics()
+	_, hs := newTestServer(t, Options{
+		Metrics:      met,
+		NewFaultHook: plan.NextHook,
+		Breaker:      BreakerConfig{Threshold: 1, Cooldown: time.Hour},
+	})
+
+	// The campaign itself completes (unconverged trials become skips), but
+	// every escalated failure feeds the breaker.
+	resp, raw := postJSON(t, hs.URL+"/conformance", map[string]any{
+		"seeds": 2, "checks": []string{"logic-flat"}, "flat_trials": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("faulted conformance run = %d, want 200: %.400s", resp.StatusCode, raw)
+	}
+	var cr ConformanceResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("plan injected no faults — vacuous test")
+	}
+	if cr.SolverFailures == 0 {
+		t.Fatal("no solver failures surfaced although every flat trial was persistently faulted")
+	}
+	if !cr.Passed {
+		t.Error("injected solver failures were blamed on the timing model")
+	}
+	if cr.Breaker != "open" {
+		t.Errorf("breaker %q after the failure burst, want \"open\"", cr.Breaker)
+	}
+	if got := met.Get(engine.SvcBreakerTrips); got == 0 {
+		t.Error("SvcBreakerTrips counter not incremented")
+	}
+
+	// Degraded: solver-backed jobs are refused while the breaker is open.
+	resp, raw = postJSON(t, hs.URL+"/conformance", map[string]any{"seeds": 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("conformance while open = %d, want 503: %s", resp.StatusCode, raw)
+	}
+	var ej ErrorJSON
+	if err := json.Unmarshal(raw, &ej); err != nil {
+		t.Fatal(err)
+	}
+	if ej.Kind != "degraded" || ej.Breaker != "open" {
+		t.Errorf("degraded payload %+v: want kind \"degraded\", breaker \"open\"", ej)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("degraded 503 is missing Retry-After")
+	}
+
+	// Readiness gates on the breaker.
+	resp, raw = getURL(t, hs.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("GET /readyz while breaker open = %d, want 503: %s", resp.StatusCode, raw)
+	}
+
+	// Degraded is read-only, not down: the characterised-table analyses
+	// still answer.
+	resp, raw = postJSON(t, hs.URL+"/analyze", map[string]any{
+		"netlist": benchText(t, benchgen.C17()),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("analyze while breaker open = %d, want 200 (degraded mode is read-only): %s",
+			resp.StatusCode, raw)
+	}
+}
+
+// TestChaosOneShotFaultsDoNotTripBreaker injects recoverable one-shot
+// faults: the solver's recovery ladder rescues every trial in-process, so no
+// failure ever reaches the breaker and the daemon stays fully up.
+func TestChaosOneShotFaultsDoNotTripBreaker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	plan := faultinject.NewPlan(5, 0.02, spice.FaultNoConverge, false)
+	s, hs := newTestServer(t, Options{
+		NewFaultHook: plan.NextHook,
+		Breaker:      BreakerConfig{Threshold: 1, Cooldown: time.Hour},
+	})
+
+	resp, raw := postJSON(t, hs.URL+"/conformance", map[string]any{
+		"seeds": 2, "checks": []string{"logic-flat"}, "flat_trials": 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("one-shot-faulted conformance run = %d, want 200: %.400s", resp.StatusCode, raw)
+	}
+	var cr ConformanceResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Injected() == 0 {
+		t.Fatal("plan injected no faults — vacuous test")
+	}
+	if cr.SolverFailures != 0 {
+		t.Errorf("%d solver failures escaped although every fault was one-shot recoverable",
+			cr.SolverFailures)
+	}
+	if cr.Breaker != "closed" {
+		t.Errorf("breaker %q, want \"closed\"", cr.Breaker)
+	}
+	if got := s.Metrics().Get(engine.SvcBreakerTrips); got != 0 {
+		t.Errorf("SvcBreakerTrips = %d, want 0", got)
+	}
+	if resp, _ := getURL(t, hs.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /readyz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestBreakerRecoveryRestoresReadiness drives the breaker's cooldown with
+// an injected clock (no simulations): once the cooldown elapses and a probe
+// succeeds, readiness returns without a restart.
+func TestBreakerRecoveryRestoresReadiness(t *testing.T) {
+	s, hs := newTestServer(t, Options{
+		Breaker: BreakerConfig{Threshold: 1, Window: time.Minute, Cooldown: 10 * time.Second},
+	})
+	// The clock is read from handler goroutines, so the offset is atomic.
+	base := time.Unix(2_000_000, 0)
+	var offset atomic.Int64
+	s.breaker.now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+
+	s.breaker.RecordFailure() // threshold 1: trips immediately
+	if resp, _ := getURL(t, hs.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /readyz while open = %d, want 503", resp.StatusCode)
+	}
+
+	offset.Store(int64(11 * time.Second)) // past the cooldown
+	if err := s.breaker.Allow(); err != nil {
+		t.Fatalf("probe Allow after cooldown = %v, want nil", err)
+	}
+	// Half-open already readmits readiness (one probe is in flight).
+	if resp, _ := getURL(t, hs.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /readyz while half-open = %d, want 200", resp.StatusCode)
+	}
+	s.breaker.RecordSuccess()
+	if got := s.breaker.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if resp, _ := getURL(t, hs.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /readyz after recovery = %d, want 200", resp.StatusCode)
+	}
+}

@@ -1,0 +1,570 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"sstiming/internal/conformance"
+	"sstiming/internal/engine"
+	"sstiming/internal/itr"
+	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+	"sstiming/internal/spice"
+	"sstiming/internal/sta"
+)
+
+// CircuitJSON summarises the posted netlist.
+type CircuitJSON struct {
+	Name  string `json:"name"`
+	PIs   int    `json:"pis"`
+	POs   int    `json:"pos"`
+	Gates int    `json:"gates"`
+	Depth int    `json:"depth"`
+}
+
+// WindowJSON is one directional min-max timing window, in seconds.
+type WindowJSON struct {
+	AS float64 `json:"as"`
+	AL float64 `json:"al"`
+	TS float64 `json:"ts"`
+	TL float64 `json:"tl"`
+}
+
+func windowJSON(w sta.Window) WindowJSON { return WindowJSON{AS: w.AS, AL: w.AL, TS: w.TS, TL: w.TL} }
+
+// ErrorJSON is the uniform error payload.
+type ErrorJSON struct {
+	RequestID string `json:"request_id,omitempty"`
+	Error     string `json:"error"`
+	// Kind classifies the failure: "bad-request", "cancelled", "shed",
+	// "degraded", "draining", "panic" or "internal".
+	Kind string `json:"kind"`
+	// Breaker is the breaker state on degraded responses.
+	Breaker string `json:"breaker,omitempty"`
+}
+
+// AnalyzeRequest is the POST /analyze body.
+type AnalyzeRequest struct {
+	// Netlist is the circuit source text.
+	Netlist string `json:"netlist"`
+	// Format is "bench" (default) or "verilog".
+	Format string `json:"format"`
+	// Mode is "proposed" (default) or "pin-to-pin".
+	Mode string `json:"mode"`
+	// NCExtension enables the Λ-shape to-non-controlling extension.
+	NCExtension bool `json:"nc_extension"`
+	// Windows includes every line's windows in the response.
+	Windows bool `json:"windows"`
+	// TimeoutMs is the per-request deadline in milliseconds (0 = server
+	// default).
+	TimeoutMs int `json:"timeout_ms"`
+}
+
+// AnalyzeResponse is the POST /analyze result.
+type AnalyzeResponse struct {
+	RequestID    string                           `json:"request_id"`
+	Circuit      CircuitJSON                      `json:"circuit"`
+	Mode         string                           `json:"mode"`
+	MinPOArrival float64                          `json:"min_po_arrival_s"`
+	MaxPOArrival float64                          `json:"max_po_arrival_s"`
+	CriticalPath string                           `json:"critical_path,omitempty"`
+	Lines        map[string]map[string]WindowJSON `json:"lines,omitempty"`
+	ElapsedMs    float64                          `json:"elapsed_ms"`
+}
+
+// RefineRequest is the POST /refine body.
+type RefineRequest struct {
+	Netlist string `json:"netlist"`
+	Format  string `json:"format"`
+	Mode    string `json:"mode"`
+	// Cube maps net name to a two-frame value like "01", "1x", "x0".
+	Cube        map[string]string `json:"cube"`
+	NCExtension bool              `json:"nc_extension"`
+	// Nets filters the reported lines; empty reports all of them.
+	Nets      []string `json:"nets"`
+	TimeoutMs int      `json:"timeout_ms"`
+}
+
+// RefineLineJSON is one refined line: implied value, transition states and
+// the windows that remain defined.
+type RefineLineJSON struct {
+	Value string      `json:"value"`
+	SRise string      `json:"s_rise"`
+	SFall string      `json:"s_fall"`
+	Rise  *WindowJSON `json:"rise,omitempty"`
+	Fall  *WindowJSON `json:"fall,omitempty"`
+}
+
+// RefineResponse is the POST /refine result.
+type RefineResponse struct {
+	RequestID string                    `json:"request_id"`
+	Circuit   CircuitJSON               `json:"circuit"`
+	Cube      string                    `json:"cube"`
+	Lines     map[string]RefineLineJSON `json:"lines"`
+	ElapsedMs float64                   `json:"elapsed_ms"`
+}
+
+// ConformanceRequest is the POST /conformance body: a randomized
+// differential spot check (see internal/conformance) sized for a request.
+type ConformanceRequest struct {
+	// Seeds is the number of campaign seeds (default 2, capped by the
+	// server's MaxConformanceSeeds).
+	Seeds int `json:"seeds"`
+	// SeedBase is the first seed (default 1).
+	SeedBase int64 `json:"seed_base"`
+	// Checks filters the checks; empty runs all of them.
+	Checks []string `json:"checks"`
+	// FlatTrials is the number of transistor-level trials per seed
+	// (default 1; -1 disables the expensive flattened oracle).
+	FlatTrials int `json:"flat_trials"`
+	TimeoutMs  int `json:"timeout_ms"`
+}
+
+// ConformanceResponse is the POST /conformance result.
+type ConformanceResponse struct {
+	RequestID      string                           `json:"request_id"`
+	Passed         bool                             `json:"passed"`
+	Seeds          int                              `json:"seeds"`
+	Stats          map[string]*conformance.CheckStat `json:"stats"`
+	Violations     []string                         `json:"violations,omitempty"`
+	SolverFailures int64                            `json:"solver_failures"`
+	Breaker        string                           `json:"breaker"`
+	ElapsedMs      float64                          `json:"elapsed_ms"`
+}
+
+// readJSON decodes the request body with a size cap.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, requestID string, err error, extra map[string]string) {
+	payload := ErrorJSON{RequestID: requestID, Error: err.Error(), Kind: errorKind(err)}
+	if extra != nil {
+		payload.Breaker = extra["breaker"]
+	}
+	writeJSON(w, status, payload)
+}
+
+// errorKind classifies an error for the JSON payload.
+func errorKind(err error) string {
+	var pe *engine.PanicError
+	switch {
+	case errors.Is(err, spice.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, ErrShedLoad):
+		return "shed"
+	case errors.Is(err, ErrDegraded):
+		return "degraded"
+	case errors.Is(err, engine.ErrPoolClosed):
+		return "draining"
+	case errors.As(err, &pe):
+		return "panic"
+	default:
+		return "bad-request"
+	}
+}
+
+// respondJobError maps a job error to its HTTP status and writes it. The
+// mapping is the service's robustness contract:
+//
+//	deadline / cancel  -> 504 (spice.ErrCancelled in the chain)
+//	queue full         -> 429 + Retry-After
+//	breaker open       -> 503 + Retry-After (degraded)
+//	draining           -> 503 (pool closed)
+//	job panic          -> 500 (contained; the daemon keeps serving)
+//	anything else      -> 422 (the posted netlist/cube was analysable but
+//	                          rejected by the engine)
+func (s *Server) respondJobError(w http.ResponseWriter, id string, err error) {
+	var pe *engine.PanicError
+	switch {
+	case errors.Is(err, spice.ErrCancelled):
+		s.met.Add(engine.SvcTimeouts, 1)
+		writeError(w, http.StatusGatewayTimeout, id, err, nil)
+	case errors.Is(err, ErrShedLoad):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, id, err, nil)
+	case errors.Is(err, ErrDegraded):
+		s.met.Add(engine.SvcDegraded, 1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.breaker.RetryAfter().Seconds())))
+		writeError(w, http.StatusServiceUnavailable, id, err,
+			map[string]string{"breaker": s.breaker.State().String()})
+	case errors.Is(err, engine.ErrPoolClosed):
+		writeError(w, http.StatusServiceUnavailable, id, err, nil)
+	case errors.As(err, &pe):
+		s.met.Add(engine.SvcPanics, 1)
+		// The stack stays in the job error (operator-side); clients get
+		// the request ID to correlate.
+		writeError(w, http.StatusInternalServerError, id,
+			fmt.Errorf("internal error while running the job (request %s)", id), nil)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, id, err, nil)
+	}
+}
+
+// parseCircuit builds the posted netlist ("bench" or "verilog" format).
+func parseCircuit(src, format string) (*netlist.Circuit, error) {
+	switch strings.ToLower(format) {
+	case "", "bench":
+		return netlist.Parse("request", strings.NewReader(src))
+	case "verilog", "v":
+		return netlist.ParseVerilog("request", strings.NewReader(src))
+	default:
+		return nil, fmt.Errorf("unknown netlist format %q (want \"bench\" or \"verilog\")", format)
+	}
+}
+
+func parseMode(mode string) (sta.Mode, error) {
+	switch strings.ToLower(mode) {
+	case "", "proposed":
+		return sta.ModeProposed, nil
+	case "pin-to-pin", "pintopin", "conventional":
+		return sta.ModePinToPin, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want \"proposed\" or \"pin-to-pin\")", mode)
+	}
+}
+
+// parseCube converts the JSON cube into a nineval.Cube.
+func parseCube(m map[string]string) (nineval.Cube, error) {
+	cube := nineval.Cube{}
+	for net, s := range m {
+		if len(s) != 2 {
+			return nil, fmt.Errorf("cube value for %q must be two frames of [01x], got %q", net, s)
+		}
+		f := [2]nineval.Frame{}
+		for i := 0; i < 2; i++ {
+			switch s[i] {
+			case '0':
+				f[i] = nineval.F0
+			case '1':
+				f[i] = nineval.F1
+			case 'x', 'X':
+				f[i] = nineval.FX
+			default:
+				return nil, fmt.Errorf("cube value for %q must be two frames of [01x], got %q", net, s)
+			}
+		}
+		cube[net] = nineval.Value{V1: f[0], V2: f[1]}
+	}
+	return cube, nil
+}
+
+func circuitJSON(c *netlist.Circuit) CircuitJSON {
+	st := c.Stats()
+	return CircuitJSON{Name: st.Name, PIs: st.PIs, POs: st.POs, Gates: st.Gates, Depth: st.Depth}
+}
+
+// checkGateBudget enforces the admission-control size cap on posted
+// netlists.
+func (s *Server) checkGateBudget(c *netlist.Circuit) error {
+	if s.opts.MaxGates > 0 && c.NumGates() > s.opts.MaxGates {
+		return fmt.Errorf("netlist has %d gates, above the server's %d-gate admission limit",
+			c.NumGates(), s.opts.MaxGates)
+	}
+	return nil
+}
+
+// handleAnalyze serves POST /analyze: one STA job.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	id := RequestID(r.Context())
+	var req AnalyzeRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, id, err, nil)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, id, err, nil)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMs)
+	defer cancel()
+
+	start := time.Now()
+	var resp *AnalyzeResponse
+	err = s.submit(ctx, func(ctx context.Context) error {
+		c, err := parseCircuit(req.Netlist, req.Format)
+		if err != nil {
+			return err
+		}
+		if err := s.checkGateBudget(c); err != nil {
+			return err
+		}
+		res, err := sta.Analyze(c, sta.Options{
+			Lib:         s.lib,
+			Mode:        mode,
+			NCExtension: req.NCExtension,
+			Ctx:         ctx,
+			Jobs:        s.opts.AnalysisJobs,
+			Metrics:     s.met,
+		})
+		if err != nil {
+			return err
+		}
+		out := &AnalyzeResponse{
+			RequestID:    id,
+			Circuit:      circuitJSON(c),
+			Mode:         mode.String(),
+			MinPOArrival: res.MinPOArrival(),
+			MaxPOArrival: res.MaxPOArrival(),
+		}
+		if path, err := res.WorstPath(); err == nil {
+			out.CriticalPath = sta.FormatPath(path)
+		}
+		if req.Windows {
+			out.Lines = make(map[string]map[string]WindowJSON, len(res.Lines))
+			for net, lt := range res.Lines {
+				out.Lines[net] = map[string]WindowJSON{
+					"rise": windowJSON(lt.Rise),
+					"fall": windowJSON(lt.Fall),
+				}
+			}
+		}
+		resp = out
+		return nil
+	})
+	if err != nil {
+		s.respondJobError(w, id, err)
+		return
+	}
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRefine serves POST /refine: one ITR job.
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	id := RequestID(r.Context())
+	var req RefineRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, id, err, nil)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, id, err, nil)
+		return
+	}
+	cube, err := parseCube(req.Cube)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, id, err, nil)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMs)
+	defer cancel()
+
+	start := time.Now()
+	var resp *RefineResponse
+	err = s.submit(ctx, func(ctx context.Context) error {
+		c, err := parseCircuit(req.Netlist, req.Format)
+		if err != nil {
+			return err
+		}
+		if err := s.checkGateBudget(c); err != nil {
+			return err
+		}
+		res, err := itr.Refine(c, cube, itr.Options{
+			Lib:         s.lib,
+			Mode:        mode,
+			NCExtension: req.NCExtension,
+			Ctx:         ctx,
+			Metrics:     s.met,
+		})
+		if err != nil {
+			return err
+		}
+		keep := func(string) bool { return true }
+		if len(req.Nets) > 0 {
+			set := make(map[string]bool, len(req.Nets))
+			for _, n := range req.Nets {
+				set[n] = true
+			}
+			keep = func(net string) bool { return set[net] }
+		}
+		lines := make(map[string]RefineLineJSON)
+		for net, li := range res.Lines {
+			if !keep(net) {
+				continue
+			}
+			lj := RefineLineJSON{
+				Value: li.Value.String(),
+				SRise: li.SRise.String(),
+				SFall: li.SFall.String(),
+			}
+			if li.HasRise() {
+				wj := windowJSON(li.Rise)
+				lj.Rise = &wj
+			}
+			if li.HasFall() {
+				wj := windowJSON(li.Fall)
+				lj.Fall = &wj
+			}
+			lines[net] = lj
+		}
+		resp = &RefineResponse{
+			RequestID: id,
+			Circuit:   circuitJSON(c),
+			Cube:      res.Cube.String(),
+			Lines:     lines,
+		}
+		return nil
+	})
+	if err != nil {
+		s.respondJobError(w, id, err)
+		return
+	}
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleConformance serves POST /conformance: a randomized differential
+// spot check. This is the daemon's only solver-backed endpoint, so it is
+// the one the circuit breaker guards: while the breaker is open the job is
+// refused with a degraded 503 and the daemon keeps serving the read-only
+// analyses.
+func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
+	id := RequestID(r.Context())
+	var req ConformanceRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, id, err, nil)
+		return
+	}
+	if req.Seeds <= 0 {
+		req.Seeds = 2
+	}
+	if req.Seeds > s.opts.MaxConformanceSeeds {
+		writeError(w, http.StatusBadRequest, id,
+			fmt.Errorf("seeds %d above the per-request cap %d", req.Seeds, s.opts.MaxConformanceSeeds), nil)
+		return
+	}
+	if req.SeedBase == 0 {
+		req.SeedBase = 1
+	}
+	if req.FlatTrials == 0 {
+		req.FlatTrials = 1
+	}
+	if err := s.breaker.Allow(); err != nil {
+		s.respondJobError(w, id, err)
+		return
+	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMs)
+	defer cancel()
+
+	start := time.Now()
+	var resp *ConformanceResponse
+	var solverFailures int64
+	err := s.submit(ctx, func(ctx context.Context) error {
+		var fails int64
+		onErr := func(error) {
+			fails++
+			s.breaker.RecordFailure()
+		}
+		rep, err := conformance.Run(conformance.Options{
+			Lib:           s.lib,
+			Seeds:         conformance.SeedRange(req.Seeds, req.SeedBase),
+			Jobs:          1, // request-level concurrency comes from the queue
+			Checks:        req.Checks,
+			FlatTrials:    req.FlatTrials,
+			Ctx:           ctx,
+			NewFaultHook:  s.faultHook(),
+			OnSolverError: onErr,
+			Metrics:       s.met,
+		})
+		solverFailures = fails
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return spice.Cancelled(cerr)
+			}
+			return err
+		}
+		if fails == 0 {
+			s.breaker.RecordSuccess()
+		}
+		var viols []string
+		for _, v := range rep.Violations {
+			viols = append(viols, v.String())
+		}
+		resp = &ConformanceResponse{
+			RequestID:  id,
+			Passed:     rep.Passed(),
+			Seeds:      rep.Seeds,
+			Stats:      rep.Stats,
+			Violations: viols,
+		}
+		return nil
+	})
+	if err != nil {
+		s.respondJobError(w, id, err)
+		return
+	}
+	resp.SolverFailures = solverFailures
+	resp.Breaker = s.breaker.State().String()
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz: liveness only — 200 while the process
+// can answer HTTP at all, even when degraded or draining.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+// handleReadyz serves GET /readyz: readiness for new work. It fails (503)
+// while draining — before in-flight jobs finish, so load balancers stop
+// routing first — and while the breaker is open.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	state := s.breaker.State()
+	ready := !s.draining.Load() && state != BreakerOpen && s.lib != nil
+	var reasons []string
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if state == BreakerOpen {
+		reasons = append(reasons, "circuit breaker open")
+	}
+	if s.lib == nil {
+		reasons = append(reasons, "library not loaded")
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":    ready,
+		"reasons":  reasons,
+		"breaker":  state.String(),
+		"inflight": s.queue.Inflight(),
+	})
+}
+
+// handleMetrics serves GET /metrics: the engine counter/timer sink plus the
+// per-endpoint latency histograms, as plain text.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.met.WriteText(w)
+	for _, ep := range endpointOrder {
+		s.hist[ep].writeText(w, ep)
+	}
+	fmt.Fprintf(w, "service/breaker_state %q\n", s.breaker.State().String())
+	fmt.Fprintf(w, "service/inflight %d\n", s.queue.Inflight())
+}

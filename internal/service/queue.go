@@ -1,0 +1,124 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sstiming/internal/engine"
+	"sstiming/internal/spice"
+)
+
+// ErrShedLoad is returned when the bounded job queue is full: the request
+// is rejected immediately (429 + Retry-After) instead of building an
+// unbounded backlog. Distinct from engine.ErrPoolClosed, which signals
+// shutdown (503).
+var ErrShedLoad = errors.New("service: job queue full")
+
+// jobQueue is the daemon's admission-controlled execution path: a bounded
+// waiting room in front of a long-lived engine.Pool.
+//
+//   - at most `workers` jobs run concurrently (the pool width);
+//   - at most `depth` more sit queued; anything beyond is shed with
+//     ErrShedLoad before consuming any solver resources;
+//   - a request whose deadline fires while queued or running gets its
+//     spice.ErrCancelled answer immediately — the job itself observes the
+//     same context and aborts at its next cancellation point;
+//   - job panics are contained per job (engine.Safely) and surface as
+//     *engine.PanicError, never cancelling the shared pool;
+//   - after Close/Drain, submissions fail with engine.ErrPoolClosed so the
+//     handler layer can answer "shutting down" rather than "overloaded".
+type jobQueue struct {
+	pool *engine.Pool
+	// pending bounds admitted-but-unfinished jobs to workers+depth.
+	pending chan struct{}
+	// inflight counts jobs admitted and not yet finished (queued included).
+	inflight atomic.Int64
+	met      *engine.Metrics
+}
+
+func newJobQueue(workers, depth int, met *engine.Metrics) *jobQueue {
+	w := engine.Workers(workers)
+	if depth < 0 {
+		depth = 0
+	}
+	return &jobQueue{
+		pool:    engine.NewPool(context.Background(), w),
+		pending: make(chan struct{}, w+depth),
+		met:     met,
+	}
+}
+
+// Submit runs fn on the pool under ctx and waits for it (or for ctx). The
+// returned error is fn's own error, ErrShedLoad, engine.ErrPoolClosed, a
+// spice.ErrCancelled wrap, or an *engine.PanicError wrap.
+func (q *jobQueue) Submit(ctx context.Context, fn func(ctx context.Context) error) error {
+	select {
+	case q.pending <- struct{}{}:
+	default:
+		q.met.Add(engine.SvcShed, 1)
+		return ErrShedLoad
+	}
+	q.inflight.Add(1)
+	done := make(chan error, 1)
+	// finish is called exactly once per admitted job: either with the
+	// submission failure, or with the job's outcome.
+	finish := func(err error) {
+		q.inflight.Add(-1)
+		<-q.pending
+		done <- err
+	}
+	// The pool submission itself can block while all workers are busy; run
+	// it aside so a queued request still honours its deadline below.
+	go func() {
+		submitErr := q.pool.Go(func(context.Context) error {
+			if err := ctx.Err(); err != nil {
+				// Deadline fired while queued: never start the work.
+				finish(spice.Cancelled(err))
+				return nil
+			}
+			finish(engine.Safely(func() error { return fn(ctx) }))
+			// Job errors belong to the request, not the shared pool: a
+			// failed analysis must not cancel every other request.
+			return nil
+		})
+		if submitErr != nil {
+			finish(submitErr)
+		}
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// The job (if running) sees the same context and winds down on
+		// its own; its bookkeeping is finished by the goroutine above.
+		return spice.Cancelled(ctx.Err())
+	}
+}
+
+// Inflight returns the number of admitted, unfinished jobs.
+func (q *jobQueue) Inflight() int { return int(q.inflight.Load()) }
+
+// Close stops admitting jobs; in-flight jobs keep running.
+func (q *jobQueue) Close() { q.pool.Close() }
+
+// Drain closes the queue and waits until every in-flight job finished, or
+// until ctx fires (returning an error naming the stragglers).
+func (q *jobQueue) Drain(ctx context.Context) error {
+	q.pool.Close()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if q.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return fmt.Errorf("service: drain deadline exceeded with %d jobs in flight: %w",
+				q.inflight.Load(), ctx.Err())
+		}
+	}
+}

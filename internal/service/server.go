@@ -1,0 +1,179 @@
+// Package service is the timing-analysis daemon: a long-running HTTP/JSON
+// front end that loads a characterised cell library once and serves STA,
+// ITR and conformance-spot-check jobs over POSTed netlists.
+//
+// The request path is built for robustness (DESIGN.md §10):
+//
+//   - every request runs under a context carrying its deadline; the
+//     deadline reaches sta.Analyze, itr.Refine and ultimately the spice
+//     Newton loop, so a cancelled request answers 504 with
+//     spice.ErrCancelled in the chain and never holds a worker;
+//   - admission control is a bounded job queue on a long-lived
+//     internal/engine pool: beyond workers+depth concurrent jobs the
+//     daemon sheds load with 429 + Retry-After instead of queueing
+//     unboundedly;
+//   - job and handler panics are contained per request and answered as
+//     500s carrying a request ID — a crash never takes the daemon down;
+//   - a circuit breaker watches the solver error taxonomy on the
+//     solver-backed endpoint (/conformance) and trips to degraded 503
+//     responses after a failure burst, while the read-only analyses keep
+//     serving;
+//   - /healthz is liveness, /readyz gates on drain state and the breaker,
+//     /metrics exposes the engine counters plus per-endpoint latency
+//     histograms; Drain stops admission first (readiness fails), then
+//     waits for in-flight jobs.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sstiming/internal/core"
+	"sstiming/internal/engine"
+	"sstiming/internal/spice"
+)
+
+// endpointOrder lists the instrumented endpoints (histogram render order).
+var endpointOrder = []string{"analyze", "refine", "conformance", "healthz", "readyz", "metrics"}
+
+// Options configures a Server.
+type Options struct {
+	// Lib is the characterised cell library, loaded once for the daemon's
+	// lifetime (required).
+	Lib *core.Library
+	// Workers bounds concurrently running jobs; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth is how many admitted jobs may wait for a worker beyond
+	// the running ones; above workers+depth the daemon sheds load.
+	// Negative means no waiting room; zero selects 2×workers.
+	QueueDepth int
+	// AnalysisJobs is the intra-request STA fan-out width; default 1
+	// (request-level parallelism comes from the worker pool).
+	AnalysisJobs int
+	// DefaultTimeout is the per-request deadline when the client sets
+	// none; zero means no server-imposed deadline.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request bodies; zero selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxGates rejects posted netlists above this size (admission
+	// control); zero selects 100000, negative disables the cap.
+	MaxGates int
+	// MaxConformanceSeeds caps the per-request conformance campaign size;
+	// zero selects 16.
+	MaxConformanceSeeds int
+	// Breaker tunes the solver circuit breaker.
+	Breaker BreakerConfig
+	// Metrics is the instrumentation sink; nil creates a private one.
+	Metrics *engine.Metrics
+	// NewFaultHook, when non-nil, injects deterministic solver faults
+	// into conformance jobs (chaos testing; see internal/faultinject).
+	NewFaultHook func() spice.FaultHook
+}
+
+func (o *Options) fill() error {
+	if o.Lib == nil {
+		return fmt.Errorf("service: Options.Lib is required")
+	}
+	o.Workers = engine.Workers(o.Workers)
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 2 * o.Workers
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	}
+	if o.AnalysisJobs <= 0 {
+		o.AnalysisJobs = 1
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.MaxGates == 0 {
+		o.MaxGates = 100000
+	}
+	if o.MaxConformanceSeeds <= 0 {
+		o.MaxConformanceSeeds = 16
+	}
+	if o.Metrics == nil {
+		o.Metrics = engine.NewMetrics()
+	}
+	return nil
+}
+
+// Server is the daemon's request-path state. Construct with New, mount
+// Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	opts    Options
+	lib     *core.Library
+	met     *engine.Metrics
+	queue   *jobQueue
+	breaker *breaker
+	mux     *http.ServeMux
+	hist    map[string]*histogram
+
+	started  time.Time
+	boot     uint32
+	reqSeq   atomic.Int64
+	draining atomic.Bool
+}
+
+// New builds a Server: validates the options, loads nothing lazily — the
+// library is already resident — and wires the routes.
+func New(opts Options) (*Server, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    opts,
+		lib:     opts.Lib,
+		met:     opts.Metrics,
+		queue:   newJobQueue(opts.Workers, opts.QueueDepth, opts.Metrics),
+		breaker: newBreaker(opts.Breaker, opts.Metrics),
+		mux:     http.NewServeMux(),
+		hist:    make(map[string]*histogram, len(endpointOrder)),
+		started: time.Now(),
+		boot:    uint32(time.Now().UnixNano()),
+	}
+	for _, ep := range endpointOrder {
+		s.hist[ep] = &histogram{}
+	}
+	s.mux.Handle("POST /analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.Handle("POST /refine", s.instrument("refine", s.handleRefine))
+	s.mux.Handle("POST /conformance", s.instrument("conformance", s.handleConformance))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the instrumentation sink (for operator dumps).
+func (s *Server) Metrics() *engine.Metrics { return s.met }
+
+// submit routes one job through admission control. While draining, jobs are
+// refused with engine.ErrPoolClosed (503) before touching the queue.
+func (s *Server) submit(ctx context.Context, fn func(ctx context.Context) error) error {
+	if s.draining.Load() {
+		return fmt.Errorf("%w: draining", engine.ErrPoolClosed)
+	}
+	return s.queue.Submit(ctx, fn)
+}
+
+// faultHook returns the per-transient fault hook factory (nil in
+// production).
+func (s *Server) faultHook() func() spice.FaultHook { return s.opts.NewFaultHook }
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain performs the graceful-shutdown sequence: first readiness fails and
+// new jobs are refused, then the call blocks until every in-flight job
+// finished or ctx fires. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.queue.Drain(ctx)
+}

@@ -101,5 +101,15 @@ type cancelError struct{ cause error }
 func (e *cancelError) Error() string   { return ErrCancelled.Error() + ": " + e.cause.Error() }
 func (e *cancelError) Unwrap() []error { return []error{ErrCancelled, e.cause} }
 
-// cancelled wraps a non-nil context error into the taxonomy.
-func cancelled(cause error) error { return &cancelError{cause: cause} }
+// Cancelled wraps a non-nil context error (context.Canceled or
+// context.DeadlineExceeded) into the taxonomy, so that both
+// errors.Is(err, ErrCancelled) and errors.Is(err, cause) hold. Layers above
+// the solver (sta, itr, the service daemon) use it to report caller
+// cancellation uniformly with the solver's own ErrCancelled path. If cause
+// already carries ErrCancelled it is returned unchanged.
+func Cancelled(cause error) error {
+	if errors.Is(cause, ErrCancelled) {
+		return cause
+	}
+	return &cancelError{cause: cause}
+}

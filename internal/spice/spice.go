@@ -476,7 +476,7 @@ func (c *Circuit) solvePoint(sc *solveCtx, volt, branch, voltPrev, capCur []floa
 		// cancellation within a single iteration, not a whole transient.
 		if sc.ctx != nil {
 			if cerr := sc.ctx.Err(); cerr != nil {
-				return iter, cancelled(cerr)
+				return iter, Cancelled(cerr)
 			}
 		}
 		s.reset()

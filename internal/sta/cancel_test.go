@@ -1,0 +1,43 @@
+package sta
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/prechar"
+	"sstiming/internal/spice"
+)
+
+// TestAnalyzeCancelled: a cancelled context must abort the analysis — on
+// both the serial and the level-parallel path — with an error wrapping
+// spice.ErrCancelled, never a partial window map.
+func TestAnalyzeCancelled(t *testing.T) {
+	lib := prechar.MustLibrary()
+	c, err := benchgen.Load("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, jobs := range []int{1, 4} {
+		res, err := Analyze(c, Options{Lib: lib, Ctx: ctx, Jobs: jobs})
+		if res != nil {
+			t.Fatalf("jobs=%d: cancelled analysis returned a partial result", jobs)
+		}
+		if !errors.Is(err, spice.ErrCancelled) {
+			t.Fatalf("jobs=%d: error does not wrap spice.ErrCancelled: %v", jobs, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: error does not wrap context.Canceled: %v", jobs, err)
+		}
+	}
+
+	// The same analysis without a context succeeds.
+	if _, err := Analyze(c, Options{Lib: lib}); err != nil {
+		t.Fatalf("clean analysis failed: %v", err)
+	}
+}

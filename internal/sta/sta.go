@@ -27,12 +27,14 @@ package sta
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"sstiming/internal/core"
 	"sstiming/internal/engine"
 	"sstiming/internal/netlist"
+	"sstiming/internal/spice"
 )
 
 // Mode selects the delay model used by the analysis.
@@ -102,7 +104,10 @@ type Options struct {
 	// timing for these responses (and Table 2's max-delays identical
 	// across models).
 	NCExtension bool
-	// Ctx, when non-nil, cancels the analysis between logic levels.
+	// Ctx, when non-nil, cancels the analysis between logic levels (and
+	// inside the level-parallel fan-out). A cancelled analysis returns an
+	// error wrapping spice.ErrCancelled and the context's own error —
+	// never a partial result.
 	Ctx context.Context
 	// Jobs bounds the engine worker pool used to propagate the gates of
 	// one logic level concurrently; zero or one runs serially. Windows
@@ -200,7 +205,7 @@ func Analyze(c *netlist.Circuit, opts Options) (*Result, error) {
 	for _, lv := range levelGroups(c) {
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sta: %w", err)
+				return nil, fmt.Errorf("sta: %w", spice.Cancelled(err))
 			}
 		}
 		outs := make([]*LineTiming, len(lv))
@@ -218,11 +223,24 @@ func Analyze(c *netlist.Circuit, opts Options) (*Result, error) {
 				return err
 			})
 			if err != nil {
+				// The fan-out surfaces the caller's cancellation as a raw
+				// context error (or an ErrPoolClosed wrap); fold it into the
+				// solver taxonomy so every cancelled analysis looks alike.
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return nil, fmt.Errorf("sta: %w", spice.Cancelled(err))
+				}
 				return nil, err
 			}
 		}
 		for i, gi := range lv {
 			res.Lines[c.Gates[gi].Output] = outs[i]
+		}
+	}
+	// A deadline that fired after the last level still voids the result:
+	// callers must never observe windows computed past their cancellation.
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sta: %w", spice.Cancelled(err))
 		}
 	}
 	return res, nil
