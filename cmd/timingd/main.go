@@ -13,7 +13,7 @@
 //	POST /refine       run ITR under a partial two-frame cube
 //	POST /conformance  run a randomized differential spot check
 //	GET  /healthz      liveness
-//	GET  /readyz       readiness (drain state, circuit breaker)
+//	GET  /readyz       readiness (drain state; breaker state is informational)
 //	GET  /metrics      engine counters + per-endpoint latency histograms
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: readiness fails first,

@@ -101,11 +101,15 @@ func (p *Pool) Context() context.Context { return p.ctx }
 // Go submits one job. The call blocks until a worker slot is free (or the
 // pool is cancelled), bounding both concurrency and the goroutine count.
 //
-// Go reports ErrPoolClosed — without running the job — once the pool has
-// been closed (Close or Wait) or its context cancelled; in the cancelled
-// case the returned error additionally wraps the context's error, and the
-// cancellation is still recorded for Wait. A nil return means the job was
-// accepted and will run.
+// Go reports ErrPoolClosed — without running the job — when the pool is
+// already closed (Close or Wait) or its context cancelled at the entry
+// check; in the cancelled case the returned error additionally wraps the
+// context's error, and the cancellation is still recorded for Wait. A call
+// that passes the entry check is ADMITTED: it runs even if Close lands
+// while it is still waiting for a worker slot — the graceful-drain
+// contract is that admitted jobs finish, not just already-running ones.
+// (Cancelling the pool context still aborts waiters.) A nil return means
+// the job was accepted and will run.
 func (p *Pool) Go(job func(ctx context.Context) error) error {
 	if p.closed.Load() {
 		return ErrPoolClosed
@@ -119,10 +123,6 @@ func (p *Pool) Go(job func(ctx context.Context) error) error {
 	case <-p.ctx.Done():
 		p.fail(p.ctx.Err())
 		return fmt.Errorf("%w: %w", ErrPoolClosed, p.ctx.Err())
-	}
-	if p.closed.Load() {
-		<-p.sem
-		return ErrPoolClosed
 	}
 	p.wg.Add(1)
 	go func() {
@@ -140,9 +140,11 @@ func (p *Pool) Go(job func(ctx context.Context) error) error {
 }
 
 // Close marks the pool as no longer accepting jobs: subsequent Go calls
-// return ErrPoolClosed without running. Jobs already accepted keep running;
-// Close does not cancel the pool context (use the parent context for that).
-// Close is idempotent and safe to call concurrently with Go.
+// return ErrPoolClosed without running. Jobs already accepted keep running
+// — including submissions that passed Go's entry check and are still
+// waiting for a worker slot; Close does not cancel the pool context (use
+// the parent context for that). Close is idempotent and safe to call
+// concurrently with Go.
 func (p *Pool) Close() { p.closed.Store(true) }
 
 // fail records the first error and cancels the pool.

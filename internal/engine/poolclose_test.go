@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestPoolGoReportsClosed: submissions after Close, after Wait, or after the
@@ -78,6 +79,38 @@ func TestCloseLetsInflightFinish(t *testing.T) {
 	}
 	if !finished.Load() {
 		t.Fatal("in-flight job did not finish after Close")
+	}
+}
+
+// TestCloseRunsJobsAlreadyWaitingForASlot: a submission that passed Go's
+// entry check before Close — admitted, but still blocked waiting for a
+// worker slot — must run to completion rather than be rejected with
+// ErrPoolClosed: the drain contract promises that admitted jobs finish,
+// not just already-running ones.
+func TestCloseRunsJobsAlreadyWaitingForASlot(t *testing.T) {
+	p := NewPool(context.Background(), 1)
+	block := make(chan struct{})
+	if err := p.Go(func(context.Context) error { <-block; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Bool
+	second := make(chan error, 1)
+	go func() {
+		second <- p.Go(func(context.Context) error { ran.Store(true); return nil })
+	}()
+	// Give the second submission time to pass the entry check and park on
+	// the semaphore, then close the pool while it waits.
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	close(block)
+	if err := <-second; err != nil {
+		t.Fatalf("admitted submission rejected after Close: %v", err)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran.Load() {
+		t.Fatal("admitted job did not run after Close")
 	}
 }
 

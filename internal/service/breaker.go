@@ -81,7 +81,13 @@ type breaker struct {
 	failures  int
 	firstFail time.Time
 	openedAt  time.Time
-	probing   bool
+	// probing marks the half-open probe slot as taken; probeGen and
+	// probeStart identify the probe holding it, so a stale release cannot
+	// free a newer probe's slot and a probe whose release was lost is
+	// eventually presumed dead.
+	probing    bool
+	probeGen   uint64
+	probeStart time.Time
 }
 
 func newBreaker(cfg BreakerConfig, met *engine.Metrics) *breaker {
@@ -92,28 +98,60 @@ func newBreaker(cfg BreakerConfig, met *engine.Metrics) *breaker {
 // Allow reports whether a solver-backed job may run now. While open it
 // returns ErrDegraded; when the cooldown has elapsed it admits exactly one
 // probe (transitioning to half-open).
-func (b *breaker) Allow() error {
+//
+// The returned release is never nil and must be called once the admitted
+// job settles, whatever the outcome — the handler defers it. For a normal
+// closed-state admission it is a no-op. For a half-open probe it returns
+// the probe slot if neither RecordFailure nor RecordSuccess settled the
+// probe: a probe can die without a solver verdict (shed by admission,
+// refused while draining, cancelled by its deadline, rejected for a
+// non-solver reason, panicked), and without the release the breaker would
+// stay half-open with the slot taken, refusing every future probe until a
+// restart — under exactly the solver degradation that tripped it.
+func (b *breaker) Allow() (release func(), err error) {
+	noop := func() {}
 	if b.cfg.Threshold < 0 {
-		return nil
+		return noop, nil
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
-			return ErrDegraded
+			return noop, ErrDegraded
 		}
 		b.state = BreakerHalfOpen
-		b.probing = true
-		return nil
+		return b.admitProbeLocked(), nil
 	case BreakerHalfOpen:
-		if b.probing {
-			return ErrDegraded
+		if b.probing && b.now().Sub(b.probeStart) < b.cfg.Cooldown {
+			return noop, ErrDegraded
 		}
-		b.probing = true
-		return nil
+		// Either no probe is out, or the one that is has gone a full
+		// cooldown without settling. The release contract should make the
+		// latter unreachable, but a leaked slot must not wedge the breaker
+		// forever: presume the probe dead and reclaim it (defence in depth).
+		return b.admitProbeLocked(), nil
 	default:
-		return nil
+		return noop, nil
+	}
+}
+
+// admitProbeLocked hands out the half-open probe slot and builds its
+// release. Callers hold b.mu.
+func (b *breaker) admitProbeLocked() func() {
+	b.probing = true
+	b.probeGen++
+	b.probeStart = b.now()
+	gen := b.probeGen
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		// Only this generation's still-unsettled probe is returned:
+		// RecordFailure/RecordSuccess already settled it (the state moved
+		// on), and a stale release must not free a newer probe's slot.
+		if b.state == BreakerHalfOpen && b.probing && b.probeGen == gen {
+			b.probing = false
+		}
 	}
 }
 

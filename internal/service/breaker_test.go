@@ -35,14 +35,14 @@ func TestBreakerTripsAtThreshold(t *testing.T) {
 	if got := b.State(); got != BreakerClosed {
 		t.Fatalf("state after 2/3 failures = %v, want closed", got)
 	}
-	if err := b.Allow(); err != nil {
+	if _, err := b.Allow(); err != nil {
 		t.Fatalf("Allow below threshold = %v, want nil", err)
 	}
 	b.RecordFailure()
 	if got := b.State(); got != BreakerOpen {
 		t.Fatalf("state after 3/3 failures = %v, want open", got)
 	}
-	if err := b.Allow(); !errors.Is(err, ErrDegraded) {
+	if _, err := b.Allow(); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("Allow while open = %v, want ErrDegraded", err)
 	}
 	if got := met.Get(engine.SvcBreakerTrips); got != 1 {
@@ -59,28 +59,30 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 
 	// Cooldown not yet elapsed: still degraded.
 	clk.advance(4 * time.Second)
-	if err := b.Allow(); !errors.Is(err, ErrDegraded) {
+	if _, err := b.Allow(); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("Allow before cooldown = %v, want ErrDegraded", err)
 	}
 
 	// Cooldown elapsed: exactly one probe is admitted.
 	clk.advance(2 * time.Second)
-	if err := b.Allow(); err != nil {
+	release, err := b.Allow()
+	if err != nil {
 		t.Fatalf("probe Allow = %v, want nil", err)
 	}
 	if got := b.State(); got != BreakerHalfOpen {
 		t.Fatalf("state = %v, want half-open", got)
 	}
-	if err := b.Allow(); !errors.Is(err, ErrDegraded) {
+	if _, err := b.Allow(); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("second Allow during probe = %v, want ErrDegraded", err)
 	}
 
-	// Probe success closes the breaker.
+	// Probe success closes the breaker; the deferred release is a no-op.
 	b.RecordSuccess()
+	release()
 	if got := b.State(); got != BreakerClosed {
 		t.Fatalf("state after probe success = %v, want closed", got)
 	}
-	if err := b.Allow(); err != nil {
+	if _, err := b.Allow(); err != nil {
 		t.Fatalf("Allow after recovery = %v, want nil", err)
 	}
 }
@@ -90,15 +92,17 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Window: 10 * time.Second, Cooldown: 5 * time.Second}, met)
 	b.RecordFailure() // trip 1
 	clk.advance(6 * time.Second)
-	if err := b.Allow(); err != nil {
+	release, err := b.Allow()
+	if err != nil {
 		t.Fatalf("probe Allow = %v, want nil", err)
 	}
 	b.RecordFailure() // probe fails: trip 2, cooldown restarts
+	release()         // deferred release after the verdict: must not disturb the reopened state
 	if got := b.State(); got != BreakerOpen {
 		t.Fatalf("state after failed probe = %v, want open", got)
 	}
 	clk.advance(4 * time.Second)
-	if err := b.Allow(); !errors.Is(err, ErrDegraded) {
+	if _, err := b.Allow(); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("Allow during restarted cooldown = %v, want ErrDegraded", err)
 	}
 	if got := met.Get(engine.SvcBreakerTrips); got != 2 {
@@ -139,12 +143,97 @@ func TestBreakerDisabled(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		b.RecordFailure()
 	}
-	if err := b.Allow(); err != nil {
+	if _, err := b.Allow(); err != nil {
 		t.Fatalf("disabled breaker refused a job: %v", err)
 	}
 	if got := b.State(); got != BreakerClosed {
 		t.Fatalf("disabled breaker state = %v, want closed", got)
 	}
+}
+
+// TestBreakerProbeReleasedWithoutOutcome is the regression for the leaked
+// probe slot: a half-open probe that ends without a solver verdict (shed by
+// admission, refused while draining, cancelled by its deadline, rejected
+// for a non-solver reason, panicked) must return the slot via its release,
+// so the NEXT caller can probe — instead of the breaker refusing everything
+// until a restart.
+func TestBreakerProbeReleasedWithoutOutcome(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Window: 10 * time.Second, Cooldown: 5 * time.Second}, nil)
+	b.RecordFailure()
+	clk.advance(6 * time.Second)
+	release, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	// While the probe is out, everyone else is refused.
+	if _, err := b.Allow(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Allow during probe = %v, want ErrDegraded", err)
+	}
+	// The probe dies without RecordFailure/RecordSuccess ever running.
+	release()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after released probe = %v, want half-open", got)
+	}
+	release2, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow after released probe = %v, want nil (probe slot leaked)", err)
+	}
+	release2()
+	release() // double release is a harmless no-op
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("Allow after double release = %v, want nil", err)
+	}
+}
+
+// TestBreakerStaleReleaseCannotFreeNewerProbe: a release that fires after
+// its probe already settled (the handler's defer runs late) must neither
+// disturb the settled state nor free the slot a newer probe now holds.
+func TestBreakerStaleReleaseCannotFreeNewerProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Window: 10 * time.Second, Cooldown: 5 * time.Second}, nil)
+	b.RecordFailure()
+	clk.advance(6 * time.Second)
+	release, err := b.Allow()
+	if err != nil {
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	b.RecordFailure() // probe verdict: reopened, cooldown restarts
+	clk.advance(6 * time.Second)
+	release2, err := b.Allow() // a NEW probe takes the slot
+	if err != nil {
+		t.Fatalf("second probe Allow = %v, want nil", err)
+	}
+	release() // stale: belongs to the settled first probe
+	if _, err := b.Allow(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("stale release freed the live probe slot: Allow = %v, want ErrDegraded", err)
+	}
+	b.RecordSuccess()
+	release2()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after second probe success = %v, want closed", got)
+	}
+}
+
+// TestBreakerStaleProbeReclaimed is the defence-in-depth backstop: even if
+// a caller loses its release entirely (a bug), a probe unsettled after a
+// full cooldown is presumed dead and its slot reclaimed rather than the
+// breaker wedging half-open forever.
+func TestBreakerStaleProbeReclaimed(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Threshold: 1, Window: 10 * time.Second, Cooldown: 5 * time.Second}, nil)
+	b.RecordFailure()
+	clk.advance(6 * time.Second)
+	if _, err := b.Allow(); err != nil { // probe admitted; its release is lost
+		t.Fatalf("probe Allow = %v, want nil", err)
+	}
+	clk.advance(4 * time.Second)
+	if _, err := b.Allow(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Allow while probe fresh = %v, want ErrDegraded", err)
+	}
+	clk.advance(2 * time.Second) // a full cooldown with no verdict
+	release, err := b.Allow()
+	if err != nil {
+		t.Fatalf("Allow after stale probe = %v, want nil (leaked slot never reclaimed)", err)
+	}
+	release()
 }
 
 func TestBreakerRetryAfter(t *testing.T) {

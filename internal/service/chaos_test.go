@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,8 +19,8 @@ import (
 // (they defeat the recovery ladder, so every flattened trial escalates to an
 // unrecovered failure) into the daemon's conformance endpoint and asserts
 // the graceful-degradation contract: the breaker trips, further
-// solver-backed jobs are refused with a degraded 503, readiness fails — and
-// the read-only analyses keep serving throughout.
+// solver-backed jobs are refused with a degraded 503 — and the instance
+// stays ready and the read-only analyses keep serving throughout.
 func TestChaosPersistentFaultsTripBreaker(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
@@ -75,10 +77,16 @@ func TestChaosPersistentFaultsTripBreaker(t *testing.T) {
 		t.Error("degraded 503 is missing Retry-After")
 	}
 
-	// Readiness gates on the breaker.
+	// Readiness does NOT gate on the breaker: the read-only analyses keep
+	// serving, so an open breaker must not pull the instance from the
+	// load-balancer rotation — its state is reported informationally only.
 	resp, raw = getURL(t, hs.URL+"/readyz")
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("GET /readyz while breaker open = %d, want 503: %s", resp.StatusCode, raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /readyz while breaker open = %d, want 200 (degraded is read-only, not down): %s",
+			resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), `"open"`) {
+		t.Errorf("/readyz does not report the open breaker informationally: %s", raw)
 	}
 
 	// Degraded is read-only, not down: the characterised-table analyses
@@ -133,10 +141,13 @@ func TestChaosOneShotFaultsDoNotTripBreaker(t *testing.T) {
 	}
 }
 
-// TestBreakerRecoveryRestoresReadiness drives the breaker's cooldown with
-// an injected clock (no simulations): once the cooldown elapses and a probe
-// succeeds, readiness returns without a restart.
-func TestBreakerRecoveryRestoresReadiness(t *testing.T) {
+// TestBreakerRecoveryViaProbe drives the breaker's cooldown with an
+// injected clock (no simulations): while open, solver-backed work is
+// refused but the instance stays ready (an open breaker degrades one
+// endpoint — it must not pull the instance, and its healthy read-only
+// analyses, out of rotation); once the cooldown elapses a probe is admitted
+// and its success closes the breaker without a restart.
+func TestBreakerRecoveryViaProbe(t *testing.T) {
 	s, hs := newTestServer(t, Options{
 		Breaker: BreakerConfig{Threshold: 1, Window: time.Minute, Cooldown: 10 * time.Second},
 	})
@@ -146,23 +157,108 @@ func TestBreakerRecoveryRestoresReadiness(t *testing.T) {
 	s.breaker.now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
 
 	s.breaker.RecordFailure() // threshold 1: trips immediately
-	if resp, _ := getURL(t, hs.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("GET /readyz while open = %d, want 503", resp.StatusCode)
+	resp, raw := postJSON(t, hs.URL+"/conformance", map[string]any{"seeds": 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("conformance while open = %d, want 503: %s", resp.StatusCode, raw)
+	}
+	resp, raw = getURL(t, hs.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /readyz while open = %d, want 200 (breaker must not gate readiness): %s",
+			resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), `"open"`) {
+		t.Errorf("/readyz does not report the open breaker: %s", raw)
 	}
 
 	offset.Store(int64(11 * time.Second)) // past the cooldown
-	if err := s.breaker.Allow(); err != nil {
+	release, err := s.breaker.Allow()
+	if err != nil {
 		t.Fatalf("probe Allow after cooldown = %v, want nil", err)
 	}
-	// Half-open already readmits readiness (one probe is in flight).
-	if resp, _ := getURL(t, hs.URL+"/readyz"); resp.StatusCode != http.StatusOK {
-		t.Errorf("GET /readyz while half-open = %d, want 200", resp.StatusCode)
-	}
 	s.breaker.RecordSuccess()
+	release() // deferred release after the verdict: a no-op
 	if got := s.breaker.State(); got != BreakerClosed {
 		t.Fatalf("state after probe success = %v, want closed", got)
 	}
 	if resp, _ := getURL(t, hs.URL+"/readyz"); resp.StatusCode != http.StatusOK {
 		t.Errorf("GET /readyz after recovery = %d, want 200", resp.StatusCode)
 	}
+}
+
+// TestProbeRefusedWhileDrainingDoesNotWedgeBreaker is the end-to-end
+// regression for the leaked half-open probe slot: a probe that passes
+// breaker.Allow but is then refused before reaching the solver (here the
+// daemon is draining; shed load and panics take the same path) must return
+// the probe slot on its way out — otherwise the breaker stays half-open
+// with the slot taken and refuses every future probe until a restart.
+func TestProbeRefusedWhileDrainingDoesNotWedgeBreaker(t *testing.T) {
+	s, hs := newTestServer(t, Options{
+		Breaker: BreakerConfig{Threshold: 1, Window: time.Minute, Cooldown: 10 * time.Second},
+	})
+	base := time.Unix(3_000_000, 0)
+	var offset atomic.Int64
+	s.breaker.now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+
+	s.breaker.RecordFailure()             // trip
+	offset.Store(int64(11 * time.Second)) // cooldown elapsed: the next Allow admits a probe
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The probe is admitted by the breaker but refused by admission control.
+	resp, raw := postJSON(t, hs.URL+"/conformance", map[string]any{"seeds": 1})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("conformance while draining = %d, want 503: %s", resp.StatusCode, raw)
+	}
+	var ej ErrorJSON
+	if err := json.Unmarshal(raw, &ej); err != nil {
+		t.Fatal(err)
+	}
+	if ej.Kind != "draining" {
+		t.Fatalf("kind %q, want \"draining\" (the probe must have passed the breaker)", ej.Kind)
+	}
+
+	// The refused probe returned its slot: the breaker can still probe.
+	release, err := s.breaker.Allow()
+	if err != nil {
+		t.Fatalf("Allow after a refused probe = %v, want nil (probe slot leaked)", err)
+	}
+	release()
+}
+
+// TestProbeDeadlineDoesNotWedgeBreaker covers the likeliest leak in
+// production: the half-open probe is exactly the request most prone to time
+// out (the solver is degraded — that is why the breaker tripped), so a
+// probe answered 504 must return the probe slot too.
+func TestProbeDeadlineDoesNotWedgeBreaker(t *testing.T) {
+	s, hs := newTestServer(t, Options{
+		Breaker: BreakerConfig{Threshold: 1, Window: time.Minute, Cooldown: 10 * time.Second},
+	})
+	base := time.Unix(4_000_000, 0)
+	var offset atomic.Int64
+	s.breaker.now = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+
+	s.breaker.RecordFailure()
+	offset.Store(int64(11 * time.Second))
+
+	// The probe request carries a 1 ms deadline no conformance campaign can
+	// meet: it comes back 504 with no solver verdict ever recorded.
+	resp, raw := postJSON(t, hs.URL+"/conformance", map[string]any{
+		"seeds": 1, "checks": []string{"logic-flat"}, "flat_trials": 1, "timeout_ms": 1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("1ms-deadline probe = %d, want 504: %.300s", resp.StatusCode, raw)
+	}
+	waitFor(t, "abandoned probe job to wind down", func() bool { return s.queue.Inflight() == 0 })
+
+	// The timed-out probe released its slot: the breaker is not stuck
+	// answering ErrDegraded until restart.
+	release, err := s.breaker.Allow()
+	if err != nil {
+		t.Fatalf("Allow after timed-out probe = %v, want nil (probe slot leaked)", err)
+	}
+	release()
 }

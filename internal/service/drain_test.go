@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -89,6 +90,54 @@ func TestDrainFailsReadinessFirstThenWaitsInflight(t *testing.T) {
 	}
 	if err := s.queue.Submit(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, engine.ErrPoolClosed) {
 		t.Errorf("queue.Submit after drain = %v, want engine.ErrPoolClosed", err)
+	}
+}
+
+// TestDrainRunsQueuedJobs: a job admitted into the bounded queue — counted
+// in flight, its client awaiting the answer — but still WAITING for a
+// worker when Drain begins must run to completion, not be refused with
+// "draining": admission is the promise, and these clients were admitted
+// before shutdown started.
+func TestDrainRunsQueuedJobs(t *testing.T) {
+	s, _ := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	gate := make(chan struct{})
+	blockerErr := make(chan error, 1)
+	go func() {
+		blockerErr <- s.submit(context.Background(), func(context.Context) error {
+			<-gate
+			return nil
+		})
+	}()
+	waitFor(t, "blocker to occupy the worker", func() bool { return s.queue.Inflight() == 1 })
+
+	var ran atomic.Bool
+	queuedErr := make(chan error, 1)
+	go func() {
+		queuedErr <- s.submit(context.Background(), func(context.Context) error {
+			ran.Store(true)
+			return nil
+		})
+	}()
+	waitFor(t, "second job to be admitted", func() bool { return s.queue.Inflight() == 2 })
+
+	drainErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { drainErr <- s.Drain(ctx) }()
+	waitFor(t, "drain to start", func() bool { return s.Draining() })
+
+	close(gate)
+	if err := <-blockerErr; err != nil {
+		t.Fatalf("running job failed during drain: %v", err)
+	}
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued-but-admitted job refused during drain: %v", err)
+	}
+	if !ran.Load() {
+		t.Fatal("queued job never ran")
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sstiming/internal/conformance"
@@ -460,20 +461,28 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 	if req.FlatTrials == 0 {
 		req.FlatTrials = 1
 	}
-	if err := s.breaker.Allow(); err != nil {
+	release, err := s.breaker.Allow()
+	if err != nil {
 		s.respondJobError(w, id, err)
 		return
 	}
+	// A half-open probe holds the breaker's only probe slot; it must be
+	// returned on EVERY outcome — shed, draining, deadline 504, 422, panic —
+	// not just on solver success/failure, or the breaker wedges half-open
+	// refusing all future probes. Settled probes make this a no-op.
+	defer release()
 	ctx, cancel := s.withDeadline(r, req.TimeoutMs)
 	defer cancel()
 
 	start := time.Now()
 	var resp *ConformanceResponse
-	var solverFailures int64
-	err := s.submit(ctx, func(ctx context.Context) error {
-		var fails int64
+	// Atomic to honour OnSolverError's "safe for concurrent use" contract:
+	// the handler pins Jobs:1 today, but the hook must not be the thing
+	// that breaks when that changes.
+	var solverFailures atomic.Int64
+	err = s.submit(ctx, func(ctx context.Context) error {
 		onErr := func(error) {
-			fails++
+			solverFailures.Add(1)
 			s.breaker.RecordFailure()
 		}
 		rep, err := conformance.Run(conformance.Options{
@@ -487,14 +496,18 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 			OnSolverError: onErr,
 			Metrics:       s.met,
 		})
-		solverFailures = fails
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return spice.Cancelled(cerr)
 			}
 			return err
 		}
-		if fails == 0 {
+		// Explicit accounting: a run that completed with zero unrecovered
+		// solver failures is the success the breaker counts (closing a
+		// half-open probe); one that completed despite failures already fed
+		// each of them to RecordFailure above, and if it was a probe the
+		// first failure reopened the breaker on the spot.
+		if solverFailures.Load() == 0 {
 			s.breaker.RecordSuccess()
 		}
 		var viols []string
@@ -514,7 +527,7 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 		s.respondJobError(w, id, err)
 		return
 	}
-	resp.SolverFailures = solverFailures
+	resp.SolverFailures = solverFailures.Load()
 	resp.Breaker = s.breaker.State().String()
 	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 	writeJSON(w, http.StatusOK, resp)
@@ -531,16 +544,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleReadyz serves GET /readyz: readiness for new work. It fails (503)
 // while draining — before in-flight jobs finish, so load balancers stop
-// routing first — and while the breaker is open.
+// routing first — and while the library is missing. The breaker state is
+// reported informationally but deliberately does NOT gate readiness: an
+// open breaker degrades only the solver-backed /conformance endpoint while
+// /analyze and /refine keep serving, so pulling the whole instance from
+// rotation would escalate a fleet-wide solver brown-out into an outage of
+// the healthy read-only analyses too.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	state := s.breaker.State()
-	ready := !s.draining.Load() && state != BreakerOpen && s.lib != nil
+	ready := !s.draining.Load() && s.lib != nil
 	var reasons []string
 	if s.draining.Load() {
 		reasons = append(reasons, "draining")
-	}
-	if state == BreakerOpen {
-		reasons = append(reasons, "circuit breaker open")
 	}
 	if s.lib == nil {
 		reasons = append(reasons, "library not loaded")

@@ -29,14 +29,21 @@ var ErrShedLoad = errors.New("service: job queue full")
 //   - job panics are contained per job (engine.Safely) and surface as
 //     *engine.PanicError, never cancelling the shared pool;
 //   - after Close/Drain, submissions fail with engine.ErrPoolClosed so the
-//     handler layer can answer "shutting down" rather than "overloaded".
+//     handler layer can answer "shutting down" rather than "overloaded" —
+//     but admission is a promise: a job that entered the bounded queue
+//     before the drain began runs to completion even if it was still
+//     waiting for a worker when the drain started.
 type jobQueue struct {
 	pool *engine.Pool
 	// pending bounds admitted-but-unfinished jobs to workers+depth.
 	pending chan struct{}
 	// inflight counts jobs admitted and not yet finished (queued included).
 	inflight atomic.Int64
-	met      *engine.Metrics
+	// closed refuses new admissions after Close/Drain. It is deliberately
+	// checked before the pending slot, and the pool itself stays open until
+	// Drain has emptied the queue, so already-admitted jobs keep running.
+	closed atomic.Bool
+	met    *engine.Metrics
 }
 
 func newJobQueue(workers, depth int, met *engine.Metrics) *jobQueue {
@@ -55,6 +62,9 @@ func newJobQueue(workers, depth int, met *engine.Metrics) *jobQueue {
 // returned error is fn's own error, ErrShedLoad, engine.ErrPoolClosed, a
 // spice.ErrCancelled wrap, or an *engine.PanicError wrap.
 func (q *jobQueue) Submit(ctx context.Context, fn func(ctx context.Context) error) error {
+	if q.closed.Load() {
+		return fmt.Errorf("%w: draining", engine.ErrPoolClosed)
+	}
 	select {
 	case q.pending <- struct{}{}:
 	default:
@@ -101,17 +111,22 @@ func (q *jobQueue) Submit(ctx context.Context, fn func(ctx context.Context) erro
 // Inflight returns the number of admitted, unfinished jobs.
 func (q *jobQueue) Inflight() int { return int(q.inflight.Load()) }
 
-// Close stops admitting jobs; in-flight jobs keep running.
-func (q *jobQueue) Close() { q.pool.Close() }
+// Close stops admitting jobs; in-flight jobs (queued included) keep
+// running.
+func (q *jobQueue) Close() { q.closed.Store(true) }
 
-// Drain closes the queue and waits until every in-flight job finished, or
-// until ctx fires (returning an error naming the stragglers).
+// Drain stops admission and waits until every in-flight job finished —
+// queued-but-not-yet-running jobs included, since admission is the promise
+// — or until ctx fires (returning an error naming the stragglers). The
+// underlying pool is closed only once the queue is empty, so admitted jobs
+// are never refused with ErrPoolClosed mid-drain.
 func (q *jobQueue) Drain(ctx context.Context) error {
-	q.pool.Close()
+	q.closed.Store(true)
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
 	for {
 		if q.inflight.Load() == 0 {
+			q.pool.Close()
 			return nil
 		}
 		select {

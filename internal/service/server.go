@@ -17,11 +17,16 @@
 //   - a circuit breaker watches the solver error taxonomy on the
 //     solver-backed endpoint (/conformance) and trips to degraded 503
 //     responses after a failure burst, while the read-only analyses keep
-//     serving;
-//   - /healthz is liveness, /readyz gates on drain state and the breaker,
-//     /metrics exposes the engine counters plus per-endpoint latency
-//     histograms; Drain stops admission first (readiness fails), then
-//     waits for in-flight jobs.
+//     serving; its half-open probe slot is released on every probe
+//     outcome, so a probe that dies without a solver verdict can never
+//     wedge the breaker;
+//   - /healthz is liveness, /readyz gates on drain state and library load
+//     (the breaker state is reported there informationally — an open
+//     breaker degrades one endpoint and must not pull the instance, and
+//     its healthy read-only analyses, out of rotation), /metrics exposes
+//     the engine counters plus per-endpoint latency histograms; Drain
+//     stops admission first (readiness fails), then waits for in-flight
+//     jobs — admitted-but-still-queued jobs included.
 package service
 
 import (
