@@ -7,7 +7,7 @@ GO ?= go
 # genuinely improves; never lower it to make a PR pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race vet verify conformance chaos service-smoke cover bench bench-parallel clean
+.PHONY: build test race vet verify conformance chaos store-chaos service-smoke cover bench bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 # Tier-1 verification loop (see ROADMAP.md).
-verify: build vet test race conformance chaos service-smoke
+verify: build vet test race conformance chaos store-chaos service-smoke
 
 # Short randomized differential campaign: cross-checks flatsim, logicsim,
 # STA, ITR and the delay-model structure against each other on random
@@ -40,6 +40,13 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/spice ./internal/charlib \
 		./internal/conformance ./internal/faultinject ./internal/engine \
 		./internal/service
+
+# Store crash-safety suite: kill a characterisation campaign mid-cell
+# (deterministically, inside its own checkpoint), tear the journal tail,
+# resume, and require the published library + manifest byte-identical to an
+# uninterrupted run (see internal/store and DESIGN.md "Durable artifacts").
+store-chaos:
+	$(GO) test -race -run 'Chaos' ./internal/store
 
 # Service smoke test: start the timingd daemon on a random loopback port,
 # POST an example netlist, require a 200 STA response and a clean graceful

@@ -8,7 +8,15 @@
 //
 //	characterize [-out lib05.json] [-fast] [-jobs N] [-stats] [-v]
 //	             [-health] [-max-degraded F] [-retries N]
+//	             [-resume] [-journal DIR] [-no-journal]
 //	             [-inject kind] [-inject-rate F] [-inject-seed S] [-inject-persist]
+//
+// Campaigns are crash-safe by default: each completed cell is appended to a
+// fsynced write-ahead journal (<out>.journal/), and -resume replays the
+// journal so a killed campaign re-characterises at most the cell that was in
+// flight. The output library and its integrity manifest are published
+// atomically (temp file + fsync + rename); the journal is removed once the
+// artefact is durable.
 //
 // The -inject* flags drive the deterministic fault-injection harness
 // (internal/faultinject) for resilience testing: a seeded fraction of all
@@ -17,15 +25,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
 	"sstiming/internal/charlib"
+	"sstiming/internal/core"
 	"sstiming/internal/engine"
 	"sstiming/internal/faultinject"
 	"sstiming/internal/spice"
+	"sstiming/internal/store"
 )
 
 func main() {
@@ -37,6 +48,9 @@ func main() {
 	health := flag.Bool("health", false, "print the per-cell characterisation health summary to stderr")
 	maxDegraded := flag.Float64("max-degraded", 0, "max tolerated fraction of degraded points per cell (0 = default 0.25, negative forbids)")
 	retries := flag.Int("retries", 0, "per-point retry budget with tightened solver settings (0 = default 2, negative disables)")
+	resume := flag.Bool("resume", false, "replay the campaign journal and characterise only the missing cells")
+	journalDir := flag.String("journal", "", "campaign journal directory (default <out>.journal)")
+	noJournal := flag.Bool("no-journal", false, "disable the write-ahead journal (campaign is not crash-safe)")
 	injectKind := flag.String("inject", "", "fault kind to inject: noconv, nan or panic (empty disables)")
 	injectRate := flag.Float64("inject-rate", 0.05, "fraction of solver time points faulted when -inject is set")
 	injectSeed := flag.Int64("inject-seed", 1, "fault-injection plan seed")
@@ -65,11 +79,49 @@ func main() {
 	if *injectKind != "" {
 		kind, err := spice.ParseFaultKind(*injectKind)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "characterize:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		plan = faultinject.NewPlan(*injectSeed, *injectRate, kind, *injectPersist)
 		opts.NewFaultHook = plan.NextHook
+	}
+
+	// The campaign fingerprint pins every option that shapes the library
+	// bytes; a -resume against a journal from a different campaign is
+	// refused (store.ErrStale) instead of splicing incompatible results.
+	resolved := opts.Resolved()
+	fp := fingerprint(resolved)
+
+	var journal *store.Journal
+	if !*noJournal {
+		dir := *journalDir
+		if dir == "" {
+			dir = *out + ".journal"
+		}
+		var err error
+		var replayed map[string]*core.CellModel
+		if *resume {
+			if _, statErr := os.Stat(dir); os.IsNotExist(statErr) {
+				fmt.Fprintf(os.Stderr, "characterize: no journal at %s, starting a fresh campaign\n", dir)
+				journal, err = store.CreateJournal(dir, fp)
+			} else {
+				journal, replayed, err = store.ResumeJournal(dir, fp)
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "characterize: resuming campaign, %d cell(s) replayed from journal\n", len(replayed))
+				}
+			}
+		} else {
+			journal, err = store.CreateJournal(dir, fp)
+		}
+		if err != nil {
+			if errors.Is(err, store.ErrStale) || errors.Is(err, store.ErrSchemaMismatch) {
+				fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+				fmt.Fprintln(os.Stderr, "characterize: rerun without -resume to discard the journal and start over")
+				os.Exit(1)
+			}
+			fatal(err)
+		}
+		opts.Completed = replayed
+		opts.Checkpoint = journal.Append
 	}
 
 	lib, err := charlib.Characterize(opts)
@@ -86,21 +138,26 @@ func main() {
 		opts.Metrics.WriteText(os.Stderr)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	// Re-enforce the degradation budget over every cell, including the ones
+	// replayed from the journal: a cell that slid over the budget must fail
+	// the campaign with a non-zero exit, not ship a degraded artefact.
+	if err := checkDegradationBudget(lib, resolved.MaxDegradedFrac); err != nil {
+		fatal(err)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
+	if _, err := store.WriteLibrary(*out, lib, resolved.Grid, resolved.NCPairs); err != nil {
+		fatal(err)
 	}
-	defer f.Close()
-	if err := lib.WriteJSON(f); err != nil {
-		fmt.Fprintln(os.Stderr, "characterize:", err)
-		os.Exit(1)
+	if journal != nil {
+		// The artefact is durable; the checkpoints are spent.
+		if err := journal.Remove(); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize: removing journal:", err)
+		}
 	}
-	fmt.Printf("wrote %s (%d cells, tech %s, Vdd %.2f V)\n", *out, len(lib.Cells), lib.TechName, lib.Vdd)
+	fmt.Printf("wrote %s (%d cells, tech %s, Vdd %.2f V) + manifest %s\n",
+		*out, len(lib.Cells), lib.TechName, lib.Vdd, store.ManifestPath(*out))
 
 	if *verbose {
 		fmt.Println("\nfit quality (ns domain):")
@@ -122,4 +179,49 @@ func main() {
 			}
 		}
 	}
+}
+
+// fingerprint derives the campaign fingerprint from the resolved options.
+func fingerprint(o charlib.Options) store.Fingerprint {
+	names := make([]string, len(o.Cells))
+	for i, cfg := range o.Cells {
+		names[i] = cfg.Name()
+	}
+	return store.Fingerprint{
+		Tech:         o.Tech.Name,
+		Vdd:          o.Tech.Vdd,
+		Grid:         o.Grid,
+		Cells:        names,
+		TStep:        o.TStep,
+		SkewTol:      o.SkewTol,
+		SkipPairs:    o.SkipPairs,
+		PaperExactD0: o.PaperExactD0,
+		NCPairs:      o.NCPairs,
+	}
+}
+
+// checkDegradationBudget fails when any cell — freshly characterised or
+// replayed from the journal — exceeds the per-cell degraded-point budget.
+func checkDegradationBudget(lib *core.Library, budget float64) error {
+	names := make([]string, 0, len(lib.Cells))
+	for name := range lib.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := lib.Cells[name]
+		if m.Health == nil {
+			continue
+		}
+		if frac := m.Health.DegradedFrac(); frac > budget {
+			return fmt.Errorf("%s: %.1f%% of points degraded, budget %.1f%% (-max-degraded)",
+				name, 100*frac, 100*budget)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
 }

@@ -36,6 +36,7 @@ import (
 	"sstiming/internal/core"
 	"sstiming/internal/engine"
 	"sstiming/internal/prechar"
+	"sstiming/internal/store"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func main() {
 	list := flag.Bool("list", false, "list the available checks and exit")
 	health := flag.Bool("health", false, "print the library's characterisation health summary to stderr")
 	maxDegraded := flag.Float64("max-degraded", 0, "refuse libraries whose worst cell exceeds this degraded fraction (0 = default 0.25, negative forbids)")
+	strictLib := flag.Bool("strict-lib", false, "refuse degraded or unverified libraries instead of using analytic fallbacks")
 	flag.Parse()
 
 	if *list {
@@ -67,7 +69,7 @@ func main() {
 		defer met.WriteText(os.Stderr)
 	}
 
-	lib, err := loadLibrary(*libPath)
+	lib, err := loadLibrary(*libPath, *strictLib, met)
 	if err != nil {
 		fail(err)
 	}
@@ -159,16 +161,28 @@ func parseTol(spec string) (conformance.Tolerances, error) {
 	return tol, nil
 }
 
-func loadLibrary(path string) (*core.Library, error) {
+// loadLibrary loads the timing library through the verifying store; see
+// cmd/ssta. Strict mode refuses degraded or unverified artefacts — the
+// conformance campaign's oracle should normally rest on verified tables.
+func loadLibrary(path string, strict bool, met *engine.Metrics) (*core.Library, error) {
 	if path == "" {
 		return prechar.Library()
 	}
-	f, err := os.Open(path)
+	lib, rep, err := store.LoadFile(path, store.LoadOptions{
+		Strict:          strict,
+		AllowUnverified: !strict,
+		Metrics:         met,
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return core.LoadLibrary(f)
+	if rep.Unverified {
+		fmt.Fprintf(os.Stderr, "conformance: %s has no manifest; loaded unverified (use -strict-lib to refuse)\n", path)
+	}
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(os.Stderr, "conformance: quarantined %s\n", q)
+	}
+	return lib, nil
 }
 
 func fail(err error) {

@@ -22,10 +22,12 @@ import (
 	"sstiming/internal/prechar"
 	"sstiming/internal/sdf"
 	"sstiming/internal/sta"
+	"sstiming/internal/store"
 )
 
 func main() {
 	libPath := flag.String("lib", "", "characterised library JSON (default: embedded 0.5um library)")
+	strictLib := flag.Bool("strict-lib", false, "refuse degraded or unverified libraries instead of using analytic fallbacks")
 	bench := flag.String("bench", "c17", "benchmark name (c17, c432, c880, ...)")
 	netFile := flag.String("netlist", "", ".bench netlist file (overrides -bench)")
 	jobs := flag.Int("jobs", 0, "worker pool width (0 = all CPUs, 1 = serial)")
@@ -40,7 +42,7 @@ func main() {
 		defer met.WriteText(os.Stderr)
 	}
 
-	lib, err := loadLibrary(*libPath)
+	lib, err := loadLibrary(*libPath, *strictLib, met)
 	if err != nil {
 		fail(err)
 	}
@@ -123,16 +125,29 @@ func main() {
 	}
 }
 
-func loadLibrary(path string) (*core.Library, error) {
+// loadLibrary loads the timing library through the verifying store: the
+// sidecar manifest is checked, corrupt cells are quarantined onto the
+// analytic fallback (reported on stderr), and strict mode refuses any
+// degraded or unverified artefact with a typed error.
+func loadLibrary(path string, strict bool, met *engine.Metrics) (*core.Library, error) {
 	if path == "" {
 		return prechar.Library()
 	}
-	f, err := os.Open(path)
+	lib, rep, err := store.LoadFile(path, store.LoadOptions{
+		Strict:          strict,
+		AllowUnverified: !strict,
+		Metrics:         met,
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return core.LoadLibrary(f)
+	if rep.Unverified {
+		fmt.Fprintf(os.Stderr, "ssta: %s has no manifest; loaded unverified (use -strict-lib to refuse)\n", path)
+	}
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(os.Stderr, "ssta: quarantined %s\n", q)
+	}
+	return lib, nil
 }
 
 func fail(err error) {

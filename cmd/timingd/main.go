@@ -4,17 +4,27 @@
 //
 // Usage:
 //
-//	timingd [-addr :8080] [-lib lib.json] [-jobs N] [-queue-depth N]
-//	        [-timeout 30s] [-drain 15s] [-max-gates N] [-stats] [-selfcheck]
+//	timingd [-addr :8080] [-lib lib.json] [-strict-lib] [-jobs N]
+//	        [-queue-depth N] [-timeout 30s] [-drain 15s] [-max-gates N]
+//	        [-stats] [-selfcheck]
 //
 // Endpoints:
 //
 //	POST /analyze      run STA on a posted netlist
 //	POST /refine       run ITR under a partial two-frame cube
 //	POST /conformance  run a randomized differential spot check
+//	POST /reload       hot-swap the library (re-verified; old one keeps
+//	                   serving on failure, 409 on tech-tag mismatch)
 //	GET  /healthz      liveness
 //	GET  /readyz       readiness (drain state; breaker state is informational)
 //	GET  /metrics      engine counters + per-endpoint latency histograms
+//
+// A -lib file is loaded through the verifying store (internal/store): its
+// sidecar manifest is checked, corrupt or missing cells are quarantined and
+// served from the closed-form analytic fallback (counted under
+// store/quarantined_cells in /metrics). -strict-lib refuses any degraded or
+// unverified library instead. SIGHUP reloads the library in place, with the
+// same refusal semantics as POST /reload.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: readiness fails first,
 // new jobs are refused, in-flight jobs get -drain to finish, then the
@@ -44,6 +54,7 @@ import (
 	"sstiming/internal/engine"
 	"sstiming/internal/prechar"
 	"sstiming/internal/service"
+	"sstiming/internal/store"
 )
 
 func main() {
@@ -56,17 +67,22 @@ func main() {
 	maxGates := flag.Int("max-gates", 0, "admission cap on posted netlist size (0 = default, -1 = unlimited)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "solver failures tripping the circuit breaker (0 = default 5, -1 = disabled)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "breaker open duration before a half-open probe (0 = default 10s)")
+	strictLib := flag.Bool("strict-lib", false, "refuse degraded or unverified libraries instead of serving analytic fallbacks")
 	stats := flag.Bool("stats", false, "dump engine metrics to stderr on exit")
 	selfcheck := flag.Bool("selfcheck", false, "run the service smoke test and exit")
 	flag.Parse()
 
-	lib, err := loadLibrary(*libPath)
+	// Metrics exist before the first load so quarantined cells are counted
+	// from boot.
+	met := engine.NewMetrics()
+	loader := libLoader(*libPath, *strictLib, met)
+	lib, err := loader()
 	if err != nil {
 		fail(err)
 	}
-	met := engine.NewMetrics()
 	srv, err := service.New(service.Options{
 		Lib:            lib,
+		LibLoader:      loader,
 		Workers:        *jobs,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
@@ -104,24 +120,38 @@ func main() {
 	go func() { errc <- hs.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	select {
-	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "timingd: %v — draining (deadline %s)\n", s, *drain)
-		ctx, cancel := context.WithTimeout(context.Background(), *drain)
-		defer cancel()
-		// Readiness fails and new jobs are refused first; then wait for
-		// in-flight jobs, then for in-flight HTTP exchanges.
-		if err := srv.Drain(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "timingd: %v\n", err)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	for {
+		select {
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				// Hot reload: re-verify and swap; on any failure the old
+				// library keeps serving.
+				if fresh, err := srv.Reload(); err != nil {
+					fmt.Fprintf(os.Stderr, "timingd: reload: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "timingd: reloaded library (%d cells, tech %s)\n",
+						len(fresh.Cells), fresh.TechName)
+				}
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "timingd: %v — draining (deadline %s)\n", s, *drain)
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			// Readiness fails and new jobs are refused first; then wait for
+			// in-flight jobs, then for in-flight HTTP exchanges.
+			if err := srv.Drain(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "timingd: %v\n", err)
+			}
+			if err := hs.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "timingd: shutdown: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "timingd: drained cleanly")
+			return
+		case err := <-errc:
+			fail(err)
 		}
-		if err := hs.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "timingd: shutdown: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintln(os.Stderr, "timingd: drained cleanly")
-	case err := <-errc:
-		fail(err)
 	}
 }
 
@@ -193,16 +223,32 @@ func expectStatus(client *http.Client, url string, want int) error {
 	return nil
 }
 
-func loadLibrary(path string) (*core.Library, error) {
-	if path == "" {
-		return prechar.Library()
+// libLoader builds the verifying library loader used at boot and on every
+// reload. An empty path serves the embedded pre-characterised library
+// (already manifest-verified by internal/prechar); a file is loaded through
+// the store, quarantining corrupt cells onto the analytic fallback unless
+// strict mode refuses degraded libraries outright.
+func libLoader(path string, strict bool, met *engine.Metrics) func() (*core.Library, error) {
+	return func() (*core.Library, error) {
+		if path == "" {
+			return prechar.Library()
+		}
+		lib, rep, err := store.LoadFile(path, store.LoadOptions{
+			Strict:          strict,
+			AllowUnverified: !strict,
+			Metrics:         met,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep.Unverified {
+			fmt.Fprintf(os.Stderr, "timingd: %s has no manifest; serving unverified (use -strict-lib to refuse)\n", path)
+		}
+		for _, q := range rep.Quarantined {
+			fmt.Fprintf(os.Stderr, "timingd: quarantined %s\n", q)
+		}
+		return lib, nil
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.LoadLibrary(f)
 }
 
 func fail(err error) {

@@ -80,6 +80,17 @@ type Options struct {
 	// job results are placed by index, and the underlying simulations
 	// are deterministic.
 	Jobs int
+	// Checkpoint, when non-nil, receives each cell model the moment its
+	// characterisation completes, before the campaign moves on — the hook
+	// for write-ahead journaling (internal/store.Journal.Append). A
+	// checkpoint error fails the cell: a result that cannot be made
+	// durable is treated like a result that was never produced.
+	Checkpoint func(*core.CellModel) error
+	// Completed seeds the campaign with already-characterised cells (keyed
+	// by cell name, e.g. journal replay on resume). A configured cell
+	// found here is reused verbatim — no simulation, no Checkpoint call —
+	// and counted under charlib/cells_reused.
+	Completed map[string]*core.CellModel
 	// Metrics, when non-nil, accumulates characterisation and simulator
 	// effort counters across all workers.
 	Metrics *engine.Metrics
@@ -117,6 +128,14 @@ func (o *Options) fill() {
 	if o.Ctx == nil {
 		o.Ctx = context.Background()
 	}
+}
+
+// Resolved returns a copy of the options with every default filled in, so
+// callers (e.g. the CLI's campaign fingerprint) can observe the effective
+// grid, cell set and solver settings of the run Characterize would perform.
+func (o Options) Resolved() Options {
+	o.fill()
+	return o
 }
 
 // DefaultCells returns the default library cell set.
@@ -202,6 +221,14 @@ func Characterize(opts Options) (*core.Library, error) {
 	models := make([]*core.CellModel, len(opts.Cells))
 	err := engine.Run(opts.Ctx, opts.Jobs, len(opts.Cells), func(ctx context.Context, i int) error {
 		cfg := opts.Cells[i]
+		if m, ok := opts.Completed[cfg.Name()]; ok && m != nil {
+			// Journal replay: the cell already completed in a previous run
+			// of this exact campaign. Reuse it verbatim; it was already
+			// checkpointed when first characterised.
+			models[i] = m
+			opts.Metrics.Add(engine.CharCellsReused, 1)
+			return nil
+		}
 		opts.Progress("characterizing %s", cfg.Name())
 		// Safely labels a crash (e.g. an injected panic deep inside a
 		// simulation) with the cell name; the bare pool-level recovery
@@ -213,6 +240,11 @@ func Characterize(opts Options) (*core.Library, error) {
 			return err
 		}); err != nil {
 			return fmt.Errorf("%s: %w", cfg.Name(), err)
+		}
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint(m); err != nil {
+				return fmt.Errorf("%s: checkpoint: %w", cfg.Name(), err)
+			}
 		}
 		models[i] = m
 		opts.Metrics.Add(engine.CharCells, 1)

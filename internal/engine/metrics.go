@@ -97,6 +97,19 @@ const (
 	// SvcDegraded counts solver-backed requests answered with a degraded
 	// 503 response while the breaker was open.
 	SvcDegraded
+	// SvcReloads counts successful hot reloads of the served timing
+	// library.
+	SvcReloads
+	// SvcReloadFails counts refused or failed hot-reload attempts (the
+	// previous library keeps serving).
+	SvcReloadFails
+	// StoreQuarantined counts library cells quarantined by the verifying
+	// loader (hash mismatch, invalid model, manifest drift) and served from
+	// the analytic fallback or dropped.
+	StoreQuarantined
+	// CharCellsReused counts cells replayed from a campaign journal on
+	// resume instead of being re-characterised.
+	CharCellsReused
 
 	numCounters
 )
@@ -134,6 +147,10 @@ var counterNames = [numCounters]string{
 	SvcPanics:         "service/panics",
 	SvcBreakerTrips:   "service/breaker_trips",
 	SvcDegraded:       "service/degraded_responses",
+	SvcReloads:        "service/reloads",
+	SvcReloadFails:    "service/reload_failures",
+	StoreQuarantined:  "store/quarantined_cells",
+	CharCellsReused:   "charlib/cells_reused",
 }
 
 // String returns the counter's label.

@@ -1,0 +1,51 @@
+//go:build ignore
+
+// Generates lib05.manifest.json, the integrity manifest for the embedded
+// pre-characterised library. Run from this directory after regenerating
+// lib05.json:
+//
+//	go run gen_manifest.go
+//
+// (cmd/characterize publishes a manifest itself; this generator exists for
+// manifesting an artefact whose campaign metadata is the shipped default.)
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	"sstiming/internal/core"
+	"sstiming/internal/store"
+)
+
+func main() {
+	libBytes, err := os.ReadFile("lib05.json")
+	if err != nil {
+		fail(err)
+	}
+	lib, err := core.LoadLibrary(bytes.NewReader(libBytes))
+	if err != nil {
+		fail(err)
+	}
+	// The shipped artefact is characterised over the default 5-point grid
+	// with the Section 3.6 extension surfaces.
+	grid := []float64{0.1e-9, 0.25e-9, 0.5e-9, 0.9e-9, 1.5e-9}
+	man, err := store.BuildManifest(lib, libBytes, grid, true)
+	if err != nil {
+		fail(err)
+	}
+	b, err := store.EncodeManifest(man)
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile("lib05.manifest.json", b, 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote lib05.manifest.json (%d cells)\n", len(man.Cells))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gen_manifest:", err)
+	os.Exit(1)
+}

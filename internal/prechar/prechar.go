@@ -4,21 +4,32 @@
 // STA, ITR and ATPG load it instead of re-running the 30-second
 // characterisation sweep.
 //
+// The library is loaded through the verifying store in strict mode: every
+// cell's bytes are checked against the embedded integrity manifest, so a bad
+// regeneration (or a corrupted checkout) fails loudly instead of silently
+// skewing downstream timing.
+//
 // Regenerate with:
 //
 //	go run ./cmd/characterize -out internal/prechar/lib05.json
+//
+// (which also rewrites lib05.json.manifest.json; move it to
+// lib05.manifest.json, or run go run gen_manifest.go here).
 package prechar
 
 import (
-	"bytes"
 	_ "embed"
 	"sync"
 
 	"sstiming/internal/core"
+	"sstiming/internal/store"
 )
 
 //go:embed lib05.json
 var data []byte
+
+//go:embed lib05.manifest.json
+var manifestData []byte
 
 var (
 	once sync.Once
@@ -26,10 +37,11 @@ var (
 	err  error
 )
 
-// Library returns the embedded characterised library.
+// Library returns the embedded characterised library, verified against its
+// embedded manifest (store.Load in strict mode).
 func Library() (*core.Library, error) {
 	once.Do(func() {
-		lib, err = core.LoadLibrary(bytes.NewReader(data))
+		lib, _, err = store.Load(data, manifestData, store.LoadOptions{Strict: true})
 	})
 	return lib, err
 }
@@ -43,3 +55,7 @@ func MustLibrary() *core.Library {
 	}
 	return l
 }
+
+// Raw returns the embedded library and manifest bytes (for tests that need
+// a real artefact to corrupt).
+func Raw() (libBytes, manBytes []byte) { return data, manifestData }

@@ -63,7 +63,7 @@ func TestDeadlinePropagation(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
 	err = s.submit(ctx, func(ctx context.Context) error {
-		res, err := sta.Analyze(c, sta.Options{Lib: s.lib, Ctx: ctx})
+		res, err := sta.Analyze(c, sta.Options{Lib: s.library(), Ctx: ctx})
 		if err == nil && res != nil {
 			t.Error("sta.Analyze returned a result despite the expired deadline")
 		}

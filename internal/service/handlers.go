@@ -128,14 +128,14 @@ type ConformanceRequest struct {
 
 // ConformanceResponse is the POST /conformance result.
 type ConformanceResponse struct {
-	RequestID      string                           `json:"request_id"`
-	Passed         bool                             `json:"passed"`
-	Seeds          int                              `json:"seeds"`
+	RequestID      string                            `json:"request_id"`
+	Passed         bool                              `json:"passed"`
+	Seeds          int                               `json:"seeds"`
 	Stats          map[string]*conformance.CheckStat `json:"stats"`
-	Violations     []string                         `json:"violations,omitempty"`
-	SolverFailures int64                            `json:"solver_failures"`
-	Breaker        string                           `json:"breaker"`
-	ElapsedMs      float64                          `json:"elapsed_ms"`
+	Violations     []string                          `json:"violations,omitempty"`
+	SolverFailures int64                             `json:"solver_failures"`
+	Breaker        string                            `json:"breaker"`
+	ElapsedMs      float64                           `json:"elapsed_ms"`
 }
 
 // readJSON decodes the request body with a size cap.
@@ -310,7 +310,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		res, err := sta.Analyze(c, sta.Options{
-			Lib:         s.lib,
+			Lib:         s.library(),
 			Mode:        mode,
 			NCExtension: req.NCExtension,
 			Ctx:         ctx,
@@ -382,7 +382,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		res, err := itr.Refine(c, cube, itr.Options{
-			Lib:         s.lib,
+			Lib:         s.library(),
 			Mode:        mode,
 			NCExtension: req.NCExtension,
 			Ctx:         ctx,
@@ -486,7 +486,7 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 			s.breaker.RecordFailure()
 		}
 		rep, err := conformance.Run(conformance.Options{
-			Lib:           s.lib,
+			Lib:           s.library(),
 			Seeds:         conformance.SeedRange(req.Seeds, req.SeedBase),
 			Jobs:          1, // request-level concurrency comes from the queue
 			Checks:        req.Checks,
@@ -533,6 +533,42 @@ func (s *Server) handleConformance(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// ReloadResponse is the POST /reload result.
+type ReloadResponse struct {
+	RequestID string `json:"request_id"`
+	Reloaded  bool   `json:"reloaded"`
+	Tech      string `json:"tech"`
+	Cells     int    `json:"cells"`
+}
+
+// handleReload serves POST /reload: hot-swaps the serving library through
+// the configured loader. Refusals are breaker-style — the previous library
+// keeps serving untouched: 409 when the fresh library's technology tag
+// differs from the serving one, 422 when it fails to load or verify, 503
+// while draining.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	id := RequestID(r.Context())
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, id, fmt.Errorf("%w: draining", engine.ErrPoolClosed), nil)
+		return
+	}
+	fresh, err := s.Reload()
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrTechMismatch) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, id, err, nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, &ReloadResponse{
+		RequestID: id,
+		Reloaded:  true,
+		Tech:      fresh.TechName,
+		Cells:     len(fresh.Cells),
+	})
+}
+
 // handleHealthz serves GET /healthz: liveness only — 200 while the process
 // can answer HTTP at all, even when degraded or draining.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -552,12 +588,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // the healthy read-only analyses too.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	state := s.breaker.State()
-	ready := !s.draining.Load() && s.lib != nil
+	lib := s.library()
+	ready := !s.draining.Load() && lib != nil
 	var reasons []string
 	if s.draining.Load() {
 		reasons = append(reasons, "draining")
 	}
-	if s.lib == nil {
+	if lib == nil {
 		reasons = append(reasons, "library not loaded")
 	}
 	status := http.StatusOK

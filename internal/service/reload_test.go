@@ -1,0 +1,190 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sstiming/internal/core"
+	"sstiming/internal/engine"
+	"sstiming/internal/prechar"
+	"sstiming/internal/store"
+)
+
+// corruptArtefact publishes the embedded library to a temp file, then flips
+// one mantissa digit inside the named cell so its bytes no longer match the
+// manifest digest.
+func corruptArtefact(t *testing.T, cell string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if _, err := store.WriteLibrary(path, prechar.MustLibrary(), nil, true); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(b, []byte(`"`+cell+`": {`))
+	if i < 0 {
+		t.Fatalf("cell %s not found in artefact", cell)
+	}
+	j := i + bytes.IndexByte(b[i:], '.') + 1
+	b[j] = '0' + (b[j]-'0'+1)%10
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestQuarantineFallbackServesAnalysis is the degraded-load acceptance
+// scenario: with one cell's table corrupt on disk, the daemon still answers
+// an STA job that uses that very cell (served from the analytic fallback),
+// and the degradation is visible in /metrics.
+func TestQuarantineFallbackServesAnalysis(t *testing.T) {
+	path := corruptArtefact(t, "NAND3")
+	met := engine.NewMetrics()
+	lib, rep, err := store.LoadFile(path, store.LoadOptions{Metrics: met})
+	if err != nil {
+		t.Fatalf("degraded load failed outright: %v", err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Cell != "NAND3" || !rep.Quarantined[0].Fallback {
+		t.Fatalf("quarantine report %+v, want NAND3 on fallback", rep.Quarantined)
+	}
+
+	_, hs := newTestServer(t, Options{Lib: lib, Metrics: met})
+	// A netlist whose only gate is the quarantined NAND3.
+	src := "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nz = NAND(a, b, c)\n"
+	resp, raw := postJSON(t, hs.URL+"/analyze", map[string]any{"netlist": src})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/analyze over quarantined cell = %d, want 200: %.300s", resp.StatusCode, raw)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.MaxPOArrival <= 0 || ar.MinPOArrival > ar.MaxPOArrival {
+		t.Fatalf("fallback-served analysis not sane: %s", raw)
+	}
+
+	// The degradation is observable: the quarantine counter is exported.
+	resp, raw = getURL(t, hs.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(raw), "store/quarantined_cells") {
+		t.Fatalf("/metrics does not export store/quarantined_cells:\n%.500s", raw)
+	}
+	if got := met.Get(engine.StoreQuarantined); got != 1 {
+		t.Fatalf("store/quarantined_cells = %d, want 1", got)
+	}
+
+	// Strict mode must refuse the same artefact fast, with the typed error.
+	if _, _, err := store.LoadFile(path, store.LoadOptions{Strict: true}); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("strict load of corrupt artefact = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestHotReloadSwapsLibrary: POST /reload runs the loader and atomically
+// swaps the serving library; the response reports the fresh library.
+func TestHotReloadSwapsLibrary(t *testing.T) {
+	fresh := &core.Library{
+		TechName: prechar.MustLibrary().TechName,
+		Vdd:      prechar.MustLibrary().Vdd,
+		Cells:    prechar.MustLibrary().Cells,
+	}
+	s, hs := newTestServer(t, Options{
+		LibLoader: func() (*core.Library, error) { return fresh, nil },
+	})
+	if s.library() == fresh {
+		t.Fatal("test setup: fresh library already serving")
+	}
+	resp, raw := postJSON(t, hs.URL+"/reload", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/reload = %d: %.300s", resp.StatusCode, raw)
+	}
+	var rr ReloadResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Reloaded || rr.Cells != len(fresh.Cells) || rr.Tech != fresh.TechName {
+		t.Fatalf("reload response %+v not describing the fresh library", rr)
+	}
+	if s.library() != fresh {
+		t.Fatal("serving library was not swapped")
+	}
+	if got := s.Metrics().Get(engine.SvcReloads); got != 1 {
+		t.Fatalf("service/reloads = %d, want 1", got)
+	}
+
+	// The swapped library must actually serve.
+	resp, raw = postJSON(t, hs.URL+"/analyze", map[string]any{
+		"netlist": "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/analyze after reload = %d: %.300s", resp.StatusCode, raw)
+	}
+}
+
+// TestHotReloadRefusals: loader errors answer 422, a technology-tag
+// mismatch answers 409 — and in both cases the old library keeps serving.
+func TestHotReloadRefusals(t *testing.T) {
+	var nextLib *core.Library
+	var nextErr error
+	s, hs := newTestServer(t, Options{
+		LibLoader: func() (*core.Library, error) { return nextLib, nextErr },
+	})
+	serving := s.library()
+
+	nextErr = errors.New("disk fell over")
+	resp, raw := postJSON(t, hs.URL+"/reload", map[string]any{})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("failed reload = %d, want 422: %.300s", resp.StatusCode, raw)
+	}
+
+	nextErr = nil
+	nextLib = &core.Library{TechName: "exotic-28nm", Vdd: 0.9, Cells: prechar.MustLibrary().Cells}
+	resp, raw = postJSON(t, hs.URL+"/reload", map[string]any{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("tech-mismatch reload = %d, want 409: %.300s", resp.StatusCode, raw)
+	}
+	if _, err := s.Reload(); !errors.Is(err, ErrTechMismatch) {
+		t.Fatalf("Reload error = %v, want ErrTechMismatch", err)
+	}
+
+	if s.library() != serving {
+		t.Fatal("a refused reload replaced the serving library")
+	}
+	if got := s.Metrics().Get(engine.SvcReloads); got != 0 {
+		t.Fatalf("service/reloads = %d after refusals, want 0", got)
+	}
+	if got := s.Metrics().Get(engine.SvcReloadFails); got < 3 {
+		t.Fatalf("service/reload_failures = %d, want >= 3", got)
+	}
+
+	// Still serving on the old library.
+	resp, raw = postJSON(t, hs.URL+"/analyze", map[string]any{
+		"netlist": "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/analyze after refused reloads = %d: %.300s", resp.StatusCode, raw)
+	}
+}
+
+// TestReloadWithoutLoader: a server with no loader refuses reloads (422)
+// without touching the serving library.
+func TestReloadWithoutLoader(t *testing.T) {
+	s, hs := newTestServer(t, Options{})
+	serving := s.library()
+	resp, raw := postJSON(t, hs.URL+"/reload", map[string]any{})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("loaderless /reload = %d, want 422: %.300s", resp.StatusCode, raw)
+	}
+	if s.library() != serving {
+		t.Fatal("loaderless reload changed the serving library")
+	}
+}

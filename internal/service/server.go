@@ -31,6 +31,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync/atomic"
@@ -42,13 +43,22 @@ import (
 )
 
 // endpointOrder lists the instrumented endpoints (histogram render order).
-var endpointOrder = []string{"analyze", "refine", "conformance", "healthz", "readyz", "metrics"}
+var endpointOrder = []string{"analyze", "refine", "conformance", "reload", "healthz", "readyz", "metrics"}
+
+// ErrTechMismatch refuses a hot reload whose library was characterised for a
+// different process technology than the one being served: requests in flight
+// assume one technology, and silently swapping it under them is the timing
+// equivalent of a split-brain.
+var ErrTechMismatch = errors.New("service: reload refused, library technology differs from the serving one")
 
 // Options configures a Server.
 type Options struct {
-	// Lib is the characterised cell library, loaded once for the daemon's
-	// lifetime (required).
+	// Lib is the characterised cell library served at boot (required).
 	Lib *core.Library
+	// LibLoader, when non-nil, re-loads the library for hot reload
+	// (SIGHUP / POST /reload). It should return a fully verified library;
+	// on error the previous library keeps serving.
+	LibLoader func() (*core.Library, error)
 	// Workers bounds concurrently running jobs; <= 0 selects GOMAXPROCS.
 	Workers int
 	// QueueDepth is how many admitted jobs may wait for a worker beyond
@@ -110,8 +120,10 @@ func (o *Options) fill() error {
 // Server is the daemon's request-path state. Construct with New, mount
 // Handler on an http.Server, and call Drain on shutdown.
 type Server struct {
-	opts    Options
-	lib     *core.Library
+	opts Options
+	// lib is the serving library; hot reload swaps the pointer atomically,
+	// so a request sees one consistent library end to end.
+	lib     atomic.Pointer[core.Library]
 	met     *engine.Metrics
 	queue   *jobQueue
 	breaker *breaker
@@ -132,7 +144,6 @@ func New(opts Options) (*Server, error) {
 	}
 	s := &Server{
 		opts:    opts,
-		lib:     opts.Lib,
 		met:     opts.Metrics,
 		queue:   newJobQueue(opts.Workers, opts.QueueDepth, opts.Metrics),
 		breaker: newBreaker(opts.Breaker, opts.Metrics),
@@ -141,12 +152,14 @@ func New(opts Options) (*Server, error) {
 		started: time.Now(),
 		boot:    uint32(time.Now().UnixNano()),
 	}
+	s.lib.Store(opts.Lib)
 	for _, ep := range endpointOrder {
 		s.hist[ep] = &histogram{}
 	}
 	s.mux.Handle("POST /analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.Handle("POST /refine", s.instrument("refine", s.handleRefine))
 	s.mux.Handle("POST /conformance", s.instrument("conformance", s.handleConformance))
+	s.mux.Handle("POST /reload", s.instrument("reload", s.handleReload))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -155,6 +168,37 @@ func New(opts Options) (*Server, error) {
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// library returns the currently served library.
+func (s *Server) library() *core.Library { return s.lib.Load() }
+
+// Reload re-runs the configured LibLoader and atomically swaps the serving
+// library in. Failure is breaker-style: the reload is refused (typed error,
+// service/reload_failures incremented) and the previous library keeps
+// serving untouched. A library characterised for a different technology tag
+// than the serving one is refused with ErrTechMismatch.
+func (s *Server) Reload() (*core.Library, error) {
+	if s.opts.LibLoader == nil {
+		s.met.Add(engine.SvcReloadFails, 1)
+		return nil, fmt.Errorf("service: no library loader configured for reload")
+	}
+	fresh, err := s.opts.LibLoader()
+	if err != nil {
+		s.met.Add(engine.SvcReloadFails, 1)
+		return nil, fmt.Errorf("service: reload failed, keeping the serving library: %w", err)
+	}
+	if fresh == nil || len(fresh.Cells) == 0 {
+		s.met.Add(engine.SvcReloadFails, 1)
+		return nil, fmt.Errorf("service: reload produced an empty library, keeping the serving one")
+	}
+	if cur := s.library(); cur != nil && cur.TechName != fresh.TechName {
+		s.met.Add(engine.SvcReloadFails, 1)
+		return nil, fmt.Errorf("%w: serving %q, reload offers %q", ErrTechMismatch, cur.TechName, fresh.TechName)
+	}
+	s.lib.Store(fresh)
+	s.met.Add(engine.SvcReloads, 1)
+	return fresh, nil
+}
 
 // Metrics returns the instrumentation sink (for operator dumps).
 func (s *Server) Metrics() *engine.Metrics { return s.met }

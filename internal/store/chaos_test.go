@@ -1,0 +1,163 @@
+package store_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sstiming/internal/cells"
+	"sstiming/internal/charlib"
+	"sstiming/internal/core"
+	"sstiming/internal/device"
+	"sstiming/internal/engine"
+	"sstiming/internal/store"
+)
+
+// chaosOptions is the smallest deterministic campaign (the charlib golden
+// configuration): INV + NAND2 on a 3-point grid, run serially so the kill
+// point is exact.
+func chaosOptions() charlib.Options {
+	tech := device.Default05um()
+	return charlib.Options{
+		Tech: tech,
+		Grid: []float64{0.2e-9, 0.5e-9, 1.0e-9},
+		Cells: []cells.Config{
+			{Kind: cells.Inv, N: 1, Tech: tech, LoadInverter: true},
+			{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true},
+		},
+		TStep: 3e-12,
+		Jobs:  1,
+	}
+}
+
+func chaosFingerprint(o charlib.Options) store.Fingerprint {
+	names := make([]string, len(o.Cells))
+	for i, cfg := range o.Cells {
+		names[i] = cfg.Name()
+	}
+	return store.Fingerprint{
+		Tech:  o.Tech.Name,
+		Vdd:   o.Tech.Vdd,
+		Grid:  o.Grid,
+		Cells: names,
+		TStep: o.TStep,
+	}
+}
+
+// TestChaosKillResumeByteIdentical is the PR's crash-safety acceptance
+// scenario: a campaign killed deterministically after its first durable cell
+// (plus a torn record simulating the in-flight write) is resumed, only the
+// missing cell is re-characterised, and the published artefact — library and
+// manifest — is byte-identical to an uninterrupted run.
+func TestChaosKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+
+	// Reference: the uninterrupted campaign, published through the store.
+	refLib, err := charlib.Characterize(chaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(dir, "ref.json")
+	if _, err := store.WriteLibrary(refPath, refLib, chaosOptions().Grid, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted campaign: the context is killed inside the checkpoint of
+	// the first cell, after its journal record is already durable — the
+	// instant a real SIGKILL costs the most.
+	jdir := filepath.Join(dir, "lib.json.journal")
+	fp := chaosFingerprint(chaosOptions())
+	j, err := store.CreateJournal(jdir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := chaosOptions()
+	opts.Ctx = ctx
+	appended := 0
+	opts.Checkpoint = func(m *core.CellModel) error {
+		if err := j.Append(m); err != nil {
+			return err
+		}
+		appended++
+		cancel()
+		return nil
+	}
+	if _, err := charlib.Characterize(opts); err == nil {
+		t.Fatal("interrupted campaign reported success")
+	}
+	if appended != 1 {
+		t.Fatalf("%d cells journaled before the kill, want 1", appended)
+	}
+	// The kill also tears a partial record for the in-flight cell.
+	f, err := os.OpenFile(filepath.Join(jdir, "cells.waj"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("waj1 4096 0badc0de\n{\"Name\":\"NA"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume: replay the journal, re-characterise only what is missing.
+	j2, replayed, err := store.ResumeJournal(jdir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 1 || replayed["INV"] == nil {
+		t.Fatalf("replayed %v, want exactly the journaled INV", replayed)
+	}
+	met := engine.NewMetrics()
+	opts = chaosOptions()
+	opts.Completed = replayed
+	opts.Checkpoint = j2.Append
+	opts.Metrics = met
+	resumedLib, err := charlib.Characterize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := met.Get(engine.CharCellsReused); got != 1 {
+		t.Fatalf("charlib/cells_reused = %d, want 1", got)
+	}
+	if got := met.Get(engine.CharCells); got != 1 {
+		t.Fatalf("charlib/cells = %d, want 1 (only NAND2 re-characterised)", got)
+	}
+
+	resPath := filepath.Join(dir, "resumed.json")
+	if _, err := store.WriteLibrary(resPath, resumedLib, opts.Grid, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Remove(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{"", ".manifest.json"} {
+		want, err := os.ReadFile(refPath + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(resPath + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("resumed artefact %q differs from the uninterrupted run (%d vs %d bytes)",
+				"lib"+name, len(got), len(want))
+		}
+	}
+
+	// The resumed artefact also loads fully verified.
+	_, rep, err := store.LoadFile(resPath, store.LoadOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verified != 2 || rep.Degraded() {
+		t.Fatalf("resumed artefact report %+v, want 2 verified", rep)
+	}
+}

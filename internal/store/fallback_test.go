@@ -1,0 +1,114 @@
+package store_test
+
+import (
+	"testing"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/core"
+	"sstiming/internal/device"
+	"sstiming/internal/sta"
+	"sstiming/internal/store"
+)
+
+func TestAnalyticModelValidates(t *testing.T) {
+	tech := device.Default05um()
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{
+		{"INV", 1}, {"NAND2", 2}, {"NAND3", 3}, {"NAND4", 4}, {"NOR2", 2}, {"NOR3", 3},
+	} {
+		m, err := store.AnalyticModel(tc.name, tech)
+		if err != nil {
+			t.Fatalf("AnalyticModel(%s): %v", tc.name, err)
+		}
+		if m.Name != tc.name || m.N != tc.n {
+			t.Fatalf("%s: got Name=%q N=%d", tc.name, m.Name, m.N)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: fallback model does not validate: %v", tc.name, err)
+		}
+		if tc.n >= 2 && len(m.Pairs) != tc.n*(tc.n-1) {
+			t.Fatalf("%s: %d pair surfaces, want %d", tc.name, len(m.Pairs), tc.n*(tc.n-1))
+		}
+		// Sanity of the surfaces at a mid-grid transition time: positive,
+		// sub-nanosecond-scale delays and slews for minimum-size 0.5 µm gates.
+		const tin = 0.5e-9
+		for i := 0; i < tc.n; i++ {
+			for _, p := range []core.PinTiming{m.CtrlPins[i], m.NonCtrlPins[i]} {
+				d, tr := p.Delay.Eval(tin), p.Trans.Eval(tin)
+				if d <= 0 || d > 5e-9 || tr <= 0 || tr > 5e-9 {
+					t.Fatalf("%s pin %d: delay %.4g s, trans %.4g s out of range", tc.name, i, d, tr)
+				}
+				if p.DelayLoadSlope <= 0 || p.TransLoadSlope <= 0 {
+					t.Fatalf("%s pin %d: non-positive load slopes %.4g/%.4g", tc.name, i, p.DelayLoadSlope, p.TransLoadSlope)
+				}
+			}
+		}
+		for k, f := range m.MultiFactor {
+			if f <= 0 || f > 1 {
+				t.Fatalf("%s: MultiFactor[%d] = %g, want (0,1]", tc.name, k, f)
+			}
+			if k > 0 && f > m.MultiFactor[k-1] {
+				t.Fatalf("%s: MultiFactor not non-increasing: %v", tc.name, m.MultiFactor)
+			}
+		}
+	}
+}
+
+func TestAnalyticModelRejectsUnknownNames(t *testing.T) {
+	tech := device.Default05um()
+	for _, name := range []string{"XOR2", "NAND", "NAND1", "NAND9", "nor2", ""} {
+		if _, err := store.AnalyticModel(name, tech); err == nil {
+			t.Errorf("AnalyticModel(%q) accepted an unsupported cell", name)
+		}
+	}
+}
+
+func TestParseCellName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		kind string
+		n    int
+	}{
+		{"INV", "INV", 1}, {"NAND2", "NAND", 2}, {"NAND8", "NAND", 8}, {"NOR3", "NOR", 3},
+	} {
+		kind, n, err := store.ParseCellName(tc.in)
+		if err != nil || kind != tc.kind || n != tc.n {
+			t.Errorf("ParseCellName(%q) = %q,%d,%v, want %q,%d", tc.in, kind, n, err, tc.kind, tc.n)
+		}
+	}
+	for _, bad := range []string{"NAND1", "NOR9", "AOI21", "INVX"} {
+		if _, _, err := store.ParseCellName(bad); err == nil {
+			t.Errorf("ParseCellName(%q) accepted an unsupported name", bad)
+		}
+	}
+}
+
+// TestAnalyticLibraryRunsSTA drives a full STA through a library built
+// entirely from fallback models — the worst-case degradation (every table
+// quarantined) must still produce a causal, positive timing answer.
+func TestAnalyticLibraryRunsSTA(t *testing.T) {
+	tech := device.Default05um()
+	lib := &core.Library{TechName: tech.Name, Vdd: tech.Vdd, Cells: map[string]*core.CellModel{}}
+	for _, name := range []string{"INV", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3"} {
+		m, err := store.AnalyticModel(name, tech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.Cells[name] = m
+	}
+	if err := lib.Validate(); err != nil {
+		t.Fatalf("all-fallback library does not validate: %v", err)
+	}
+	for _, mode := range []sta.Mode{sta.ModePinToPin, sta.ModeProposed} {
+		res, err := sta.Analyze(benchgen.C17(), sta.Options{Lib: lib, Mode: mode, Jobs: 1})
+		if err != nil {
+			t.Fatalf("STA over fallback library (%s): %v", mode, err)
+		}
+		min, max := res.MinPOArrival(), res.MaxPOArrival()
+		if min <= 0 || max <= 0 || min > max {
+			t.Fatalf("STA over fallback library (%s): min %.4g, max %.4g", mode, min, max)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package store_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sstiming/internal/prechar"
+	"sstiming/internal/store"
+)
+
+// FuzzLoadLibrary throws arbitrary library/manifest byte pairs at the
+// verifying loader: whatever the bytes, it must return a typed error or a
+// library that validates — never panic, and never serve a cell whose bytes
+// do not match its manifest digest.
+func FuzzLoadLibrary(f *testing.F) {
+	libB, manB := prechar.Raw()
+	f.Add(libB, manB)
+	f.Add(libB, []byte(nil))
+	f.Add([]byte(nil), manB)
+	f.Add(libB[:len(libB)/2], manB)
+	f.Add([]byte("{}"), []byte("{}"))
+	f.Add([]byte(`{"TechName":"x","Vdd":1,"Cells":{}}`), manB)
+	flip := bytes.Clone(libB)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip, manB)
+	manFlip := bytes.Clone(manB)
+	manFlip[len(manFlip)/2] ^= 0x01
+	f.Add(libB, manFlip)
+
+	f.Fuzz(func(t *testing.T, lib, man []byte) {
+		for _, opts := range []store.LoadOptions{
+			{},
+			{Strict: true},
+			{AllowUnverified: true},
+		} {
+			l, rep, err := store.Load(lib, man, opts)
+			if err != nil {
+				if l != nil {
+					t.Fatalf("Load returned both a library and error %v", err)
+				}
+				continue
+			}
+			if l == nil || rep == nil {
+				t.Fatal("Load returned nil library and nil error")
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatalf("Load accepted a library that does not validate: %v", err)
+			}
+			if opts.Strict && (rep.Degraded() || rep.Unverified) {
+				t.Fatalf("strict load returned a degraded/unverified library: %+v", rep)
+			}
+			// Every served-from-table cell must re-hash to its manifest
+			// entry; fallback substitutes are flagged in the report.
+			quarantined := map[string]bool{}
+			for _, q := range rep.Quarantined {
+				quarantined[q.Cell] = true
+			}
+			for name, m := range l.Cells {
+				if m == nil {
+					t.Fatalf("Load served nil cell %q", name)
+				}
+				if !rep.Unverified && !quarantined[name] && m.Name != name {
+					t.Fatalf("verified cell %q carries name %q", name, m.Name)
+				}
+			}
+		}
+	})
+}

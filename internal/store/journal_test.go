@@ -1,0 +1,214 @@
+package store_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sstiming/internal/core"
+	"sstiming/internal/prechar"
+	"sstiming/internal/store"
+)
+
+func testFingerprint() store.Fingerprint {
+	return store.Fingerprint{
+		Tech:  "generic-0.5um",
+		Vdd:   3.3,
+		Grid:  []float64{0.2e-9, 0.5e-9, 1.0e-9},
+		Cells: []string{"INV", "NAND2"},
+		TStep: 3e-12,
+	}
+}
+
+func cellModels(t *testing.T, names ...string) []*core.CellModel {
+	t.Helper()
+	lib := prechar.MustLibrary()
+	out := make([]*core.CellModel, 0, len(names))
+	for _, n := range names {
+		m := lib.Cells[n]
+		if m == nil {
+			t.Fatalf("prechar library has no cell %s", n)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lib.json.journal")
+	fp := testFingerprint()
+	j, err := store.CreateJournal(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := cellModels(t, "INV", "NAND2")
+	for _, m := range models {
+		if err := j.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, replayed, err := store.ResumeJournal(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d cells, want 2", len(replayed))
+	}
+	for _, m := range models {
+		got := replayed[m.Name]
+		if got == nil {
+			t.Fatalf("cell %s not replayed", m.Name)
+		}
+		// Replay must be value-identical: the resumed campaign re-publishes
+		// these bytes into the final artefact.
+		wb, _ := json.Marshal(m)
+		gb, _ := json.Marshal(got)
+		if string(wb) != string(gb) {
+			t.Fatalf("replayed %s differs from the appended model", m.Name)
+		}
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lib.json.journal")
+	fp := testFingerprint()
+	j, err := store.CreateJournal(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(cellModels(t, "INV")[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a frame header promising more payload
+	// than was ever written.
+	cells := filepath.Join(dir, "cells.waj")
+	f, err := os.OpenFile(cells, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("waj1 99999 deadbeef\n{\"Name\":\"NAND"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, replayed, err := store.ResumeJournal(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 1 || replayed["INV"] == nil {
+		t.Fatalf("replayed %v, want the valid INV prefix only", replayed)
+	}
+	// Appends after resume must extend the valid prefix, not the torn tail.
+	if err := j2.Append(cellModels(t, "NAND2")[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed, err = store.ResumeJournal(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 2 || replayed["NAND2"] == nil {
+		t.Fatalf("after truncate+append replay = %v, want INV and NAND2", replayed)
+	}
+}
+
+func TestJournalCRCCatchesBitRot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lib.json.journal")
+	fp := testFingerprint()
+	j, err := store.CreateJournal(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(cellModels(t, "INV")[0]); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	cells := filepath.Join(dir, "cells.waj")
+	b, err := os.ReadFile(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x01 // one flipped bit in the payload
+	if err := os.WriteFile(cells, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed, err := store.ResumeJournal(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("bit-rotted record replayed: %v", replayed)
+	}
+}
+
+func TestJournalFingerprintMismatchIsStale(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lib.json.journal")
+	j, err := store.CreateJournal(dir, testFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	other := testFingerprint()
+	other.TStep = 1e-12 // a finer solver step changes every table
+	if _, _, err := store.ResumeJournal(dir, other); !errors.Is(err, store.ErrStale) {
+		t.Fatalf("resume with changed options = %v, want ErrStale", err)
+	}
+}
+
+func TestJournalMetaTaxonomy(t *testing.T) {
+	fp := testFingerprint()
+	if _, _, err := store.ResumeJournal(filepath.Join(t.TempDir(), "missing"), fp); !errors.Is(err, store.ErrStale) {
+		t.Fatalf("resume of missing journal = %v, want ErrStale", err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "lib.json.journal")
+	j, err := store.CreateJournal(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	meta := filepath.Join(dir, "meta.json")
+
+	if err := os.WriteFile(meta, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.ResumeJournal(dir, fp); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("resume with garbage meta = %v, want ErrCorrupt", err)
+	}
+
+	if err := os.WriteFile(meta, []byte(`{"SchemaVersion":99,"Fingerprint":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.ResumeJournal(dir, fp); !errors.Is(err, store.ErrSchemaMismatch) {
+		t.Fatalf("resume with future schema = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+func TestJournalRemove(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "lib.json.journal")
+	j, err := store.CreateJournal(dir, testFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("journal dir still present after Remove: %v", err)
+	}
+}

@@ -1,0 +1,221 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"sstiming/internal/core"
+	"sstiming/internal/device"
+	"sstiming/internal/engine"
+)
+
+// LoadOptions configures a verified load.
+type LoadOptions struct {
+	// Strict refuses any degraded outcome: the first quarantined cell (or
+	// a missing manifest) fails the load with a typed error instead of
+	// falling back.
+	Strict bool
+	// Tech supplies the device technology for the closed-form analytic
+	// fallback. Nil selects the technology by the manifest's tech tag
+	// (device.Default05um for its tag); an unknown tag quarantines
+	// without fallback.
+	Tech *device.Tech
+	// AllowUnverified permits opening a library that has no sidecar
+	// manifest at all (legacy artefacts); the Report marks the load
+	// Unverified. Without it a missing manifest is ErrNoManifest.
+	AllowUnverified bool
+	// Metrics, when non-nil, counts quarantined cells
+	// (store/quarantined_cells).
+	Metrics *engine.Metrics
+}
+
+// techForTag maps a manifest technology tag to the device technology used
+// for analytic fallbacks.
+func techForTag(tag string) *device.Tech {
+	if t := device.Default05um(); t.Name == tag {
+		return t
+	}
+	return nil
+}
+
+// LoadFile opens a library artefact and its sidecar manifest from disk and
+// verifies it; see Load.
+func LoadFile(path string, opts LoadOptions) (*core.Library, *Report, error) {
+	libBytes, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading library: %w", err)
+	}
+	manBytes, err := os.ReadFile(ManifestPath(path))
+	if os.IsNotExist(err) {
+		manBytes = nil
+	} else if err != nil {
+		return nil, nil, fmt.Errorf("store: reading manifest: %w", err)
+	}
+	return Load(libBytes, manBytes, opts)
+}
+
+// Load verifies library bytes against their manifest and assembles the
+// served library. The fallback ladder per cell is:
+//
+//	verified table  → the characterised model, byte-checked
+//	quarantined     → the closed-form analytic model (alpha-power law),
+//	                  when a technology for the tag is available
+//	otherwise       → the cell is absent (analysis touching it fails)
+//
+// Strict mode stops at the first rung: any quarantine returns the typed
+// error instead of a degraded library. manifest == nil is a legacy load,
+// refused unless AllowUnverified.
+func Load(libBytes, manBytes []byte, opts LoadOptions) (*core.Library, *Report, error) {
+	if manBytes == nil {
+		if !opts.AllowUnverified || opts.Strict {
+			return nil, nil, fmt.Errorf("%w: refusing unverified library (write it with the store, or allow legacy loads)", ErrNoManifest)
+		}
+		lib, err := core.LoadLibrary(bytes.NewReader(libBytes))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return lib, &Report{Unverified: true, Verified: len(lib.Cells)}, nil
+	}
+	man, err := decodeManifest(manBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Fast path: the exact published bytes. One hash, one decode, done.
+	if hashBytes(libBytes) == man.LibrarySHA256 {
+		lib, err := core.LoadLibrary(bytes.NewReader(libBytes))
+		if err != nil {
+			// The hash matched, so these are the very bytes the writer
+			// published: an undecodable artefact means it was corrupt at
+			// publish time.
+			return nil, nil, fmt.Errorf("%w: published artefact undecodable: %v", ErrCorrupt, err)
+		}
+		if err := checkCellSet(lib, man); err != nil {
+			return nil, nil, err
+		}
+		return lib, &Report{Verified: len(lib.Cells)}, nil
+	}
+
+	// Slow path: the file drifted from its manifest. Verify cell by cell,
+	// quarantining the entries that fail.
+	var raw struct {
+		TechName string
+		Vdd      float64
+		Cells    map[string]json.RawMessage
+	}
+	if err := json.Unmarshal(libBytes, &raw); err != nil {
+		return nil, nil, fmt.Errorf("%w: library is not valid JSON: %v", ErrCorrupt, err)
+	}
+
+	// The manifest is the signed source of truth for the header.
+	lib := &core.Library{
+		TechName: man.Tech,
+		Vdd:      man.Vdd,
+		Cells:    make(map[string]*core.CellModel, len(man.Cells)),
+	}
+	tech := opts.Tech
+	if tech == nil {
+		tech = techForTag(man.Tech)
+	}
+
+	rep := &Report{}
+	names := make([]string, 0, len(man.Cells))
+	for name := range man.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		wantHash := man.Cells[name]
+		reason := ""
+		var model *core.CellModel
+		switch rawCell, ok := raw.Cells[name]; {
+		case !ok:
+			reason = "cell missing from library file"
+		default:
+			var m core.CellModel
+			if err := json.Unmarshal(rawCell, &m); err != nil {
+				reason = fmt.Sprintf("cell entry undecodable: %v", err)
+				break
+			}
+			gotHash, err := cellHash(&m)
+			if err != nil {
+				reason = err.Error()
+				break
+			}
+			if gotHash != wantHash {
+				reason = "cell bytes do not match the manifest digest"
+				break
+			}
+			if m.Name != name {
+				reason = fmt.Sprintf("cell key %q holds model %q", name, m.Name)
+				break
+			}
+			if err := m.Validate(); err != nil {
+				reason = fmt.Sprintf("cell model invalid: %v", err)
+				break
+			}
+			model = &m
+		}
+		if reason == "" {
+			lib.Cells[name] = model
+			rep.Verified++
+			continue
+		}
+		if opts.Strict {
+			return nil, nil, fmt.Errorf("%w: cell %s: %s (strict mode refuses degraded libraries)", ErrCorrupt, name, reason)
+		}
+		q := QuarantinedCell{Cell: name, Reason: reason}
+		if tech != nil {
+			if fb, err := AnalyticModel(name, tech); err == nil {
+				lib.Cells[name] = fb
+				q.Fallback = true
+			}
+		}
+		rep.Quarantined = append(rep.Quarantined, q)
+		opts.Metrics.Add(engine.StoreQuarantined, 1)
+	}
+
+	if rep.Verified == 0 && len(rep.Quarantined) == len(man.Cells) {
+		// Nothing at all verified: the file does not correspond to this
+		// manifest (e.g. a crash between the two renames left an old
+		// library next to a new manifest).
+		return nil, nil, fmt.Errorf("%w: no cell matches the manifest (library and manifest are from different runs)", ErrStale)
+	}
+	for name := range raw.Cells {
+		if _, ok := man.Cells[name]; !ok {
+			// An unmanifested cell is unverifiable; never serve it.
+			rep.Quarantined = append(rep.Quarantined, QuarantinedCell{
+				Cell:   name,
+				Reason: "cell present in library file but not in manifest",
+			})
+			opts.Metrics.Add(engine.StoreQuarantined, 1)
+			if opts.Strict {
+				return nil, nil, fmt.Errorf("%w: cell %s present in library file but not in manifest", ErrCorrupt, name)
+			}
+		}
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return lib, rep, nil
+}
+
+// checkCellSet confirms a fast-path library carries exactly the manifested
+// cells (defence against a manifest/file pair from different runs that
+// nevertheless hash-matched — impossible in practice, cheap to keep).
+func checkCellSet(lib *core.Library, man *Manifest) error {
+	for name := range man.Cells {
+		if _, ok := lib.Cells[name]; !ok {
+			return fmt.Errorf("%w: manifest cell %s missing from library", ErrStale, name)
+		}
+	}
+	for name := range lib.Cells {
+		if _, ok := man.Cells[name]; !ok {
+			return fmt.Errorf("%w: library cell %s missing from manifest", ErrStale, name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"sstiming/internal/core"
+)
+
+// Manifest is the sidecar integrity record published next to every library
+// artefact. It is the source of truth at load time: header fields (tech tag,
+// Vdd) are taken from the manifest, and every cell's bytes must hash to the
+// recorded digest before the table is served.
+type Manifest struct {
+	// SchemaVersion is the manifest format version (see SchemaVersion).
+	SchemaVersion int
+	// Tech is the process-technology tag the library was characterised
+	// for. timingd's hot-reload path refuses a manifest whose tag differs
+	// from the running library's.
+	Tech string
+	// Vdd is the characterisation supply voltage.
+	Vdd float64
+	// Grid is the characterisation transition-time grid in seconds
+	// (campaign metadata; informational).
+	Grid []float64 `json:",omitempty"`
+	// NCPairs records whether the Section 3.6 non-controlling surfaces
+	// were characterised (campaign metadata; informational).
+	NCPairs bool `json:",omitempty"`
+	// LibrarySHA256 is the hex SHA-256 of the exact library file bytes —
+	// the fast whole-file verification path.
+	LibrarySHA256 string
+	// Cells maps cell name to the hex SHA-256 of the cell model's
+	// canonical (compact JSON) encoding — the per-cell quarantine path
+	// taken when the whole-file hash no longer matches.
+	Cells map[string]string
+}
+
+// ManifestPath returns the sidecar manifest path for a library path.
+func ManifestPath(libPath string) string { return libPath + ".manifest.json" }
+
+// cellHash returns the canonical digest of one cell model: the SHA-256 of
+// its compact JSON encoding. Compact marshalling of the decoded model (not
+// the raw file bytes) makes the digest independent of file-level whitespace
+// and key order while still catching any value-level corruption.
+func cellHash(m *core.CellModel) (string, error) {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "", fmt.Errorf("store: encoding cell %q: %w", m.Name, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// hashBytes returns the hex SHA-256 of raw bytes.
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// BuildManifest computes the manifest for a library and the exact bytes it
+// was (or will be) published as. Campaign metadata (Grid, NCPairs) may be
+// zero when unknown, e.g. when manifesting a pre-existing artefact.
+func BuildManifest(lib *core.Library, libBytes []byte, grid []float64, ncPairs bool) (*Manifest, error) {
+	man := &Manifest{
+		SchemaVersion: SchemaVersion,
+		Tech:          lib.TechName,
+		Vdd:           lib.Vdd,
+		Grid:          grid,
+		NCPairs:       ncPairs,
+		LibrarySHA256: hashBytes(libBytes),
+		Cells:         make(map[string]string, len(lib.Cells)),
+	}
+	for name, m := range lib.Cells {
+		h, err := cellHash(m)
+		if err != nil {
+			return nil, err
+		}
+		man.Cells[name] = h
+	}
+	return man, nil
+}
+
+// EncodeManifest serialises a manifest as indented JSON (stable formatting,
+// map keys sorted by encoding/json).
+func EncodeManifest(m *Manifest) ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// decodeManifest parses and sanity-checks manifest bytes, classifying
+// failures with the load taxonomy.
+func decodeManifest(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%w: manifest is not valid JSON: %v", ErrCorrupt, err)
+	}
+	if m.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%w: manifest schema %d, this build reads %d",
+			ErrSchemaMismatch, m.SchemaVersion, SchemaVersion)
+	}
+	if len(m.Cells) == 0 {
+		return nil, fmt.Errorf("%w: manifest lists no cells", ErrCorrupt)
+	}
+	if m.LibrarySHA256 == "" {
+		return nil, fmt.Errorf("%w: manifest has no library hash", ErrCorrupt)
+	}
+	return &m, nil
+}

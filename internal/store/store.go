@@ -1,0 +1,89 @@
+// Package store is the durable, versioned, integrity-checked timing-library
+// store: the layer between the characterisation campaign (the repo's most
+// expensive artifact-producing run) and every consumer that trusts its
+// output (prechar, sta, itr, timingd).
+//
+// It provides three guarantees the bare JSON artefact cannot:
+//
+//   - Crash-safe campaigns: a write-ahead Journal checkpoints each completed
+//     cell with a per-record CRC and an fsync, so a characterisation killed
+//     with SIGKILL mid-run resumes at the cost of at most one cell (torn
+//     tails are detected and truncated, never replayed).
+//
+//   - Atomic, verified artefacts: WriteLibrary publishes the library via
+//     temp file + fsync + rename with a sidecar Manifest (schema version,
+//     technology tag, per-cell SHA-256, whole-file SHA-256); Load verifies
+//     the manifest on every open and classifies failures with the typed
+//     ErrCorrupt / ErrSchemaMismatch / ErrStale taxonomy.
+//
+//   - Graceful degradation: a corrupt or missing cell entry is quarantined
+//     (reported, counted in engine metrics) and served from the fitted
+//     closed-form alpha-power analytic model instead of failing the whole
+//     analysis — the fallback ladder is table-lookup → closed-form → error.
+//     Strict mode refuses any degraded library outright.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SchemaVersion is the manifest schema this package writes and accepts.
+const SchemaVersion = 1
+
+// The load-failure taxonomy. Errors returned by Load/LoadFile/ResumeJournal
+// wrap exactly one of these, so callers can branch with errors.Is.
+var (
+	// ErrCorrupt marks bytes that do not match their recorded hashes or
+	// cannot be decoded at all: bit flips, truncation, torn writes.
+	ErrCorrupt = errors.New("store: corrupt artefact")
+	// ErrSchemaMismatch marks a manifest (or journal) written by an
+	// incompatible schema version.
+	ErrSchemaMismatch = errors.New("store: schema mismatch")
+	// ErrStale marks an artefact pair that is internally consistent but
+	// does not belong together: a manifest describing a different library
+	// (cell set drift), or a journal whose campaign fingerprint does not
+	// match the requested options.
+	ErrStale = errors.New("store: stale artefact")
+	// ErrNoManifest marks a library opened without its sidecar manifest;
+	// LoadOptions.AllowUnverified downgrades this to an unverified load.
+	ErrNoManifest = errors.New("store: missing manifest")
+)
+
+// QuarantinedCell records one library cell that failed verification.
+type QuarantinedCell struct {
+	// Cell is the cell name from the manifest.
+	Cell string
+	// Reason summarises why the entry was quarantined.
+	Reason string
+	// Fallback reports whether the closed-form analytic model was
+	// substituted (false means the cell is simply absent from the loaded
+	// library and any analysis touching it will fail).
+	Fallback bool
+}
+
+func (q QuarantinedCell) String() string {
+	mode := "no fallback"
+	if q.Fallback {
+		mode = "analytic fallback"
+	}
+	return fmt.Sprintf("%s: %s (%s)", q.Cell, q.Reason, mode)
+}
+
+// Report summarises one verified load.
+type Report struct {
+	// Verified counts cells whose bytes matched their manifest hash.
+	Verified int
+	// Quarantined lists cells that failed verification, in manifest
+	// (sorted-name) order.
+	Quarantined []QuarantinedCell
+	// Unverified reports a legacy load with no manifest at all (allowed
+	// only by LoadOptions.AllowUnverified).
+	Unverified bool
+}
+
+// Degraded reports whether any cell was quarantined or the load skipped
+// verification entirely.
+func (r *Report) Degraded() bool {
+	return r == nil || r.Unverified || len(r.Quarantined) > 0
+}

@@ -1,0 +1,284 @@
+package store_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sstiming/internal/core"
+	"sstiming/internal/engine"
+	"sstiming/internal/prechar"
+	"sstiming/internal/store"
+)
+
+// publish writes the embedded pre-characterised library to a temp dir
+// through the store and returns the artefact path.
+func publish(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if _, err := store.WriteLibrary(path, prechar.MustLibrary(), nil, true); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// corruptCell flips one mantissa digit inside the named cell's JSON span —
+// still valid JSON, still a decodable model, just a silently different
+// timing value. Exactly the corruption a checksum must catch.
+func corruptCell(t *testing.T, b []byte, cell string) []byte {
+	t.Helper()
+	i := bytes.Index(b, []byte(`"`+cell+`": {`))
+	if i < 0 {
+		t.Fatalf("cell %s not found in library bytes", cell)
+	}
+	rel := bytes.IndexByte(b[i:], '.')
+	if rel < 0 {
+		t.Fatalf("no numeric literal after cell %s", cell)
+	}
+	j := i + rel + 1
+	if b[j] < '0' || b[j] > '9' {
+		t.Fatalf("byte after '.' is %q, not a digit", b[j])
+	}
+	nb := bytes.Clone(b)
+	nb[j] = '0' + (nb[j]-'0'+1)%10
+	return nb
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := publish(t)
+	if _, err := os.Stat(store.ManifestPath(path)); err != nil {
+		t.Fatalf("sidecar manifest missing: %v", err)
+	}
+	lib, rep, err := store.LoadFile(path, store.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prechar.MustLibrary()
+	if len(lib.Cells) != len(want.Cells) {
+		t.Fatalf("loaded %d cells, want %d", len(lib.Cells), len(want.Cells))
+	}
+	if rep.Verified != len(want.Cells) || len(rep.Quarantined) != 0 || rep.Unverified || rep.Degraded() {
+		t.Fatalf("round-trip report = %+v, want all verified", rep)
+	}
+	if lib.TechName != want.TechName || lib.Vdd != want.Vdd {
+		t.Fatalf("header %q/%g, want %q/%g", lib.TechName, lib.Vdd, want.TechName, want.Vdd)
+	}
+}
+
+func TestMissingManifestTaxonomy(t *testing.T) {
+	path := publish(t)
+	if err := os.Remove(store.ManifestPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.LoadFile(path, store.LoadOptions{}); !errors.Is(err, store.ErrNoManifest) {
+		t.Fatalf("load without manifest = %v, want ErrNoManifest", err)
+	}
+	if _, _, err := store.LoadFile(path, store.LoadOptions{Strict: true, AllowUnverified: true}); !errors.Is(err, store.ErrNoManifest) {
+		t.Fatalf("strict load without manifest = %v, want ErrNoManifest", err)
+	}
+	lib, rep, err := store.LoadFile(path, store.LoadOptions{AllowUnverified: true})
+	if err != nil {
+		t.Fatalf("legacy load = %v", err)
+	}
+	if !rep.Unverified || len(lib.Cells) == 0 {
+		t.Fatalf("legacy load report %+v with %d cells, want Unverified", rep, len(lib.Cells))
+	}
+}
+
+func TestSchemaMismatch(t *testing.T) {
+	path := publish(t)
+	manPath := store.ManifestPath(path)
+	b, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["SchemaVersion"] = 99
+	nb, _ := json.Marshal(m)
+	if err := os.WriteFile(manPath, nb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.LoadFile(path, store.LoadOptions{}); !errors.Is(err, store.ErrSchemaMismatch) {
+		t.Fatalf("load with schema 99 = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+func TestCorruptManifestTaxonomy(t *testing.T) {
+	path := publish(t)
+	for name, man := range map[string]string{
+		"garbage":  "not json at all",
+		"empty":    `{"SchemaVersion":1,"LibrarySHA256":"ab","Cells":{}}`,
+		"hashless": `{"SchemaVersion":1,"Cells":{"INV":"ab"}}`,
+	} {
+		if err := os.WriteFile(store.ManifestPath(path), []byte(man), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := store.LoadFile(path, store.LoadOptions{}); !errors.Is(err, store.ErrCorrupt) {
+			t.Errorf("%s manifest: load = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestTruncatedLibraryIsCorrupt(t *testing.T) {
+	path := publish(t)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.LoadFile(path, store.LoadOptions{}); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("truncated library load = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSingleCellCorruptionQuarantinesWithFallback(t *testing.T) {
+	path := publish(t)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, corruptCell(t, b, "NAND3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	met := engine.NewMetrics()
+	lib, rep, err := store.LoadFile(path, store.LoadOptions{Metrics: met})
+	if err != nil {
+		t.Fatalf("degraded load failed outright: %v", err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0].Cell != "NAND3" {
+		t.Fatalf("quarantined = %+v, want exactly NAND3", rep.Quarantined)
+	}
+	if !rep.Quarantined[0].Fallback {
+		t.Fatalf("NAND3 quarantined without analytic fallback: %s", rep.Quarantined[0])
+	}
+	if !rep.Degraded() {
+		t.Fatal("Report.Degraded() = false after quarantine")
+	}
+	if rep.Verified != len(prechar.MustLibrary().Cells)-1 {
+		t.Fatalf("Verified = %d, want all but one", rep.Verified)
+	}
+	if got := met.Get(engine.StoreQuarantined); got != 1 {
+		t.Fatalf("store/quarantined_cells = %d, want 1", got)
+	}
+	m := lib.Cells["NAND3"]
+	if m == nil || m.N != 3 || len(m.Pairs) != 6 {
+		t.Fatalf("fallback NAND3 model malformed: %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fallback NAND3 does not validate: %v", err)
+	}
+	// The untouched cells are the characterised ones, bit for bit.
+	wantHash, _ := json.Marshal(prechar.MustLibrary().Cells["INV"])
+	gotHash, _ := json.Marshal(lib.Cells["INV"])
+	if !bytes.Equal(wantHash, gotHash) {
+		t.Fatal("verified cell INV drifted from the published model")
+	}
+}
+
+func TestStrictRefusesCorruptCell(t *testing.T) {
+	path := publish(t)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, corruptCell(t, b, "NOR2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = store.LoadFile(path, store.LoadOptions{Strict: true})
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("strict load of corrupt library = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestManifestFromDifferentRunIsStale(t *testing.T) {
+	path := publish(t)
+	// Re-manifest against a library whose every cell differs (RefLoad
+	// nudged), as if a crash paired an old library with a new manifest.
+	other := reencode(t, prechar.MustLibrary())
+	for _, m := range other.Cells {
+		m.RefLoad *= 1.5
+	}
+	otherBytes, err := store.EncodeLibrary(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := store.BuildManifest(other, otherBytes, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manBytes, err := store.EncodeManifest(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.ManifestPath(path), manBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.LoadFile(path, store.LoadOptions{}); !errors.Is(err, store.ErrStale) {
+		t.Fatalf("mismatched pair load = %v, want ErrStale", err)
+	}
+}
+
+func TestUnmanifestedCellNeverServed(t *testing.T) {
+	path := publish(t)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(b, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var cells map[string]json.RawMessage
+	if err := json.Unmarshal(raw["Cells"], &cells); err != nil {
+		t.Fatal(err)
+	}
+	cells["SMUGGLED"] = cells["INV"]
+	raw["Cells"], _ = json.Marshal(cells)
+	nb, _ := json.Marshal(raw)
+	if err := os.WriteFile(path, nb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	lib, rep, err := store.LoadFile(path, store.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lib.Cells["SMUGGLED"]; ok {
+		t.Fatal("unmanifested cell was served")
+	}
+	found := false
+	for _, q := range rep.Quarantined {
+		if q.Cell == "SMUGGLED" && !q.Fallback {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unmanifested cell not quarantined: %+v", rep.Quarantined)
+	}
+	if _, _, err := store.LoadFile(path, store.LoadOptions{Strict: true}); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("strict load with smuggled cell = %v, want ErrCorrupt", err)
+	}
+}
+
+// reencode deep-copies a library through its JSON form.
+func reencode(t *testing.T, lib *core.Library) *core.Library {
+	t.Helper()
+	b, err := store.EncodeLibrary(lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.LoadLibrary(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sstiming/internal/core"
+)
+
+// EncodeLibrary returns the canonical published form of a library: exactly
+// the bytes core.Library.WriteJSON emits, so store-published artefacts stay
+// byte-identical to legacy ones (golden files, resume comparisons).
+func EncodeLibrary(lib *core.Library) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := lib.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteLibrary atomically publishes a library and its sidecar manifest:
+// both are written to temp files in the destination directory, fsynced,
+// then renamed into place (library first, manifest second), and the
+// directory is fsynced. A crash at any point leaves either the old artefact
+// pair, or a library whose stale manifest the verifying loader rejects —
+// never a silently-torn file.
+//
+// grid and ncPairs are campaign metadata recorded in the manifest; pass
+// zero values when unknown.
+func WriteLibrary(path string, lib *core.Library, grid []float64, ncPairs bool) (*Manifest, error) {
+	libBytes, err := EncodeLibrary(lib)
+	if err != nil {
+		return nil, err
+	}
+	man, err := BuildManifest(lib, libBytes, grid, ncPairs)
+	if err != nil {
+		return nil, err
+	}
+	manBytes, err := EncodeManifest(man)
+	if err != nil {
+		return nil, err
+	}
+	if err := atomicWrite(path, libBytes); err != nil {
+		return nil, err
+	}
+	if err := atomicWrite(ManifestPath(path), manBytes); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// atomicWrite writes bytes via temp file + fsync + rename + directory
+// fsync.
+func atomicWrite(path string, b []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		cleanup()
+		return fmt.Errorf("store: writing %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: syncing %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: closing %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publishing %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
+}
