@@ -7,7 +7,7 @@ GO ?= go
 # genuinely improves; never lower it to make a PR pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race vet verify conformance chaos store-chaos service-smoke cover bench bench-parallel clean
+.PHONY: build test race vet verify conformance chaos store-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ conformance:
 chaos:
 	$(GO) test -race -run 'Chaos' ./internal/spice ./internal/charlib \
 		./internal/conformance ./internal/faultinject ./internal/engine \
-		./internal/service
+		./internal/tgraph ./internal/service
 
 # Store crash-safety suite: kill a characterisation campaign mid-cell
 # (deterministically, inside its own checkpoint), tear the journal tail,
@@ -64,8 +64,19 @@ cover:
 		    printf "FAIL: total coverage %.1f%% is below the %.1f%% floor\n", $$3, floor; exit 1 } \
 		  printf "total coverage %.1f%% (floor %.1f%%)\n", $$3, floor }'
 
-# Regenerate every table & figure of the paper (slow).
+# Performance trajectory point (ROADMAP item 5b): full-STA throughput,
+# incremental edit latency vs. cone size, and ITR-in-ATPG wall-clock, with
+# machine/commit metadata, schema-validated into BENCH_1.json.
 bench:
+	$(GO) run ./cmd/bench -out BENCH_1.json
+
+# Harness-rot guard: the same harness on tiny circuits, schema-validated
+# and discarded. Seconds-scale; safe for CI.
+bench-smoke:
+	$(GO) run ./cmd/bench -smoke
+
+# The raw go test micro-benchmarks (slow).
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 # Engine scaling: characterisation wall-clock vs worker count.

@@ -6,13 +6,17 @@
 //
 //	timingd [-addr :8080] [-lib lib.json] [-strict-lib] [-jobs N]
 //	        [-queue-depth N] [-timeout 30s] [-drain 15s] [-max-gates N]
-//	        [-stats] [-selfcheck]
+//	        [-max-sessions N] [-session-ttl 15m] [-stats] [-selfcheck]
 //
 // Endpoints:
 //
 //	POST /analyze      run STA on a posted netlist
 //	POST /refine       run ITR under a partial two-frame cube
 //	POST /conformance  run a randomized differential spot check
+//	POST /session      build a persistent timing graph (delta-STA session)
+//	POST /session/{id}/delta    apply cube/PI/gate edits incrementally
+//	GET  /session/{id}/windows  snapshot the session's current windows
+//	DELETE /session/{id}        free the session
 //	POST /reload       hot-swap the library (re-verified; old one keeps
 //	                   serving on failure, 409 on tech-tag mismatch)
 //	GET  /healthz      liveness
@@ -65,6 +69,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful drain deadline on SIGTERM")
 	maxGates := flag.Int("max-gates", 0, "admission cap on posted netlist size (0 = default, -1 = unlimited)")
+	maxSessions := flag.Int("max-sessions", 0, "live delta-STA sessions before LRU eviction (0 = default 64, -1 = unlimited)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle session expiry (0 = default 15m, negative = never)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "solver failures tripping the circuit breaker (0 = default 5, -1 = disabled)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "breaker open duration before a half-open probe (0 = default 10s)")
 	strictLib := flag.Bool("strict-lib", false, "refuse degraded or unverified libraries instead of serving analytic fallbacks")
@@ -87,6 +93,8 @@ func main() {
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		MaxGates:       *maxGates,
+		MaxSessions:    *maxSessions,
+		SessionIdleTTL: *sessionTTL,
 		Breaker: service.BreakerConfig{
 			Threshold: *breakerThreshold,
 			Cooldown:  *breakerCooldown,

@@ -40,6 +40,7 @@ import (
 	"sstiming/internal/netlist"
 	"sstiming/internal/nineval"
 	"sstiming/internal/sta"
+	"sstiming/internal/tgraph"
 )
 
 var debugValidate = false
@@ -102,7 +103,18 @@ type Options struct {
 	// Lib is the characterised cell library (required).
 	Lib *core.Library
 	// UseITR enables incremental timing refinement pruning (component 4).
+	// Each fault's search keeps one persistent timing graph alive and
+	// applies the decision cubes to it as deltas: an implication step
+	// re-converges only its changed cone, and backtracking is just the
+	// sibling's cube applied as the next delta.
 	UseITR bool
+	// ITRFullRecompute forces the pre-refactor behaviour: a from-scratch
+	// itr.Refine per decision step instead of the persistent graph. The
+	// two paths produce byte-identical windows and therefore identical
+	// searches (asserted by TestIncrementalITRMatchesFullRefine); this
+	// knob exists as the cross-check reference and for the bench harness
+	// to quantify the speed-up.
+	ITRFullRecompute bool
 	// MaxBacktracks bounds the search; zero selects 64.
 	MaxBacktracks int
 	// PI is the assumed primary input stimulus.
@@ -146,6 +158,12 @@ type generator struct {
 	c    *netlist.Circuit
 	f    Fault
 	opts Options
+
+	// tg is the persistent timing graph carrying this fault's ITR state
+	// across decision steps (lazily built on the first timingFeasible
+	// call). It is private to the fault's search — RunCampaign workers
+	// share the circuit but never a graph.
+	tg *tgraph.Graph
 
 	// cancelled flags that the search stopped early because opts.Ctx was
 	// done; the fault then reports Aborted rather than Untestable.
@@ -584,17 +602,19 @@ func (g *generator) valueOrder() []nineval.Value {
 // checks the fault's alignment constraint. The returned score (valid when
 // feasible) measures how far apart the aggressor and victim window centres
 // sit — lower scores make better search candidates.
+//
+// The cube is always an implication fixpoint (the search implies every
+// candidate before scoring it), so the default path applies it to the
+// fault's persistent timing graph as a delta: only the cone the implication
+// actually changed is re-converged, and stepping back to a sibling or an
+// ancestor is the same delta mechanism in reverse. The graph and the
+// from-scratch reference produce byte-identical windows, so pruning and
+// candidate ordering are unchanged.
 func (g *generator) timingFeasible(cube nineval.Cube) (bool, float64) {
-	res, err := itr.Refine(g.c, cube, itr.Options{
-		Lib:  g.opts.Lib,
-		Mode: sta.ModeProposed,
-		PI:   g.opts.PI,
-	})
+	wa, wv, okA, okV, err := g.refineWindows(cube)
 	if err != nil {
 		return false, 0 // logically inconsistent
 	}
-	wa, okA := res.Window(g.f.Aggressor, g.f.AggRising)
-	wv, okV := res.Window(g.f.Victim, g.f.VicRising)
 	if !okA || !okV {
 		return false, 0
 	}
@@ -612,6 +632,48 @@ func (g *generator) timingFeasible(cube nineval.Cube) (bool, float64) {
 		score = -score
 	}
 	return true, score
+}
+
+// refineWindows produces the aggressor and victim windows under the implied
+// cube, via the persistent graph (default) or a from-scratch itr.Refine
+// (ITRFullRecompute). A non-nil error means the timing state could not be
+// established (inconsistent cube, cancellation, poisoned-graph heal failure).
+func (g *generator) refineWindows(cube nineval.Cube) (wa, wv sta.Window, okA, okV bool, err error) {
+	if g.opts.ITRFullRecompute {
+		res, rerr := itr.Refine(g.c, cube, itr.Options{
+			Lib:  g.opts.Lib,
+			Mode: sta.ModeProposed,
+			PI:   g.opts.PI,
+		})
+		if rerr != nil {
+			return sta.Window{}, sta.Window{}, false, false, rerr
+		}
+		wa, okA = res.Window(g.f.Aggressor, g.f.AggRising)
+		wv, okV = res.Window(g.f.Victim, g.f.VicRising)
+		return wa, wv, okA, okV, nil
+	}
+
+	g.opts.Metrics.Add(engine.ITRRefines, 1)
+	if g.tg == nil {
+		tgr, berr := tgraph.NewWithCube(g.c, cube, tgraph.Options{
+			Lib:     g.opts.Lib,
+			Mode:    sta.ModeProposed,
+			PI:      g.opts.PI,
+			Ctx:     g.opts.Ctx,
+			Metrics: g.opts.Metrics,
+		})
+		if berr != nil {
+			return sta.Window{}, sta.Window{}, false, false, berr
+		}
+		g.tg = tgr
+	} else if serr := g.tg.SetImpliedCube(g.opts.Ctx, cube); serr != nil {
+		return sta.Window{}, sta.Window{}, false, false, serr
+	} else {
+		g.opts.Metrics.Add(engine.ITRImplications, int64(g.tg.NumChanged()))
+	}
+	wa, okA = g.tg.Window(g.f.Aggressor, g.f.AggRising)
+	wv, okV = g.tg.Window(g.f.Victim, g.f.VicRising)
+	return wa, wv, okA, okV, nil
 }
 
 // validate simulates the fully specified candidate with the crosstalk fault

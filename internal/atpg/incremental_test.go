@@ -1,0 +1,88 @@
+package atpg
+
+import (
+	"testing"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/prechar"
+)
+
+// TestIncrementalITRMatchesFullRefine is the contract of the incremental
+// edit/undo wiring: because the persistent graph's windows are byte-identical
+// to a from-scratch itr.Refine at every decision step, pruning verdicts and
+// candidate-ordering scores are identical too — so the searches are the SAME
+// search, producing identical test cubes, outcomes and effort counters on the
+// seed circuits.
+func TestIncrementalITRMatchesFullRefine(t *testing.T) {
+	lib := prechar.MustLibrary()
+	for _, bench := range []string{"c17", "c432"} {
+		c, err := benchgen.Load(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := RandomFaults(c, 12, 23, 0.12e-9)
+		if bench == "c17" {
+			faults = []Fault{
+				{Aggressor: "10", Victim: "11", AggRising: true, VicRising: true, MaxSkew: 1e-9},
+				{Aggressor: "16", Victim: "11", AggRising: false, VicRising: true, MaxSkew: 0.05e-9},
+				{Aggressor: "23", Victim: "1", AggRising: false, VicRising: true, MaxSkew: 1e-12},
+			}
+		}
+		for i, f := range faults {
+			inc, err := GenerateTest(c, f, Options{Lib: lib, UseITR: true, MaxBacktracks: 48})
+			if err != nil {
+				t.Fatalf("%s fault %d incremental: %v", bench, i, err)
+			}
+			ref, err := GenerateTest(c, f, Options{Lib: lib, UseITR: true, ITRFullRecompute: true, MaxBacktracks: 48})
+			if err != nil {
+				t.Fatalf("%s fault %d full-refine: %v", bench, i, err)
+			}
+			if inc.Outcome != ref.Outcome {
+				t.Errorf("%s fault %d %s: outcome %v != reference %v", bench, i, f, inc.Outcome, ref.Outcome)
+				continue
+			}
+			if inc.Decisions != ref.Decisions || inc.Backtracks != ref.Backtracks ||
+				inc.LeavesTried != ref.LeavesTried || inc.LeavesExcited != ref.LeavesExcited {
+				t.Errorf("%s fault %d %s: search effort diverged: incremental {dec %d bt %d leaves %d/%d} vs reference {dec %d bt %d leaves %d/%d}",
+					bench, i, f,
+					inc.Decisions, inc.Backtracks, inc.LeavesTried, inc.LeavesExcited,
+					ref.Decisions, ref.Backtracks, ref.LeavesTried, ref.LeavesExcited)
+			}
+			switch {
+			case (inc.Test == nil) != (ref.Test == nil):
+				t.Errorf("%s fault %d %s: one path found a test, the other did not", bench, i, f)
+			case inc.Test != nil:
+				for _, pi := range c.PIs {
+					if inc.Test.V1[pi] != ref.Test.V1[pi] || inc.Test.V2[pi] != ref.Test.V2[pi] {
+						t.Errorf("%s fault %d %s: test cubes differ at PI %s: (%d,%d) vs (%d,%d)",
+							bench, i, f, pi,
+							inc.Test.V1[pi], inc.Test.V2[pi], ref.Test.V1[pi], ref.Test.V2[pi])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalITRCampaignMatches runs the two paths through RunCampaign
+// (concurrent workers, shared circuit) and requires identical aggregates —
+// the per-fault graphs must not leak state across workers.
+func TestIncrementalITRCampaignMatches(t *testing.T) {
+	lib := prechar.MustLibrary()
+	c, err := benchgen.Load("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := RandomFaults(c, 16, 99, 0.12e-9)
+	inc, err := RunCampaign(c, faults, Options{Lib: lib, UseITR: true, MaxBacktracks: 32, Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunCampaign(c, faults, Options{Lib: lib, UseITR: true, ITRFullRecompute: true, MaxBacktracks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc != ref {
+		t.Fatalf("campaign stats diverged:\nincremental %+v\nreference   %+v", inc, ref)
+	}
+}

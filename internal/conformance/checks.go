@@ -71,6 +71,11 @@ func AllChecks() []Check {
 			Desc: "simultaneous switching never predicts slower than the pin-to-pin baseline (to-controlling)",
 			run:  checkModelSSMin,
 		},
+		{
+			Name: "delta-full",
+			Desc: "incremental timing-graph edits stay byte-identical to from-scratch recomputation after every step of a random edit/retract script",
+			run:  checkDeltaFull,
+		},
 	}
 }
 

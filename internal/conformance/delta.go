@@ -1,0 +1,355 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"sstiming/internal/core"
+	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+	"sstiming/internal/sta"
+	"sstiming/internal/tgraph"
+	"sstiming/internal/twindow"
+)
+
+// The delta-full check cross-checks the incremental timing graph against
+// from-scratch analysis: a random edit/retract script (cube assigns and
+// retractions, PI-stimulus overrides, same-arity gate swaps) is applied
+// step by step to one persistent tgraph.Graph, and after EVERY step each
+// line's window state must be byte-identical (struct equality on the float
+// fields, no tolerance) to a graph rebuilt from scratch under the same cube,
+// stimulus and circuit. A divergence is shrunk on two axes before being
+// reported: the circuit collapses to the divergent net's fan-in cone, and
+// the edit script is greedily minimised to the steps that still reproduce.
+
+// editKind enumerates the delta-script edit kinds.
+type editKind int
+
+const (
+	editAssign editKind = iota
+	editRetract
+	editSwap
+	editSetPI
+)
+
+// editStep is one step of a delta script.
+type editStep struct {
+	kind editKind
+	net  string
+	val  nineval.Value    // editAssign
+	gk   netlist.GateKind // editSwap
+	pi   twindow.PITiming // editSetPI
+}
+
+func (s editStep) String() string {
+	switch s.kind {
+	case editAssign:
+		return fmt.Sprintf("assign %s=%d%d", s.net, s.val.V1, s.val.V2)
+	case editRetract:
+		return fmt.Sprintf("retract %s", s.net)
+	case editSwap:
+		return fmt.Sprintf("swap %s->%s", s.net, s.gk)
+	case editSetPI:
+		return fmt.Sprintf("pi %s=[%.3g,%.3g,%.3g,%.3g]",
+			s.net, s.pi.ArrivalEarly, s.pi.ArrivalLate, s.pi.TransShort, s.pi.TransLong)
+	default:
+		return fmt.Sprintf("editStep(%d)", int(s.kind))
+	}
+}
+
+func formatScript(steps []editStep) string {
+	parts := make([]string, len(steps))
+	for i, s := range steps {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// copyCircuit deep-copies a circuit so gate swaps never disturb the
+// seedEnv's cached instance shared with the other checks.
+func copyCircuit(c *netlist.Circuit) (*netlist.Circuit, error) {
+	cp := netlist.New(c.Name)
+	for _, pi := range c.PIs {
+		cp.AddPI(pi)
+	}
+	for _, gi := range c.TopoOrder() {
+		g := &c.Gates[gi]
+		cp.AddGate(g.Kind, g.Output, g.Inputs...)
+	}
+	for _, po := range c.POs {
+		cp.AddPO(po)
+	}
+	if err := cp.Build(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// deltaGraphOptions is the graph configuration the check runs under.
+func (e *seedEnv) deltaGraphOptions(perPI map[string]twindow.PITiming) tgraph.Options {
+	return tgraph.Options{
+		Lib:         e.lib,
+		Mode:        sta.ModeProposed,
+		PerPI:       perPI,
+		NCExtension: e.opts.NCExtension,
+	}
+}
+
+// applyEditStep applies one script step to the live graph, maintaining the
+// shadow PI-stimulus map for from-scratch rebuilds. Steps only ever touch
+// primary inputs (assign/retract/set_pi) or swap same-arity duals, so a
+// failure is a harness bug, not a model disagreement.
+func applyEditStep(g *tgraph.Graph, st editStep, perPI map[string]twindow.PITiming) error {
+	switch st.kind {
+	case editAssign:
+		raw := g.RawCube().Clone()
+		raw[st.net] = st.val
+		return g.SetCube(nil, raw)
+	case editRetract:
+		raw := g.RawCube().Clone()
+		delete(raw, st.net)
+		return g.SetCube(nil, raw)
+	case editSwap:
+		return g.SwapGate(nil, st.net, st.gk)
+	case editSetPI:
+		if err := g.SetPI(nil, st.net, st.pi); err != nil {
+			return err
+		}
+		perPI[st.net] = st.pi
+		return nil
+	default:
+		return fmt.Errorf("unknown edit kind %d", st.kind)
+	}
+}
+
+// swapCandidates lists the gates whose same-arity dual is characterised in
+// the library (Inv/Buf share the INV cell; a NAND4 is swappable only when a
+// NOR4 cell exists). Eligibility is symmetric, so the set is stable as the
+// script swaps gates back and forth.
+func swapCandidates(c *netlist.Circuit, lib *core.Library) []int {
+	var out []int
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		switch g.Kind {
+		case netlist.Inv, netlist.Buf:
+			out = append(out, gi)
+		default:
+			n := len(g.Inputs)
+			_, nand := lib.Cells[fmt.Sprintf("NAND%d", n)]
+			_, nor := lib.Cells[fmt.Sprintf("NOR%d", n)]
+			if nand && nor {
+				out = append(out, gi)
+			}
+		}
+	}
+	return out
+}
+
+// randomEditStep draws the next script step. Assigns dominate (they are the
+// ATPG workload); retractions exercise the undo path, swaps the ECO path,
+// stimulus overrides the PI path.
+func randomEditStep(rng *rand.Rand, c *netlist.Circuit, assigned []string, swappable []int) editStep {
+	values := []nineval.Value{
+		nineval.V00, nineval.V01, nineval.V0X,
+		nineval.V10, nineval.V11, nineval.V1X,
+		nineval.VX0, nineval.VX1, nineval.VXX,
+	}
+	duals := map[netlist.GateKind]netlist.GateKind{
+		netlist.Inv: netlist.Buf, netlist.Buf: netlist.Inv,
+		netlist.Nand: netlist.Nor, netlist.Nor: netlist.Nand,
+	}
+	switch r := rng.Float64(); {
+	case r < 0.55 || (r < 0.75 && len(assigned) == 0):
+		pi := c.PIs[rng.Intn(len(c.PIs))]
+		return editStep{kind: editAssign, net: pi, val: values[rng.Intn(len(values))]}
+	case r < 0.75:
+		return editStep{kind: editRetract, net: assigned[rng.Intn(len(assigned))]}
+	case r < 0.88 && len(swappable) > 0:
+		g := &c.Gates[swappable[rng.Intn(len(swappable))]]
+		return editStep{kind: editSwap, net: g.Output, gk: duals[g.Kind]}
+	default:
+		pi := c.PIs[rng.Intn(len(c.PIs))]
+		early := rng.Float64() * 0.4e-9
+		return editStep{kind: editSetPI, net: pi, pi: twindow.PITiming{
+			ArrivalEarly: early,
+			ArrivalLate:  early + rng.Float64()*0.3e-9,
+			TransShort:   0.1e-9 + rng.Float64()*0.1e-9,
+			TransLong:    0.2e-9 + rng.Float64()*0.15e-9,
+		}}
+	}
+}
+
+// divergentNet compares every line of the incremental graph against the
+// from-scratch reference; the first differing net (in deterministic order)
+// is returned, "" when byte-identical. The comparison is struct equality —
+// both paths share twindow.PropagateGate, so even the float bits must agree.
+func divergentNet(inc, ref *tgraph.Graph) string {
+	if inc.NumLines() != ref.NumLines() {
+		return "<line-count>"
+	}
+	worst := ""
+	inc.Lines(func(net string, li twindow.LineInfo) {
+		rli, ok := ref.Line(net)
+		if !ok || rli != li {
+			if worst == "" || net < worst {
+				worst = net
+			}
+		}
+	})
+	return worst
+}
+
+// replayDiverges rebuilds the check from nothing on a private copy of the
+// pristine circuit — replay the script incrementally, rebuild from scratch,
+// compare — and reports whether any line diverges. Scripts referencing nets
+// absent from the candidate circuit, or otherwise failing to apply, count
+// as "does not reproduce" so shrinking never trades one failure for
+// another.
+func (e *seedEnv) replayDiverges(pristine *netlist.Circuit, steps []editStep) bool {
+	cc, err := copyCircuit(pristine)
+	if err != nil {
+		return false
+	}
+	perPI := make(map[string]twindow.PITiming)
+	g, err := tgraph.New(cc, e.deltaGraphOptions(nil))
+	if err != nil {
+		return false
+	}
+	for _, st := range steps {
+		if err := applyEditStep(g, st, perPI); err != nil {
+			return false
+		}
+	}
+	ref, err := tgraph.NewWithCube(cc, g.RawCube().Clone(), e.deltaGraphOptions(perPI))
+	if err != nil {
+		return false
+	}
+	return divergentNet(g, ref) != ""
+}
+
+// stepTouches reports whether the step references a net present in the
+// candidate circuit (used when projecting a script onto a fan-in cone).
+func stepTouches(c *netlist.Circuit, st editStep) bool {
+	switch st.kind {
+	case editSwap:
+		_, ok := c.Driver(st.net)
+		return ok
+	default:
+		return c.IsPI(st.net)
+	}
+}
+
+// shrinkDelta minimises a divergent (circuit, edit script) pair under the
+// shared MaxShrink predicate budget: first the circuit collapses to the
+// divergent net's fan-in cone (projecting the script onto it), then the
+// script is greedily reduced step by step. pred is injected for testability;
+// production passes e.replayDiverges.
+func (e *seedEnv) shrinkDelta(pristine *netlist.Circuit, steps []editStep, net string,
+	pred func(c *netlist.Circuit, steps []editStep) bool) (*netlist.Circuit, []editStep) {
+	budget := e.opts.MaxShrink
+	try := func(c *netlist.Circuit, s []editStep) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return pred(c, s)
+	}
+
+	if cone, ok := fanInCone(pristine, net); ok && cone.NumGates() < pristine.NumGates() {
+		projected := make([]editStep, 0, len(steps))
+		for _, st := range steps {
+			if stepTouches(cone, st) {
+				projected = append(projected, st)
+			}
+		}
+		if try(cone, projected) {
+			pristine, steps = cone, projected
+		}
+	}
+
+	for i := 0; i < len(steps); {
+		candidate := make([]editStep, 0, len(steps)-1)
+		candidate = append(candidate, steps[:i]...)
+		candidate = append(candidate, steps[i+1:]...)
+		if try(pristine, candidate) {
+			steps = candidate
+			continue // re-test the step now occupying slot i
+		}
+		i++
+	}
+	return pristine, steps
+}
+
+// checkDeltaFull is the incremental-vs-full cross-check (DESIGN.md §12): a
+// random edit/retract script against one persistent graph, verified
+// byte-identical to from-scratch recomputation after every step.
+func checkDeltaFull(e *seedEnv) error {
+	const name = "delta-full"
+	const scriptLen = 12
+	base, err := e.circuit()
+	if err != nil {
+		return err
+	}
+	if len(base.PIs) == 0 || base.NumGates() == 0 {
+		e.skip(name, 1)
+		return nil
+	}
+	// Pristine copy: gate swaps must never leak into the seedEnv's cached
+	// circuit, which the other checks share.
+	pristine, err := copyCircuit(base)
+	if err != nil {
+		return err
+	}
+	working, err := copyCircuit(pristine)
+	if err != nil {
+		return err
+	}
+	g, err := tgraph.New(working, e.deltaGraphOptions(nil))
+	if err != nil {
+		return err
+	}
+
+	rng := e.rng(9)
+	perPI := make(map[string]twindow.PITiming)
+	swappable := swapCandidates(working, e.lib)
+	var steps []editStep
+	for i := 0; i < scriptLen; i++ {
+		var assigned []string
+		for net := range g.RawCube() {
+			assigned = append(assigned, net)
+		}
+		sort.Strings(assigned) // deterministic retract targets for a fixed seed
+		st := randomEditStep(rng, working, assigned, swappable)
+		if err := applyEditStep(g, st, perPI); err != nil {
+			return fmt.Errorf("%s: step %d (%s): %w", name, i, st, err)
+		}
+		steps = append(steps, st)
+
+		refPI := make(map[string]twindow.PITiming, len(perPI))
+		for k, v := range perPI {
+			refPI[k] = v
+		}
+		ref, err := tgraph.NewWithCube(working, g.RawCube().Clone(), e.deltaGraphOptions(refPI))
+		if err != nil {
+			return fmt.Errorf("%s: step %d (%s) reference rebuild: %w", name, i, st, err)
+		}
+		e.stat(name).Checked += g.NumLines()
+		if net := divergentNet(g, ref); net != "" {
+			li, _ := g.Line(net)
+			rli, _ := ref.Line(net)
+			minC, minScript := e.shrinkDelta(pristine, steps, net, e.replayDiverges)
+			e.report(Violation{
+				Check: name,
+				Net:   net,
+				Detail: fmt.Sprintf(
+					"after step %d (%s) incremental diverged from from-scratch:\n  incremental %+v\n  reference   %+v\n  minimal script: %s",
+					i, st, li, rli, formatScript(minScript)),
+				Bench: benchText(minC),
+			})
+			return nil // one shrunk counterexample per seed is enough
+		}
+	}
+	return nil
+}

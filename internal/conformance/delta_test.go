@@ -1,0 +1,132 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+	"sstiming/internal/prechar"
+)
+
+// TestDeltaFullCheck runs the incremental-vs-full cross-check alone over a
+// spread of seeds: every step of every random edit script must stay
+// byte-identical to from-scratch recomputation.
+func TestDeltaFullCheck(t *testing.T) {
+	rep, err := Run(Options{
+		Lib:        prechar.MustLibrary(),
+		Seeds:      SeedRange(12, 31),
+		Jobs:       4,
+		Checks:     []string{"delta-full"},
+		FlatTrials: -1, // no transistor-level work needed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Stats["delta-full"]
+	if st == nil || st.Checked == 0 {
+		t.Fatal("delta-full compared nothing")
+	}
+	if !rep.Passed() {
+		for _, v := range rep.Violations {
+			t.Errorf("divergence:\n%s", v.String())
+		}
+	}
+}
+
+// TestReplayDivergesCleanScript pins the shrink predicate's baseline: a
+// clean library and a consistent script must NOT reproduce a divergence
+// (otherwise shrinking would run its whole budget on noise).
+func TestReplayDivergesCleanScript(t *testing.T) {
+	e := newSeedEnv(&Options{Lib: prechar.MustLibrary()}, 1)
+	e.opts.fill()
+	c, err := e.circuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []editStep{
+		{kind: editAssign, net: c.PIs[0], val: nineval.V01},
+		{kind: editRetract, net: c.PIs[0]},
+		{kind: editAssign, net: c.PIs[1], val: nineval.V10},
+	}
+	if e.replayDiverges(c, steps) {
+		t.Error("clean replay reported a divergence")
+	}
+}
+
+// TestShrinkDelta drives the minimiser with a synthetic predicate and
+// requires both axes to shrink: the circuit must collapse to the divergent
+// net's fan-in cone and the script to the single load-bearing step.
+func TestShrinkDelta(t *testing.T) {
+	c := netlist.New("shrink")
+	c.AddPI("a")
+	c.AddPI("b")
+	c.AddPI("c")
+	c.AddGate(netlist.Nand, "u", "a", "b")
+	c.AddGate(netlist.Inv, "v", "c")
+	c.AddGate(netlist.Nand, "w", "u", "a")
+	c.AddGate(netlist.Nand, "z", "u", "v")
+	c.AddPO("w")
+	c.AddPO("z")
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []editStep{
+		{kind: editAssign, net: "a", val: nineval.V01},
+		{kind: editSwap, net: "u", gk: netlist.Nor}, // the load-bearing step
+		{kind: editAssign, net: "c", val: nineval.V10},
+		{kind: editRetract, net: "a"},
+	}
+	// "Reproduces" iff the candidate still contains gate u and the swap on
+	// u — mimicking a divergence seated in w's fan-in cone.
+	pred := func(cand *netlist.Circuit, s []editStep) bool {
+		if _, ok := cand.Driver("u"); !ok {
+			return false
+		}
+		for _, st := range s {
+			if st.kind == editSwap && st.net == "u" {
+				return true
+			}
+		}
+		return false
+	}
+
+	e := newSeedEnv(&Options{Lib: prechar.MustLibrary()}, 1)
+	e.opts.fill()
+	minC, minScript := e.shrinkDelta(c, steps, "w", pred)
+
+	if got := minC.NumGates(); got != 2 {
+		t.Errorf("shrunk circuit has %d gates, want 2 (w's cone: u, w)", got)
+	}
+	if len(minScript) != 1 || minScript[0].kind != editSwap || minScript[0].net != "u" {
+		t.Errorf("shrunk script = %q, want just the swap on u", formatScript(minScript))
+	}
+	if !pred(minC, minScript) {
+		t.Error("shrunk counterexample no longer reproduces")
+	}
+	if s := formatScript(minScript); !strings.Contains(s, "swap u->NOR") {
+		t.Errorf("script formatting %q does not name the swap", s)
+	}
+}
+
+// TestShrinkDeltaBudgetExhausted: with a zero budget nothing may shrink —
+// the original artefacts come back untouched.
+func TestShrinkDeltaBudgetExhausted(t *testing.T) {
+	e := newSeedEnv(&Options{Lib: prechar.MustLibrary(), MaxShrink: -1}, 1)
+	c := netlist.New("nobudget")
+	c.AddPI("a")
+	c.AddGate(netlist.Inv, "y", "a")
+	c.AddPO("y")
+	if err := c.Build(); err != nil {
+		t.Fatal(err)
+	}
+	steps := []editStep{{kind: editAssign, net: "a", val: nineval.V01}}
+	minC, minScript := e.shrinkDelta(c, steps, "y", func(*netlist.Circuit, []editStep) bool {
+		t.Error("predicate consulted despite an exhausted budget")
+		return true
+	})
+	if minC != c || len(minScript) != 1 {
+		t.Error("artefacts changed without any predicate evaluation")
+	}
+}

@@ -110,6 +110,14 @@ const (
 	// CharCellsReused counts cells replayed from a campaign journal on
 	// resume instead of being re-characterised.
 	CharCellsReused
+	// TGraphEdits counts edits applied to persistent timing graphs
+	// (cube/PI/gate-swap deltas; the initial build does not count).
+	TGraphEdits
+	// SvcSessions counts timing sessions created by the service.
+	SvcSessions
+	// SvcSessionEvicts counts sessions evicted by the service's LRU cap or
+	// idle TTL (client DELETEs do not count).
+	SvcSessionEvicts
 
 	numCounters
 )
@@ -151,6 +159,9 @@ var counterNames = [numCounters]string{
 	SvcReloadFails:    "service/reload_failures",
 	StoreQuarantined:  "store/quarantined_cells",
 	CharCellsReused:   "charlib/cells_reused",
+	TGraphEdits:       "tgraph/edits",
+	SvcSessions:       "service/sessions_created",
+	SvcSessionEvicts:  "service/sessions_evicted",
 }
 
 // String returns the counter's label.

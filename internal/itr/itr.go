@@ -19,12 +19,22 @@
 //
 // STA is the special case of ITR in which every line has S = 0 (asserted by
 // this package's tests).
+//
+// Since the incremental-timing refactor, Refine is "build a persistent
+// timing graph under the cube" (internal/tgraph): one implication plus one
+// full convergence. Callers that refine many related cubes — the ATPG
+// search refines one cube per decision — keep a single graph alive and
+// apply cube deltas to it instead, paying only for the changed cone; Refine
+// remains the from-scratch reference those incremental results are
+// cross-checked against. The per-gate window arithmetic is shared with sta
+// and tgraph via internal/twindow, so all three produce byte-identical
+// floats for the same line states.
 package itr
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"math"
 
 	"sstiming/internal/core"
 	"sstiming/internal/engine"
@@ -32,6 +42,8 @@ import (
 	"sstiming/internal/nineval"
 	"sstiming/internal/spice"
 	"sstiming/internal/sta"
+	"sstiming/internal/tgraph"
+	"sstiming/internal/twindow"
 )
 
 // Options configures a refinement.
@@ -59,22 +71,10 @@ type Options struct {
 	Metrics *engine.Metrics
 }
 
-// LineInfo is the refined timing of one line.
-type LineInfo struct {
-	// Value is the implied nine-valued logic value.
-	Value nineval.Value
-	// SRise and SFall are the transition states.
-	SRise, SFall nineval.State
-	// Rise and Fall are the refined windows; valid only when the
-	// corresponding state is not SNo (HasRise/HasFall).
-	Rise, Fall sta.Window
-}
-
-// HasRise reports whether the rise window is defined.
-func (li *LineInfo) HasRise() bool { return li.SRise != nineval.SNo }
-
-// HasFall reports whether the fall window is defined.
-func (li *LineInfo) HasFall() bool { return li.SFall != nineval.SNo }
+// LineInfo is the refined timing of one line: the implied nine-valued
+// value, the transition states, and the directional windows (valid only
+// when the corresponding state is not SNo — HasRise/HasFall).
+type LineInfo = twindow.LineInfo
 
 // Result is the outcome of a refinement.
 type Result struct {
@@ -110,97 +110,43 @@ func Refine(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Result, error
 	if opts.Lib == nil {
 		return nil, fmt.Errorf("itr: Options.Lib is required")
 	}
-	if err := c.EnsureBuilt(); err != nil {
-		return nil, fmt.Errorf("itr: %w", err)
-	}
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err
 	}
 	opts.Metrics.Add(engine.ITRRefines, 1)
-	implied, ok := nineval.Imply(c, cube)
-	if !ok {
-		return nil, fmt.Errorf("itr: cube is logically inconsistent: %s", cube.String())
+	g, err := tgraph.NewWithCube(c, cube, tgraph.Options{
+		Lib:         opts.Lib,
+		Mode:        opts.Mode,
+		PI:          opts.PI,
+		PerPI:       opts.PerPI,
+		NCExtension: opts.NCExtension,
+		Ctx:         opts.Ctx,
+		Metrics:     opts.Metrics,
+	})
+	if err != nil {
+		if errors.Is(err, tgraph.ErrInconsistent) {
+			return nil, fmt.Errorf("itr: cube is logically inconsistent: %s", cube.String())
+		}
+		return nil, fmt.Errorf("itr: %w", err)
 	}
-	pi := opts.PI
-	if pi == (sta.PITiming{}) {
-		pi = sta.DefaultPITiming()
-	}
+	opts.Metrics.Add(engine.ITRImplications, int64(c.NumGates()))
+	return FromGraph(g), nil
+}
 
-	res := &Result{Circuit: c, Cube: implied, Lines: make(map[string]*LineInfo)}
-	for _, name := range c.PIs {
-		p := pi
-		if o, ok := opts.PerPI[name]; ok {
-			p = o
-		}
-		v := implied.Get(name)
-		w := sta.Window{AS: p.ArrivalEarly, AL: p.ArrivalLate, TS: p.TransShort, TL: p.TransLong}
-		res.Lines[name] = &LineInfo{
-			Value: v, SRise: v.StateRise(), SFall: v.StateFall(),
-			Rise: w, Fall: w,
-		}
+// FromGraph snapshots a persistent timing graph's current line states as a
+// refinement Result. The snapshot is a copy: later graph edits do not
+// disturb it.
+func FromGraph(g *tgraph.Graph) *Result {
+	res := &Result{
+		Circuit: g.Circuit(),
+		Cube:    g.ImpliedCube().Clone(),
+		Lines:   make(map[string]*LineInfo, g.NumLines()),
 	}
-
-	for _, gi := range c.TopoOrder() {
-		if err := ctxErr(opts.Ctx); err != nil {
-			return nil, err
-		}
-		g := &c.Gates[gi]
-		cell, ok := opts.Lib.Cell(g.CellName())
-		if !ok {
-			return nil, fmt.Errorf("itr: no library cell %q for gate %q", g.CellName(), g.Output)
-		}
-		ins := make([]*LineInfo, len(g.Inputs))
-		for i, in := range g.Inputs {
-			ins[i] = res.Lines[in]
-		}
-		extraLoad := float64(c.FanoutCount(g.Output)-1) * cell.RefLoad
-
-		v := implied.Get(g.Output)
-		li := &LineInfo{Value: v, SRise: v.StateRise(), SFall: v.StateFall()}
-
-		var err error
-		switch g.Kind {
-		case netlist.Inv:
-			if li.HasRise() {
-				li.Rise, err = refineSingle(cell, ins[0], false, true, extraLoad, li.SRise)
-			}
-			if err == nil && li.HasFall() {
-				li.Fall, err = refineSingle(cell, ins[0], true, false, extraLoad, li.SFall)
-			}
-		case netlist.Buf:
-			if li.HasRise() {
-				li.Rise, err = refineSingle(cell, ins[0], true, true, extraLoad, li.SRise)
-			}
-			if err == nil && li.HasFall() {
-				li.Fall, err = refineSingle(cell, ins[0], false, false, extraLoad, li.SFall)
-			}
-		case netlist.Nand:
-			if li.HasRise() {
-				li.Rise, err = refineCtrl(cell, g, ins, false, extraLoad, opts.Mode)
-			}
-			if err == nil && li.HasFall() {
-				li.Fall, err = refineNonCtrl(cell, g, ins, true, extraLoad, opts.Mode, opts.NCExtension)
-			}
-		case netlist.Nor:
-			if li.HasFall() {
-				li.Fall, err = refineCtrl(cell, g, ins, true, extraLoad, opts.Mode)
-			}
-			if err == nil && li.HasRise() {
-				li.Rise, err = refineNonCtrl(cell, g, ins, false, extraLoad, opts.Mode, opts.NCExtension)
-			}
-		default:
-			err = fmt.Errorf("unsupported gate kind %v", g.Kind)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("itr: gate %q: %w", g.Output, err)
-		}
-		opts.Metrics.Add(engine.ITRImplications, 1)
-		res.Lines[g.Output] = li
-	}
-	if err := ctxErr(opts.Ctx); err != nil {
-		return nil, err
-	}
-	return res, nil
+	g.Lines(func(net string, li twindow.LineInfo) {
+		cp := li
+		res.Lines[net] = &cp
+	})
+	return res
 }
 
 // ctxErr folds a fired context into the solver error taxonomy.
@@ -212,275 +158,4 @@ func ctxErr(ctx context.Context) error {
 		return fmt.Errorf("itr: %w", spice.Cancelled(err))
 	}
 	return nil
-}
-
-// refineSingle handles one-input cells. inRising selects which input
-// direction drives this output direction; ctrl is true when the arc uses the
-// cell's CtrlPins table.
-func refineSingle(cell *core.CellModel, in *LineInfo, inRising, ctrl bool, extraLoad float64, outState nineval.State) (sta.Window, error) {
-	var w sta.Window
-	var inState nineval.State
-	if inRising {
-		inState = in.SRise
-		w = in.Rise
-	} else {
-		inState = in.SFall
-		w = in.Fall
-	}
-	if inState == nineval.SNo {
-		return sta.Window{}, fmt.Errorf("output may transition but input cannot (state inconsistency)")
-	}
-	pins := cell.NonCtrlPins
-	if ctrl {
-		pins = cell.CtrlPins
-	}
-	p := &pins[0]
-	loadD := p.DelayLoadSlope * extraLoad
-	loadT := p.TransLoadSlope * extraLoad
-	_, dMin := p.Delay.MinOver(w.TS, w.TL)
-	_, dMax := p.Delay.MaxOver(w.TS, w.TL)
-	_, tMin := p.Trans.MinOver(w.TS, w.TL)
-	_, tMax := p.Trans.MaxOver(w.TS, w.TL)
-	return sta.Window{
-		AS: w.AS + dMin + loadD,
-		AL: w.AL + dMax + loadD,
-		TS: tMin + loadT,
-		TL: tMax + loadT,
-	}, nil
-}
-
-// ctrlInput captures one input that can make a to-controlling transition.
-type ctrlInput struct {
-	pin      int
-	w        sta.Window
-	definite bool
-}
-
-// collect returns the inputs whose transition in the given direction is not
-// ruled out, with their windows.
-func collect(ins []*LineInfo, rising bool) []ctrlInput {
-	var out []ctrlInput
-	for i, li := range ins {
-		var s nineval.State
-		var w sta.Window
-		if rising {
-			s, w = li.SRise, li.Rise
-		} else {
-			s, w = li.SFall, li.Fall
-		}
-		if s == nineval.SNo {
-			continue
-		}
-		out = append(out, ctrlInput{pin: i, w: w, definite: s == nineval.SYes})
-	}
-	return out
-}
-
-// refineCtrl computes the to-controlling output window under transition
-// states. ctrlRising is the direction of the input transitions (falling for
-// NAND, rising for NOR).
-func refineCtrl(cell *core.CellModel, g *netlist.Gate, ins []*LineInfo, ctrlRising bool, extraLoad float64, mode sta.Mode) (sta.Window, error) {
-	allowed := collect(ins, ctrlRising)
-	if len(allowed) == 0 {
-		return sta.Window{}, fmt.Errorf("to-controlling response possible but no input can transition")
-	}
-
-	var out sta.Window
-	out.AS = math.Inf(1)
-	out.TS = math.Inf(1)
-	out.TL = math.Inf(-1)
-
-	single := func(a ctrlInput) (dMin, dMax, tMin, tMax float64) {
-		p := &cell.CtrlPins[a.pin]
-		loadD := p.DelayLoadSlope * extraLoad
-		loadT := p.TransLoadSlope * extraLoad
-		_, dMin = p.Delay.MinOver(a.w.TS, a.w.TL)
-		_, dMax = p.Delay.MaxOver(a.w.TS, a.w.TL)
-		_, tMin = p.Trans.MinOver(a.w.TS, a.w.TL)
-		_, tMax = p.Trans.MaxOver(a.w.TS, a.w.TL)
-		return dMin + loadD, dMax + loadD, tMin + loadT, tMax + loadT
-	}
-
-	// Latest arrival (Table 1's A..L rules): definite switchers bound how
-	// late the output can switch — take the min over their worst-case
-	// corners; with no definite switcher, the slowest potential single
-	// switcher is the bound.
-	var definite []ctrlInput
-	for _, a := range allowed {
-		if a.definite {
-			definite = append(definite, a)
-		}
-	}
-	if len(definite) > 0 {
-		out.AL = math.Inf(1)
-		for _, a := range definite {
-			_, dMax, _, _ := single(a)
-			if v := a.w.AL + dMax; v < out.AL {
-				out.AL = v
-			}
-		}
-	} else {
-		out.AL = math.Inf(-1)
-		for _, a := range allowed {
-			_, dMax, _, _ := single(a)
-			if v := a.w.AL + dMax; v > out.AL {
-				out.AL = v
-			}
-		}
-	}
-
-	// Earliest arrival and transition bounds over the allowed set.
-	for _, a := range allowed {
-		dMin, _, tMin, tMax := single(a)
-		if v := a.w.AS + dMin; v < out.AS {
-			out.AS = v
-		}
-		if tMin < out.TS {
-			out.TS = tMin
-		}
-		if tMax > out.TL {
-			out.TL = tMax
-		}
-	}
-
-	if mode == sta.ModeProposed && len(allowed) >= 2 {
-		multi := 1.0
-		if k := len(allowed); k >= 3 && len(cell.MultiFactor) >= k-2 {
-			if f := cell.MultiFactor[k-3]; f > 0 && f < 1 {
-				multi = f
-			}
-		}
-		for _, ax := range allowed {
-			for _, ay := range allowed {
-				if ax.pin == ay.pin {
-					continue
-				}
-				skew := ay.w.AS - ax.w.AS
-				base := math.Min(ax.w.AS, ay.w.AS)
-				for _, tx := range []float64{ax.w.TS, ax.w.TL} {
-					for _, ty := range []float64{ay.w.TS, ay.w.TL} {
-						d := cell.DelayCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad)
-						if v := base + d*multi; v < out.AS {
-							out.AS = v
-						}
-					}
-				}
-				lo := ay.w.AS - ax.w.AL
-				hi := ay.w.AL - ax.w.AS
-				skm := cell.SKminAt(ax.pin, ay.pin, ax.w.TS, ay.w.TS)
-				if skm < lo {
-					skm = lo
-				}
-				if skm > hi {
-					skm = hi
-				}
-				if tv := cell.TransCtrl2(ax.pin, ay.pin, ax.w.TS, ay.w.TS, skm, extraLoad); tv < out.TS {
-					out.TS = tv
-				}
-			}
-		}
-	}
-	_ = g
-	return out, nil
-}
-
-// refineNonCtrl computes the to-non-controlling output window under
-// transition states. ncRising is the direction of the input transitions
-// (rising for NAND, falling for NOR). With the NC extension, pairs of
-// inputs that can both transition widen the latest corners through the
-// Λ-shape surfaces.
-func refineNonCtrl(cell *core.CellModel, g *netlist.Gate, ins []*LineInfo, ncRising bool, extraLoad float64, mode sta.Mode, ncExt bool) (sta.Window, error) {
-	allowed := collect(ins, ncRising)
-	if len(allowed) == 0 {
-		return sta.Window{}, fmt.Errorf("to-non-controlling response possible but no input can transition")
-	}
-
-	var out sta.Window
-	out.AL = math.Inf(-1)
-	out.TS = math.Inf(1)
-	out.TL = math.Inf(-1)
-
-	single := func(a ctrlInput) (dMin, dMax, tMin, tMax float64) {
-		p := &cell.NonCtrlPins[a.pin]
-		loadD := p.DelayLoadSlope * extraLoad
-		loadT := p.TransLoadSlope * extraLoad
-		_, dMin = p.Delay.MinOver(a.w.TS, a.w.TL)
-		_, dMax = p.Delay.MaxOver(a.w.TS, a.w.TL)
-		_, tMin = p.Trans.MinOver(a.w.TS, a.w.TL)
-		_, tMax = p.Trans.MaxOver(a.w.TS, a.w.TL)
-		return dMin + loadD, dMax + loadD, tMin + loadT, tMax + loadT
-	}
-
-	// Earliest arrival: every definite switcher must complete (max over
-	// them at their earliest corners); with no definite switcher, the
-	// fastest single suffices.
-	var definite []ctrlInput
-	for _, a := range allowed {
-		if a.definite {
-			definite = append(definite, a)
-		}
-	}
-	if len(definite) > 0 {
-		out.AS = math.Inf(-1)
-		for _, a := range definite {
-			dMin, _, _, _ := single(a)
-			if v := a.w.AS + dMin; v > out.AS {
-				out.AS = v
-			}
-		}
-	} else {
-		out.AS = math.Inf(1)
-		for _, a := range allowed {
-			dMin, _, _, _ := single(a)
-			if v := a.w.AS + dMin; v < out.AS {
-				out.AS = v
-			}
-		}
-	}
-
-	for _, a := range allowed {
-		_, dMax, tMin, tMax := single(a)
-		if v := a.w.AL + dMax; v > out.AL {
-			out.AL = v
-		}
-		if tMin < out.TS {
-			out.TS = tMin
-		}
-		if tMax > out.TL {
-			out.TL = tMax
-		}
-	}
-
-	if ncExt && mode == sta.ModeProposed && len(allowed) >= 2 && len(cell.NCPairs) > 0 {
-		for _, ax := range allowed {
-			for _, ay := range allowed {
-				if ax.pin == ay.pin {
-					continue
-				}
-				lo := ay.w.AS - ax.w.AL
-				hi := ay.w.AL - ax.w.AS
-				skew := 0.0
-				if skew < lo {
-					skew = lo
-				}
-				if skew > hi {
-					skew = hi
-				}
-				base := math.Max(ax.w.AL, ay.w.AL)
-				for _, tx := range []float64{ax.w.TS, ax.w.TL} {
-					for _, ty := range []float64{ay.w.TS, ay.w.TL} {
-						d := cell.DelayNonCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad)
-						if v := base + d; v > out.AL {
-							out.AL = v
-						}
-						if tv := cell.TransNonCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad); tv > out.TL {
-							out.TL = tv
-						}
-					}
-				}
-			}
-		}
-	}
-	_ = g
-	return out, nil
 }

@@ -379,6 +379,36 @@ func (c *Circuit) Nets() []string {
 // NumGates returns the gate count.
 func (c *Circuit) NumGates() int { return len(c.Gates) }
 
+// SwapGateKind exchanges the kind of the gate driving net for a same-arity
+// dual (NAND↔NOR, INV↔BUF) and returns the previous kind. Because the swap
+// changes neither connectivity nor gate count, the traversal indexes
+// (drivers, fanouts, topological order, levels) remain valid and are
+// deliberately NOT invalidated — this is what makes gate-swap ECO edits on a
+// persistent timing graph O(changed cone) instead of O(circuit). Cross-pair
+// swaps (e.g. INV→NAND) would change arity requirements and are rejected.
+func (c *Circuit) SwapGateKind(net string, kind GateKind) (GateKind, error) {
+	if !c.built() {
+		if err := c.EnsureBuilt(); err != nil {
+			return 0, err
+		}
+	}
+	gi, ok := c.driver[net]
+	if !ok {
+		return 0, fmt.Errorf("netlist: %s: net %q has no driving gate", c.Name, net)
+	}
+	g := &c.Gates[gi]
+	prev := g.Kind
+	switch {
+	case prev == kind:
+	case (prev == Inv || prev == Buf) && (kind == Inv || kind == Buf):
+	case (prev == Nand || prev == Nor) && (kind == Nand || kind == Nor):
+	default:
+		return 0, fmt.Errorf("netlist: %s: cannot swap %v gate %q to %v (same-arity duals only)", c.Name, prev, net, kind)
+	}
+	g.Kind = kind
+	return prev, nil
+}
+
 // Parse reads an ISCAS85 ".bench" format netlist:
 //
 //	# comment

@@ -42,8 +42,8 @@ func windowJSON(w sta.Window) WindowJSON { return WindowJSON{AS: w.AS, AL: w.AL,
 type ErrorJSON struct {
 	RequestID string `json:"request_id,omitempty"`
 	Error     string `json:"error"`
-	// Kind classifies the failure: "bad-request", "cancelled", "shed",
-	// "degraded", "draining", "panic" or "internal".
+	// Kind classifies the failure: "bad-request", "not-found", "cancelled",
+	// "shed", "degraded", "draining", "panic" or "internal".
 	Kind string `json:"kind"`
 	// Breaker is the breaker state on degraded responses.
 	Breaker string `json:"breaker,omitempty"`
@@ -176,6 +176,8 @@ func errorKind(err error) string {
 		return "degraded"
 	case errors.Is(err, engine.ErrPoolClosed):
 		return "draining"
+	case errors.Is(err, ErrSessionNotFound):
+		return "not-found"
 	case errors.As(err, &pe):
 		return "panic"
 	default:
@@ -404,20 +406,7 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 			if !keep(net) {
 				continue
 			}
-			lj := RefineLineJSON{
-				Value: li.Value.String(),
-				SRise: li.SRise.String(),
-				SFall: li.SFall.String(),
-			}
-			if li.HasRise() {
-				wj := windowJSON(li.Rise)
-				lj.Rise = &wj
-			}
-			if li.HasFall() {
-				wj := windowJSON(li.Fall)
-				lj.Fall = &wj
-			}
-			lines[net] = lj
+			lines[net] = lineJSON(*li)
 		}
 		resp = &RefineResponse{
 			RequestID: id,

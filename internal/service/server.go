@@ -20,6 +20,12 @@
 //     serving; its half-open probe slot is released on every probe
 //     outcome, so a probe that dies without a solver verdict can never
 //     wedge the breaker;
+//   - stateful timing sessions (POST /session, see session.go) keep a
+//     persistent incremental timing graph alive across requests so a
+//     delta pays only for its edited cone; per-session locks serialize
+//     concurrent deltas, an LRU cap plus idle TTL bound resident graphs
+//     (evicted IDs answer 404 naming the eviction reason), and a drain
+//     refuses new sessions and deltas while in-flight ones complete;
 //   - /healthz is liveness, /readyz gates on drain state and library load
 //     (the breaker state is reported there informationally — an open
 //     breaker degrades one endpoint and must not pull the instance, and
@@ -43,7 +49,9 @@ import (
 )
 
 // endpointOrder lists the instrumented endpoints (histogram render order).
-var endpointOrder = []string{"analyze", "refine", "conformance", "reload", "healthz", "readyz", "metrics"}
+// The four /session routes share one "session" histogram: their latency
+// profile is dominated by the same incremental-converge work.
+var endpointOrder = []string{"analyze", "refine", "conformance", "session", "reload", "healthz", "readyz", "metrics"}
 
 // ErrTechMismatch refuses a hot reload whose library was characterised for a
 // different process technology than the one being served: requests in flight
@@ -79,6 +87,14 @@ type Options struct {
 	// MaxConformanceSeeds caps the per-request conformance campaign size;
 	// zero selects 16.
 	MaxConformanceSeeds int
+	// MaxSessions caps concurrently live timing sessions; creating one
+	// more evicts the least-recently-used session. Zero selects 64,
+	// negative disables the cap.
+	MaxSessions int
+	// SessionIdleTTL evicts sessions untouched for this long (checked
+	// lazily on session traffic). Zero selects 15 minutes, negative
+	// disables idle eviction.
+	SessionIdleTTL time.Duration
 	// Breaker tunes the solver circuit breaker.
 	Breaker BreakerConfig
 	// Metrics is the instrumentation sink; nil creates a private one.
@@ -111,6 +127,12 @@ func (o *Options) fill() error {
 	if o.MaxConformanceSeeds <= 0 {
 		o.MaxConformanceSeeds = 16
 	}
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 64
+	}
+	if o.SessionIdleTTL == 0 {
+		o.SessionIdleTTL = 15 * time.Minute
+	}
 	if o.Metrics == nil {
 		o.Metrics = engine.NewMetrics()
 	}
@@ -123,12 +145,13 @@ type Server struct {
 	opts Options
 	// lib is the serving library; hot reload swaps the pointer atomically,
 	// so a request sees one consistent library end to end.
-	lib     atomic.Pointer[core.Library]
-	met     *engine.Metrics
-	queue   *jobQueue
-	breaker *breaker
-	mux     *http.ServeMux
-	hist    map[string]*histogram
+	lib      atomic.Pointer[core.Library]
+	met      *engine.Metrics
+	queue    *jobQueue
+	breaker  *breaker
+	sessions *sessionStore
+	mux      *http.ServeMux
+	hist     map[string]*histogram
 
 	started  time.Time
 	boot     uint32
@@ -143,14 +166,15 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:    opts,
-		met:     opts.Metrics,
-		queue:   newJobQueue(opts.Workers, opts.QueueDepth, opts.Metrics),
-		breaker: newBreaker(opts.Breaker, opts.Metrics),
-		mux:     http.NewServeMux(),
-		hist:    make(map[string]*histogram, len(endpointOrder)),
-		started: time.Now(),
-		boot:    uint32(time.Now().UnixNano()),
+		opts:     opts,
+		met:      opts.Metrics,
+		queue:    newJobQueue(opts.Workers, opts.QueueDepth, opts.Metrics),
+		breaker:  newBreaker(opts.Breaker, opts.Metrics),
+		sessions: newSessionStore(opts.MaxSessions, opts.SessionIdleTTL, opts.Metrics),
+		mux:      http.NewServeMux(),
+		hist:     make(map[string]*histogram, len(endpointOrder)),
+		started:  time.Now(),
+		boot:     uint32(time.Now().UnixNano()),
 	}
 	s.lib.Store(opts.Lib)
 	for _, ep := range endpointOrder {
@@ -159,6 +183,10 @@ func New(opts Options) (*Server, error) {
 	s.mux.Handle("POST /analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.Handle("POST /refine", s.instrument("refine", s.handleRefine))
 	s.mux.Handle("POST /conformance", s.instrument("conformance", s.handleConformance))
+	s.mux.Handle("POST /session", s.instrument("session", s.handleSessionCreate))
+	s.mux.Handle("POST /session/{id}/delta", s.instrument("session", s.handleSessionDelta))
+	s.mux.Handle("GET /session/{id}/windows", s.instrument("session", s.handleSessionWindows))
+	s.mux.Handle("DELETE /session/{id}", s.instrument("session", s.handleSessionDelete))
 	s.mux.Handle("POST /reload", s.instrument("reload", s.handleReload))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))

@@ -1,0 +1,513 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/engine"
+	"sstiming/internal/spice"
+)
+
+// createSession POSTs a session over the given netlist and returns its ID.
+func createSession(t *testing.T, hs *httptest.Server, netlistSrc string, cube map[string]string) string {
+	t.Helper()
+	resp, raw := postJSON(t, hs.URL+"/session", map[string]any{
+		"netlist": netlistSrc, "cube": cube,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /session = %d, want 201: %s", resp.StatusCode, raw)
+	}
+	var sr SessionCreateResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.SessionID == "" {
+		t.Fatal("session created without an ID")
+	}
+	return sr.SessionID
+}
+
+// sessionWindows GETs a session's full window set.
+func sessionWindows(t *testing.T, hs *httptest.Server, sid string) SessionWindowsResponse {
+	t.Helper()
+	resp, raw := getURL(t, hs.URL+"/session/"+sid+"/windows")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET windows = %d, want 200: %s", resp.StatusCode, raw)
+	}
+	var wr SessionWindowsResponse
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		t.Fatal(err)
+	}
+	return wr
+}
+
+// refineLines runs the stateless from-scratch /refine over the same netlist
+// and cube — the reference the session's incremental windows must match
+// byte for byte (both paths share twindow.PropagateGate, so even the float
+// bits agree).
+func refineLines(t *testing.T, hs *httptest.Server, netlistSrc string, cube map[string]string) map[string]RefineLineJSON {
+	t.Helper()
+	resp, raw := postJSON(t, hs.URL+"/refine", map[string]any{
+		"netlist": netlistSrc, "cube": cube,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /refine = %d, want 200: %s", resp.StatusCode, raw)
+	}
+	var rr RefineResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatal(err)
+	}
+	return rr.Lines
+}
+
+func requireSameLines(t *testing.T, what string, got, want map[string]RefineLineJSON) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d lines != reference %d", what, len(got), len(want))
+	}
+	for net, w := range want {
+		g, ok := got[net]
+		if !ok {
+			t.Fatalf("%s: net %q missing", what, net)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: net %q diverged from the from-scratch reference:\n  incremental %+v\n  reference   %+v", what, net, g, w)
+		}
+	}
+}
+
+// TestSessionLifecycle walks one session end to end: create (pure STA),
+// delta (assign), undo (retract), gate swap and back, delete — requiring
+// the resident graph's windows identical to a stateless from-scratch
+// /refine after every step.
+func TestSessionLifecycle(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	src := benchText(t, benchgen.C17())
+	sid := createSession(t, hs, src, nil)
+
+	// Fresh session under the empty cube == plain STA.
+	requireSameLines(t, "fresh session", sessionWindows(t, hs, sid).Lines, refineLines(t, hs, src, nil))
+
+	// Assign a PI; only its cone may change, and the resulting windows must
+	// equal a from-scratch refinement of the same cube.
+	resp, raw := postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+		"assign": map[string]string{"1": "01"}, "windows": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta = %d, want 200: %s", resp.StatusCode, raw)
+	}
+	var dr SessionDeltaResponse
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Edit != 1 {
+		t.Errorf("first delta numbered %d, want 1", dr.Edit)
+	}
+	if dr.Changed == 0 || len(dr.Lines) != dr.Changed {
+		t.Errorf("delta reported %d changed nets with %d windows", dr.Changed, len(dr.Lines))
+	}
+	for _, net := range dr.ChangedNets {
+		if net == "2" {
+			t.Error("net 2 is outside PI 1's cone but was reported changed")
+		}
+	}
+	requireSameLines(t, "after assign", sessionWindows(t, hs, sid).Lines,
+		refineLines(t, hs, src, map[string]string{"1": "01"}))
+
+	// Retract: the windows return exactly to the STA state.
+	resp, raw = postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+		"retract": []string{"1"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retract delta = %d, want 200: %s", resp.StatusCode, raw)
+	}
+	requireSameLines(t, "after retract", sessionWindows(t, hs, sid).Lines, refineLines(t, hs, src, nil))
+
+	// ECO edit: swap the NAND driving net 10 for a NOR and back; after the
+	// undo the windows again equal the untouched circuit's.
+	for i, kind := range []string{"nor", "nand"} {
+		resp, raw = postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+			"swap_gate": map[string]string{"net": "10", "kind": kind},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("swap %d (%s) = %d, want 200: %s", i, kind, resp.StatusCode, raw)
+		}
+	}
+	requireSameLines(t, "after swap+unswap", sessionWindows(t, hs, sid).Lines, refineLines(t, hs, src, nil))
+
+	// The ?nets= filter narrows the report.
+	resp, raw = getURL(t, hs.URL+"/session/"+sid+"/windows?nets=22,23")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("filtered windows = %d: %s", resp.StatusCode, raw)
+	}
+	var wr SessionWindowsResponse
+	if err := json.Unmarshal(raw, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Lines) != 2 {
+		t.Errorf("nets filter reported %d lines, want 2", len(wr.Lines))
+	}
+
+	// Delete, then every route answers a reasoned 404.
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/session/"+sid, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d, want 200", resp.StatusCode)
+	}
+	resp, raw = postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+		"assign": map[string]string{"1": "01"},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delta after delete = %d, want 404: %s", resp.StatusCode, raw)
+	}
+	var ej ErrorJSON
+	if err := json.Unmarshal(raw, &ej); err != nil {
+		t.Fatal(err)
+	}
+	if ej.Kind != "not-found" || !strings.Contains(ej.Error, "deleted") {
+		t.Errorf("404 payload %+v: want kind \"not-found\" naming the \"deleted\" reason", ej)
+	}
+}
+
+// TestSessionBadRequests covers the session-specific refusals.
+func TestSessionBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	src := benchText(t, benchgen.C17())
+	sid := createSession(t, hs, src, nil)
+
+	cases := []struct {
+		name   string
+		body   map[string]any
+		status int
+		frag   string
+	}{
+		{"empty delta", map[string]any{}, http.StatusBadRequest, "empty delta"},
+		{"bad cube frame", map[string]any{"assign": map[string]string{"1": "2x"}}, http.StatusBadRequest, "two frames"},
+		{"bad gate kind", map[string]any{"swap_gate": map[string]string{"net": "10", "kind": "xor"}}, http.StatusBadRequest, "unknown gate kind"},
+		{"cross-pair swap", map[string]any{"swap_gate": map[string]string{"net": "10", "kind": "not"}}, http.StatusUnprocessableEntity, "same-arity"},
+		{"inconsistent cube", map[string]any{"assign": map[string]string{"1": "00", "10": "00"}}, http.StatusUnprocessableEntity, "inconsistent"},
+		{"set_pi on non-PI", map[string]any{"set_pi": map[string]any{"net": "10"}}, http.StatusUnprocessableEntity, "not a primary input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := postJSON(t, hs.URL+"/session/"+sid+"/delta", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, raw)
+			}
+			if !strings.Contains(string(raw), tc.frag) {
+				t.Errorf("error does not mention %q: %s", tc.frag, raw)
+			}
+		})
+	}
+
+	// A rejected delta must not disturb the graph: still the STA windows.
+	requireSameLines(t, "after rejected deltas", sessionWindows(t, hs, sid).Lines, refineLines(t, hs, src, nil))
+
+	// Unknown ID without a tombstone: plain 404.
+	resp, raw := getURL(t, hs.URL + "/session/nope/windows")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session = %d, want 404: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestSessionConcurrentDeltasSerialize fires deltas at one session from
+// many goroutines. The per-session lock must serialize them (tgraph.Graph
+// is not concurrency-safe — the race detector is the real judge here), the
+// edit sequence numbers must come out distinct, and the final windows must
+// equal a from-scratch refinement of the final cube.
+func TestSessionConcurrentDeltasSerialize(t *testing.T) {
+	c, err := benchgen.Load("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, Options{Workers: 4})
+	src := benchText(t, c)
+	sid := createSession(t, hs, src, nil)
+
+	const workers = 8
+	pis := c.PIs[:workers]
+	edits := make([]int64, 0, workers*3)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(pi string) {
+			defer wg.Done()
+			for _, body := range []map[string]any{
+				{"assign": map[string]string{pi: "10"}},
+				{"retract": []string{pi}},
+				{"assign": map[string]string{pi: "01"}},
+			} {
+				resp, raw := postJSON(t, hs.URL+"/session/"+sid+"/delta", body)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("concurrent delta on %s = %d: %s", pi, resp.StatusCode, raw)
+					return
+				}
+				var dr SessionDeltaResponse
+				if err := json.Unmarshal(raw, &dr); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				edits = append(edits, dr.Edit)
+				mu.Unlock()
+			}
+		}(pis[i])
+	}
+	wg.Wait()
+
+	seen := make(map[int64]bool)
+	for _, e := range edits {
+		if seen[e] {
+			t.Errorf("edit sequence number %d handed out twice", e)
+		}
+		seen[e] = true
+	}
+	if len(edits) != workers*3 {
+		t.Fatalf("%d deltas completed, want %d", len(edits), workers*3)
+	}
+
+	finalCube := make(map[string]string, workers)
+	for _, pi := range pis {
+		finalCube[pi] = "01"
+	}
+	requireSameLines(t, "after concurrent deltas", sessionWindows(t, hs, sid).Lines,
+		refineLines(t, hs, src, finalCube))
+}
+
+// TestSessionLRUEviction caps the store at two sessions and requires the
+// least-recently-used one to make room — and its ID to keep answering 404
+// with the eviction reason.
+func TestSessionLRUEviction(t *testing.T) {
+	s, hs := newTestServer(t, Options{MaxSessions: 2, SessionIdleTTL: -1})
+	src := benchText(t, benchgen.C17())
+
+	first := createSession(t, hs, src, nil)
+	second := createSession(t, hs, src, nil)
+	// Touch the first so the second becomes the LRU victim.
+	sessionWindows(t, hs, first)
+	third := createSession(t, hs, src, nil)
+
+	if n := s.sessions.count(); n != 2 {
+		t.Fatalf("%d resident sessions, want 2", n)
+	}
+	resp, raw := getURL(t, hs.URL+"/session/"+second+"/windows")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session = %d, want 404: %s", resp.StatusCode, raw)
+	}
+	var ej ErrorJSON
+	if err := json.Unmarshal(raw, &ej); err != nil {
+		t.Fatal(err)
+	}
+	if ej.Kind != "not-found" || !strings.Contains(ej.Error, "evicted-lru") {
+		t.Errorf("404 payload %+v: want kind \"not-found\" naming \"evicted-lru\"", ej)
+	}
+	// The survivors keep serving.
+	sessionWindows(t, hs, first)
+	sessionWindows(t, hs, third)
+	if got := s.Metrics().Get(engine.SvcSessionEvicts); got != 1 {
+		t.Errorf("SvcSessionEvicts = %d, want 1", got)
+	}
+}
+
+// TestSessionIdleTTLEviction expires an untouched session and requires the
+// reasoned 404.
+func TestSessionIdleTTLEviction(t *testing.T) {
+	_, hs := newTestServer(t, Options{SessionIdleTTL: 25 * time.Millisecond})
+	src := benchText(t, benchgen.C17())
+	sid := createSession(t, hs, src, nil)
+	time.Sleep(80 * time.Millisecond)
+
+	resp, raw := getURL(t, hs.URL+"/session/"+sid+"/windows")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("expired session = %d, want 404: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "expired-idle") {
+		t.Errorf("404 does not name the idle expiry: %s", raw)
+	}
+}
+
+// TestSessionDrainRefusesNewDeltasInFlightComplete pins the graceful-
+// shutdown contract for sessions: a delta admitted before the drain runs to
+// completion, while deltas and creations arriving after the drain began are
+// refused with a draining 503.
+func TestSessionDrainRefusesNewDeltasInFlightComplete(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 2})
+	src := benchText(t, benchgen.C17())
+	sid := createSession(t, hs, src, nil)
+
+	// Hold the session's lock so an admitted delta parks mid-flight.
+	sess, err := s.sessions.get(sid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.mu.Lock()
+	type result struct {
+		status int
+		raw    []byte
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, raw := postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+			"assign": map[string]string{"1": "01"},
+		})
+		inflight <- result{resp.StatusCode, raw}
+	}()
+	waitFor(t, "delta admitted", func() bool { return s.queue.Inflight() == 1 })
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	waitFor(t, "draining flag", s.Draining)
+
+	// New work is refused while the admitted delta is still parked.
+	resp, raw := postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+		"assign": map[string]string{"2": "01"},
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("delta during drain = %d, want 503: %s", resp.StatusCode, raw)
+	}
+	var ej ErrorJSON
+	if err := json.Unmarshal(raw, &ej); err != nil {
+		t.Fatal(err)
+	}
+	if ej.Kind != "draining" {
+		t.Errorf("kind %q, want \"draining\"", ej.Kind)
+	}
+	if resp, raw = postJSON(t, hs.URL+"/session", map[string]any{"netlist": src}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("session creation during drain = %d, want 503: %s", resp.StatusCode, raw)
+	}
+
+	// Release the parked delta: it must complete (admission is the
+	// promise), and only then does the drain finish.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain finished with a delta still in flight: %v", err)
+	default:
+	}
+	sess.mu.Unlock()
+	got := <-inflight
+	if got.status != http.StatusOK {
+		t.Fatalf("in-flight delta finished %d, want 200: %s", got.status, got.raw)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestChaosSessionFaultMidDelta injects a convergence fault into the middle
+// of a delta and asserts the session's failure-atomicity contract: the
+// delta answers an error, the edit is rolled back, and the very next window
+// read heals the graph to a state byte-identical to a from-scratch
+// refinement — a half-propagated cone is never observable.
+func TestChaosSessionFaultMidDelta(t *testing.T) {
+	// One-shot hook, armed by the test between requests: the session build
+	// passes clean, the first convergence pass afterwards faults once.
+	var armed atomic.Bool
+	newHook := func() spice.FaultHook {
+		return func(int, float64, int) spice.FaultKind {
+			if armed.CompareAndSwap(true, false) {
+				return spice.FaultNoConverge
+			}
+			return spice.FaultNone
+		}
+	}
+	met := engine.NewMetrics()
+	_, hs := newTestServer(t, Options{Metrics: met, NewFaultHook: newHook})
+	src := benchText(t, benchgen.C17())
+	seed := map[string]string{"2": "11"}
+	sid := createSession(t, hs, src, seed)
+
+	armed.Store(true)
+	resp, raw := postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+		"assign": map[string]string{"1": "01"},
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("faulted delta = %d, want 422: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "did not converge") && !strings.Contains(string(raw), "injected") {
+		t.Logf("faulted delta error payload: %s", raw)
+	}
+	if armed.Load() {
+		t.Fatal("fault hook never fired — vacuous test")
+	}
+
+	// Next read heals and equals the from-scratch reference of the
+	// PRE-delta cube: the failed edit left no trace.
+	wr := sessionWindows(t, hs, sid)
+	if !wr.Healed {
+		t.Error("window read after a faulted delta did not report healing")
+	}
+	requireSameLines(t, "healed after fault", wr.Lines, refineLines(t, hs, src, seed))
+
+	// The session stays usable: re-apply the same delta clean and land on
+	// the from-scratch windows of the merged cube.
+	resp, raw = postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+		"assign": map[string]string{"1": "01"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried delta = %d, want 200: %s", resp.StatusCode, raw)
+	}
+	requireSameLines(t, "after retry", sessionWindows(t, hs, sid).Lines,
+		refineLines(t, hs, src, map[string]string{"1": "01", "2": "11"}))
+	if got := met.Get(engine.FaultsInjected); got == 0 {
+		t.Logf("note: FaultsInjected counter untouched (tgraph hook does not route through spice)")
+	}
+}
+
+// TestChaosSessionFaultDuringHealStaysPoisoned keeps the fault armed across
+// the heal attempt too: the read fails, the graph stays poisoned, and a
+// later clean read still converges to the reference.
+func TestChaosSessionFaultDuringHealStaysPoisoned(t *testing.T) {
+	var fire atomic.Int64 // number of convergence passes left to fault
+	newHook := func() spice.FaultHook {
+		return func(int, float64, int) spice.FaultKind {
+			if fire.Load() > 0 {
+				fire.Add(-1)
+				return spice.FaultNoConverge
+			}
+			return spice.FaultNone
+		}
+	}
+	_, hs := newTestServer(t, Options{NewFaultHook: newHook})
+	src := benchText(t, benchgen.C17())
+	sid := createSession(t, hs, src, nil)
+
+	// Two shots: the delta's converge and the first heal both fault.
+	fire.Store(2)
+	if resp, raw := postJSON(t, hs.URL+"/session/"+sid+"/delta", map[string]any{
+		"assign": map[string]string{"1": "01"},
+	}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("faulted delta = %d, want 422: %s", resp.StatusCode, raw)
+	}
+	resp, raw := getURL(t, hs.URL+"/session/"+sid+"/windows")
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("faulted heal = %d, want 422: %s", resp.StatusCode, raw)
+	}
+	if fire.Load() != 0 {
+		t.Fatalf("expected both shots consumed, %d left", fire.Load())
+	}
+
+	// Third try is clean: heal succeeds, windows equal the reference.
+	wr := sessionWindows(t, hs, sid)
+	if !wr.Healed {
+		t.Error("clean read after double fault did not heal")
+	}
+	requireSameLines(t, "after double fault", wr.Lines, refineLines(t, hs, src, nil))
+}

@@ -23,49 +23,41 @@
 //
 // The same engine runs under the conventional pin-to-pin (SDF-style) model
 // for the paper's Table 2 comparison.
+//
+// Since the incremental-timing refactor, Analyze is a thin shell: it builds
+// a persistent timing graph (internal/tgraph) and fully converges it once —
+// "full analysis" is literally the everything-dirty special case of
+// incremental re-convergence, so full and incremental results are
+// byte-identical by construction. The window/corner arithmetic itself lives
+// in internal/twindow, shared with itr and tgraph; the window types below
+// are aliases of the twindow types.
 package sta
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 
 	"sstiming/internal/core"
 	"sstiming/internal/engine"
 	"sstiming/internal/netlist"
-	"sstiming/internal/spice"
+	"sstiming/internal/tgraph"
+	"sstiming/internal/twindow"
 )
 
 // Mode selects the delay model used by the analysis.
-type Mode int
+type Mode = twindow.Mode
 
 const (
 	// ModeProposed uses the paper's simultaneous-switching model.
-	ModeProposed Mode = iota
+	ModeProposed = twindow.ModeProposed
 	// ModePinToPin uses the conventional pin-to-pin model.
-	ModePinToPin
+	ModePinToPin = twindow.ModePinToPin
 )
-
-// String names the mode.
-func (m Mode) String() string {
-	if m == ModePinToPin {
-		return "pin-to-pin"
-	}
-	return "proposed"
-}
 
 // Window is the per-direction timing window of one line: earliest/latest
 // arrival and shortest/longest transition time, in seconds (Figure 7).
-type Window struct {
-	AS, AL float64 // arrival: smallest, largest
-	TS, TL float64 // transition time: smallest, largest
-}
-
-// Valid reports structural sanity (AS <= AL, TS <= TL).
-func (w Window) Valid() bool {
-	return w.AS <= w.AL+1e-15 && w.TS <= w.TL+1e-15 && w.TS >= 0
-}
+type Window = twindow.Window
 
 // LineTiming is the pair of directional windows of one line.
 type LineTiming struct {
@@ -74,16 +66,11 @@ type LineTiming struct {
 }
 
 // PITiming describes the assumed stimulus at primary inputs.
-type PITiming struct {
-	ArrivalEarly, ArrivalLate float64
-	TransShort, TransLong     float64
-}
+type PITiming = twindow.PITiming
 
 // DefaultPITiming is the default stimulus: transitions released at t = 0
 // with a 0.2 ns input ramp.
-func DefaultPITiming() PITiming {
-	return PITiming{ArrivalEarly: 0, ArrivalLate: 0, TransShort: 0.2e-9, TransLong: 0.2e-9}
-}
+func DefaultPITiming() PITiming { return twindow.DefaultPITiming() }
 
 // Options configures an analysis.
 type Options struct {
@@ -127,336 +114,48 @@ type Result struct {
 	cellCache map[string]*core.CellModel
 }
 
-// Analyze runs forward window propagation over the circuit.
+// Analyze runs forward window propagation over the circuit: it builds a
+// persistent timing graph and fully converges it (see package tgraph; the
+// graph is discarded afterwards — callers wanting to keep it for
+// incremental edits build one directly and convert with FromGraph).
 func Analyze(c *netlist.Circuit, opts Options) (*Result, error) {
 	if opts.Lib == nil {
 		return nil, fmt.Errorf("sta: Options.Lib is required")
 	}
-	if err := c.EnsureBuilt(); err != nil {
-		return nil, fmt.Errorf("sta: %w", err)
-	}
-	pi := opts.PI
-	if pi == (PITiming{}) {
-		pi = DefaultPITiming()
-	}
 	stop := opts.Metrics.StartTimer("sta/analyze")
 	defer stop()
 
-	res := &Result{Circuit: c, Mode: opts.Mode, Lines: make(map[string]*LineTiming), lib: opts.Lib}
-	for _, name := range c.PIs {
-		p := pi
-		if o, ok := opts.PerPI[name]; ok {
-			p = o
-		}
-		w := Window{AS: p.ArrivalEarly, AL: p.ArrivalLate, TS: p.TransShort, TL: p.TransLong}
-		res.Lines[name] = &LineTiming{Rise: w, Fall: w}
+	g, err := tgraph.New(c, tgraph.Options{
+		Lib:         opts.Lib,
+		Mode:        opts.Mode,
+		PI:          opts.PI,
+		PerPI:       opts.PerPI,
+		NCExtension: opts.NCExtension,
+		Ctx:         opts.Ctx,
+		Jobs:        opts.Jobs,
+		Metrics:     opts.Metrics,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
 	}
-
-	// propagateGate computes one gate's output windows from the already
-	// settled windows of its inputs. Gates of the same logic level read
-	// only earlier levels' lines, so one level can run on the engine pool
-	// with the writes merged serially afterwards — identical to the serial
-	// schedule.
-	propagateGate := func(gi int) (*LineTiming, error) {
-		g := &c.Gates[gi]
-		cell, ok := opts.Lib.Cell(g.CellName())
-		if !ok {
-			return nil, fmt.Errorf("sta: no library cell %q for gate %q", g.CellName(), g.Output)
-		}
-		ins := make([]*LineTiming, len(g.Inputs))
-		for i, in := range g.Inputs {
-			lt, ok := res.Lines[in]
-			if !ok {
-				return nil, fmt.Errorf("sta: gate %q input %q has no timing (order bug)", g.Output, in)
-			}
-			ins[i] = lt
-		}
-		extraLoad := float64(c.FanoutCount(g.Output)-1) * cell.RefLoad
-		opts.Metrics.Add(engine.STAGates, 1)
-		opts.Metrics.Add(engine.STAArcs, 2*int64(len(g.Inputs)))
-
-		out := &LineTiming{}
-		switch g.Kind {
-		case netlist.Inv:
-			out.Rise = propagateSingle(cell, 0, true, ins[0].Fall, extraLoad)
-			out.Fall = propagateSingle(cell, 0, false, ins[0].Rise, extraLoad)
-		case netlist.Buf:
-			// Buffers borrow the inverter cell's timing with
-			// non-inverting direction mapping (library
-			// approximation, see package doc).
-			out.Rise = propagateSingle(cell, 0, true, ins[0].Rise, extraLoad)
-			out.Fall = propagateSingle(cell, 0, false, ins[0].Fall, extraLoad)
-		case netlist.Nand:
-			inFall := windows(ins, false)
-			inRise := windows(ins, true)
-			out.Rise = propagateCtrl(cell, inFall, extraLoad, opts.Mode)
-			out.Fall = propagateNonCtrl(cell, inRise, extraLoad, opts.Mode, opts.NCExtension)
-		case netlist.Nor:
-			inRise := windows(ins, true)
-			inFall := windows(ins, false)
-			out.Fall = propagateCtrl(cell, inRise, extraLoad, opts.Mode)
-			out.Rise = propagateNonCtrl(cell, inFall, extraLoad, opts.Mode, opts.NCExtension)
-		default:
-			return nil, fmt.Errorf("sta: unsupported gate kind %v", g.Kind)
-		}
-		return out, nil
-	}
-
-	for _, lv := range levelGroups(c) {
-		if opts.Ctx != nil {
-			if err := opts.Ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sta: %w", spice.Cancelled(err))
-			}
-		}
-		outs := make([]*LineTiming, len(lv))
-		if engine.Workers(opts.Jobs) == 1 || len(lv) == 1 {
-			for i, gi := range lv {
-				var err error
-				if outs[i], err = propagateGate(gi); err != nil {
-					return nil, err
-				}
-			}
-		} else {
-			err := engine.Run(opts.Ctx, opts.Jobs, len(lv), func(_ context.Context, i int) error {
-				var err error
-				outs[i], err = propagateGate(lv[i])
-				return err
-			})
-			if err != nil {
-				// The fan-out surfaces the caller's cancellation as a raw
-				// context error (or an ErrPoolClosed wrap); fold it into the
-				// solver taxonomy so every cancelled analysis looks alike.
-				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-					return nil, fmt.Errorf("sta: %w", spice.Cancelled(err))
-				}
-				return nil, err
-			}
-		}
-		for i, gi := range lv {
-			res.Lines[c.Gates[gi].Output] = outs[i]
-		}
-	}
-	// A deadline that fired after the last level still voids the result:
-	// callers must never observe windows computed past their cancellation.
-	if opts.Ctx != nil {
-		if err := opts.Ctx.Err(); err != nil {
-			return nil, fmt.Errorf("sta: %w", spice.Cancelled(err))
-		}
-	}
-	return res, nil
+	return FromGraph(g), nil
 }
 
-// levelGroups buckets the topological order by logic level; gates within
-// one bucket are mutually independent.
-func levelGroups(c *netlist.Circuit) [][]int {
-	var groups [][]int
-	for _, gi := range c.TopoOrder() {
-		lvl := c.Level(gi)
-		for len(groups) <= lvl {
-			groups = append(groups, nil)
-		}
-		groups[lvl] = append(groups[lvl], gi)
+// FromGraph snapshots a persistent timing graph's current windows as an
+// analysis Result, so graph holders get path extraction, required times and
+// violation checks without a fresh full analysis. The snapshot is a copy:
+// later graph edits do not disturb it.
+func FromGraph(g *tgraph.Graph) *Result {
+	res := &Result{
+		Circuit: g.Circuit(),
+		Mode:    g.Mode(),
+		Lines:   make(map[string]*LineTiming, g.NumLines()),
+		lib:     g.Lib(),
 	}
-	return groups
-}
-
-func windows(ins []*LineTiming, rising bool) []Window {
-	ws := make([]Window, len(ins))
-	for i, lt := range ins {
-		if rising {
-			ws[i] = lt.Rise
-		} else {
-			ws[i] = lt.Fall
-		}
-	}
-	return ws
-}
-
-// propagateSingle handles one-input cells: ctrl selects the CtrlPins
-// (to-controlling response: INV falling-in/rising-out) versus NonCtrlPins.
-func propagateSingle(cell *core.CellModel, pin int, ctrl bool, in Window, extraLoad float64) Window {
-	pins := cell.NonCtrlPins
-	if ctrl {
-		pins = cell.CtrlPins
-	}
-	p := &pins[pin]
-	loadD := p.DelayLoadSlope * extraLoad
-	loadT := p.TransLoadSlope * extraLoad
-
-	_, dMin := p.Delay.MinOver(in.TS, in.TL)
-	_, dMax := p.Delay.MaxOver(in.TS, in.TL)
-	_, tMin := p.Trans.MinOver(in.TS, in.TL)
-	_, tMax := p.Trans.MaxOver(in.TS, in.TL)
-	return Window{
-		AS: in.AS + dMin + loadD,
-		AL: in.AL + dMax + loadD,
-		TS: tMin + loadT,
-		TL: tMax + loadT,
-	}
-}
-
-// propagateCtrl computes the to-controlling output window (rising for NAND,
-// falling for NOR) from the input windows of the controlling-direction
-// transitions, per Section 4.2.
-func propagateCtrl(cell *core.CellModel, in []Window, extraLoad float64, mode Mode) Window {
-	n := len(in)
-	var out Window
-	out.AS = math.Inf(1)
-	out.AL = math.Inf(-1)
-	out.TS = math.Inf(1)
-	out.TL = math.Inf(-1)
-
-	// Latest arrival and longest transition: single-input pin-to-pin
-	// corners (a second simultaneous transition can only speed things
-	// up; the lagging-input case reduces to single-input timing).
-	for x := 0; x < n; x++ {
-		p := &cell.CtrlPins[x]
-		loadD := p.DelayLoadSlope * extraLoad
-		loadT := p.TransLoadSlope * extraLoad
-		_, dMax := p.Delay.MaxOver(in[x].TS, in[x].TL)
-		if v := in[x].AL + dMax + loadD; v > out.AL {
-			out.AL = v
-		}
-		_, tMax := p.Trans.MaxOver(in[x].TS, in[x].TL)
-		if v := tMax + loadT; v > out.TL {
-			out.TL = v
-		}
-		// Single-input candidates also bound the minimum corners
-		// (they are what remains in pin-to-pin mode, for one-input
-		// cells, and when pair data is missing).
-		_, dMin := p.Delay.MinOver(in[x].TS, in[x].TL)
-		if v := in[x].AS + dMin + loadD; v < out.AS {
-			out.AS = v
-		}
-		_, tMin := p.Trans.MinOver(in[x].TS, in[x].TL)
-		if v := tMin + loadT; v < out.TS {
-			out.TS = v
-		}
-	}
-
-	if mode == ModePinToPin || n < 2 {
-		return out
-	}
-
-	// Earliest arrival: pairwise simultaneous switching at the
-	// earliest-arrival skew, minimised over the four transition-time
-	// corners (Fig. 8's A_R,S rule). With three or more inputs all
-	// potentially switching δ-simultaneously, the extended model's n-way
-	// speed-up factor lower-bounds the delay further.
-	multi := 1.0
-	if n >= 3 && len(cell.MultiFactor) >= n-2 {
-		if f := cell.MultiFactor[n-3]; f > 0 && f < 1 {
-			multi = f
-		}
-	}
-	for x := 0; x < n; x++ {
-		for y := 0; y < n; y++ {
-			if x == y {
-				continue
-			}
-			skew := in[y].AS - in[x].AS
-			base := math.Min(in[x].AS, in[y].AS)
-			for _, tx := range []float64{in[x].TS, in[x].TL} {
-				for _, ty := range []float64{in[y].TS, in[y].TL} {
-					d := cell.DelayCtrl2(x, y, tx, ty, skew, extraLoad)
-					if v := base + d*multi; v < out.AS {
-						out.AS = v
-					}
-				}
-			}
-
-			// Shortest transition: evaluate at the achievable
-			// skew closest to SK_t,min (Fig. 8's T_R,S rule).
-			lo := in[y].AS - in[x].AL
-			hi := in[y].AL - in[x].AS
-			skm := cell.SKminAt(x, y, in[x].TS, in[y].TS)
-			if skm < lo {
-				skm = lo
-			}
-			if skm > hi {
-				skm = hi
-			}
-			if t := cell.TransCtrl2(x, y, in[x].TS, in[y].TS, skm, extraLoad); t < out.TS {
-				out.TS = t
-			}
-		}
-	}
-	return out
-}
-
-// propagateNonCtrl computes the to-non-controlling output window (falling
-// for NAND, rising for NOR). The *latest* arrival combines with max over
-// inputs (the output switches only after the last input reaches the
-// non-controlling value). The *earliest* arrival, however, combines with
-// min: with vectors unspecified, the fastest scenario has a single input
-// switching while every other input already holds the non-controlling
-// value. With the NC extension enabled (and the proposed model), the latest
-// corner additionally considers the Λ-shaped simultaneous-switching penalty
-// at the achievable skew closest to its zero-skew peak.
-func propagateNonCtrl(cell *core.CellModel, in []Window, extraLoad float64, mode Mode, ncExt bool) Window {
-	n := len(in)
-	var out Window
-	out.AS = math.Inf(1)
-	out.AL = math.Inf(-1)
-	out.TS = math.Inf(1)
-	out.TL = math.Inf(-1)
-
-	for x := 0; x < n; x++ {
-		p := &cell.NonCtrlPins[x]
-		loadD := p.DelayLoadSlope * extraLoad
-		loadT := p.TransLoadSlope * extraLoad
-		_, dMin := p.Delay.MinOver(in[x].TS, in[x].TL)
-		_, dMax := p.Delay.MaxOver(in[x].TS, in[x].TL)
-		if v := in[x].AS + dMin + loadD; v < out.AS {
-			out.AS = v
-		}
-		if v := in[x].AL + dMax + loadD; v > out.AL {
-			out.AL = v
-		}
-		_, tMin := p.Trans.MinOver(in[x].TS, in[x].TL)
-		if v := tMin + loadT; v < out.TS {
-			out.TS = v
-		}
-		_, tMax := p.Trans.MaxOver(in[x].TS, in[x].TL)
-		if v := tMax + loadT; v > out.TL {
-			out.TL = v
-		}
-	}
-
-	if ncExt && mode == ModeProposed && n >= 2 && len(cell.NCPairs) > 0 {
-		// Worst-case simultaneous to-non-controlling corner: both
-		// transitions at their latest arrivals, skew as close to the Λ
-		// peak (zero) as the windows allow, slowest transition times.
-		for x := 0; x < n; x++ {
-			for y := 0; y < n; y++ {
-				if x == y {
-					continue
-				}
-				lo := in[y].AS - in[x].AL
-				hi := in[y].AL - in[x].AS
-				skew := 0.0
-				if skew < lo {
-					skew = lo
-				}
-				if skew > hi {
-					skew = hi
-				}
-				base := math.Max(in[x].AL, in[y].AL)
-				for _, tx := range []float64{in[x].TS, in[x].TL} {
-					for _, ty := range []float64{in[y].TS, in[y].TL} {
-						d := cell.DelayNonCtrl2(x, y, tx, ty, skew, extraLoad)
-						if v := base + d; v > out.AL {
-							out.AL = v
-						}
-						if tv := cell.TransNonCtrl2(x, y, tx, ty, skew, extraLoad); tv > out.TL {
-							out.TL = tv
-						}
-					}
-				}
-			}
-		}
-	}
-	return out
+	g.Lines(func(net string, li twindow.LineInfo) {
+		res.Lines[net] = &LineTiming{Rise: li.Rise, Fall: li.Fall}
+	})
+	return res
 }
 
 // Window returns the directional window of a net.

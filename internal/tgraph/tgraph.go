@@ -1,0 +1,596 @@
+// Package tgraph is the persistent timing graph behind the incremental
+// delta-STA engine: a levelized circuit with per-line timing windows that
+// stay alive across calls, plus an edit API whose cost is proportional to
+// the edited cone instead of the whole circuit.
+//
+// A Graph is built once (full window convergence, optionally level-parallel
+// on the engine pool) and then mutated through small edits:
+//
+//   - SetCube / SetImpliedCube assign or relax the nine-valued state of
+//     lines (the ITR workload: one implication step per ATPG decision);
+//   - SetPI changes the stimulus of one primary input;
+//   - SwapGate exchanges a gate's cell for its same-arity dual
+//     (NAND↔NOR, INV↔BUF — the ECO workload).
+//
+// Every edit marks only the affected lines' output cones dirty and
+// re-converges windows level by level from the dirty frontier, stopping as
+// soon as no dirty gate remains — a gate is re-queued only when one of its
+// inputs (or its own implied output value) actually changed, so convergence
+// naturally stops at the level where windows stop moving.
+//
+// The load-bearing invariant (asserted by conformance check "incremental")
+// is byte-identical equivalence: after any edit sequence, every line's
+// LineInfo equals — bit for bit — what a from-scratch sta.Analyze/itr.Refine
+// of the current state computes. It holds because per-gate windows are a
+// pure function of the gate's inputs and implied output value
+// (twindow.PropagateGate), evaluated by exactly the same code on both paths,
+// and dirty propagation re-evaluates a gate whenever any of those arguments
+// changed (induction over logic levels).
+//
+// Failure atomicity: an edit that fails (inconsistent cube, cancelled
+// context, injected fault mid-convergence) rolls its state edits back and
+// poisons the graph; the next operation — queries included, via Heal —
+// re-converges everything from the retained pre-edit state, so a crashed
+// delta can never leave partially-propagated windows observable.
+package tgraph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"sstiming/internal/core"
+	"sstiming/internal/engine"
+	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+	"sstiming/internal/spice"
+	"sstiming/internal/twindow"
+)
+
+// ErrInconsistent reports a cube edit that is logically inconsistent with
+// the circuit; the graph is left unchanged.
+var ErrInconsistent = errors.New("tgraph: cube is logically inconsistent")
+
+// Options configures a Graph.
+type Options struct {
+	// Lib is the characterised cell library (required).
+	Lib *core.Library
+	// Mode selects the delay model.
+	Mode twindow.Mode
+	// PI is the stimulus applied to every primary input; the zero value
+	// selects twindow.DefaultPITiming. SetPI overrides per input later.
+	PI twindow.PITiming
+	// PerPI optionally overrides the stimulus for specific inputs.
+	PerPI map[string]twindow.PITiming
+	// NCExtension enables the Λ-shape to-non-controlling extension.
+	NCExtension bool
+	// Ctx, when non-nil, cancels the initial full convergence between
+	// logic levels; a cancelled build returns an error wrapping
+	// spice.ErrCancelled and no graph.
+	Ctx context.Context
+	// Jobs bounds the engine worker pool used for the initial full
+	// convergence (one logic level fans out at a time); zero or one runs
+	// serially. Windows are independent of the worker count. Incremental
+	// re-convergence is always serial: edited cones are small by design.
+	Jobs int
+	// Metrics, when non-nil, counts propagated gates, arcs and edits.
+	Metrics *engine.Metrics
+	// LevelHook, when non-nil, runs before each level of every
+	// convergence pass; a non-nil error aborts the pass (fault injection
+	// for chaos tests — see internal/faultinject).
+	LevelHook func(level int) error
+}
+
+// Graph is a persistent timing graph. It is not safe for concurrent use;
+// callers serialize access (the service layer holds a per-session lock, and
+// each ATPG fault worker owns a private Graph).
+type Graph struct {
+	c    *netlist.Circuit
+	opts Options
+
+	cells     []*core.CellModel // per gate
+	extraLoad []float64         // per gate
+	levels    [][]int           // gate indices per logic level
+	gateLevel []int
+
+	raw     nineval.Cube // caller-supplied assignments
+	implied nineval.Cube // implication fixpoint of raw
+	perPI   map[string]twindow.PITiming
+
+	lines map[string]*twindow.LineInfo
+
+	dirty      []bool  // per gate
+	dirtyAt    [][]int // per level
+	dirtyCount int
+
+	// poisoned marks a graph whose last edit failed mid-convergence:
+	// window state may be partially propagated. Heal (run automatically
+	// by the next edit) re-converges everything from the retained cube.
+	poisoned bool
+
+	// changed accumulates the nets whose LineInfo changed during the last
+	// successful edit.
+	changed map[string]bool
+}
+
+// New builds a Graph over the circuit and fully converges its windows under
+// the empty cube (every line unspecified — pure STA).
+func New(c *netlist.Circuit, opts Options) (*Graph, error) {
+	return NewWithCube(c, nineval.Cube{}, opts)
+}
+
+// NewWithCube builds a Graph and fully converges its windows under the
+// given cube (one implication + one full window pass — the cost of a single
+// from-scratch itr.Refine).
+func NewWithCube(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Graph, error) {
+	if opts.Lib == nil {
+		return nil, fmt.Errorf("tgraph: Options.Lib is required")
+	}
+	if err := c.EnsureBuilt(); err != nil {
+		return nil, fmt.Errorf("tgraph: %w", err)
+	}
+	if opts.PI == (twindow.PITiming{}) {
+		opts.PI = twindow.DefaultPITiming()
+	}
+	g := &Graph{
+		c:         c,
+		opts:      opts,
+		cells:     make([]*core.CellModel, len(c.Gates)),
+		extraLoad: make([]float64, len(c.Gates)),
+		gateLevel: make([]int, len(c.Gates)),
+		perPI:     make(map[string]twindow.PITiming, len(opts.PerPI)),
+		lines:     make(map[string]*twindow.LineInfo, len(c.Gates)+len(c.PIs)),
+		dirty:     make([]bool, len(c.Gates)),
+		changed:   make(map[string]bool),
+	}
+	for name, p := range opts.PerPI {
+		g.perPI[name] = p
+	}
+	for _, gi := range c.TopoOrder() {
+		lvl := c.Level(gi)
+		g.gateLevel[gi] = lvl
+		for len(g.levels) <= lvl {
+			g.levels = append(g.levels, nil)
+		}
+		g.levels[lvl] = append(g.levels[lvl], gi)
+	}
+	g.dirtyAt = make([][]int, len(g.levels))
+	for i := range c.Gates {
+		gate := &c.Gates[i]
+		cell, ok := opts.Lib.Cell(gate.CellName())
+		if !ok {
+			return nil, fmt.Errorf("tgraph: no library cell %q for gate %q", gate.CellName(), gate.Output)
+		}
+		g.cells[i] = cell
+		g.extraLoad[i] = float64(c.FanoutCount(gate.Output)-1) * cell.RefLoad
+	}
+
+	implied, ok := nineval.Imply(c, cube)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrInconsistent, cube.String())
+	}
+	g.raw = cube.Clone()
+	g.implied = implied
+
+	// Seed the PI lines and mark every gate dirty for the initial full
+	// convergence.
+	for _, pi := range c.PIs {
+		li := twindow.PILine(g.implied.Get(pi), g.piTiming(pi))
+		g.lines[pi] = &li
+	}
+	for _, lvlGates := range g.levels {
+		for _, gi := range lvlGates {
+			g.markDirty(gi)
+		}
+	}
+	if err := g.converge(opts.Ctx, opts.Jobs); err != nil {
+		return nil, err
+	}
+	g.changed = make(map[string]bool)
+	return g, nil
+}
+
+// Circuit returns the underlying circuit. SwapGate mutates it; callers
+// sharing one circuit across graphs must not use SwapGate.
+func (g *Graph) Circuit() *netlist.Circuit { return g.c }
+
+// Mode returns the delay model of the graph.
+func (g *Graph) Mode() twindow.Mode { return g.opts.Mode }
+
+// Lib returns the cell library the graph was built against.
+func (g *Graph) Lib() *core.Library { return g.opts.Lib }
+
+// piTiming returns the effective stimulus of one primary input.
+func (g *Graph) piTiming(name string) twindow.PITiming {
+	if p, ok := g.perPI[name]; ok {
+		return p
+	}
+	return g.opts.PI
+}
+
+// markDirty queues a gate for re-convergence.
+func (g *Graph) markDirty(gi int) {
+	if g.dirty[gi] {
+		return
+	}
+	g.dirty[gi] = true
+	lvl := g.gateLevel[gi]
+	g.dirtyAt[lvl] = append(g.dirtyAt[lvl], gi)
+	g.dirtyCount++
+}
+
+// touchNet propagates a changed line: its consumers must re-evaluate.
+func (g *Graph) touchNet(net string) {
+	for _, gi := range g.c.Fanout(net) {
+		g.markDirty(gi)
+	}
+}
+
+// recomputeGate evaluates one gate's output LineInfo from current state.
+func (g *Graph) recomputeGate(gi int) (twindow.LineInfo, error) {
+	gate := &g.c.Gates[gi]
+	ins := make([]*twindow.LineInfo, len(gate.Inputs))
+	for i, in := range gate.Inputs {
+		li, ok := g.lines[in]
+		if !ok {
+			return twindow.LineInfo{}, fmt.Errorf("tgraph: gate %q input %q has no timing (order bug)", gate.Output, in)
+		}
+		ins[i] = li
+	}
+	g.opts.Metrics.Add(engine.STAGates, 1)
+	g.opts.Metrics.Add(engine.STAArcs, 2*int64(len(gate.Inputs)))
+	out, err := twindow.PropagateGate(g.cells[gi], gate.Kind, ins, g.implied.Get(gate.Output),
+		g.extraLoad[gi], g.opts.Mode, g.opts.NCExtension)
+	if err != nil {
+		return twindow.LineInfo{}, fmt.Errorf("tgraph: gate %q: %w", gate.Output, err)
+	}
+	return out, nil
+}
+
+// converge drains the dirty frontier level by level. Gates within one level
+// are independent (they read only earlier levels), so the initial full pass
+// may fan a level out on the engine pool; results are merged in slice order,
+// making windows independent of the worker count. Convergence stops as soon
+// as the frontier is empty: a gate is re-queued only when one of its inputs
+// or its implied output value changed, so an edit whose effect dies out
+// after k levels costs exactly those k frontier levels.
+func (g *Graph) converge(ctx context.Context, jobs int) error {
+	for lvl := 0; lvl < len(g.dirtyAt) && g.dirtyCount > 0; lvl++ {
+		work := g.dirtyAt[lvl]
+		if len(work) == 0 {
+			continue
+		}
+		g.dirtyAt[lvl] = nil
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("tgraph: %w", spice.Cancelled(err))
+			}
+		}
+		if g.opts.LevelHook != nil {
+			if err := g.opts.LevelHook(lvl); err != nil {
+				return fmt.Errorf("tgraph: level %d: %w", lvl, err)
+			}
+		}
+		outs := make([]twindow.LineInfo, len(work))
+		if engine.Workers(jobs) == 1 || len(work) == 1 {
+			for i, gi := range work {
+				var err error
+				if outs[i], err = g.recomputeGate(gi); err != nil {
+					return err
+				}
+			}
+		} else {
+			err := engine.Run(ctx, jobs, len(work), func(_ context.Context, i int) error {
+				var err error
+				outs[i], err = g.recomputeGate(work[i])
+				return err
+			})
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return fmt.Errorf("tgraph: %w", spice.Cancelled(err))
+				}
+				return err
+			}
+		}
+		for i, gi := range work {
+			g.dirty[gi] = false
+			g.dirtyCount--
+			out := g.c.Gates[gi].Output
+			old := g.lines[out]
+			if old != nil && *old == outs[i] {
+				continue // converged: the cone stops here
+			}
+			li := outs[i]
+			g.lines[out] = &li
+			g.changed[out] = true
+			g.touchNet(out)
+		}
+	}
+	// A deadline that fired after the last level still voids the pass:
+	// callers must never observe windows computed past their cancellation.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("tgraph: %w", spice.Cancelled(err))
+		}
+	}
+	return nil
+}
+
+// poison rolls an edit back to the retained pre-edit cube/stimulus and marks
+// every window suspect; the next operation re-converges from scratch.
+func (g *Graph) poison() {
+	g.poisoned = true
+	g.dirty = make([]bool, len(g.c.Gates))
+	g.dirtyAt = make([][]int, len(g.levels))
+	g.dirtyCount = 0
+}
+
+// Poisoned reports whether the last edit failed mid-convergence and the
+// graph is pending a Heal.
+func (g *Graph) Poisoned() bool { return g.poisoned }
+
+// Heal re-converges a poisoned graph from its retained state so that every
+// line again equals a from-scratch recomputation. It is a no-op on a
+// healthy graph. Edits call it implicitly; queries on a poisoned graph
+// return ErrPoisoned-free data only after a successful Heal.
+func (g *Graph) Heal(ctx context.Context) error {
+	if !g.poisoned {
+		return nil
+	}
+	for _, pi := range g.c.PIs {
+		li := twindow.PILine(g.implied.Get(pi), g.piTiming(pi))
+		g.lines[pi] = &li
+	}
+	for _, lvlGates := range g.levels {
+		for _, gi := range lvlGates {
+			g.markDirty(gi)
+		}
+	}
+	if err := g.converge(ctx, 1); err != nil {
+		g.poison()
+		return err
+	}
+	g.poisoned = false
+	return nil
+}
+
+// beginEdit heals a poisoned graph and resets the changed-net accumulator.
+func (g *Graph) beginEdit(ctx context.Context) error {
+	if err := g.Heal(ctx); err != nil {
+		return err
+	}
+	g.changed = make(map[string]bool)
+	g.opts.Metrics.Add(engine.TGraphEdits, 1)
+	return nil
+}
+
+// applyImplied installs a new (raw, implied) cube pair: every line whose
+// implied value changed is updated (primary inputs) or has its driver and
+// consumers marked dirty, then the frontier re-converges. On failure the
+// previous cubes are restored and the graph is poisoned.
+func (g *Graph) applyImplied(ctx context.Context, raw, implied nineval.Cube) error {
+	prevRaw, prevImplied := g.raw, g.implied
+	g.raw, g.implied = raw, implied
+
+	// Diff over the union of keys: values absent from a cube are xx.
+	seen := make(map[string]bool, len(prevImplied)+len(implied))
+	diffNet := func(net string) {
+		if seen[net] {
+			return
+		}
+		seen[net] = true
+		if prevImplied.Get(net) == implied.Get(net) {
+			return
+		}
+		if gi, ok := g.c.Driver(net); ok {
+			// The driving gate re-derives the line's full LineInfo
+			// (value, states and windows) during re-convergence.
+			g.markDirty(gi)
+			return
+		}
+		// Driverless lines are primary inputs: refresh in place.
+		li := twindow.PILine(implied.Get(net), g.piTiming(net))
+		if old := g.lines[net]; old == nil || *old != li {
+			g.lines[net] = &li
+			g.changed[net] = true
+			g.touchNet(net)
+		}
+	}
+	for net := range prevImplied {
+		diffNet(net)
+	}
+	for net := range implied {
+		diffNet(net)
+	}
+
+	if err := g.converge(ctx, 1); err != nil {
+		g.raw, g.implied = prevRaw, prevImplied
+		g.poison()
+		return err
+	}
+	return nil
+}
+
+// SetCube replaces the graph's assignment cube: raw is implied from scratch
+// and the difference against the current state re-converges incrementally.
+// Relaxing a line is expressed by omitting it from the new cube (or mapping
+// it to xx). A logically inconsistent cube returns ErrInconsistent and
+// leaves the graph untouched.
+func (g *Graph) SetCube(ctx context.Context, raw nineval.Cube) error {
+	if err := g.beginEdit(ctx); err != nil {
+		return err
+	}
+	implied, ok := nineval.Imply(g.c, raw)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrInconsistent, raw.String())
+	}
+	return g.applyImplied(ctx, raw.Clone(), implied)
+}
+
+// SetImpliedCube is SetCube for a cube the caller has already run through
+// nineval.Imply (the ATPG search maintains implied cubes at every node).
+// Passing a non-fixpoint cube voids the byte-identical guarantee.
+func (g *Graph) SetImpliedCube(ctx context.Context, implied nineval.Cube) error {
+	if err := g.beginEdit(ctx); err != nil {
+		return err
+	}
+	return g.applyImplied(ctx, implied, implied)
+}
+
+// SetPI changes the stimulus of one primary input and re-converges its
+// fan-out cone.
+func (g *Graph) SetPI(ctx context.Context, name string, p twindow.PITiming) error {
+	if !g.c.IsPI(name) {
+		return fmt.Errorf("tgraph: %q is not a primary input", name)
+	}
+	if err := g.beginEdit(ctx); err != nil {
+		return err
+	}
+	prev, hadPrev := g.perPI[name]
+	g.perPI[name] = p
+	li := twindow.PILine(g.implied.Get(name), p)
+	if old := g.lines[name]; old == nil || *old != li {
+		g.lines[name] = &li
+		g.changed[name] = true
+		g.touchNet(name)
+	}
+	if err := g.converge(ctx, 1); err != nil {
+		if hadPrev {
+			g.perPI[name] = prev
+		} else {
+			delete(g.perPI, name)
+		}
+		g.poison()
+		return err
+	}
+	return nil
+}
+
+// SwapGate exchanges the gate driving net for its same-arity dual
+// (NAND↔NOR, INV↔BUF), re-implies the raw cube under the new logic and
+// re-converges the gate's cone. The underlying circuit is mutated in place
+// (topology, fan-out and levels are unchanged by construction). An
+// inconsistency under the new logic reverts the swap.
+func (g *Graph) SwapGate(ctx context.Context, net string, kind netlist.GateKind) error {
+	gi, ok := g.c.Driver(net)
+	if !ok {
+		return fmt.Errorf("tgraph: net %q has no driving gate", net)
+	}
+	gate := &g.c.Gates[gi]
+	if gate.Kind == kind {
+		return nil
+	}
+	if err := g.beginEdit(ctx); err != nil {
+		return err
+	}
+	prevKind, err := g.c.SwapGateKind(net, kind)
+	if err != nil {
+		return fmt.Errorf("tgraph: %w", err)
+	}
+	cell, ok := g.opts.Lib.Cell(gate.CellName())
+	if !ok {
+		gate.Kind = prevKind
+		return fmt.Errorf("tgraph: no library cell %q for swapped gate %q", gate.CellName(), net)
+	}
+	implied, okImply := nineval.Imply(g.c, g.raw)
+	if !okImply {
+		gate.Kind = prevKind
+		return fmt.Errorf("%w under swapped gate %q: %s", ErrInconsistent, net, g.raw.String())
+	}
+	prevCell, prevLoad := g.cells[gi], g.extraLoad[gi]
+	g.cells[gi] = cell
+	g.extraLoad[gi] = float64(g.c.FanoutCount(net)-1) * cell.RefLoad
+	g.markDirty(gi)
+	if err := g.applyImplied(ctx, g.raw, implied); err != nil {
+		gate.Kind = prevKind
+		g.cells[gi], g.extraLoad[gi] = prevCell, prevLoad
+		return err
+	}
+	return nil
+}
+
+// NumChanged returns the number of lines whose LineInfo changed during the
+// last successful edit (the re-converged cone size), without allocating.
+func (g *Graph) NumChanged() int { return len(g.changed) }
+
+// Changed returns the nets whose LineInfo changed during the last
+// successful edit, sorted.
+func (g *Graph) Changed() []string {
+	out := make([]string, 0, len(g.changed))
+	for net := range g.changed {
+		out = append(out, net)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Line returns a copy of the net's timing state.
+func (g *Graph) Line(net string) (twindow.LineInfo, bool) {
+	li, ok := g.lines[net]
+	if !ok {
+		return twindow.LineInfo{}, false
+	}
+	return *li, true
+}
+
+// Window returns the directional window of a net and whether it is defined
+// (the state is not SNo).
+func (g *Graph) Window(net string, rising bool) (twindow.Window, bool) {
+	li, ok := g.lines[net]
+	if !ok {
+		return twindow.Window{}, false
+	}
+	if rising {
+		if !li.HasRise() {
+			return twindow.Window{}, false
+		}
+		return li.Rise, true
+	}
+	if !li.HasFall() {
+		return twindow.Window{}, false
+	}
+	return li.Fall, true
+}
+
+// Lines visits every line's timing state (iteration order unspecified).
+func (g *Graph) Lines(visit func(net string, li twindow.LineInfo)) {
+	for net, li := range g.lines {
+		visit(net, *li)
+	}
+}
+
+// NumLines returns the number of lines carrying timing state.
+func (g *Graph) NumLines() int { return len(g.lines) }
+
+// ImpliedCube returns the current implication fixpoint (shared; do not
+// mutate).
+func (g *Graph) ImpliedCube() nineval.Cube { return g.implied }
+
+// RawCube returns the caller-supplied assignments (shared; do not mutate).
+func (g *Graph) RawCube() nineval.Cube { return g.raw }
+
+// FaultLevelHook adapts a spice.FaultHook (see internal/faultinject for
+// seeded plan constructors) into a LevelHook: the hook is consulted once per
+// convergence level with step = level, and any kind other than FaultNone
+// becomes an injected solver error carrying the usual taxonomy sentinel —
+// FaultNaN maps to spice.ErrNumerical, everything else to
+// spice.ErrNoConvergence, and FaultPanic panics so the caller's containment
+// is exercised. A nil hook yields a nil LevelHook.
+func FaultLevelHook(hook spice.FaultHook) func(level int) error {
+	if hook == nil {
+		return nil
+	}
+	return func(level int) error {
+		switch kind := hook(level, 0, 0); kind {
+		case spice.FaultNone:
+			return nil
+		case spice.FaultPanic:
+			panic(fmt.Sprintf("tgraph: injected panic at level %d", level))
+		case spice.FaultNaN:
+			return &spice.SolveError{Kind: spice.ErrNumerical, Step: level, Injected: true}
+		default:
+			return &spice.SolveError{Kind: spice.ErrNoConvergence, Step: level, Injected: true}
+		}
+	}
+}

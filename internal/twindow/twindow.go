@@ -1,0 +1,432 @@
+// Package twindow holds the min-max timing-window types and the worst-case
+// corner-identification arithmetic (the paper's Sections 4.2 and 5.2) shared
+// by static timing analysis (package sta), incremental timing refinement
+// (package itr) and the persistent timing graph (package tgraph).
+//
+// Historically sta and itr each carried a private copy of the per-gate
+// propagation rules; the incremental-timing refactor moved the single source
+// of truth here so that a full analysis, a from-scratch refinement and an
+// incremental dirty-cone re-convergence all evaluate byte-identical
+// floating-point expressions per gate. Any change to a corner rule now
+// changes every consumer at once — there is no second copy to drift.
+//
+// The unit of work is PropagateGate: given the already-settled LineInfos of
+// a gate's inputs, the gate's implied nine-valued output value and the cell
+// model, it computes the output LineInfo. Pure STA is the special case in
+// which every line carries the unspecified value xx (every transition state
+// is SMaybe), exactly as the paper defines STA as the S_tr = 0 special case
+// of ITR.
+package twindow
+
+import (
+	"fmt"
+	"math"
+
+	"sstiming/internal/core"
+	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+)
+
+// Mode selects the delay model used by window propagation.
+type Mode int
+
+const (
+	// ModeProposed uses the paper's simultaneous-switching model.
+	ModeProposed Mode = iota
+	// ModePinToPin uses the conventional pin-to-pin model.
+	ModePinToPin
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModePinToPin {
+		return "pin-to-pin"
+	}
+	return "proposed"
+}
+
+// Window is the per-direction timing window of one line: earliest/latest
+// arrival and shortest/longest transition time, in seconds (Figure 7).
+type Window struct {
+	AS, AL float64 // arrival: smallest, largest
+	TS, TL float64 // transition time: smallest, largest
+}
+
+// Valid reports structural sanity (AS <= AL, TS <= TL).
+func (w Window) Valid() bool {
+	return w.AS <= w.AL+1e-15 && w.TS <= w.TL+1e-15 && w.TS >= 0
+}
+
+// PITiming describes the assumed stimulus at primary inputs.
+type PITiming struct {
+	ArrivalEarly, ArrivalLate float64
+	TransShort, TransLong     float64
+}
+
+// DefaultPITiming is the default stimulus: transitions released at t = 0
+// with a 0.2 ns input ramp.
+func DefaultPITiming() PITiming {
+	return PITiming{ArrivalEarly: 0, ArrivalLate: 0, TransShort: 0.2e-9, TransLong: 0.2e-9}
+}
+
+// Window returns the stimulus as a timing window.
+func (p PITiming) Window() Window {
+	return Window{AS: p.ArrivalEarly, AL: p.ArrivalLate, TS: p.TransShort, TL: p.TransLong}
+}
+
+// LineInfo is the full timing state of one line: the implied nine-valued
+// value, the derived transition states, and the directional windows (valid
+// only when the corresponding state is not SNo).
+type LineInfo struct {
+	// Value is the implied nine-valued logic value.
+	Value nineval.Value
+	// SRise and SFall are the transition states.
+	SRise, SFall nineval.State
+	// Rise and Fall are the windows; valid only when the corresponding
+	// state is not SNo (HasRise/HasFall).
+	Rise, Fall Window
+}
+
+// HasRise reports whether the rise window is defined.
+func (li *LineInfo) HasRise() bool { return li.SRise != nineval.SNo }
+
+// HasFall reports whether the fall window is defined.
+func (li *LineInfo) HasFall() bool { return li.SFall != nineval.SNo }
+
+// PILine builds the LineInfo of a primary input from its stimulus and
+// implied value.
+func PILine(v nineval.Value, p PITiming) LineInfo {
+	w := p.Window()
+	return LineInfo{Value: v, SRise: v.StateRise(), SFall: v.StateFall(), Rise: w, Fall: w}
+}
+
+// PropagateGate computes one gate's output LineInfo from the already-settled
+// LineInfos of its inputs under the implied output value outV. It is a pure
+// function of its arguments — the invariant the incremental timing graph's
+// byte-identical-to-full-recompute guarantee rests on.
+func PropagateGate(cell *core.CellModel, kind netlist.GateKind, ins []*LineInfo, outV nineval.Value, extraLoad float64, mode Mode, ncExt bool) (LineInfo, error) {
+	li := LineInfo{Value: outV, SRise: outV.StateRise(), SFall: outV.StateFall()}
+	var err error
+	switch kind {
+	case netlist.Inv:
+		if li.HasRise() {
+			li.Rise, err = propagateSingle(cell, ins[0], false, true, extraLoad)
+		}
+		if err == nil && li.HasFall() {
+			li.Fall, err = propagateSingle(cell, ins[0], true, false, extraLoad)
+		}
+	case netlist.Buf:
+		// Buffers borrow the inverter cell's timing with non-inverting
+		// direction mapping (library approximation, see package sta doc).
+		if li.HasRise() {
+			li.Rise, err = propagateSingle(cell, ins[0], true, true, extraLoad)
+		}
+		if err == nil && li.HasFall() {
+			li.Fall, err = propagateSingle(cell, ins[0], false, false, extraLoad)
+		}
+	case netlist.Nand:
+		if li.HasRise() {
+			li.Rise, err = propagateCtrl(cell, ins, false, extraLoad, mode)
+		}
+		if err == nil && li.HasFall() {
+			li.Fall, err = propagateNonCtrl(cell, ins, true, extraLoad, mode, ncExt)
+		}
+	case netlist.Nor:
+		if li.HasFall() {
+			li.Fall, err = propagateCtrl(cell, ins, true, extraLoad, mode)
+		}
+		if err == nil && li.HasRise() {
+			li.Rise, err = propagateNonCtrl(cell, ins, false, extraLoad, mode, ncExt)
+		}
+	default:
+		err = fmt.Errorf("unsupported gate kind %v", kind)
+	}
+	if err != nil {
+		return LineInfo{}, err
+	}
+	return li, nil
+}
+
+// propagateSingle handles one-input cells. inRising selects which input
+// direction drives this output direction; ctrl is true when the arc uses the
+// cell's CtrlPins table.
+func propagateSingle(cell *core.CellModel, in *LineInfo, inRising, ctrl bool, extraLoad float64) (Window, error) {
+	var w Window
+	var inState nineval.State
+	if inRising {
+		inState = in.SRise
+		w = in.Rise
+	} else {
+		inState = in.SFall
+		w = in.Fall
+	}
+	if inState == nineval.SNo {
+		return Window{}, fmt.Errorf("output may transition but input cannot (state inconsistency)")
+	}
+	pins := cell.NonCtrlPins
+	if ctrl {
+		pins = cell.CtrlPins
+	}
+	p := &pins[0]
+	loadD := p.DelayLoadSlope * extraLoad
+	loadT := p.TransLoadSlope * extraLoad
+	_, dMin := p.Delay.MinOver(w.TS, w.TL)
+	_, dMax := p.Delay.MaxOver(w.TS, w.TL)
+	_, tMin := p.Trans.MinOver(w.TS, w.TL)
+	_, tMax := p.Trans.MaxOver(w.TS, w.TL)
+	return Window{
+		AS: w.AS + dMin + loadD,
+		AL: w.AL + dMax + loadD,
+		TS: tMin + loadT,
+		TL: tMax + loadT,
+	}, nil
+}
+
+// ctrlInput captures one input that can make a transition in the direction
+// under consideration.
+type ctrlInput struct {
+	pin      int
+	w        Window
+	definite bool
+}
+
+// collect returns the inputs whose transition in the given direction is not
+// ruled out, with their windows.
+func collect(ins []*LineInfo, rising bool) []ctrlInput {
+	var out []ctrlInput
+	for i, li := range ins {
+		var s nineval.State
+		var w Window
+		if rising {
+			s, w = li.SRise, li.Rise
+		} else {
+			s, w = li.SFall, li.Fall
+		}
+		if s == nineval.SNo {
+			continue
+		}
+		out = append(out, ctrlInput{pin: i, w: w, definite: s == nineval.SYes})
+	}
+	return out
+}
+
+// propagateCtrl computes the to-controlling output window (rising for NAND,
+// falling for NOR) under transition states, per Sections 4.2 and 5.2.
+// ctrlRising is the direction of the input transitions (falling for NAND,
+// rising for NOR). Pure STA is the all-SMaybe special case.
+func propagateCtrl(cell *core.CellModel, ins []*LineInfo, ctrlRising bool, extraLoad float64, mode Mode) (Window, error) {
+	allowed := collect(ins, ctrlRising)
+	if len(allowed) == 0 {
+		return Window{}, fmt.Errorf("to-controlling response possible but no input can transition")
+	}
+
+	var out Window
+	out.AS = math.Inf(1)
+	out.TS = math.Inf(1)
+	out.TL = math.Inf(-1)
+
+	single := func(a ctrlInput) (dMin, dMax, tMin, tMax float64) {
+		p := &cell.CtrlPins[a.pin]
+		loadD := p.DelayLoadSlope * extraLoad
+		loadT := p.TransLoadSlope * extraLoad
+		_, dMin = p.Delay.MinOver(a.w.TS, a.w.TL)
+		_, dMax = p.Delay.MaxOver(a.w.TS, a.w.TL)
+		_, tMin = p.Trans.MinOver(a.w.TS, a.w.TL)
+		_, tMax = p.Trans.MaxOver(a.w.TS, a.w.TL)
+		return dMin + loadD, dMax + loadD, tMin + loadT, tMax + loadT
+	}
+
+	// Latest arrival (Table 1's A..L rules): definite switchers bound how
+	// late the output can switch — take the min over their worst-case
+	// corners; with no definite switcher, the slowest potential single
+	// switcher is the bound.
+	var definite []ctrlInput
+	for _, a := range allowed {
+		if a.definite {
+			definite = append(definite, a)
+		}
+	}
+	if len(definite) > 0 {
+		out.AL = math.Inf(1)
+		for _, a := range definite {
+			_, dMax, _, _ := single(a)
+			if v := a.w.AL + dMax; v < out.AL {
+				out.AL = v
+			}
+		}
+	} else {
+		out.AL = math.Inf(-1)
+		for _, a := range allowed {
+			_, dMax, _, _ := single(a)
+			if v := a.w.AL + dMax; v > out.AL {
+				out.AL = v
+			}
+		}
+	}
+
+	// Earliest arrival and transition bounds over the allowed set
+	// (single-input candidates; what remains in pin-to-pin mode).
+	for _, a := range allowed {
+		dMin, _, tMin, tMax := single(a)
+		if v := a.w.AS + dMin; v < out.AS {
+			out.AS = v
+		}
+		if tMin < out.TS {
+			out.TS = tMin
+		}
+		if tMax > out.TL {
+			out.TL = tMax
+		}
+	}
+
+	if mode == ModeProposed && len(allowed) >= 2 {
+		// Earliest arrival: pairwise simultaneous switching at the
+		// earliest-arrival skew, minimised over the four transition-time
+		// corners (Fig. 8's A_R,S rule). With three or more inputs all
+		// potentially switching δ-simultaneously, the extended model's
+		// n-way speed-up factor lower-bounds the delay further.
+		multi := 1.0
+		if k := len(allowed); k >= 3 && len(cell.MultiFactor) >= k-2 {
+			if f := cell.MultiFactor[k-3]; f > 0 && f < 1 {
+				multi = f
+			}
+		}
+		for _, ax := range allowed {
+			for _, ay := range allowed {
+				if ax.pin == ay.pin {
+					continue
+				}
+				skew := ay.w.AS - ax.w.AS
+				base := math.Min(ax.w.AS, ay.w.AS)
+				for _, tx := range []float64{ax.w.TS, ax.w.TL} {
+					for _, ty := range []float64{ay.w.TS, ay.w.TL} {
+						d := cell.DelayCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad)
+						if v := base + d*multi; v < out.AS {
+							out.AS = v
+						}
+					}
+				}
+				// Shortest transition: evaluate at the achievable skew
+				// closest to SK_t,min (Fig. 8's T_R,S rule).
+				lo := ay.w.AS - ax.w.AL
+				hi := ay.w.AL - ax.w.AS
+				skm := cell.SKminAt(ax.pin, ay.pin, ax.w.TS, ay.w.TS)
+				if skm < lo {
+					skm = lo
+				}
+				if skm > hi {
+					skm = hi
+				}
+				if tv := cell.TransCtrl2(ax.pin, ay.pin, ax.w.TS, ay.w.TS, skm, extraLoad); tv < out.TS {
+					out.TS = tv
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// propagateNonCtrl computes the to-non-controlling output window (falling
+// for NAND, rising for NOR) under transition states. ncRising is the
+// direction of the input transitions (rising for NAND, falling for NOR).
+// The earliest arrival combines with max over definite switchers (they all
+// must complete before the output can respond) and min otherwise; with the
+// NC extension, pairs of inputs that can both transition widen the latest
+// corners through the Λ-shape surfaces.
+func propagateNonCtrl(cell *core.CellModel, ins []*LineInfo, ncRising bool, extraLoad float64, mode Mode, ncExt bool) (Window, error) {
+	allowed := collect(ins, ncRising)
+	if len(allowed) == 0 {
+		return Window{}, fmt.Errorf("to-non-controlling response possible but no input can transition")
+	}
+
+	var out Window
+	out.AL = math.Inf(-1)
+	out.TS = math.Inf(1)
+	out.TL = math.Inf(-1)
+
+	single := func(a ctrlInput) (dMin, dMax, tMin, tMax float64) {
+		p := &cell.NonCtrlPins[a.pin]
+		loadD := p.DelayLoadSlope * extraLoad
+		loadT := p.TransLoadSlope * extraLoad
+		_, dMin = p.Delay.MinOver(a.w.TS, a.w.TL)
+		_, dMax = p.Delay.MaxOver(a.w.TS, a.w.TL)
+		_, tMin = p.Trans.MinOver(a.w.TS, a.w.TL)
+		_, tMax = p.Trans.MaxOver(a.w.TS, a.w.TL)
+		return dMin + loadD, dMax + loadD, tMin + loadT, tMax + loadT
+	}
+
+	// Earliest arrival: every definite switcher must complete (max over
+	// them at their earliest corners); with no definite switcher, the
+	// fastest single suffices.
+	var definite []ctrlInput
+	for _, a := range allowed {
+		if a.definite {
+			definite = append(definite, a)
+		}
+	}
+	if len(definite) > 0 {
+		out.AS = math.Inf(-1)
+		for _, a := range definite {
+			dMin, _, _, _ := single(a)
+			if v := a.w.AS + dMin; v > out.AS {
+				out.AS = v
+			}
+		}
+	} else {
+		out.AS = math.Inf(1)
+		for _, a := range allowed {
+			dMin, _, _, _ := single(a)
+			if v := a.w.AS + dMin; v < out.AS {
+				out.AS = v
+			}
+		}
+	}
+
+	for _, a := range allowed {
+		_, dMax, tMin, tMax := single(a)
+		if v := a.w.AL + dMax; v > out.AL {
+			out.AL = v
+		}
+		if tMin < out.TS {
+			out.TS = tMin
+		}
+		if tMax > out.TL {
+			out.TL = tMax
+		}
+	}
+
+	if ncExt && mode == ModeProposed && len(allowed) >= 2 && len(cell.NCPairs) > 0 {
+		// Worst-case simultaneous to-non-controlling corner: both
+		// transitions at their latest arrivals, skew as close to the Λ
+		// peak (zero) as the windows allow, slowest transition times.
+		for _, ax := range allowed {
+			for _, ay := range allowed {
+				if ax.pin == ay.pin {
+					continue
+				}
+				lo := ay.w.AS - ax.w.AL
+				hi := ay.w.AL - ax.w.AS
+				skew := 0.0
+				if skew < lo {
+					skew = lo
+				}
+				if skew > hi {
+					skew = hi
+				}
+				base := math.Max(ax.w.AL, ay.w.AL)
+				for _, tx := range []float64{ax.w.TS, ax.w.TL} {
+					for _, ty := range []float64{ay.w.TS, ay.w.TL} {
+						d := cell.DelayNonCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad)
+						if v := base + d; v > out.AL {
+							out.AL = v
+						}
+						if tv := cell.TransNonCtrl2(ax.pin, ay.pin, tx, ty, skew, extraLoad); tv > out.TL {
+							out.TL = tv
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
