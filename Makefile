@@ -7,7 +7,7 @@ GO ?= go
 # genuinely improves; never lower it to make a PR pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race vet verify conformance chaos store-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
+.PHONY: build test race vet verify conformance cache-conformance chaos store-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 # Tier-1 verification loop (see ROADMAP.md).
-verify: build vet test race conformance chaos store-chaos service-smoke
+verify: build vet test race conformance cache-conformance chaos store-chaos service-smoke
 
 # Short randomized differential campaign: cross-checks flatsim, logicsim,
 # STA, ITR and the delay-model structure against each other on random
@@ -30,6 +30,16 @@ verify: build vet test race conformance chaos store-chaos service-smoke
 conformance:
 	$(GO) test -run TestConformance -race ./internal/conformance
 	$(GO) run ./cmd/conformance -seeds 8 -jobs 4
+
+# Cache-equivalence campaign: random circuits POSTed twice to /analyze and
+# /refine (the repeat with shuffled gate statements); every repeat must be a
+# cache hit with a body byte-identical to the cold run, and a concurrent
+# identical burst must share exactly one engine run (see internal/reqcache
+# and DESIGN.md §13). Runs under the race detector: the cache and batcher
+# fan out on the shared engine pool.
+cache-conformance:
+	$(GO) test -race -run 'TestCacheEquivalenceTable|TestCacheConformance|TestSingleflight|TestCancelledLeader|TestAlias|TestBatchedEqualsUnbatched' \
+		./internal/service ./internal/reqcache
 
 # Fault-injection suite: deterministic chaos tests that force solver
 # non-convergence, NaN poisoning and worker panics, then assert the
@@ -65,10 +75,11 @@ cover:
 		  printf "total coverage %.1f%% (floor %.1f%%)\n", $$3, floor }'
 
 # Performance trajectory point (ROADMAP item 5b): full-STA throughput,
-# incremental edit latency vs. cone size, and ITR-in-ATPG wall-clock, with
-# machine/commit metadata, schema-validated into BENCH_1.json.
+# incremental edit latency vs. cone size, ITR-in-ATPG wall-clock, and the
+# service sustained-QPS section (cold vs hot cache, batched vs unbatched),
+# with machine/commit metadata, schema-validated into BENCH_2.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_1.json
+	$(GO) run ./cmd/bench -out BENCH_2.json
 
 # Harness-rot guard: the same harness on tiny circuits, schema-validated
 # and discarded. Seconds-scale; safe for CI.

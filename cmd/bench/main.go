@@ -6,17 +6,22 @@
 //     circuit, bucketed by dirty-cone size, with the speed-up against a
 //     full from-scratch rebuild,
 //   - ITR-in-ATPG campaign wall-clock, persistent-graph deltas vs. the
-//     pre-refactor from-scratch refinement per decision step.
+//     pre-refactor from-scratch refinement per decision step,
+//   - timingd sustained throughput: QPS and p50/p99 latency under concurrent
+//     HTTP load for cold vs hot content-addressed cache and unbatched vs
+//     micro-batched tiny requests (see internal/reqcache, internal/batch).
 //
 // Every report carries machine and commit metadata so successive BENCH_N.json
 // files are comparable across the project's history. The emitted report is
-// schema-validated before it is written; -smoke runs a seconds-scale variant
-// on tiny circuits and discards the file, existing so `make bench-smoke`
-// can keep the harness honest in CI without paying for the full run.
+// schema-validated before it is written — a full run additionally requires
+// the hot cache to sustain at least 5x the cold throughput; -smoke runs a
+// seconds-scale variant on tiny circuits and discards the file, existing so
+// `make bench-smoke` can keep the harness honest in CI without paying for
+// the full run.
 //
 // Usage:
 //
-//	bench [-out BENCH_1.json] [-jobs N] [-reps N] [-edits N] [-faults N] [-smoke]
+//	bench [-out BENCH_2.json] [-jobs N] [-reps N] [-edits N] [-faults N] [-smoke]
 package main
 
 import (
@@ -44,17 +49,19 @@ import (
 )
 
 // Schema is the report format identifier; bump on incompatible changes.
-const Schema = "sstiming-bench/1"
+// v2 adds the `service` section (daemon sustained QPS / tail latency).
+const Schema = "sstiming-bench/2"
 
 // Report is the top-level BENCH_N.json document.
 type Report struct {
-	Schema      string      `json:"schema"`
-	GeneratedAt string      `json:"generated_at"`
-	Commit      string      `json:"commit"`
-	Machine     Machine     `json:"machine"`
-	FullSTA     []FullSTA   `json:"full_sta"`
-	Incremental Incremental `json:"incremental"`
-	ATPGITR     ATPGITR     `json:"atpg_itr"`
+	Schema      string       `json:"schema"`
+	GeneratedAt string       `json:"generated_at"`
+	Commit      string       `json:"commit"`
+	Machine     Machine      `json:"machine"`
+	FullSTA     []FullSTA    `json:"full_sta"`
+	Incremental Incremental  `json:"incremental"`
+	ATPGITR     ATPGITR      `json:"atpg_itr"`
+	Service     ServiceBench `json:"service"`
 }
 
 // Machine records where the numbers were taken.
@@ -126,7 +133,7 @@ type ATPGITR struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output report path")
+	out := flag.String("out", "BENCH_2.json", "output report path")
 	jobs := flag.Int("jobs", 0, "engine worker pool width (0 = all CPUs)")
 	reps := flag.Int("reps", 5, "full-STA repetitions per circuit")
 	edits := flag.Int("edits", 200, "incremental edits measured on the target circuit")
@@ -186,7 +193,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "atpg-itr  %-6s %d faults  full %8.2f ms  incremental %8.2f ms  speedup %.1fx\n",
 		ai.Circuit, ai.Faults, ai.FullRecomputeMs, ai.IncrementalMs, ai.Speedup)
 
-	if err := validate(&rep); err != nil {
+	sb, err := benchService(lib, *jobs, *smoke)
+	if err != nil {
+		fatal("service bench: %v", err)
+	}
+	rep.Service = sb
+	fmt.Fprintf(os.Stderr, "service   cold %8.0f qps  hot %8.0f qps (%.1fx)  unbatched %8.0f qps  batched %8.0f qps (%.2fx)\n",
+		sb.Scenarios[0].QPS, sb.Scenarios[1].QPS, sb.HotOverCold,
+		sb.Scenarios[2].QPS, sb.Scenarios[3].QPS, sb.BatchedOverUnbatched)
+
+	if err := validate(&rep, !*smoke); err != nil {
 		fatal("report failed schema validation: %v", err)
 	}
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -199,14 +215,14 @@ func main() {
 		// Round-trip through a real file so the write path is exercised,
 		// then discard: smoke validates the harness, not the numbers.
 		path := filepath.Join(os.TempDir(), fmt.Sprintf("sstiming-bench-smoke-%d.json", os.Getpid()))
-		if err := writeAndReparse(path, buf); err != nil {
+		if err := writeAndReparse(path, buf, false); err != nil {
 			fatal("%v", err)
 		}
 		os.Remove(path)
 		fmt.Fprintln(os.Stderr, "bench smoke OK: schema valid")
 		return
 	}
-	if err := writeAndReparse(*out, buf); err != nil {
+	if err := writeAndReparse(*out, buf, true); err != nil {
 		fatal("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
@@ -471,8 +487,12 @@ func benchATPG(c *netlist.Circuit, lib *core.Library, jobs, n int) (ATPGITR, err
 }
 
 // validate enforces the report invariants `make bench-smoke` guards: a
-// report that fails here is never written.
-func validate(r *Report) error {
+// report that fails here is never written. A full (non-smoke) report must
+// additionally show the hot content-addressed cache sustaining at least 5x
+// the cold throughput — the cache's reason to exist; smoke skips that gate
+// because a 6-gate circuit's engine run is too cheap for caching to beat
+// HTTP overhead by a fixed margin.
+func validate(r *Report, full bool) error {
 	switch {
 	case r.Schema != Schema:
 		return fmt.Errorf("schema %q, want %q", r.Schema, Schema)
@@ -512,12 +532,28 @@ func validate(r *Report) error {
 	if !ai.ResultsIdentical {
 		return fmt.Errorf("incremental ATPG outcomes diverged from full recompute")
 	}
+	sb := &r.Service
+	if len(sb.Scenarios) != 4 {
+		return fmt.Errorf("service section has %d scenarios, want 4", len(sb.Scenarios))
+	}
+	for _, sc := range sb.Scenarios {
+		if sc.Name == "" || sc.Requests <= 0 || sc.Clients <= 0 ||
+			sc.QPS <= 0 || sc.P50Ms <= 0 || sc.P99Ms < sc.P50Ms {
+			return fmt.Errorf("degenerate service scenario %+v", sc)
+		}
+	}
+	if sb.HotOverCold <= 0 || sb.BatchedOverUnbatched <= 0 {
+		return fmt.Errorf("degenerate service ratios %+v", sb)
+	}
+	if full && sb.HotOverCold < 5 {
+		return fmt.Errorf("hot cache sustains only %.2fx cold throughput, want >= 5x", sb.HotOverCold)
+	}
 	return nil
 }
 
 // writeAndReparse writes the report and re-reads it through the validator,
 // so a corrupt file can never be left behind as a trajectory point.
-func writeAndReparse(path string, buf []byte) error {
+func writeAndReparse(path string, buf []byte, full bool) error {
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
@@ -529,7 +565,7 @@ func writeAndReparse(path string, buf []byte) error {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		return fmt.Errorf("reparse %s: %w", path, err)
 	}
-	if err := validate(&back); err != nil {
+	if err := validate(&back, full); err != nil {
 		return fmt.Errorf("reparse %s: %w", path, err)
 	}
 	return nil

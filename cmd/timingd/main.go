@@ -6,6 +6,7 @@
 //
 //	timingd [-addr :8080] [-lib lib.json] [-strict-lib] [-jobs N]
 //	        [-queue-depth N] [-timeout 30s] [-drain 15s] [-max-gates N]
+//	        [-cache-entries N] [-cache-bytes N] [-batch-size N] [-batch-wait D]
 //	        [-max-sessions N] [-session-ttl 15m] [-stats] [-selfcheck]
 //
 // Endpoints:
@@ -69,6 +70,10 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful drain deadline on SIGTERM")
 	maxGates := flag.Int("max-gates", 0, "admission cap on posted netlist size (0 = default, -1 = unlimited)")
+	cacheEntries := flag.Int("cache-entries", 512, "content-addressed analysis cache entry cap (0 = caching disabled)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "analysis cache byte budget (0 = no byte bound)")
+	batchSize := flag.Int("batch-size", 0, "micro-batch occupancy for small /analyze jobs (< 2 = batching disabled)")
+	batchWait := flag.Duration("batch-wait", 0, "max time a non-full micro-batch collects (0 = default 2ms)")
 	maxSessions := flag.Int("max-sessions", 0, "live delta-STA sessions before LRU eviction (0 = default 64, -1 = unlimited)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session expiry (0 = default 15m, negative = never)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "solver failures tripping the circuit breaker (0 = default 5, -1 = disabled)")
@@ -93,6 +98,10 @@ func main() {
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		MaxGates:       *maxGates,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		BatchSize:      *batchSize,
+		BatchWait:      *batchWait,
 		MaxSessions:    *maxSessions,
 		SessionIdleTTL: *sessionTTL,
 		Breaker: service.BreakerConfig{

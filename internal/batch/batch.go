@@ -1,0 +1,263 @@
+// Package batch is the timing service's request micro-batcher: it coalesces
+// small analysis jobs arriving within a size-or-maxWait window into one
+// engine-pool submission, amortizing queue admission and worker-scheduling
+// overhead across the batch while preserving every per-request contract
+// (ROADMAP item 1's MerkleBatcher shape — a timer loop with per-item
+// response channels and a per-phase timing breakdown):
+//
+//   - each item carries its own context: a batched item whose deadline
+//     expires before its turn gets its own context error (the service maps
+//     it to a 504), never a partial result, and the batch proceeds with its
+//     siblings;
+//   - items run under per-item panic containment (engine.Safely), so one
+//     faulting item yields its own typed error while siblings still get
+//     correct results — a fault is never shared across a batch;
+//   - the pending buffer is bounded: beyond it, Do refuses with ErrFull and
+//     the service sheds the request with a 429 exactly like the job queue;
+//   - Close/Drain refuse new items with engine.ErrPoolClosed while letting
+//     already-admitted items run to completion — admission is a promise,
+//     batched or not.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sstiming/internal/engine"
+)
+
+// ErrFull reports a full pending buffer: the item was refused before
+// consuming any engine resources (the service answers 429 + Retry-After).
+var ErrFull = errors.New("batch: pending buffer full")
+
+// Options configures a Batcher.
+type Options struct {
+	// Size dispatches a batch as soon as it holds this many items
+	// (minimum 1; a Size of 1 degenerates to per-item dispatch).
+	Size int
+	// MaxWait dispatches a non-empty batch this long after its first item
+	// arrived, bounding the latency cost of coalescing. <= 0 selects 2ms.
+	MaxWait time.Duration
+	// PendingCap bounds admitted-but-unanswered items (buffered, batched
+	// and running included); beyond it Do sheds with ErrFull. <= 0
+	// selects 4×Size.
+	PendingCap int
+	// Submit hands one batch function to the execution backend (the
+	// service's admission-controlled job queue). Required. The submission
+	// context is the batcher's own background context: per-item deadlines
+	// are enforced inside the batch function, item by item.
+	Submit func(ctx context.Context, fn func(ctx context.Context) error) error
+	// Observe, when non-nil, receives each dispatched batch's phase
+	// breakdown: occupancy, time the batch spent collecting (first-item
+	// enqueue to dispatch) and time executing. Called from the dispatch
+	// goroutine; must be safe for concurrent use.
+	Observe func(items int, collect, run time.Duration)
+	// Metrics counts batches and batched items; may be nil.
+	Metrics *engine.Metrics
+}
+
+// item is one request riding in a batch.
+type item struct {
+	ctx context.Context
+	fn  func(ctx context.Context) error
+	res chan error
+	enq time.Time
+}
+
+// Batcher coalesces items into batches. Construct with New; Stop or Drain
+// on shutdown.
+type Batcher struct {
+	opts Options
+
+	mu     sync.Mutex
+	closed bool
+	in     chan *item
+	// slots is the admission semaphore: one token per admitted item, held
+	// from Do's entry until the item's answer is delivered. It is what
+	// makes PendingCap a real bound — the collector moves items out of the
+	// channel immediately, so channel capacity alone bounds nothing.
+	slots chan struct{}
+
+	inflight sync.WaitGroup // dispatched, not yet completed batches
+	loopDone chan struct{}
+}
+
+// New starts a batcher's collector loop.
+func New(opts Options) (*Batcher, error) {
+	if opts.Submit == nil {
+		return nil, fmt.Errorf("batch: Options.Submit is required")
+	}
+	if opts.Size < 1 {
+		opts.Size = 1
+	}
+	if opts.MaxWait <= 0 {
+		opts.MaxWait = 2 * time.Millisecond
+	}
+	if opts.PendingCap <= 0 {
+		opts.PendingCap = 4 * opts.Size
+	}
+	b := &Batcher{
+		opts:     opts,
+		in:       make(chan *item, opts.PendingCap),
+		slots:    make(chan struct{}, opts.PendingCap),
+		loopDone: make(chan struct{}),
+	}
+	go b.loop()
+	return b, nil
+}
+
+// Do submits fn as one batch item and blocks until its result (or until
+// ctx fires; the item itself is still run or deadline-refused by the batch,
+// and its slot is reclaimed either way). Returns fn's error, the item's own
+// context error for a deadline expiry, ErrFull when shed, or
+// engine.ErrPoolClosed after Close/Drain.
+func (b *Batcher) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	select {
+	case b.slots <- struct{}{}:
+	default:
+		return ErrFull
+	}
+	it := &item{ctx: ctx, fn: fn, res: make(chan error, 1), enq: time.Now()}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.slots
+		return fmt.Errorf("%w: batcher closed", engine.ErrPoolClosed)
+	}
+	// Never blocks: the channel holds PendingCap items and each admitted
+	// item holds a slot.
+	b.in <- it
+	b.mu.Unlock()
+	select {
+	case err := <-it.res:
+		return err
+	case <-ctx.Done():
+		// The batch delivers the item's outcome into the buffered channel
+		// regardless; nothing leaks. The caller just stops waiting.
+		return ctx.Err()
+	}
+}
+
+// loop collects items into batches and dispatches on size or timer.
+func (b *Batcher) loop() {
+	defer close(b.loopDone)
+	var pending []*item
+	var timer *time.Timer
+	var timeC <-chan time.Time
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeC = nil, nil
+		}
+	}
+	flush := func() {
+		stopTimer()
+		if len(pending) > 0 {
+			b.dispatch(pending)
+			pending = nil
+		}
+	}
+	for {
+		select {
+		case it, ok := <-b.in:
+			if !ok {
+				flush()
+				return
+			}
+			pending = append(pending, it)
+			if len(pending) >= b.opts.Size {
+				flush()
+			} else if timer == nil {
+				timer = time.NewTimer(b.opts.MaxWait)
+				timeC = timer.C
+			}
+		case <-timeC:
+			flush()
+		}
+	}
+}
+
+// dispatch hands one collected batch to the backend. Runs the submission on
+// its own goroutine so slow backends (queue full of earlier batches) never
+// stall the collector loop.
+func (b *Batcher) dispatch(items []*item) {
+	collect := time.Since(items[0].enq)
+	b.inflight.Add(1)
+	b.opts.Metrics.Add(engine.SvcBatches, 1)
+	b.opts.Metrics.Add(engine.SvcBatchItems, int64(len(items)))
+	go func() {
+		defer b.inflight.Done()
+		start := time.Now()
+		ran := false
+		err := b.opts.Submit(context.Background(), func(context.Context) error {
+			ran = true
+			for _, it := range items {
+				if cerr := it.ctx.Err(); cerr != nil {
+					// The item's own deadline fired while batched: its typed
+					// cancellation, never a partial result — and the batch
+					// proceeds with its siblings.
+					b.finish(it, cerr)
+					continue
+				}
+				it := it
+				// Per-item containment: a panic or error belongs to this
+				// item alone, siblings still run.
+				b.finish(it, engine.Safely(func() error { return it.fn(it.ctx) }))
+			}
+			return nil
+		})
+		if err != nil && !ran {
+			// The batch function never ran (shed, pool closed): every item
+			// shares the admission refusal.
+			for _, it := range items {
+				b.finish(it, err)
+			}
+		}
+		if b.opts.Observe != nil {
+			b.opts.Observe(len(items), collect, time.Since(start))
+		}
+	}()
+}
+
+// finish answers one item exactly once and returns its admission slot.
+func (b *Batcher) finish(it *item, err error) {
+	it.res <- err
+	<-b.slots
+}
+
+// Close stops admitting items. Already-buffered items are still collected,
+// dispatched and completed. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.in)
+	}
+	b.mu.Unlock()
+}
+
+// Drain closes the batcher and waits until every admitted item's batch has
+// completed, or until ctx fires. Call before draining the backend queue so
+// the final partial batch can still be submitted.
+func (b *Batcher) Drain(ctx context.Context) error {
+	b.Close()
+	select {
+	case <-b.loopDone:
+	case <-ctx.Done():
+		return fmt.Errorf("batch: drain deadline exceeded while flushing: %w", ctx.Err())
+	}
+	done := make(chan struct{})
+	go func() {
+		b.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("batch: drain deadline exceeded with batches in flight: %w", ctx.Err())
+	}
+}

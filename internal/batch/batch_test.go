@@ -1,0 +1,362 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sstiming/internal/engine"
+)
+
+// directSubmit runs the batch function inline — the simplest backend.
+func directSubmit(ctx context.Context, fn func(ctx context.Context) error) error {
+	return fn(ctx)
+}
+
+func newBatcher(t *testing.T, opts Options) *Batcher {
+	t.Helper()
+	if opts.Submit == nil {
+		opts.Submit = directSubmit
+	}
+	b, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := b.Drain(ctx); err != nil {
+			t.Errorf("cleanup drain: %v", err)
+		}
+	})
+	return b
+}
+
+// TestSizeTrigger: a full batch dispatches immediately as one submission.
+func TestSizeTrigger(t *testing.T) {
+	var submissions, itemsRun atomic.Int64
+	met := engine.NewMetrics()
+	b := newBatcher(t, Options{
+		Size:    4,
+		MaxWait: time.Hour, // only the size trigger may fire
+		Metrics: met,
+		Submit: func(ctx context.Context, fn func(context.Context) error) error {
+			submissions.Add(1)
+			return fn(ctx)
+		},
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Do(context.Background(), func(context.Context) error {
+				itemsRun.Add(1)
+				return nil
+			}); err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := submissions.Load(); got != 1 {
+		t.Fatalf("4 items under Size=4 took %d submissions, want 1", got)
+	}
+	if itemsRun.Load() != 4 {
+		t.Fatalf("%d items ran, want 4", itemsRun.Load())
+	}
+	if met.Get(engine.SvcBatches) != 1 || met.Get(engine.SvcBatchItems) != 4 {
+		t.Fatalf("batches/items = %d/%d, want 1/4",
+			met.Get(engine.SvcBatches), met.Get(engine.SvcBatchItems))
+	}
+}
+
+// TestMaxWaitTrigger: a lone item is dispatched once MaxWait elapses, not
+// held hostage for a full batch.
+func TestMaxWaitTrigger(t *testing.T) {
+	b := newBatcher(t, Options{Size: 1000, MaxWait: 5 * time.Millisecond})
+	start := time.Now()
+	if err := b.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("lone item waited %v, the MaxWait timer did not fire", waited)
+	}
+}
+
+// TestItemErrorsAreIsolated: one failing and one panicking item leave their
+// siblings' results intact — a fault is never shared across the batch.
+func TestItemErrorsAreIsolated(t *testing.T) {
+	b := newBatcher(t, Options{Size: 3, MaxWait: time.Hour})
+	boom := errors.New("this item is broken")
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	run := func(i int, fn func(context.Context) error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = b.Do(context.Background(), fn)
+		}()
+	}
+	run(0, func(context.Context) error { return nil })
+	run(1, func(context.Context) error { return boom })
+	run(2, func(context.Context) error { panic("item detonated") })
+	wg.Wait()
+
+	if errs[0] != nil {
+		t.Fatalf("healthy sibling got %v, want nil", errs[0])
+	}
+	if !errors.Is(errs[1], boom) {
+		t.Fatalf("failing item got %v, want its own error", errs[1])
+	}
+	var pe *engine.PanicError
+	if !errors.As(errs[2], &pe) {
+		t.Fatalf("panicking item got %v, want a contained *engine.PanicError", errs[2])
+	}
+}
+
+// TestExpiredItemSkipped: an item whose deadline fired while batched gets
+// its own context error; siblings in the same batch still run.
+func TestExpiredItemSkipped(t *testing.T) {
+	release := make(chan struct{})
+	b := newBatcher(t, Options{
+		Size:    2,
+		MaxWait: time.Hour,
+		Submit: func(ctx context.Context, fn func(context.Context) error) error {
+			<-release // hold the batch until the short deadline fired
+			return fn(ctx)
+		},
+	})
+	shortCtx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+
+	var ran [2]atomic.Bool
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = b.Do(shortCtx, func(context.Context) error { ran[0].Store(true); return nil })
+	}()
+	go func() {
+		defer wg.Done()
+		errs[1] = b.Do(context.Background(), func(context.Context) error { ran[1].Store(true); return nil })
+	}()
+	time.Sleep(20 * time.Millisecond) // both batched; deadline 0 expired
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(errs[0], context.DeadlineExceeded) {
+		t.Fatalf("expired item got %v, want DeadlineExceeded", errs[0])
+	}
+	if ran[0].Load() {
+		t.Fatal("expired item's work ran anyway (partial-result hazard)")
+	}
+	if errs[1] != nil || !ran[1].Load() {
+		t.Fatalf("sibling of the expired item: err=%v ran=%v, want nil/true", errs[1], ran[1].Load())
+	}
+}
+
+// TestShedWhenFull: PendingCap bounds admitted-but-unanswered items; with
+// the backend stalled and every slot held, Do refuses with ErrFull without
+// blocking.
+func TestShedWhenFull(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	b := newBatcher(t, Options{
+		Size:       1, // every admitted item dispatches as its own batch
+		PendingCap: 2,
+		MaxWait:    time.Millisecond,
+		Submit: func(ctx context.Context, fn func(context.Context) error) error {
+			entered <- struct{}{}
+			<-release
+			return fn(ctx)
+		},
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+				t.Errorf("admitted item: %v", err)
+			}
+		}()
+	}
+	// Wait until both batches are provably inside the stalled backend: their
+	// admission slots are held until each item is answered.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("admitted items never reached the backend")
+		}
+	}
+	if err := b.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrFull) {
+		t.Fatalf("Do with every slot held = %v, want ErrFull", err)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestCloseRefusesLateItems: after Close, Do refuses with
+// engine.ErrPoolClosed; already-buffered items still complete.
+func TestCloseRefusesLateItems(t *testing.T) {
+	release := make(chan struct{})
+	b, err := New(Options{
+		Size:       4,
+		MaxWait:    time.Hour,
+		PendingCap: 8,
+		Submit: func(ctx context.Context, fn func(context.Context) error) error {
+			<-release
+			return fn(ctx)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitted sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		admitted.Add(1)
+		go func(i int) {
+			defer admitted.Done()
+			errs[i] = b.Do(context.Background(), func(context.Context) error { return nil })
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // both items buffered
+	b.Close()
+
+	if err := b.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, engine.ErrPoolClosed) {
+		t.Fatalf("post-Close Do = %v, want engine.ErrPoolClosed", err)
+	}
+
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Drain(ctx); err != nil {
+		t.Fatalf("drain after close: %v", err)
+	}
+	admitted.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("admitted item %d was not completed across Close: %v", i, err)
+		}
+	}
+}
+
+// TestBackendRefusalSharedByBatch: when the backend sheds the whole batch,
+// every item receives that admission error.
+func TestBackendRefusalSharedByBatch(t *testing.T) {
+	shed := errors.New("queue full")
+	b := newBatcher(t, Options{
+		Size:    2,
+		MaxWait: time.Hour,
+		Submit: func(context.Context, func(context.Context) error) error {
+			return shed
+		},
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Do(context.Background(), func(context.Context) error { return nil })
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, shed) {
+			t.Fatalf("item %d got %v, want the backend refusal", i, err)
+		}
+	}
+}
+
+// TestObservePhases: the per-batch breakdown reports occupancy and
+// non-negative phase durations.
+func TestObservePhases(t *testing.T) {
+	type obs struct {
+		items        int
+		collect, run time.Duration
+	}
+	ch := make(chan obs, 1)
+	b := newBatcher(t, Options{
+		Size:    2,
+		MaxWait: time.Hour,
+		Observe: func(items int, collect, run time.Duration) {
+			ch <- obs{items, collect, run}
+		},
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Do(context.Background(), func(context.Context) error {
+				time.Sleep(2 * time.Millisecond)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	select {
+	case o := <-ch:
+		if o.items != 2 || o.collect < 0 || o.run <= 0 {
+			t.Fatalf("observation %+v not sane", o)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Observe was never called")
+	}
+}
+
+// TestManyBatchesUnderLoad: sustained concurrent traffic is fully conserved
+// — every item answered exactly once, occupancy never above Size.
+func TestManyBatchesUnderLoad(t *testing.T) {
+	met := engine.NewMetrics()
+	var maxSeen atomic.Int64
+	b := newBatcher(t, Options{
+		Size:       8,
+		MaxWait:    500 * time.Microsecond,
+		PendingCap: 64,
+		Metrics:    met,
+		Observe: func(items int, _, _ time.Duration) {
+			for {
+				cur := maxSeen.Load()
+				if int64(items) <= cur || maxSeen.CompareAndSwap(cur, int64(items)) {
+					return
+				}
+			}
+		},
+	})
+	const n = 200
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := b.Do(context.Background(), func(context.Context) error {
+				done.Add(1)
+				return nil
+			})
+			if err != nil && !errors.Is(err, ErrFull) {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen.Load() > 8 {
+		t.Fatalf("a batch held %d items, above Size=8", maxSeen.Load())
+	}
+	if ran, batched := done.Load(), met.Get(engine.SvcBatchItems); ran > batched {
+		t.Fatalf("conservation: %d items ran but only %d were counted batched", ran, batched)
+	}
+	if met.Get(engine.SvcBatches) == 0 {
+		t.Fatal(fmt.Sprint("no batches dispatched under load"))
+	}
+}

@@ -118,50 +118,78 @@ const (
 	// SvcSessionEvicts counts sessions evicted by the service's LRU cap or
 	// idle TTL (client DELETEs do not count).
 	SvcSessionEvicts
+	// CacheHits counts analysis requests answered from the
+	// content-addressed result cache.
+	CacheHits
+	// CacheMisses counts cache lookups that went to the engine (the
+	// singleflight leader of a concurrent burst counts once).
+	CacheMisses
+	// CacheCoalesced counts requests that shared another request's
+	// in-flight engine run through singleflight instead of running their
+	// own.
+	CacheCoalesced
+	// CacheEvictions counts cache entries evicted by the LRU entry cap or
+	// the byte budget.
+	CacheEvictions
+	// CacheInvalidations counts cache entries dropped because the serving
+	// library's fingerprint changed under a hot reload.
+	CacheInvalidations
+	// SvcBatches counts micro-batches dispatched to the engine pool.
+	SvcBatches
+	// SvcBatchItems counts analysis requests that travelled inside a
+	// micro-batch (batch occupancy = items/batches).
+	SvcBatchItems
 
 	numCounters
 )
 
 // counterNames are the stable text labels used by Snapshot/WriteText.
 var counterNames = [numCounters]string{
-	SpiceTransients:   "spice/transients",
-	SpiceTransSteps:   "spice/transient_steps",
-	SpiceNewtonIters:  "spice/newton_iters",
-	SpiceStepRetries:  "spice/step_retries",
-	SpiceStepHalvings: "spice/step_halvings",
-	SpiceGminSteps:    "spice/gmin_steps",
-	SpiceRecovered:    "spice/recovered_points",
-	SpiceUnrecovered:  "spice/unrecovered_points",
-	FaultsInjected:    "faultinject/injected",
-	CharJobs:          "charlib/jobs",
-	CharRetries:       "charlib/retries",
-	CharDegraded:      "charlib/degraded_points",
-	CharCells:         "charlib/cells",
-	STAGates:          "sta/gates",
-	STAArcs:           "sta/arcs",
-	ITRRefines:        "itr/refines",
-	ITRImplications:   "itr/implications",
-	SimGateEvals:      "logicsim/gate_evals",
-	ATPGFaults:        "atpg/faults",
-	ATPGDecisions:     "atpg/decisions",
-	ATPGBacktracks:    "atpg/backtracks",
-	ConfSeeds:         "conformance/seeds",
-	ConfChecks:        "conformance/checks",
-	ConfViolations:    "conformance/violations",
-	ConfSkipped:       "conformance/skipped",
-	SvcRequests:       "service/requests",
-	SvcShed:           "service/shed",
-	SvcTimeouts:       "service/timeouts",
-	SvcPanics:         "service/panics",
-	SvcBreakerTrips:   "service/breaker_trips",
-	SvcDegraded:       "service/degraded_responses",
-	SvcReloads:        "service/reloads",
-	SvcReloadFails:    "service/reload_failures",
-	StoreQuarantined:  "store/quarantined_cells",
-	CharCellsReused:   "charlib/cells_reused",
-	TGraphEdits:       "tgraph/edits",
-	SvcSessions:       "service/sessions_created",
-	SvcSessionEvicts:  "service/sessions_evicted",
+	SpiceTransients:    "spice/transients",
+	SpiceTransSteps:    "spice/transient_steps",
+	SpiceNewtonIters:   "spice/newton_iters",
+	SpiceStepRetries:   "spice/step_retries",
+	SpiceStepHalvings:  "spice/step_halvings",
+	SpiceGminSteps:     "spice/gmin_steps",
+	SpiceRecovered:     "spice/recovered_points",
+	SpiceUnrecovered:   "spice/unrecovered_points",
+	FaultsInjected:     "faultinject/injected",
+	CharJobs:           "charlib/jobs",
+	CharRetries:        "charlib/retries",
+	CharDegraded:       "charlib/degraded_points",
+	CharCells:          "charlib/cells",
+	STAGates:           "sta/gates",
+	STAArcs:            "sta/arcs",
+	ITRRefines:         "itr/refines",
+	ITRImplications:    "itr/implications",
+	SimGateEvals:       "logicsim/gate_evals",
+	ATPGFaults:         "atpg/faults",
+	ATPGDecisions:      "atpg/decisions",
+	ATPGBacktracks:     "atpg/backtracks",
+	ConfSeeds:          "conformance/seeds",
+	ConfChecks:         "conformance/checks",
+	ConfViolations:     "conformance/violations",
+	ConfSkipped:        "conformance/skipped",
+	SvcRequests:        "service/requests",
+	SvcShed:            "service/shed",
+	SvcTimeouts:        "service/timeouts",
+	SvcPanics:          "service/panics",
+	SvcBreakerTrips:    "service/breaker_trips",
+	SvcDegraded:        "service/degraded_responses",
+	SvcReloads:         "service/reloads",
+	SvcReloadFails:     "service/reload_failures",
+	StoreQuarantined:   "store/quarantined_cells",
+	CharCellsReused:    "charlib/cells_reused",
+	TGraphEdits:        "tgraph/edits",
+	SvcSessions:        "service/sessions_created",
+	SvcSessionEvicts:   "service/sessions_evicted",
+	CacheHits:          "service/cache_hits",
+	CacheMisses:        "service/cache_misses",
+	CacheCoalesced:     "service/cache_coalesced",
+	CacheEvictions:     "service/cache_evictions",
+	CacheInvalidations: "service/cache_invalidations",
+	SvcBatches:         "service/batches",
+	SvcBatchItems:      "service/batch_items",
 }
 
 // String returns the counter's label.

@@ -1,0 +1,61 @@
+package reqcache
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sstiming/internal/netlist"
+)
+
+// FuzzCanonicalNetlist drives the canonicalizer with arbitrary .bench text.
+// For every input the parser accepts, the canonical form must be (a)
+// deterministic, (b) invariant under gate-slice permutation, and (c) stable
+// across a Write/Parse round trip — the three properties the cache address
+// depends on. The target must never panic, parser-rejected inputs included.
+func FuzzCanonicalNetlist(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nn = NAND(a, b)\nz = NOT(n)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n")
+	f.Add("# comment only\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = OR(a, a)\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := netlist.Parse("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		canon := CanonicalNetlist(c)
+		if !bytes.Equal(canon, CanonicalNetlist(c)) {
+			t.Fatal("canonicalization is not deterministic")
+		}
+
+		// Permute the gate slice in place; the canonical form must not move.
+		perm := &netlist.Circuit{Name: c.Name, PIs: c.PIs, POs: c.POs}
+		rng := rand.New(rand.NewSource(int64(len(src))))
+		for _, gi := range rng.Perm(len(c.Gates)) {
+			g := c.Gates[gi]
+			perm.AddGate(g.Kind, g.Output, g.Inputs...)
+		}
+		if err := perm.Build(); err != nil {
+			t.Fatalf("permuted copy of a valid circuit failed to build: %v", err)
+		}
+		if !bytes.Equal(canon, CanonicalNetlist(perm)) {
+			t.Fatal("gate permutation changed the canonical form")
+		}
+
+		// Round trip through the writer.
+		var buf bytes.Buffer
+		if err := c.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := netlist.Parse("fuzz-rt", strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("writer output rejected by the parser: %v", err)
+		}
+		if !bytes.Equal(canon, CanonicalNetlist(back)) {
+			t.Fatal("canonical form did not survive a write/parse round trip")
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sstiming/internal/benchgen"
+	"sstiming/internal/engine"
+)
+
+// chain returns a .bench NOT-chain of the given depth with distinct net
+// names per tag, so concurrent batch tests can post distinguishable
+// circuits.
+func chainBench(tag string, depth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INPUT(%s_a)\n", tag)
+	prev := tag + "_a"
+	for i := 0; i < depth; i++ {
+		next := fmt.Sprintf("%s_n%d", tag, i)
+		fmt.Fprintf(&b, "%s = NOT(%s)\n", next, prev)
+		prev = next
+	}
+	fmt.Fprintf(&b, "OUTPUT(%s)\n", prev)
+	return b.String()
+}
+
+// TestBatchedAnalyzeSharesOneSubmission: a full batch of distinct small
+// requests travels as ONE engine-pool submission, and every member gets its
+// own correct result.
+func TestBatchedAnalyzeSharesOneSubmission(t *testing.T) {
+	met := engine.NewMetrics()
+	_, hs := newTestServer(t, Options{
+		BatchSize: 4,
+		BatchWait: 500 * time.Millisecond,
+		Workers:   2,
+		Metrics:   met,
+	})
+	depths := []int{3, 5, 7, 9}
+	type result struct {
+		depth  int
+		status int
+		gates  int
+		err    error
+	}
+	results := make(chan result, len(depths))
+	var wg sync.WaitGroup
+	for _, d := range depths {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			st, _, raw, err := postRaw(hs.URL+"/analyze",
+				map[string]any{"netlist": chainBench(fmt.Sprintf("d%d", d), d)})
+			var ar AnalyzeResponse
+			if err == nil {
+				err = json.Unmarshal(raw, &ar)
+			}
+			results <- result{depth: d, status: st, gates: ar.Circuit.Gates, err: err}
+		}(d)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("depth-%d member answered %d, want 200", r.depth, r.status)
+		}
+		if r.gates != r.depth {
+			t.Fatalf("depth-%d member got a response with %d gates — crossed wires inside the batch", r.depth, r.gates)
+		}
+	}
+	if batches, items := met.Get(engine.SvcBatches), met.Get(engine.SvcBatchItems); batches != 1 || items != 4 {
+		t.Fatalf("batches/items = %d/%d, want 1/4 (one shared submission)", batches, items)
+	}
+
+	// The occupancy and wait histograms must be visible on /metrics.
+	resp, raw := getURL(t, hs.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"service/batches", "service/batch_items",
+		"service/batch_occupancy{le=", "service/batch_wait{le="} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("/metrics misses %q:\n%.800s", want, raw)
+		}
+	}
+}
+
+// TestBatchFaultIsolated: one deterministically-faulting member (a gate
+// with no characterised cell) answers its own 422 while every sibling in
+// the same batch still gets a correct 200.
+func TestBatchFaultIsolated(t *testing.T) {
+	met := engine.NewMetrics()
+	_, hs := newTestServer(t, Options{
+		BatchSize: 4,
+		BatchWait: 500 * time.Millisecond,
+		Workers:   2,
+		Metrics:   met,
+	})
+	// NAND5 parses fine but the library characterises only NAND2..NAND4:
+	// a mid-analysis failure inside the batch, not an admission refusal.
+	faulty := "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(z)\nz = NAND(a, b, c, d, e)\n"
+	type result struct {
+		tag    string
+		status int
+		err    error
+	}
+	results := make(chan result, 4)
+	var wg sync.WaitGroup
+	post := func(tag, src string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, _, _, err := postRaw(hs.URL+"/analyze", map[string]any{"netlist": src})
+			results <- result{tag: tag, status: st, err: err}
+		}()
+	}
+	post("faulty", faulty)
+	for i := 0; i < 3; i++ {
+		tag := fmt.Sprintf("ok%d", i)
+		post(tag, chainBench(tag, 4+i))
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		want := http.StatusOK
+		if r.tag == "faulty" {
+			want = http.StatusUnprocessableEntity
+		}
+		if r.status != want {
+			t.Fatalf("%s member answered %d, want %d", r.tag, r.status, want)
+		}
+	}
+	if batches, items := met.Get(engine.SvcBatches), met.Get(engine.SvcBatchItems); batches != 1 || items != 4 {
+		t.Fatalf("batches/items = %d/%d, want 1/4 (fault and siblings shared a batch)", batches, items)
+	}
+}
+
+// TestBatchExpiredMemberGets504: a member whose deadline fires while the
+// batch is still collecting gets its 504 and its work never runs; the
+// sibling that completes the batch still gets its 200.
+func TestBatchExpiredMemberGets504(t *testing.T) {
+	met := engine.NewMetrics()
+	_, hs := newTestServer(t, Options{
+		BatchSize: 2,
+		BatchWait: 2 * time.Second,
+		Workers:   1,
+		Metrics:   met,
+	})
+	expired := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st, _, _, _ := postRaw(hs.URL+"/analyze",
+			map[string]any{"netlist": chainBench("dead", 4), "timeout_ms": 1})
+		expired <- st
+	}()
+	// Let the doomed member enter the batch and its 1ms deadline fire
+	// before the sibling completes the batch.
+	time.Sleep(100 * time.Millisecond)
+	st, _, raw, err := postRaw(hs.URL+"/analyze", map[string]any{"netlist": chainBench("live", 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != http.StatusOK {
+		t.Fatalf("live sibling answered %d, want 200: %.300s", st, raw)
+	}
+	wg.Wait()
+	if got := <-expired; got != http.StatusGatewayTimeout {
+		t.Fatalf("expired member answered %d, want 504", got)
+	}
+	if met.Get(engine.SvcTimeouts) < 1 {
+		t.Fatal("expired batched member was not counted under service/timeouts")
+	}
+}
+
+// TestBatchDrainFlushesPartialBatch: a drain that begins while a partial
+// batch is still collecting flushes it into the queue — the admitted
+// members complete with real answers — and late requests are refused with
+// the draining 503.
+func TestBatchDrainFlushesPartialBatch(t *testing.T) {
+	met := engine.NewMetrics()
+	s, hs := newTestServer(t, Options{
+		BatchSize: 8,
+		BatchWait: 30 * time.Second, // only the drain can flush this batch
+		Workers:   2,
+		Metrics:   met,
+	})
+	statuses := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, _, _, _ := postRaw(hs.URL+"/analyze",
+				map[string]any{"netlist": chainBench(fmt.Sprintf("p%d", i), 3+i)})
+			statuses <- st
+		}(i)
+	}
+	// Both members are collecting; the batch is far from full.
+	waitFor(t, "both members admitted into the collecting batch", func() bool {
+		return met.Get(engine.SvcRequests) >= 2
+	})
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain with a collecting batch: %v", err)
+	}
+	wg.Wait()
+	close(statuses)
+	for st := range statuses {
+		if st != http.StatusOK {
+			t.Fatalf("admitted batch member answered %d across the drain, want 200", st)
+		}
+	}
+	if batches, items := met.Get(engine.SvcBatches), met.Get(engine.SvcBatchItems); batches != 1 || items != 2 {
+		t.Fatalf("batches/items = %d/%d, want 1/2 (the drain flushed one partial batch)", batches, items)
+	}
+
+	// Late arrivals are refused as draining, not shed and not hung.
+	st, _, raw, err := postRaw(hs.URL+"/analyze", map[string]any{"netlist": chainBench("late", 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain analyze answered %d, want 503: %.300s", st, raw)
+	}
+	var ej ErrorJSON
+	if err := json.Unmarshal(raw, &ej); err != nil || ej.Kind != "draining" {
+		t.Fatalf("post-drain refusal kind %q (err %v), want \"draining\"", ej.Kind, err)
+	}
+}
+
+// TestBatchedEqualsUnbatched: the same circuit analysed through the batcher
+// and through the plain queue produces byte-identical bodies — batching is
+// a transport optimisation, never a semantic one.
+func TestBatchedEqualsUnbatched(t *testing.T) {
+	src := benchText(t, benchgen.C17())
+	_, plain := newTestServer(t, Options{})
+	_, batched := newTestServer(t, Options{BatchSize: 2, BatchWait: time.Millisecond})
+
+	st1, _, b1 := postCached(t, plain.URL+"/analyze", map[string]any{"netlist": src, "windows": true})
+	st2, _, b2 := postCached(t, batched.URL+"/analyze", map[string]any{"netlist": src, "windows": true})
+	if st1 != 200 || st2 != 200 {
+		t.Fatalf("statuses %d/%d", st1, st2)
+	}
+	if b1 != b2 {
+		t.Fatalf("batched response differs from unbatched:\nplain:   %s\nbatched: %s", b1, b2)
+	}
+}

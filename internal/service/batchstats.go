@@ -1,0 +1,65 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// numOccBuckets is len(occBuckets); the atomic counts array needs a
+// constant.
+const numOccBuckets = 7
+
+// occBuckets are the batch-occupancy histogram upper bounds (items per
+// dispatched batch).
+var occBuckets = [numOccBuckets]int{1, 2, 4, 8, 16, 32, 64}
+
+// batchStats aggregates the micro-batcher's per-batch observations for
+// /metrics: how full dispatched batches are (occupancy histogram) and how
+// long items waited to be coalesced (collect-wait histogram, reusing the
+// fixed latency buckets). All fields are atomics; observe is lock-free and
+// called from batch-dispatch goroutines.
+type batchStats struct {
+	occ      [numOccBuckets + 1]atomic.Int64 // last = +Inf
+	occTotal atomic.Int64
+	items    atomic.Int64
+	wait     histogram
+}
+
+// observe matches batch.Options.Observe.
+func (b *batchStats) observe(items int, collect, _ time.Duration) {
+	i := sort.Search(numOccBuckets, func(i int) bool { return items <= occBuckets[i] })
+	b.occ[i].Add(1)
+	b.occTotal.Add(1)
+	b.items.Add(int64(items))
+	b.wait.observe(collect)
+}
+
+// writeText renders both histograms as cumulative bucket lines.
+func (b *batchStats) writeText(w io.Writer) {
+	total := b.occTotal.Load()
+	if total == 0 {
+		return
+	}
+	cum := int64(0)
+	for i, ub := range occBuckets {
+		cum += b.occ[i].Load()
+		fmt.Fprintf(w, "service/batch_occupancy{le=\"%d\"} %d\n", ub, cum)
+	}
+	cum += b.occ[numOccBuckets].Load()
+	fmt.Fprintf(w, "service/batch_occupancy{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "service/batch_occupancy_sum %d\n", b.items.Load())
+	fmt.Fprintf(w, "service/batch_occupancy_count %d\n", total)
+
+	wcum := int64(0)
+	for i, ub := range latencyBuckets {
+		wcum += b.wait.counts[i].Load()
+		fmt.Fprintf(w, "service/batch_wait{le=%q} %d\n", ub.String(), wcum)
+	}
+	wcum += b.wait.counts[numLatencyBuckets].Load()
+	fmt.Fprintf(w, "service/batch_wait{le=\"+Inf\"} %d\n", wcum)
+	fmt.Fprintf(w, "service/batch_wait_sum %.6f\n", time.Duration(b.wait.sum.Load()).Seconds())
+	fmt.Fprintf(w, "service/batch_wait_count %d\n", b.wait.total.Load())
+}

@@ -12,8 +12,8 @@ import (
 // goroutine.
 type fakeClock struct{ t time.Time }
 
-func newFakeClock() *fakeClock     { return &fakeClock{t: time.Unix(1_000_000, 0)} }
-func (c *fakeClock) now() time.Time { return c.t }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
 func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 func newTestBreaker(cfg BreakerConfig, met *engine.Metrics) (*breaker, *fakeClock) {

@@ -10,11 +10,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sstiming/internal/batch"
 	"sstiming/internal/conformance"
 	"sstiming/internal/engine"
 	"sstiming/internal/itr"
 	"sstiming/internal/netlist"
 	"sstiming/internal/nineval"
+	"sstiming/internal/reqcache"
 	"sstiming/internal/spice"
 	"sstiming/internal/sta"
 )
@@ -285,9 +287,84 @@ func (s *Server) checkGateBudget(c *netlist.Circuit) error {
 	return nil
 }
 
-// handleAnalyze serves POST /analyze: one STA job.
+// execute routes one analysis job to the engine: through the micro-batcher
+// when batching is enabled and the circuit is small enough to coalesce, else
+// straight through admission control. Batch-layer refusals are translated
+// into the service taxonomy: a full pending buffer is the same shed/429 the
+// job queue answers.
+func (s *Server) execute(ctx context.Context, gates int, fn func(ctx context.Context) error) error {
+	if s.batcher != nil && (s.opts.MaxBatchGates < 0 || gates <= s.opts.MaxBatchGates) {
+		if s.draining.Load() {
+			return fmt.Errorf("%w: draining", engine.ErrPoolClosed)
+		}
+		err := s.batcher.Do(ctx, fn)
+		if errors.Is(err, batch.ErrFull) {
+			s.met.Add(engine.SvcShed, 1)
+			return fmt.Errorf("%w: %v", ErrShedLoad, err)
+		}
+		return err
+	}
+	return s.submit(ctx, fn)
+}
+
+// cached runs compute through the content-addressed cache when enabled;
+// without a cache every call is its own cold run.
+func (s *Server) cached(ctx context.Context, key reqcache.Key, fp string,
+	compute func(ctx context.Context) (any, int64, error)) (any, reqcache.Status, error) {
+	if s.cache == nil {
+		v, _, err := compute(ctx)
+		return v, reqcache.Miss, err
+	}
+	return s.cache.Do(ctx, key, fp, compute)
+}
+
+// asJobError normalizes raw context errors surfacing from the cache and
+// batch layers (a singleflight follower whose deadline fired while waiting,
+// an item that expired while batched) into the service taxonomy: a deadline
+// is a 504 no matter which layer noticed it first.
+func asJobError(err error) error {
+	if err == nil || errors.Is(err, spice.ErrCancelled) {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return spice.Cancelled(err)
+	}
+	return err
+}
+
+// respSize is a response's cache byte-accounting weight: its JSON encoding
+// size.
+func respSize(v any) int64 {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}
+
+// boolPart renders a boolean option as a cache-key part.
+func boolPart(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// handleAnalyze serves POST /analyze: one STA job, content-addressed. The
+// address has two levels. First the raw level: a hash of the request fields
+// exactly as posted — a byte-identical re-post answers from the alias map
+// without ever parsing the netlist, which on small circuits costs as much
+// as the analysis itself. Only on a raw miss is the request parsed and
+// size-checked (bad input never consumes a cache flight or a queue slot)
+// and addressed by the canonical netlist plus every response-relevant
+// option under the serving library's fingerprint; only a canonical miss
+// runs the engine — through the micro-batcher for small circuits when
+// batching is enabled. The X-Cache header reports hit/miss/coalesced; a
+// cached response is byte-identical to the cold run modulo the re-stamped
+// request_id and elapsed_ms.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	id := RequestID(r.Context())
+	start := time.Now()
 	var req AnalyzeRequest
 	if err := s.readJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, id, err, nil)
@@ -298,63 +375,102 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, id, err, nil)
 		return
 	}
-	ctx, cancel := s.withDeadline(r, req.TimeoutMs)
-	defer cancel()
-
-	start := time.Now()
-	var resp *AnalyzeResponse
-	err = s.submit(ctx, func(ctx context.Context) error {
-		c, err := parseCircuit(req.Netlist, req.Format)
-		if err != nil {
-			return err
+	ls := s.libstate()
+	// Format is part of the raw address (it changes how the same bytes
+	// parse) but not the canonical one (parsing normalizes it away).
+	rawKey := reqcache.KeyFrom("analyze-raw/1", ls.fp, mode.String(),
+		boolPart(req.NCExtension), boolPart(req.Windows),
+		strings.ToLower(req.Format), req.Netlist)
+	if s.cache != nil {
+		if v, ok := s.cache.GetVia(rawKey); ok {
+			resp := *v.(*AnalyzeResponse)
+			resp.RequestID = id
+			resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+			w.Header().Set("X-Cache", reqcache.Hit.String())
+			writeJSON(w, http.StatusOK, &resp)
+			return
 		}
-		if err := s.checkGateBudget(c); err != nil {
-			return err
-		}
-		res, err := sta.Analyze(c, sta.Options{
-			Lib:         s.library(),
-			Mode:        mode,
-			NCExtension: req.NCExtension,
-			Ctx:         ctx,
-			Jobs:        s.opts.AnalysisJobs,
-			Metrics:     s.met,
-		})
-		if err != nil {
-			return err
-		}
-		out := &AnalyzeResponse{
-			RequestID:    id,
-			Circuit:      circuitJSON(c),
-			Mode:         mode.String(),
-			MinPOArrival: res.MinPOArrival(),
-			MaxPOArrival: res.MaxPOArrival(),
-		}
-		if path, err := res.WorstPath(); err == nil {
-			out.CriticalPath = sta.FormatPath(path)
-		}
-		if req.Windows {
-			out.Lines = make(map[string]map[string]WindowJSON, len(res.Lines))
-			for net, lt := range res.Lines {
-				out.Lines[net] = map[string]WindowJSON{
-					"rise": windowJSON(lt.Rise),
-					"fall": windowJSON(lt.Fall),
-				}
-			}
-		}
-		resp = out
-		return nil
-	})
+	}
+	c, err := parseCircuit(req.Netlist, req.Format)
+	if err == nil {
+		err = s.checkGateBudget(c)
+	}
 	if err != nil {
 		s.respondJobError(w, id, err)
 		return
 	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMs)
+	defer cancel()
+
+	key := reqcache.KeyFrom("analyze/1", ls.fp, mode.String(),
+		boolPart(req.NCExtension), boolPart(req.Windows),
+		string(reqcache.CanonicalNetlist(c)))
+	val, status, err := s.cached(ctx, key, ls.fp, func(ctx context.Context) (any, int64, error) {
+		var out *AnalyzeResponse
+		err := s.execute(ctx, c.NumGates(), func(ctx context.Context) error {
+			res, err := sta.Analyze(c, sta.Options{
+				Lib:         ls.lib,
+				Mode:        mode,
+				NCExtension: req.NCExtension,
+				Ctx:         ctx,
+				Jobs:        s.opts.AnalysisJobs,
+				Metrics:     s.met,
+			})
+			if err != nil {
+				return err
+			}
+			// Identity fields (request_id, elapsed_ms) stay zero in the
+			// cached value; every response re-stamps its own copy.
+			out = &AnalyzeResponse{
+				Circuit:      circuitJSON(c),
+				Mode:         mode.String(),
+				MinPOArrival: res.MinPOArrival(),
+				MaxPOArrival: res.MaxPOArrival(),
+			}
+			if path, err := res.WorstPath(); err == nil {
+				out.CriticalPath = sta.FormatPath(path)
+			}
+			if req.Windows {
+				out.Lines = make(map[string]map[string]WindowJSON, len(res.Lines))
+				for net, lt := range res.Lines {
+					out.Lines[net] = map[string]WindowJSON{
+						"rise": windowJSON(lt.Rise),
+						"fall": windowJSON(lt.Fall),
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return out, respSize(out), nil
+	})
+	if err != nil {
+		s.respondJobError(w, id, asJobError(err))
+		return
+	}
+	if s.cache != nil {
+		s.cache.SetAlias(rawKey, key)
+	}
+	// Shallow copy: identity fields are per-request, everything else is the
+	// shared immutable cached value.
+	resp := *val.(*AnalyzeResponse)
+	resp.RequestID = id
 	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
-	writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("X-Cache", status.String())
+	writeJSON(w, http.StatusOK, &resp)
 }
 
-// handleRefine serves POST /refine: one ITR job.
+// handleRefine serves POST /refine: one ITR job, content-addressed like
+// /analyze — the raw-level alias answers a byte-identical re-post without
+// parsing, and the canonical address adds the canonical cube and net filter
+// to the canonical netlist. Refine jobs do not ride the micro-batcher
+// (coalescing targets bursts of small STA requests); a miss submits
+// straight through admission control.
 func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 	id := RequestID(r.Context())
+	start := time.Now()
 	var req RefineRequest
 	if err := s.readJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, id, err, nil)
@@ -365,63 +481,98 @@ func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, id, err, nil)
 		return
 	}
+	// parseCube accepts 'x' and 'X' alike; fold case so both spellings
+	// share an address. Cheap enough (a handful of nets) to sit above the
+	// raw fast path, unlike the netlist parse.
+	cubeKey := make(map[string]string, len(req.Cube))
+	for net, v := range req.Cube {
+		cubeKey[net] = strings.ToLower(v)
+	}
+	ls := s.libstate()
+	rawKey := reqcache.KeyFrom("refine-raw/1", ls.fp, mode.String(),
+		boolPart(req.NCExtension), reqcache.CanonicalCube(cubeKey),
+		reqcache.CanonicalNets(req.Nets), strings.ToLower(req.Format), req.Netlist)
+	if s.cache != nil {
+		if v, ok := s.cache.GetVia(rawKey); ok {
+			resp := *v.(*RefineResponse)
+			resp.RequestID = id
+			resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+			w.Header().Set("X-Cache", reqcache.Hit.String())
+			writeJSON(w, http.StatusOK, &resp)
+			return
+		}
+	}
 	cube, err := parseCube(req.Cube)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, id, err, nil)
 		return
 	}
-	ctx, cancel := s.withDeadline(r, req.TimeoutMs)
-	defer cancel()
-
-	start := time.Now()
-	var resp *RefineResponse
-	err = s.submit(ctx, func(ctx context.Context) error {
-		c, err := parseCircuit(req.Netlist, req.Format)
-		if err != nil {
-			return err
-		}
-		if err := s.checkGateBudget(c); err != nil {
-			return err
-		}
-		res, err := itr.Refine(c, cube, itr.Options{
-			Lib:         s.library(),
-			Mode:        mode,
-			NCExtension: req.NCExtension,
-			Ctx:         ctx,
-			Metrics:     s.met,
-		})
-		if err != nil {
-			return err
-		}
-		keep := func(string) bool { return true }
-		if len(req.Nets) > 0 {
-			set := make(map[string]bool, len(req.Nets))
-			for _, n := range req.Nets {
-				set[n] = true
-			}
-			keep = func(net string) bool { return set[net] }
-		}
-		lines := make(map[string]RefineLineJSON)
-		for net, li := range res.Lines {
-			if !keep(net) {
-				continue
-			}
-			lines[net] = lineJSON(*li)
-		}
-		resp = &RefineResponse{
-			RequestID: id,
-			Circuit:   circuitJSON(c),
-			Cube:      res.Cube.String(),
-			Lines:     lines,
-		}
-		return nil
-	})
+	c, err := parseCircuit(req.Netlist, req.Format)
+	if err == nil {
+		err = s.checkGateBudget(c)
+	}
 	if err != nil {
 		s.respondJobError(w, id, err)
 		return
 	}
+	ctx, cancel := s.withDeadline(r, req.TimeoutMs)
+	defer cancel()
+
+	key := reqcache.KeyFrom("refine/1", ls.fp, mode.String(),
+		boolPart(req.NCExtension), reqcache.CanonicalCube(cubeKey),
+		reqcache.CanonicalNets(req.Nets), string(reqcache.CanonicalNetlist(c)))
+	val, status, err := s.cached(ctx, key, ls.fp, func(ctx context.Context) (any, int64, error) {
+		var out *RefineResponse
+		err := s.submit(ctx, func(ctx context.Context) error {
+			res, err := itr.Refine(c, cube, itr.Options{
+				Lib:         ls.lib,
+				Mode:        mode,
+				NCExtension: req.NCExtension,
+				Ctx:         ctx,
+				Metrics:     s.met,
+			})
+			if err != nil {
+				return err
+			}
+			keep := func(string) bool { return true }
+			if len(req.Nets) > 0 {
+				set := make(map[string]bool, len(req.Nets))
+				for _, n := range req.Nets {
+					set[n] = true
+				}
+				keep = func(net string) bool { return set[net] }
+			}
+			lines := make(map[string]RefineLineJSON)
+			for net, li := range res.Lines {
+				if !keep(net) {
+					continue
+				}
+				lines[net] = lineJSON(*li)
+			}
+			out = &RefineResponse{
+				Circuit: circuitJSON(c),
+				Cube:    res.Cube.String(),
+				Lines:   lines,
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return out, respSize(out), nil
+	})
+	if err != nil {
+		s.respondJobError(w, id, asJobError(err))
+		return
+	}
+	if s.cache != nil {
+		s.cache.SetAlias(rawKey, key)
+	}
+	resp := *val.(*RefineResponse)
+	resp.RequestID = id
 	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
-	writeJSON(w, http.StatusOK, resp)
+	w.Header().Set("X-Cache", status.String())
+	writeJSON(w, http.StatusOK, &resp)
 }
 
 // handleConformance serves POST /conformance: a randomized differential
@@ -606,6 +757,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, ep := range endpointOrder {
 		s.hist[ep].writeText(w, ep)
 	}
+	if s.bstats != nil {
+		s.bstats.writeText(w)
+	}
 	fmt.Fprintf(w, "service/breaker_state %q\n", s.breaker.State().String())
 	fmt.Fprintf(w, "service/inflight %d\n", s.queue.Inflight())
+	if s.cache != nil {
+		fmt.Fprintf(w, "service/cache_entries %d\n", s.cache.Len())
+		fmt.Fprintf(w, "service/cache_bytes %d\n", s.cache.Bytes())
+		fmt.Fprintf(w, "service/cache_aliases %d\n", s.cache.AliasLen())
+	}
 }

@@ -43,9 +43,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sstiming/internal/batch"
 	"sstiming/internal/core"
 	"sstiming/internal/engine"
+	"sstiming/internal/reqcache"
 	"sstiming/internal/spice"
+	"sstiming/internal/store"
 )
 
 // endpointOrder lists the instrumented endpoints (histogram render order).
@@ -95,6 +98,29 @@ type Options struct {
 	// lazily on session traffic). Zero selects 15 minutes, negative
 	// disables idle eviction.
 	SessionIdleTTL time.Duration
+	// CacheEntries enables the content-addressed analysis cache
+	// (internal/reqcache) on /analyze and /refine, capped at this many
+	// resident responses. Zero or negative disables caching (the zero
+	// value preserves the uncached request path exactly).
+	CacheEntries int
+	// CacheBytes caps the resident cached-response bytes (their JSON
+	// encoding size); <= 0 means no byte bound. Only meaningful with
+	// CacheEntries > 0.
+	CacheBytes int64
+	// BatchSize enables request micro-batching (internal/batch) on
+	// /analyze at this batch occupancy: small jobs arriving within
+	// BatchWait of each other share one engine-pool submission. A value
+	// below 2 disables batching (the zero value preserves the unbatched
+	// request path exactly).
+	BatchSize int
+	// BatchWait bounds how long a non-full batch collects before
+	// dispatching; <= 0 selects the batcher's 2ms default.
+	BatchWait time.Duration
+	// MaxBatchGates routes only netlists at or below this gate count
+	// through the batcher — large jobs gain nothing from coalescing and
+	// would hold small ones hostage. Zero selects 256; negative batches
+	// every size.
+	MaxBatchGates int
 	// Breaker tunes the solver circuit breaker.
 	Breaker BreakerConfig
 	// Metrics is the instrumentation sink; nil creates a private one.
@@ -127,6 +153,9 @@ func (o *Options) fill() error {
 	if o.MaxConformanceSeeds <= 0 {
 		o.MaxConformanceSeeds = 16
 	}
+	if o.MaxBatchGates == 0 {
+		o.MaxBatchGates = 256
+	}
 	if o.MaxSessions == 0 {
 		o.MaxSessions = 64
 	}
@@ -139,17 +168,30 @@ func (o *Options) fill() error {
 	return nil
 }
 
+// libState pairs the serving library with its content fingerprint. The two
+// travel as one atomically-swapped value so a request never observes a fresh
+// library under a stale fingerprint (or vice versa) across a hot reload —
+// the torn pair would let a stale cache entry serve against the new library.
+type libState struct {
+	lib *core.Library
+	fp  string
+}
+
 // Server is the daemon's request-path state. Construct with New, mount
 // Handler on an http.Server, and call Drain on shutdown.
 type Server struct {
 	opts Options
-	// lib is the serving library; hot reload swaps the pointer atomically,
-	// so a request sees one consistent library end to end.
-	lib      atomic.Pointer[core.Library]
+	// libst is the serving (library, fingerprint) pair; hot reload swaps
+	// the pointer atomically, so a request sees one consistent library end
+	// to end.
+	libst    atomic.Pointer[libState]
 	met      *engine.Metrics
 	queue    *jobQueue
 	breaker  *breaker
 	sessions *sessionStore
+	cache    *reqcache.Cache // nil when CacheEntries <= 0
+	batcher  *batch.Batcher  // nil when BatchSize < 2
+	bstats   *batchStats
 	mux      *http.ServeMux
 	hist     map[string]*histogram
 
@@ -176,7 +218,31 @@ func New(opts Options) (*Server, error) {
 		started:  time.Now(),
 		boot:     uint32(time.Now().UnixNano()),
 	}
-	s.lib.Store(opts.Lib)
+	fp, err := store.LibraryFingerprint(opts.Lib)
+	if err != nil {
+		return nil, fmt.Errorf("service: fingerprinting the boot library: %w", err)
+	}
+	s.libst.Store(&libState{lib: opts.Lib, fp: fp})
+	if opts.CacheEntries > 0 {
+		s.cache = reqcache.New(opts.CacheEntries, opts.CacheBytes, opts.Metrics)
+	}
+	if opts.BatchSize >= 2 {
+		s.bstats = &batchStats{}
+		s.batcher, err = batch.New(batch.Options{
+			Size:    opts.BatchSize,
+			MaxWait: opts.BatchWait,
+			// The batch submission enters the queue directly, not through
+			// s.submit: Drain flushes the final partial batch after the
+			// draining flag is up but before the queue closes, and those
+			// already-admitted items must still reach a worker.
+			Submit:  s.queue.Submit,
+			Observe: s.bstats.observe,
+			Metrics: opts.Metrics,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	for _, ep := range endpointOrder {
 		s.hist[ep] = &histogram{}
 	}
@@ -198,7 +264,10 @@ func New(opts Options) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // library returns the currently served library.
-func (s *Server) library() *core.Library { return s.lib.Load() }
+func (s *Server) library() *core.Library { return s.libstate().lib }
+
+// libstate returns the consistent (library, fingerprint) snapshot.
+func (s *Server) libstate() *libState { return s.libst.Load() }
 
 // Reload re-runs the configured LibLoader and atomically swaps the serving
 // library in. Failure is breaker-style: the reload is refused (typed error,
@@ -223,8 +292,21 @@ func (s *Server) Reload() (*core.Library, error) {
 		s.met.Add(engine.SvcReloadFails, 1)
 		return nil, fmt.Errorf("%w: serving %q, reload offers %q", ErrTechMismatch, cur.TechName, fresh.TechName)
 	}
-	s.lib.Store(fresh)
+	fp, err := store.LibraryFingerprint(fresh)
+	if err != nil {
+		s.met.Add(engine.SvcReloadFails, 1)
+		return nil, fmt.Errorf("service: reload failed fingerprinting, keeping the serving library: %w", err)
+	}
+	s.libst.Store(&libState{lib: fresh, fp: fp})
 	s.met.Add(engine.SvcReloads, 1)
+	// Every cached answer derived from a different fingerprint is stale
+	// now. Keys embed the fingerprint, so stale entries were already
+	// unreachable the instant the pointer swapped; dropping them returns
+	// their memory and counts the invalidation. A byte-identical reload
+	// keeps the fingerprint and therefore the warm cache.
+	if s.cache != nil {
+		s.cache.Invalidate(fp)
+	}
 	return fresh, nil
 }
 
@@ -249,8 +331,20 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain performs the graceful-shutdown sequence: first readiness fails and
 // new jobs are refused, then the call blocks until every in-flight job
-// finished or ctx fires. Safe to call more than once.
+// finished or ctx fires. The batcher drains before the queue — its final
+// partial batch must flush into a still-open queue, because a batched item
+// that was admitted before the drain began is owed a real answer. Safe to
+// call more than once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.queue.Drain(ctx)
+	var firstErr error
+	if s.batcher != nil {
+		if err := s.batcher.Drain(ctx); err != nil {
+			firstErr = err
+		}
+	}
+	if err := s.queue.Drain(ctx); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

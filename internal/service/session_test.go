@@ -217,7 +217,7 @@ func TestSessionBadRequests(t *testing.T) {
 	requireSameLines(t, "after rejected deltas", sessionWindows(t, hs, sid).Lines, refineLines(t, hs, src, nil))
 
 	// Unknown ID without a tombstone: plain 404.
-	resp, raw := getURL(t, hs.URL + "/session/nope/windows")
+	resp, raw := getURL(t, hs.URL+"/session/nope/windows")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown session = %d, want 404: %s", resp.StatusCode, raw)
 	}

@@ -1,0 +1,38 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"sstiming/internal/core"
+)
+
+// LibraryFingerprint returns a stable hex digest of a library's timing
+// content: the technology tag, supply voltage and every cell model's
+// canonical digest (the same per-cell hash the manifest records), combined
+// in sorted cell order. Two libraries with equal fingerprints produce
+// identical analysis results, so the fingerprint is the reload-invalidation
+// axis of the service's content-addressed cache: it changes exactly when a
+// hot reload could change an answer, and never on a byte-identical reload.
+func LibraryFingerprint(lib *core.Library) (string, error) {
+	if lib == nil {
+		return "", fmt.Errorf("store: fingerprinting a nil library")
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "tech:%s\nvdd:%.17g\n", lib.TechName, lib.Vdd)
+	names := make([]string, 0, len(lib.Cells))
+	for name := range lib.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ch, err := cellHash(lib.Cells[name])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "cell:%s:%s\n", name, ch)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

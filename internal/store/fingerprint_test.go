@@ -1,0 +1,58 @@
+package store_test
+
+import (
+	"testing"
+
+	"sstiming/internal/core"
+	"sstiming/internal/prechar"
+	"sstiming/internal/store"
+)
+
+// copyLib shallow-copies a library with its own cell map, so tests can swap
+// cells without mutating the shared embedded singleton.
+func copyLib(lib *core.Library) *core.Library {
+	c := *lib
+	c.Cells = make(map[string]*core.CellModel, len(lib.Cells))
+	for name, m := range lib.Cells {
+		c.Cells[name] = m
+	}
+	return &c
+}
+
+// TestLibraryFingerprint: the fingerprint is deterministic, insensitive to
+// cell-map identity, and sensitive to exactly the inputs that can change an
+// analysis answer — a cell's timing values, the tech tag, the supply.
+func TestLibraryFingerprint(t *testing.T) {
+	a := prechar.MustLibrary()
+	fpA, err := store.LibraryFingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA == "" {
+		t.Fatal("empty fingerprint")
+	}
+	// A copy with a distinct cell-map identity shares the fingerprint.
+	b := copyLib(a)
+	if fpB, _ := store.LibraryFingerprint(b); fpB != fpA {
+		t.Fatalf("two views of the same library fingerprint differently:\n%s\n%s", fpA, fpB)
+	}
+	// Any timing-value change moves it.
+	for name, m := range b.Cells {
+		clone := *m
+		clone.RefLoad *= 1.0000001
+		b.Cells[name] = &clone
+		break
+	}
+	if fpB, _ := store.LibraryFingerprint(b); fpB == fpA {
+		t.Fatal("a changed cell model kept the fingerprint")
+	}
+	// So does the technology tag.
+	c := copyLib(a)
+	c.TechName = "other-tech"
+	if fpC, _ := store.LibraryFingerprint(c); fpC == fpA {
+		t.Fatal("a changed tech tag kept the fingerprint")
+	}
+	if _, err := store.LibraryFingerprint(nil); err == nil {
+		t.Fatal("nil library fingerprinted without error")
+	}
+}
