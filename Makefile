@@ -7,7 +7,7 @@ GO ?= go
 # genuinely improves; never lower it to make a PR pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race vet verify conformance cache-conformance chaos store-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
+.PHONY: build test race vet verify conformance cache-conformance chaos store-chaos shard-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 # Tier-1 verification loop (see ROADMAP.md).
-verify: build vet test race conformance cache-conformance chaos store-chaos service-smoke
+verify: build vet test race conformance cache-conformance chaos store-chaos shard-chaos service-smoke
 
 # Short randomized differential campaign: cross-checks flatsim, logicsim,
 # STA, ITR and the delay-model structure against each other on random
@@ -49,7 +49,7 @@ cache-conformance:
 chaos:
 	$(GO) test -race -run 'Chaos' ./internal/spice ./internal/charlib \
 		./internal/conformance ./internal/faultinject ./internal/engine \
-		./internal/tgraph ./internal/service
+		./internal/tgraph ./internal/service ./internal/shard
 
 # Store crash-safety suite: kill a characterisation campaign mid-cell
 # (deterministically, inside its own checkpoint), tear the journal tail,
@@ -57,6 +57,15 @@ chaos:
 # uninterrupted run (see internal/store and DESIGN.md "Durable artifacts").
 store-chaos:
 	$(GO) test -race -run 'Chaos' ./internal/store
+
+# Sharded-campaign chaos suite: real coordinator/worker campaigns with
+# seeded worker kills, hangs and artefact corruption mid-run — every one
+# must converge to a publish byte-identical to an uninterrupted
+# single-process run, and a persistently-failing shard must quarantine
+# (degrade) instead of wedging the campaign (see internal/shard and
+# DESIGN.md §14).
+shard-chaos:
+	$(GO) test -race -run 'TestShardChaos' ./internal/shard
 
 # Service smoke test: start the timingd daemon on a random loopback port,
 # POST an example netlist, require a 200 STA response and a clean graceful
@@ -75,11 +84,13 @@ cover:
 		  printf "total coverage %.1f%% (floor %.1f%%)\n", $$3, floor }'
 
 # Performance trajectory point (ROADMAP item 5b): full-STA throughput,
-# incremental edit latency vs. cone size, ITR-in-ATPG wall-clock, and the
-# service sustained-QPS section (cold vs hot cache, batched vs unbatched),
-# with machine/commit metadata, schema-validated into BENCH_2.json.
+# incremental edit latency vs. cone size, ITR-in-ATPG wall-clock, the
+# service sustained-QPS section (cold vs hot cache, batched vs unbatched)
+# and the characterisation section (single-process vs sharded campaign,
+# byte-identity re-proved), with machine/commit metadata, schema-validated
+# into BENCH_3.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_2.json
+	$(GO) run ./cmd/bench -out BENCH_3.json
 
 # Harness-rot guard: the same harness on tiny circuits, schema-validated
 # and discarded. Seconds-scale; safe for CI.

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sstiming/internal/cells"
+	"sstiming/internal/charlib"
+	"sstiming/internal/device"
+	"sstiming/internal/engine"
+	"sstiming/internal/shard"
+	"sstiming/internal/store"
+)
+
+// Characterization is the characterisation wall-clock section (schema v3):
+// the same reduced campaign timed twice — once single-process, once through
+// the fault-tolerant coordinator/worker path (internal/shard) — with the
+// sharded publish required byte-identical to the single-process one. Solver
+// points are the simulations charlib issued (charlib/jobs), so points/sec is
+// the solver's effective characterisation throughput.
+type Characterization struct {
+	Cells               int     `json:"cells"`
+	GridPoints          int     `json:"grid_points"`
+	SolverPoints        int64   `json:"solver_points"`
+	SingleProcessMs     float64 `json:"single_process_ms"`
+	PointsPerSec        float64 `json:"points_per_sec"`
+	Shards              int     `json:"shards"`
+	Workers             int     `json:"workers"`
+	ShardedMs           float64 `json:"sharded_ms"`
+	ShardedPointsPerSec float64 `json:"sharded_points_per_sec"`
+	BytesIdentical      bool    `json:"bytes_identical"`
+}
+
+// benchCharlib returns the campaign both paths characterise. The smoke
+// variant mirrors the shard chaos suite's reduced campaign; the full one
+// widens the grid and cell set so the wall-clock is a meaningful trajectory
+// point rather than startup noise.
+func benchCharlib(jobs int, smoke bool) charlib.Options {
+	tech := device.Default05um()
+	o := charlib.Options{
+		Tech: tech,
+		Grid: []float64{0.2e-9, 0.5e-9, 1.0e-9},
+		Cells: []cells.Config{
+			{Kind: cells.Inv, N: 1, Tech: tech, LoadInverter: true},
+			{Kind: cells.NAND, N: 2, Tech: tech, LoadInverter: true},
+			{Kind: cells.NOR, N: 2, Tech: tech, LoadInverter: true},
+		},
+		TStep: 3e-12,
+		Jobs:  jobs,
+	}
+	if !smoke {
+		o.Grid = []float64{0.1e-9, 0.2e-9, 0.5e-9, 1.0e-9, 2.0e-9}
+		o.Cells = append(o.Cells,
+			cells.Config{Kind: cells.NAND, N: 3, Tech: tech, LoadInverter: true},
+			cells.Config{Kind: cells.NOR, N: 3, Tech: tech, LoadInverter: true},
+		)
+	}
+	return o
+}
+
+// benchCharacterization runs the campaign single-process, then re-runs it
+// sharded (one cell per shard, concurrent in-process workers under leases),
+// and compares the two publishes byte for byte — the bench both measures the
+// sharding overhead and re-proves the byte-identity contract on every
+// trajectory point.
+func benchCharacterization(jobs int, smoke bool) (Characterization, error) {
+	dir, err := os.MkdirTemp("", "sstiming-bench-char-")
+	if err != nil {
+		return Characterization{}, err
+	}
+	defer os.RemoveAll(dir)
+
+	o := benchCharlib(jobs, smoke)
+	met := engine.NewMetrics()
+	o.Metrics = met
+
+	singleOut := filepath.Join(dir, "single.json")
+	start := time.Now()
+	lib, err := charlib.Characterize(o)
+	if err != nil {
+		return Characterization{}, fmt.Errorf("single-process characterise: %w", err)
+	}
+	ro := o.Resolved()
+	if _, err := store.WriteLibrary(singleOut, lib, ro.Grid, ro.NCPairs); err != nil {
+		return Characterization{}, fmt.Errorf("single-process publish: %w", err)
+	}
+	single := time.Since(start)
+	points := met.Get(engine.CharJobs)
+
+	// Sharded re-run of the identical campaign: one cell per shard so every
+	// worker stays busy. Worker-level parallelism replaces charlib's
+	// in-process fan-out (Jobs 1 inside each shard).
+	workers := 3
+	shardOpts := benchCharlib(1, smoke)
+	shardedMet := engine.NewMetrics()
+	shardedOut := filepath.Join(dir, "sharded.json")
+	start = time.Now()
+	_, rep, err := shard.Run(shard.Options{
+		Charlib:    shardOpts,
+		Out:        shardedOut,
+		ShardCells: 1,
+		Workers:    workers,
+		Metrics:    shardedMet,
+	})
+	if err != nil {
+		return Characterization{}, fmt.Errorf("sharded characterise: %w", err)
+	}
+	sharded := time.Since(start)
+	shardedPoints := shardedMet.Get(engine.CharJobs)
+
+	identical, err := publishesIdentical(singleOut, shardedOut)
+	if err != nil {
+		return Characterization{}, err
+	}
+
+	ch := Characterization{
+		Cells:           len(ro.Cells),
+		GridPoints:      len(ro.Grid),
+		SolverPoints:    points,
+		SingleProcessMs: float64(single) / float64(time.Millisecond),
+		Shards:          rep.Shards,
+		Workers:         workers,
+		ShardedMs:       float64(sharded) / float64(time.Millisecond),
+		BytesIdentical:  identical,
+	}
+	if s := single.Seconds(); s > 0 {
+		ch.PointsPerSec = float64(points) / s
+	}
+	if s := sharded.Seconds(); s > 0 {
+		ch.ShardedPointsPerSec = float64(shardedPoints) / s
+	}
+	return ch, nil
+}
+
+// publishesIdentical compares two published (library, manifest) pairs byte
+// for byte.
+func publishesIdentical(a, b string) (bool, error) {
+	for _, pair := range [][2]string{
+		{a, b},
+		{store.ManifestPath(a), store.ManifestPath(b)},
+	} {
+		ab, err := os.ReadFile(pair[0])
+		if err != nil {
+			return false, err
+		}
+		bb, err := os.ReadFile(pair[1])
+		if err != nil {
+			return false, err
+		}
+		if !bytes.Equal(ab, bb) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

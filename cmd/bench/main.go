@@ -9,7 +9,10 @@
 //     pre-refactor from-scratch refinement per decision step,
 //   - timingd sustained throughput: QPS and p50/p99 latency under concurrent
 //     HTTP load for cold vs hot content-addressed cache and unbatched vs
-//     micro-batched tiny requests (see internal/reqcache, internal/batch).
+//     micro-batched tiny requests (see internal/reqcache, internal/batch),
+//   - characterisation wall-clock and solver points/sec, single-process vs
+//     the sharded coordinator/worker campaign (internal/shard), re-proving
+//     on every report that the sharded publish is byte-identical.
 //
 // Every report carries machine and commit metadata so successive BENCH_N.json
 // files are comparable across the project's history. The emitted report is
@@ -21,7 +24,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_2.json] [-jobs N] [-reps N] [-edits N] [-faults N] [-smoke]
+//	bench [-out BENCH_3.json] [-jobs N] [-reps N] [-edits N] [-faults N] [-smoke]
 package main
 
 import (
@@ -50,18 +53,22 @@ import (
 
 // Schema is the report format identifier; bump on incompatible changes.
 // v2 adds the `service` section (daemon sustained QPS / tail latency).
-const Schema = "sstiming-bench/2"
+// v3 adds the `characterization` section (campaign wall-clock and solver
+// points/sec, single-process vs sharded coordinator/worker, byte-identity
+// re-proved per report).
+const Schema = "sstiming-bench/3"
 
 // Report is the top-level BENCH_N.json document.
 type Report struct {
-	Schema      string       `json:"schema"`
-	GeneratedAt string       `json:"generated_at"`
-	Commit      string       `json:"commit"`
-	Machine     Machine      `json:"machine"`
-	FullSTA     []FullSTA    `json:"full_sta"`
-	Incremental Incremental  `json:"incremental"`
-	ATPGITR     ATPGITR      `json:"atpg_itr"`
-	Service     ServiceBench `json:"service"`
+	Schema      string           `json:"schema"`
+	GeneratedAt string           `json:"generated_at"`
+	Commit      string           `json:"commit"`
+	Machine     Machine          `json:"machine"`
+	FullSTA     []FullSTA        `json:"full_sta"`
+	Incremental Incremental      `json:"incremental"`
+	ATPGITR     ATPGITR          `json:"atpg_itr"`
+	Service     ServiceBench     `json:"service"`
+	Charlib     Characterization `json:"characterization"`
 }
 
 // Machine records where the numbers were taken.
@@ -133,7 +140,7 @@ type ATPGITR struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output report path")
+	out := flag.String("out", "BENCH_3.json", "output report path")
 	jobs := flag.Int("jobs", 0, "engine worker pool width (0 = all CPUs)")
 	reps := flag.Int("reps", 5, "full-STA repetitions per circuit")
 	edits := flag.Int("edits", 200, "incremental edits measured on the target circuit")
@@ -201,6 +208,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "service   cold %8.0f qps  hot %8.0f qps (%.1fx)  unbatched %8.0f qps  batched %8.0f qps (%.2fx)\n",
 		sb.Scenarios[0].QPS, sb.Scenarios[1].QPS, sb.HotOverCold,
 		sb.Scenarios[2].QPS, sb.Scenarios[3].QPS, sb.BatchedOverUnbatched)
+
+	ch, err := benchCharacterization(*jobs, *smoke)
+	if err != nil {
+		fatal("characterisation bench: %v", err)
+	}
+	rep.Charlib = ch
+	fmt.Fprintf(os.Stderr, "charlib   %d cells  single %8.0f ms (%5.0f pts/s)  sharded %8.0f ms (%5.0f pts/s, %d shards/%d workers)  identical=%v\n",
+		ch.Cells, ch.SingleProcessMs, ch.PointsPerSec,
+		ch.ShardedMs, ch.ShardedPointsPerSec, ch.Shards, ch.Workers, ch.BytesIdentical)
 
 	if err := validate(&rep, !*smoke); err != nil {
 		fatal("report failed schema validation: %v", err)
@@ -547,6 +563,16 @@ func validate(r *Report, full bool) error {
 	}
 	if full && sb.HotOverCold < 5 {
 		return fmt.Errorf("hot cache sustains only %.2fx cold throughput, want >= 5x", sb.HotOverCold)
+	}
+	ch := &r.Charlib
+	if ch.Cells <= 0 || ch.GridPoints <= 0 || ch.SolverPoints <= 0 ||
+		ch.SingleProcessMs <= 0 || ch.PointsPerSec <= 0 ||
+		ch.Shards <= 0 || ch.Workers <= 0 ||
+		ch.ShardedMs <= 0 || ch.ShardedPointsPerSec <= 0 {
+		return fmt.Errorf("degenerate characterization section %+v", ch)
+	}
+	if !ch.BytesIdentical {
+		return fmt.Errorf("sharded characterisation publish diverged from single-process bytes")
 	}
 	return nil
 }

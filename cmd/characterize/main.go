@@ -9,6 +9,9 @@
 //	characterize [-out lib05.json] [-fast] [-jobs N] [-stats] [-v]
 //	             [-health] [-max-degraded F] [-retries N]
 //	             [-resume] [-journal DIR] [-no-journal]
+//	             [-shard-cells N] [-shard-workers M] [-shard-lease D]
+//	             [-shard-max-attempts K] [-shard-dir DIR]
+//	             [-shard-plan] [-shard-run ID]
 //	             [-inject kind] [-inject-rate F] [-inject-seed S] [-inject-persist]
 //
 // Campaigns are crash-safe by default: each completed cell is appended to a
@@ -17,6 +20,18 @@
 // flight. The output library and its integrity manifest are published
 // atomically (temp file + fsync + rename); the journal is removed once the
 // artefact is durable.
+//
+// -shard-cells enables the fault-tolerant sharded coordinator
+// (internal/shard): the campaign splits into shards of that many cells,
+// characterised by -shard-workers concurrent workers under -shard-lease
+// leases; a worker that crashes or hangs loses its lease and the shard is
+// retried (journals salvaged) up to -shard-max-attempts times before its
+// cells fall back to the analytic model under the -max-degraded budget. The
+// merged publish is byte-identical to an unsharded run, and -resume reuses
+// every verified shard artefact in the campaign directory. For
+// multi-process campaigns, -shard-plan writes the campaign plan and exits,
+// -shard-run characterises a single named shard standalone, and a final
+// -resume coordinator merges and publishes.
 //
 // The -inject* flags drive the deterministic fault-injection harness
 // (internal/faultinject) for resilience testing: a seeded fraction of all
@@ -30,11 +45,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"sstiming/internal/charlib"
 	"sstiming/internal/core"
 	"sstiming/internal/engine"
 	"sstiming/internal/faultinject"
+	"sstiming/internal/shard"
 	"sstiming/internal/spice"
 	"sstiming/internal/store"
 )
@@ -55,6 +72,13 @@ func main() {
 	injectRate := flag.Float64("inject-rate", 0.05, "fraction of solver time points faulted when -inject is set")
 	injectSeed := flag.Int64("inject-seed", 1, "fault-injection plan seed")
 	injectPersist := flag.Bool("inject-persist", false, "re-fire injected faults on recovery attempts too (defeats the solver ladder)")
+	shardCells := flag.Int("shard-cells", 0, "enable the sharded coordinator: cells per shard (0 disables sharding)")
+	shardWorkers := flag.Int("shard-workers", 0, "concurrent campaign workers in coordinator mode (0 = 2)")
+	shardLease := flag.Duration("shard-lease", 0, "worker lease TTL before an unresponsive shard is reassigned (0 = 2m)")
+	shardAttempts := flag.Int("shard-max-attempts", 0, "per-shard lease budget before quarantine (0 = 3)")
+	shardDir := flag.String("shard-dir", "", "campaign directory for sharded runs (default <out>.campaign)")
+	shardPlanOnly := flag.Bool("shard-plan", false, "write the sharded campaign plan and exit (multi-process mode)")
+	shardRunID := flag.String("shard-run", "", "standalone worker mode: characterise one shard of an existing campaign")
 	flag.Parse()
 
 	var opts charlib.Options
@@ -85,11 +109,29 @@ func main() {
 		opts.NewFaultHook = plan.NextHook
 	}
 
+	if *shardCells > 0 || *shardPlanOnly || *shardRunID != "" {
+		runSharded(opts, shardConfig{
+			out:         *out,
+			dir:         *shardDir,
+			cells:       *shardCells,
+			workers:     *shardWorkers,
+			lease:       *shardLease,
+			maxAttempts: *shardAttempts,
+			maxDegraded: *maxDegraded,
+			resume:      *resume,
+			planOnly:    *shardPlanOnly,
+			runID:       *shardRunID,
+			health:      *health,
+			stats:       *stats,
+		})
+		return
+	}
+
 	// The campaign fingerprint pins every option that shapes the library
 	// bytes; a -resume against a journal from a different campaign is
 	// refused (store.ErrStale) instead of splicing incompatible results.
 	resolved := opts.Resolved()
-	fp := fingerprint(resolved)
+	fp := shard.Fingerprint(resolved)
 
 	var journal *store.Journal
 	if !*noJournal {
@@ -181,23 +223,98 @@ func main() {
 	}
 }
 
-// fingerprint derives the campaign fingerprint from the resolved options.
-func fingerprint(o charlib.Options) store.Fingerprint {
-	names := make([]string, len(o.Cells))
-	for i, cfg := range o.Cells {
-		names[i] = cfg.Name()
+// shardConfig carries the sharded-mode flag values.
+type shardConfig struct {
+	out         string
+	dir         string
+	cells       int
+	workers     int
+	lease       time.Duration
+	maxAttempts int
+	maxDegraded float64
+	resume      bool
+	planOnly    bool
+	runID       string
+	health      bool
+	stats       bool
+}
+
+// runSharded dispatches the three sharded modes: plan-only, standalone
+// worker, and the full coordinator (plan + workers + merge + publish).
+func runSharded(opts charlib.Options, cfg shardConfig) {
+	so := shard.Options{
+		Charlib:            opts,
+		Out:                cfg.out,
+		Dir:                cfg.dir,
+		Resume:             cfg.resume,
+		ShardCells:         cfg.cells,
+		Workers:            cfg.workers,
+		LeaseTTL:           cfg.lease,
+		MaxAttempts:        cfg.maxAttempts,
+		MaxQuarantinedFrac: cfg.maxDegraded,
+		Metrics:            opts.Metrics,
+		Progress:           opts.Progress,
 	}
-	return store.Fingerprint{
-		Tech:         o.Tech.Name,
-		Vdd:          o.Tech.Vdd,
-		Grid:         o.Grid,
-		Cells:        names,
-		TStep:        o.TStep,
-		SkewTol:      o.SkewTol,
-		SkipPairs:    o.SkipPairs,
-		PaperExactD0: o.PaperExactD0,
-		NCPairs:      o.NCPairs,
+	if cfg.planOnly {
+		specs, err := shard.PlanCampaign(so)
+		if err != nil {
+			fatal(err)
+		}
+		dir := so.Dir
+		if dir == "" {
+			dir = cfg.out + ".campaign"
+		}
+		fmt.Printf("planned %d shard(s) in %s:\n", len(specs), dir)
+		for _, s := range specs {
+			fmt.Printf("  %s: %v\n", s.ID, s.Cells)
+		}
+		fmt.Println("run each with -shard-run <id>, then merge with -shard-cells ... -resume")
+		return
 	}
+	if cfg.runID != "" {
+		if err := shard.RunWorker(so, cfg.runID); err != nil {
+			if errors.Is(err, store.ErrStale) || errors.Is(err, store.ErrSchemaMismatch) {
+				fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+				fmt.Fprintln(os.Stderr, "characterize: the worker's options must match the planning run exactly")
+				os.Exit(1)
+			}
+			fatal(err)
+		}
+		fmt.Printf("shard %s: artifact verified and promoted\n", cfg.runID)
+		return
+	}
+
+	lib, rep, err := shard.Run(so)
+	if rep != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %d shard(s), %d completed (%d reused), %d lease(s), "+
+			"%d expired, %d retries, %d corrupt, %d duplicate(s) discarded\n",
+			rep.Shards, rep.Completed, rep.Reused, rep.Leases,
+			rep.Expired, rep.Retries, rep.CorruptArtifacts, rep.DuplicatesDiscarded)
+		for _, id := range rep.Quarantined {
+			fmt.Fprintf(os.Stderr, "campaign: shard %s quarantined; cells served from the analytic fallback\n", id)
+		}
+	}
+	if cfg.health && lib != nil {
+		if werr := lib.WriteHealth(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", werr)
+		}
+	}
+	if cfg.stats && opts.Metrics != nil {
+		opts.Metrics.WriteText(os.Stderr)
+	}
+	if err != nil {
+		if errors.Is(err, store.ErrStale) || errors.Is(err, store.ErrSchemaMismatch) {
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			fmt.Fprintln(os.Stderr, "characterize: rerun without -resume to discard the campaign directory and start over")
+			os.Exit(1)
+		}
+		fatal(err)
+	}
+	if err := checkDegradationBudget(lib, opts.Resolved().MaxDegradedFrac); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d cells, tech %s, Vdd %.2f V) + manifest %s\n",
+		cfg.out, len(lib.Cells), lib.TechName, lib.Vdd, store.ManifestPath(cfg.out))
 }
 
 // checkDegradationBudget fails when any cell — freshly characterised or

@@ -6,7 +6,8 @@
 //
 //	timingd [-addr :8080] [-lib lib.json] [-strict-lib] [-jobs N]
 //	        [-queue-depth N] [-timeout 30s] [-drain 15s] [-max-gates N]
-//	        [-cache-entries N] [-cache-bytes N] [-batch-size N] [-batch-wait D]
+//	        [-cache-entries N] [-cache-bytes N] [-cache-max-entry-bytes N]
+//	        [-batch-size N] [-batch-wait D]
 //	        [-max-sessions N] [-session-ttl 15m] [-stats] [-selfcheck]
 //
 // Endpoints:
@@ -72,6 +73,7 @@ func main() {
 	maxGates := flag.Int("max-gates", 0, "admission cap on posted netlist size (0 = default, -1 = unlimited)")
 	cacheEntries := flag.Int("cache-entries", 512, "content-addressed analysis cache entry cap (0 = caching disabled)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "analysis cache byte budget (0 = no byte bound)")
+	cacheMaxEntryBytes := flag.Int64("cache-max-entry-bytes", 4<<20, "per-response cache admission cap: larger responses are served but never cached (0 = no per-entry bound)")
 	batchSize := flag.Int("batch-size", 0, "micro-batch occupancy for small /analyze jobs (< 2 = batching disabled)")
 	batchWait := flag.Duration("batch-wait", 0, "max time a non-full micro-batch collects (0 = default 2ms)")
 	maxSessions := flag.Int("max-sessions", 0, "live delta-STA sessions before LRU eviction (0 = default 64, -1 = unlimited)")
@@ -92,18 +94,19 @@ func main() {
 		fail(err)
 	}
 	srv, err := service.New(service.Options{
-		Lib:            lib,
-		LibLoader:      loader,
-		Workers:        *jobs,
-		QueueDepth:     *queueDepth,
-		DefaultTimeout: *timeout,
-		MaxGates:       *maxGates,
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
-		BatchSize:      *batchSize,
-		BatchWait:      *batchWait,
-		MaxSessions:    *maxSessions,
-		SessionIdleTTL: *sessionTTL,
+		Lib:                lib,
+		LibLoader:          loader,
+		Workers:            *jobs,
+		QueueDepth:         *queueDepth,
+		DefaultTimeout:     *timeout,
+		MaxGates:           *maxGates,
+		CacheEntries:       *cacheEntries,
+		CacheBytes:         *cacheBytes,
+		CacheMaxEntryBytes: *cacheMaxEntryBytes,
+		BatchSize:          *batchSize,
+		BatchWait:          *batchWait,
+		MaxSessions:        *maxSessions,
+		SessionIdleTTL:     *sessionTTL,
 		Breaker: service.BreakerConfig{
 			Threshold: *breakerThreshold,
 			Cooldown:  *breakerCooldown,

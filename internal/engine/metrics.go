@@ -139,6 +139,27 @@ const (
 	// SvcBatchItems counts analysis requests that travelled inside a
 	// micro-batch (batch occupancy = items/batches).
 	SvcBatchItems
+	// CacheOversized counts analysis responses served but refused cache
+	// admission because they alone exceeded the per-entry byte cap.
+	CacheOversized
+	// ShardLeases counts shard leases granted by a campaign coordinator
+	// (first attempts and retries alike).
+	ShardLeases
+	// ShardExpired counts leases the coordinator expired because the
+	// worker stopped heartbeating (crash, hang, partition).
+	ShardExpired
+	// ShardRetries counts shard lease grants beyond each shard's first
+	// attempt.
+	ShardRetries
+	// ShardQuarantined counts shards that exhausted their retry budget and
+	// were quarantined (their cells degrade to the analytic fallback).
+	ShardQuarantined
+	// ShardDuplicates counts verified shard completions discarded because
+	// the shard was already complete (a resurrected worker re-submitting).
+	ShardDuplicates
+	// ShardCorrupt counts shard completions rejected because the staged
+	// artefact failed manifest verification.
+	ShardCorrupt
 
 	numCounters
 )
@@ -190,6 +211,13 @@ var counterNames = [numCounters]string{
 	CacheInvalidations: "service/cache_invalidations",
 	SvcBatches:         "service/batches",
 	SvcBatchItems:      "service/batch_items",
+	CacheOversized:     "service/cache_oversized",
+	ShardLeases:        "shard/leases_granted",
+	ShardExpired:       "shard/leases_expired",
+	ShardRetries:       "shard/retries",
+	ShardQuarantined:   "shard/quarantined_shards",
+	ShardDuplicates:    "shard/duplicates_discarded",
+	ShardCorrupt:       "shard/corrupt_artifacts",
 }
 
 // String returns the counter's label.

@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker-level faults for sharded characterisation campaigns
+// (internal/shard): where the solver-level plans above fault individual time
+// points, a ShardPlan faults whole workers — the process-granularity failures
+// a distributed campaign must survive. Three kinds are modelled:
+//
+//   - kill: the worker dies mid-shard (its context is cancelled after its
+//     first durable checkpoint); it never completes, its heartbeats stop,
+//     and the coordinator reassigns the shard after the lease expires;
+//   - hang: the worker stalls (GC pause, network partition): heartbeats
+//     stop, the lease expires and the shard is reassigned — but the worker
+//     later wakes up, finishes, and submits a late completion the
+//     coordinator must handle idempotently;
+//   - corrupt: the worker completes but its shard artefact bytes are
+//     damaged in flight; the coordinator's manifest verification must
+//     reject it and retry the shard.
+//
+// Decisions are a pure hash of (seed, shard index, attempt), so a campaign
+// replays identically for a fixed seed regardless of worker scheduling.
+
+// ShardFault identifies one worker-level fault kind.
+type ShardFault int
+
+const (
+	// ShardFaultNone leaves the attempt alone.
+	ShardFaultNone ShardFault = iota
+	// ShardFaultKill crashes the worker mid-shard (no completion).
+	ShardFaultKill
+	// ShardFaultHang stalls the worker past its lease, then lets it
+	// complete late.
+	ShardFaultHang
+	// ShardFaultCorrupt damages the shard artefact before completion.
+	ShardFaultCorrupt
+)
+
+// String returns the fault kind label.
+func (f ShardFault) String() string {
+	switch f {
+	case ShardFaultKill:
+		return "kill"
+	case ShardFaultHang:
+		return "hang"
+	case ShardFaultCorrupt:
+		return "corrupt"
+	default:
+		return "none"
+	}
+}
+
+// ShardPlan assigns worker-level faults deterministically across the
+// (shard, attempt) grid of a campaign. The zero of each rate disables that
+// kind; Persist pins a fault onto every attempt of one shard (the
+// retry-budget-exhaustion path). A nil plan injects nothing.
+type ShardPlan struct {
+	seed                            int64
+	killRate, hangRate, corruptRate float64
+
+	mu      sync.Mutex
+	persist map[int]ShardFault
+	force   map[[2]int]ShardFault
+
+	decided  atomic.Int64
+	injected atomic.Int64
+}
+
+// NewShardPlan builds a seeded worker-fault plan. Each rate is the
+// probability (per shard attempt) of that fault kind; their sum must not
+// exceed 1.
+func NewShardPlan(seed int64, killRate, hangRate, corruptRate float64) *ShardPlan {
+	if killRate+hangRate+corruptRate > 1 {
+		panic(fmt.Sprintf("faultinject: shard fault rates sum to %g > 1",
+			killRate+hangRate+corruptRate))
+	}
+	return &ShardPlan{seed: seed, killRate: killRate, hangRate: hangRate, corruptRate: corruptRate}
+}
+
+// Persist forces the given fault on every attempt of one shard, defeating
+// the retry budget — the deterministic way to drive a shard into
+// quarantine.
+func (p *ShardPlan) Persist(shardIndex int, f ShardFault) {
+	p.mu.Lock()
+	if p.persist == nil {
+		p.persist = make(map[int]ShardFault)
+	}
+	p.persist[shardIndex] = f
+	p.mu.Unlock()
+}
+
+// Force pins a fault onto one specific lease attempt of one shard, leaving
+// every other attempt to the seeded rates — the deterministic way to script
+// "first attempt fails, retry succeeds" scenarios.
+func (p *ShardPlan) Force(shardIndex, attempt int, f ShardFault) {
+	p.mu.Lock()
+	if p.force == nil {
+		p.force = make(map[[2]int]ShardFault)
+	}
+	p.force[[2]int{shardIndex, attempt}] = f
+	p.mu.Unlock()
+}
+
+// Decide returns the fault for one lease attempt of one shard. Safe for
+// concurrent use and on a nil plan (no fault).
+func (p *ShardPlan) Decide(shardIndex, attempt int) ShardFault {
+	if p == nil {
+		return ShardFaultNone
+	}
+	p.decided.Add(1)
+	p.mu.Lock()
+	forced, ok := p.persist[shardIndex]
+	if !ok {
+		forced, ok = p.force[[2]int{shardIndex, attempt}]
+	}
+	p.mu.Unlock()
+	if ok {
+		if forced != ShardFaultNone {
+			p.injected.Add(1)
+		}
+		return forced
+	}
+	h := splitmix64(uint64(p.seed)*0x9e3779b97f4a7c15 ^
+		uint64(shardIndex)*0xbf58476d1ce4e5b9 ^
+		uint64(attempt)*0x94d049bb133111eb)
+	u := float64(h>>11) / (1 << 53)
+	var f ShardFault
+	switch {
+	case u < p.killRate:
+		f = ShardFaultKill
+	case u < p.killRate+p.hangRate:
+		f = ShardFaultHang
+	case u < p.killRate+p.hangRate+p.corruptRate:
+		f = ShardFaultCorrupt
+	default:
+		return ShardFaultNone
+	}
+	p.injected.Add(1)
+	return f
+}
+
+// Decisions returns how many lease attempts consulted the plan.
+func (p *ShardPlan) Decisions() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.decided.Load()
+}
+
+// Injected returns how many attempts were faulted.
+func (p *ShardPlan) Injected() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.injected.Load()
+}

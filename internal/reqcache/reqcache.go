@@ -62,10 +62,11 @@ type flight struct {
 // parse never happens. Aliases are pure acceleration: a dangling or missing
 // alias just drops the caller down to the canonical path.
 type Cache struct {
-	maxEntries int
-	maxBytes   int64
-	aliasCap   int
-	met        *engine.Metrics
+	maxEntries    int
+	maxBytes      int64
+	maxEntryBytes int64
+	aliasCap      int
+	met           *engine.Metrics
 
 	mu      sync.Mutex
 	lru     *list.List // front = most recent; values are *entry
@@ -96,6 +97,18 @@ func New(maxEntries int, maxBytes int64, met *engine.Metrics) *Cache {
 		flights:    make(map[Key]*flight),
 		aliases:    make(map[Key]Key),
 	}
+}
+
+// SetMaxEntryBytes installs a per-entry admission cap: a value whose size
+// exceeds n bytes is still computed and returned to its caller, but never
+// inserted — one pathological response (a windows dump for a huge netlist,
+// say) must not evict the whole working set to cache something that will
+// likely never repeat. n <= 0 (the default) means no per-entry bound.
+// Refusals are counted under service/cache_oversized.
+func (c *Cache) SetMaxEntryBytes(n int64) {
+	c.mu.Lock()
+	c.maxEntryBytes = n
+	c.mu.Unlock()
 }
 
 // Do returns the value addressed by key, computing it at most once across
@@ -219,13 +232,16 @@ func (c *Cache) Get(key Key) (any, bool) {
 }
 
 // insertLocked adds the value and evicts from the LRU tail until both
-// budgets hold. A value alone exceeding the byte budget is not cached at
-// all (caching it would immediately evict everything including itself).
+// budgets hold. A value alone exceeding the byte budget — or the per-entry
+// admission cap — is not cached at all (caching it would immediately evict
+// everything including itself); the refusal is counted as oversized.
 func (c *Cache) insertLocked(key Key, fp string, val any, size int64) {
 	if size < 0 {
 		size = 0
 	}
-	if c.maxBytes > 0 && size > c.maxBytes {
+	if (c.maxBytes > 0 && size > c.maxBytes) ||
+		(c.maxEntryBytes > 0 && size > c.maxEntryBytes) {
+		c.met.Add(engine.CacheOversized, 1)
 		return
 	}
 	if el, ok := c.byKey[key]; ok {

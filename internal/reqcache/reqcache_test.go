@@ -136,6 +136,54 @@ func TestByteBudget(t *testing.T) {
 	}
 }
 
+// TestMaxEntryBytesAdmission: with a per-entry cap installed, an oversized
+// value is computed and served every time — never cached, never disturbing
+// resident entries — and each refusal is counted as oversized. Values at or
+// under the cap cache normally.
+func TestMaxEntryBytesAdmission(t *testing.T) {
+	met := engine.NewMetrics()
+	c := New(8, 0, met)
+	c.SetMaxEntryBytes(10)
+
+	// At the cap: cached normally.
+	if _, st, err := c.Do(bg(), KeyFrom("small"), "fp", computeVal("s", 10, nil)); err != nil || st != Miss {
+		t.Fatalf("small Do = (%v, %v)", st, err)
+	}
+	if _, ok := c.Get(KeyFrom("small")); !ok {
+		t.Fatal("at-cap value was refused admission")
+	}
+
+	// Over the cap: served, not cached, recompute on every call.
+	var runs atomic.Int64
+	big := computeVal("B", 11, &runs)
+	for i := 1; i <= 2; i++ {
+		v, st, err := c.Do(bg(), KeyFrom("big"), "fp", big)
+		if err != nil || v != "B" || st != Miss {
+			t.Fatalf("big Do #%d = (%v, %v, %v), want (B, Miss, nil)", i, v, st, err)
+		}
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("oversized compute ran %d times, want 2 (never cached)", runs.Load())
+	}
+	if _, ok := c.Get(KeyFrom("big")); ok {
+		t.Fatal("over-cap value was cached")
+	}
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("Len/Bytes = %d/%d, want 1/10 (oversized value must not disturb residency)",
+			c.Len(), c.Bytes())
+	}
+	if met.Get(engine.CacheOversized) != 2 {
+		t.Fatalf("oversized = %d, want 2", met.Get(engine.CacheOversized))
+	}
+
+	// The oversized value is also un-aliasable: there is no resident entry
+	// to alias to.
+	c.SetAlias(KeyFrom("raw-big"), KeyFrom("big"))
+	if _, ok := c.GetVia(KeyFrom("raw-big")); ok {
+		t.Fatal("alias to an uncached oversized value resolved")
+	}
+}
+
 func TestInvalidateByFingerprint(t *testing.T) {
 	met := engine.NewMetrics()
 	c := New(0, 0, met)

@@ -262,6 +262,33 @@ func TestFailedRunIsNotCachedAndDoesNotPoison(t *testing.T) {
 	}
 }
 
+// TestOversizedResponseServedNotCached: with a per-entry admission cap
+// smaller than any real response, every request is answered correctly but
+// the cache stays empty — repeats are misses, counted as oversized refusals.
+func TestOversizedResponseServedNotCached(t *testing.T) {
+	met := engine.NewMetrics()
+	_, hs := newTestServer(t, Options{CacheEntries: 64, CacheMaxEntryBytes: 1, Metrics: met})
+	body := map[string]any{"netlist": benchText(t, benchgen.C17()), "windows": true}
+
+	st1, cache1, body1 := postCached(t, hs.URL+"/analyze", body)
+	st2, cache2, body2 := postCached(t, hs.URL+"/analyze", body)
+	if st1 != http.StatusOK || st2 != http.StatusOK {
+		t.Fatalf("statuses %d/%d, want 200/200 (oversized must still be served)", st1, st2)
+	}
+	if cache1 != "miss" || cache2 != "miss" {
+		t.Fatalf("X-Cache %q then %q, want miss twice (over-cap responses never cache)", cache1, cache2)
+	}
+	if body1 != body2 {
+		t.Fatal("the two uncached runs disagree")
+	}
+	if got := met.Get(engine.CacheOversized); got != 2 {
+		t.Fatalf("service/cache_oversized = %d, want 2", got)
+	}
+	if got := met.Get(engine.CacheHits); got != 0 {
+		t.Fatalf("cache hits = %d, want 0", got)
+	}
+}
+
 // TestReloadInvalidatesCache: a hot reload that changes the library content
 // invalidates every cached answer; a failed reload and a content-identical
 // reload both keep the warm cache.

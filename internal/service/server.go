@@ -107,6 +107,11 @@ type Options struct {
 	// encoding size); <= 0 means no byte bound. Only meaningful with
 	// CacheEntries > 0.
 	CacheBytes int64
+	// CacheMaxEntryBytes is the per-response admission cap: a response
+	// larger than this (JSON encoding size) is served but never cached, so
+	// one pathological windows dump cannot evict the whole working set.
+	// <= 0 means no per-entry bound. Only meaningful with CacheEntries > 0.
+	CacheMaxEntryBytes int64
 	// BatchSize enables request micro-batching (internal/batch) on
 	// /analyze at this batch occupancy: small jobs arriving within
 	// BatchWait of each other share one engine-pool submission. A value
@@ -225,6 +230,7 @@ func New(opts Options) (*Server, error) {
 	s.libst.Store(&libState{lib: opts.Lib, fp: fp})
 	if opts.CacheEntries > 0 {
 		s.cache = reqcache.New(opts.CacheEntries, opts.CacheBytes, opts.Metrics)
+		s.cache.SetMaxEntryBytes(opts.CacheMaxEntryBytes)
 	}
 	if opts.BatchSize >= 2 {
 		s.bstats = &batchStats{}

@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sstiming/internal/core"
+	"sstiming/internal/device"
+	"sstiming/internal/store"
+)
+
+// fuzzFixture builds a tiny two-shard campaign entirely from analytic
+// models (no simulation): specs {INV} and {NAND2}, one known-good artefact
+// for each.
+func fuzzFixture(t testing.TB) (store.Fingerprint, []Spec, map[string][]byte, *device.Tech) {
+	tech := device.Default05um()
+	fp := store.Fingerprint{
+		Tech:  tech.Name,
+		Vdd:   tech.Vdd,
+		Grid:  []float64{0.2e-9, 0.5e-9},
+		Cells: []string{"INV", "NAND2"},
+		TStep: 3e-12,
+	}
+	specs := []Spec{
+		{ID: "s00", Index: 0, Cells: []string{"INV"}},
+		{ID: "s01", Index: 1, Cells: []string{"NAND2"}},
+	}
+	arts := make(map[string][]byte, 2)
+	for _, spec := range specs {
+		models := make(map[string]*core.CellModel, 1)
+		for _, name := range spec.Cells {
+			m, err := store.AnalyticModel(name, tech)
+			if err != nil {
+				t.Fatalf("analytic %s: %v", name, err)
+			}
+			models[name] = m
+		}
+		b, err := encodeArtifact(fp, spec, models)
+		if err != nil {
+			t.Fatalf("encode %s: %v", spec.ID, err)
+		}
+		arts[spec.ID] = b
+	}
+	return fp, specs, arts, tech
+}
+
+// mergeErrOK reports whether a merge error is one of the typed failures the
+// contract allows — anything else (or a panic, which the fuzzer catches
+// itself) is a bug.
+func mergeErrOK(err error) bool {
+	return errors.Is(err, store.ErrCorrupt) ||
+		errors.Is(err, store.ErrSchemaMismatch) ||
+		errors.Is(err, store.ErrStale) ||
+		errors.Is(err, ErrDuplicateCell) ||
+		errors.Is(err, ErrQuarantineBudget)
+}
+
+// FuzzShardManifestMerge feeds arbitrary bytes as one shard's promoted
+// artefact into the campaign merge. The contract under fuzz: merge never
+// panics, never silently drops a cell (success implies the exact campaign
+// cell set), and every rejection is a typed error from the store/shard
+// taxonomy.
+func FuzzShardManifestMerge(f *testing.F) {
+	fp, specs, arts, _ := fuzzFixture(f)
+	good := arts["s00"]
+	f.Add(good)                                                    // the valid artefact itself
+	f.Add(good[:len(good)/2])                                      // truncated
+	f.Add([]byte("{}"))                                            // empty object
+	f.Add([]byte(`{"SchemaVersion":999}`))                         // wrong schema
+	f.Add(bytes.Replace(good, []byte("INV"), []byte("NAND2"), -1)) // cross-shard cells
+	f.Add(bytes.Replace(good, []byte(`"Fingerprint"`), []byte(`"fingerprint"`), 1))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, specs, arts, tech := fp, specs, arts, device.Default05um()
+		fuzzArts := map[string][]byte{"s00": data, "s01": arts["s01"]}
+		lib, _, err := merge(fp, specs, fuzzArts, tech, 0)
+		if err != nil {
+			if !mergeErrOK(err) {
+				t.Fatalf("untyped merge error: %v", err)
+			}
+			return
+		}
+		// Success: the library must cover the campaign cell set exactly —
+		// no silently dropped or smuggled cells.
+		if len(lib.Cells) != 2 {
+			t.Fatalf("merged %d cells, want 2", len(lib.Cells))
+		}
+		for _, spec := range specs {
+			for _, name := range spec.Cells {
+				if _, ok := lib.Cells[name]; !ok {
+					t.Fatalf("cell %q silently dropped", name)
+				}
+			}
+		}
+		// A successful merge of mutated bytes is only legitimate if the
+		// bytes still verify as the exact artefact (e.g. the fuzzer
+		// regenerated it verbatim).
+		if _, err := decodeArtifact(data, fp, specs[0]); err != nil {
+			t.Fatalf("merge accepted an artefact decodeArtifact rejects: %v", err)
+		}
+	})
+}
+
+// TestMergeDuplicateCellAcrossShards pins the duplicate-cell rejection: two
+// shards claiming the same cell is ErrDuplicateCell even when both
+// artefacts verify individually.
+func TestMergeDuplicateCellAcrossShards(t *testing.T) {
+	tech := device.Default05um()
+	fp := store.Fingerprint{
+		Tech: tech.Name, Vdd: tech.Vdd,
+		Grid: []float64{0.2e-9}, Cells: []string{"INV", "INV"}, TStep: 3e-12,
+	}
+	m, err := store.AnalyticModel("INV", tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []Spec{
+		{ID: "s00", Index: 0, Cells: []string{"INV"}},
+		{ID: "s01", Index: 1, Cells: []string{"INV"}},
+	}
+	arts := make(map[string][]byte, 2)
+	for _, spec := range specs {
+		b, err := encodeArtifact(fp, spec, map[string]*core.CellModel{"INV": m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts[spec.ID] = b
+	}
+	if _, _, err := merge(fp, specs, arts, tech, 0); !errors.Is(err, ErrDuplicateCell) {
+		t.Fatalf("duplicate cell: got %v, want ErrDuplicateCell", err)
+	}
+	// The quarantine path must catch duplicates too.
+	delete(arts, "s01")
+	if _, _, err := merge(fp, specs, arts, tech, 1); !errors.Is(err, ErrDuplicateCell) {
+		t.Fatalf("duplicate via quarantine: got %v, want ErrDuplicateCell", err)
+	}
+}
+
+// TestFuzzSeedsDirect runs the seed corpus through the fuzz body so the
+// invariants hold even when `go test` runs without fuzzing.
+func TestFuzzSeedsDirect(t *testing.T) {
+	fp, specs, arts, tech := fuzzFixture(t)
+	good := arts["s00"]
+	seeds := [][]byte{
+		good,
+		good[:len(good)/2],
+		[]byte("{}"),
+		[]byte(`{"SchemaVersion":999}`),
+		bytes.Replace(good, []byte("INV"), []byte("NAND2"), -1),
+		nil,
+	}
+	for i, data := range seeds {
+		fuzzArts := map[string][]byte{"s00": data, "s01": arts["s01"]}
+		lib, _, err := merge(fp, specs, fuzzArts, tech, 0)
+		if err != nil {
+			if !mergeErrOK(err) {
+				t.Fatalf("seed %d: untyped merge error: %v", i, err)
+			}
+			continue
+		}
+		if len(lib.Cells) != 2 {
+			t.Fatalf("seed %d: merged %d cells, want 2", i, len(lib.Cells))
+		}
+	}
+}

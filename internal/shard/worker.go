@@ -1,0 +1,242 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sstiming/internal/charlib"
+	"sstiming/internal/core"
+	"sstiming/internal/faultinject"
+	"sstiming/internal/store"
+)
+
+// journalDirName is the per-attempt write-ahead journal directory.
+const journalDirName = "journal"
+
+// runLease executes one lease attempt on an in-process worker: heartbeat
+// while working, stage the artefact, submit the completion. Injected faults
+// reshape the attempt into the failure the chaos suite is proving against:
+//
+//	kill    — the worker dies after its first durable checkpoint: no
+//	          completion, no failure report; only the expiring lease tells
+//	          the coordinator anything.
+//	hang    — heartbeats never start (the process stalled); the work still
+//	          finishes, then the worker sleeps past its lease before
+//	          submitting a late completion the coordinator must handle
+//	          idempotently.
+//	corrupt — the staged artefact bytes are damaged; verification must
+//	          reject the completion and retry the shard.
+func (c *coordinator) runLease(ctx context.Context, workerID int, spec Spec, attempt int, deadline time.Time) {
+	fault := c.opts.Fault.Decide(spec.Index, attempt)
+	if fault != faultinject.ShardFaultNone {
+		c.opts.Progress("shard %s: injecting %s (attempt %d, worker %d)", spec.ID, fault, attempt, workerID)
+	}
+
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	if fault != faultinject.ShardFaultHang {
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			t := time.NewTicker(c.opts.HeartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					if !c.heartbeat(spec.Index, attempt) {
+						return // lease lost; stop renewing
+					}
+				}
+			}
+		}()
+	}
+
+	err := runShardWork(ctx, c.opts, c.fp, spec, attempt, fault)
+	close(hbStop)
+	hbWG.Wait()
+
+	if fault == faultinject.ShardFaultKill {
+		return // dead workers don't report
+	}
+	if err != nil {
+		c.fail(spec.Index, attempt, err)
+		return
+	}
+	if fault == faultinject.ShardFaultHang {
+		// Wake up well after the lease expired (half a TTL past the
+		// deadline, several sweeper passes) so the completion is genuinely
+		// late and a reassigned attempt has had time to start.
+		late := time.Until(deadline) + c.opts.LeaseTTL/2
+		contextSleep(ctx, late)
+	}
+	c.complete(spec.Index, attempt)
+}
+
+// runShardWork characterises one shard for one lease attempt and stages the
+// artefact at shards/<id>/a<attempt>/shard.json. Every completed cell is
+// write-ahead journaled (store.Journal) in the attempt's own directory, and
+// the journals of all earlier attempts are replayed read-only first — a
+// crashed or killed attempt costs at most the cell that was in flight, and
+// a hung-but-alive previous attempt can keep appending to its own journal
+// without corrupting this one.
+func runShardWork(ctx context.Context, opts Options, fp store.Fingerprint, spec Spec, attempt int, fault faultinject.ShardFault) error {
+	cfgs, err := configsFor(opts.Charlib, spec)
+	if err != nil {
+		return err
+	}
+	sfp := shardFingerprint(fp, spec)
+
+	adir := attemptDir(opts.Dir, spec.ID, attempt)
+	if err := os.MkdirAll(adir, 0o755); err != nil {
+		return fmt.Errorf("shard: creating attempt dir: %w", err)
+	}
+
+	// Salvage prior attempts. Unreadable or stale journals are skipped, not
+	// fatal: the worst case is recharacterising a cell.
+	completed := make(map[string]*core.CellModel)
+	for g := 1; g < attempt; g++ {
+		models, err := store.ReplayJournal(filepath.Join(attemptDir(opts.Dir, spec.ID, g), journalDirName), sfp)
+		if err != nil {
+			continue
+		}
+		for name, m := range models {
+			completed[name] = m
+		}
+	}
+
+	j, err := store.CreateJournal(filepath.Join(adir, journalDirName), sfp)
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+
+	attemptCtx := ctx
+	cancelAttempt := func() {}
+	if fault == faultinject.ShardFaultKill {
+		attemptCtx, cancelAttempt = context.WithCancel(ctx)
+		defer cancelAttempt()
+	}
+	var killOnce sync.Once
+
+	shardOpts := opts.Charlib
+	shardOpts.Cells = cfgs
+	shardOpts.Ctx = attemptCtx
+	shardOpts.Completed = completed
+	progress := opts.Progress
+	shardOpts.Progress = func(format string, args ...any) {
+		progress("["+spec.ID+"] "+format, args...)
+	}
+	shardOpts.Checkpoint = func(m *core.CellModel) error {
+		if err := j.Append(m); err != nil {
+			return err
+		}
+		// The injected crash lands after the first durable checkpoint, so
+		// the retry provably salvages journaled work.
+		if fault == faultinject.ShardFaultKill {
+			killOnce.Do(cancelAttempt)
+		}
+		return nil
+	}
+
+	lib, err := charlib.Characterize(shardOpts)
+	if fault == faultinject.ShardFaultKill {
+		return fmt.Errorf("shard %s attempt %d: worker killed mid-shard (fault injection)", spec.ID, attempt)
+	}
+	if err != nil {
+		return fmt.Errorf("shard %s attempt %d: %w", spec.ID, attempt, err)
+	}
+
+	b, err := encodeArtifact(fp, spec, lib.Cells)
+	if err != nil {
+		return err
+	}
+	if fault == faultinject.ShardFaultCorrupt {
+		// Damage a run of bytes mid-file. Whatever they land on — structure,
+		// a model value, a recorded digest — verification must notice.
+		for i, off := 0, len(b)/3; i < 16 && off+i < len(b); i++ {
+			b[off+i] ^= 0x5a
+		}
+	}
+	return store.AtomicWrite(filepath.Join(adir, artifactName), b)
+}
+
+// PlanCampaign prepares a campaign directory for multi-process operation:
+// the directory and its campaign.json plan are created (discarding any
+// previous campaign there) and the shard table is returned. Separate
+// processes then run RunWorker per shard, and a final Run with Resume set
+// merges and publishes.
+func PlanCampaign(opts Options) ([]Spec, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	fp := Fingerprint(opts.Charlib)
+	specs := Plan(opts.Charlib, opts.ShardCells)
+	if err := os.RemoveAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("shard: clearing campaign dir: %w", err)
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: creating campaign dir: %w", err)
+	}
+	if err := writeCampaignMeta(opts.Dir, fp, specs); err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// RunWorker is the standalone worker mode: it characterises one shard of an
+// existing campaign directory (verifying the plan matches this process's
+// options first), stages the artefact under a fresh attempt generation,
+// verifies it and promotes it to the shard's committed slot. The options
+// must match the planning process's bit-for-bit — anything else is refused
+// with store.ErrStale before any work happens.
+func RunWorker(opts Options, shardID string) error {
+	if err := opts.fill(); err != nil {
+		return err
+	}
+	fp := Fingerprint(opts.Charlib)
+	specs := Plan(opts.Charlib, opts.ShardCells)
+	if err := loadCampaignMeta(opts.Dir, fp, specs); err != nil {
+		return err
+	}
+	var spec *Spec
+	for i := range specs {
+		if specs[i].ID == shardID {
+			spec = &specs[i]
+			break
+		}
+	}
+	if spec == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownShard, shardID)
+	}
+
+	// Next attempt generation: one past the highest attempt directory any
+	// previous worker (finished or not) created.
+	attempt := 1
+	if entries, err := os.ReadDir(shardDir(opts.Dir, spec.ID)); err == nil {
+		for _, e := range entries {
+			var g int
+			if n, _ := fmt.Sscanf(e.Name(), "a%d", &g); n == 1 && g >= attempt {
+				attempt = g + 1
+			}
+		}
+	}
+
+	ctx := opts.Charlib.Ctx
+	if err := runShardWork(ctx, opts, fp, *spec, attempt, opts.Fault.Decide(spec.Index, attempt)); err != nil {
+		return err
+	}
+	staged, err := os.ReadFile(filepath.Join(attemptDir(opts.Dir, spec.ID, attempt), artifactName))
+	if err != nil {
+		return fmt.Errorf("shard: reading staged artifact: %w", err)
+	}
+	if _, err := decodeArtifact(staged, fp, *spec); err != nil {
+		return err
+	}
+	return store.AtomicWrite(promotedPath(opts.Dir, spec.ID), staged)
+}

@@ -150,6 +150,36 @@ func ResumeJournal(dir string, fp Fingerprint) (*Journal, map[string]*core.CellM
 	return &Journal{dir: dir, f: f}, models, nil
 }
 
+// ReplayJournal replays a campaign journal read-only: the meta is verified
+// against the fingerprint and every valid record is returned, but the torn
+// tail (if any) is left untouched and the journal stays appendable by its
+// owner. This is the safe way to salvage the work of a journal another
+// writer may still hold — a sharded campaign reassigning a shard whose
+// previous worker is merely hung, not dead, must not truncate a file that
+// worker could still be appending to.
+func ReplayJournal(dir string, fp Fingerprint) (map[string]*core.CellModel, error) {
+	metaBytes, err := os.ReadFile(filepath.Join(dir, journalMetaName))
+	if err != nil {
+		return nil, fmt.Errorf("%w: journal %s has no readable meta: %v", ErrStale, dir, err)
+	}
+	var meta struct {
+		SchemaVersion int
+		Fingerprint   string
+	}
+	if err := json.Unmarshal(metaBytes, &meta); err != nil {
+		return nil, fmt.Errorf("%w: journal meta is not valid JSON: %v", ErrCorrupt, err)
+	}
+	if meta.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%w: journal schema %d, this build reads %d",
+			ErrSchemaMismatch, meta.SchemaVersion, SchemaVersion)
+	}
+	if meta.Fingerprint != fp.Hash() {
+		return nil, fmt.Errorf("%w: journal was written by a campaign with different options", ErrStale)
+	}
+	models, _, err := replayRecords(filepath.Join(dir, journalCellsName))
+	return models, err
+}
+
 // replayRecords scans the record file, returning every model whose frame
 // verifies (length and CRC) and the byte length of the valid prefix. A torn
 // or corrupt frame ends the replay: by the append-then-fsync discipline only

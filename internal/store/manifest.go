@@ -53,6 +53,12 @@ func cellHash(m *core.CellModel) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// CellHash returns the canonical digest of one cell model — the hex SHA-256
+// of its compact JSON encoding, the same digest manifests record. Exported
+// for the sharded campaign layer, whose shard artefacts carry per-cell
+// digests verified with the manifest rules.
+func CellHash(m *core.CellModel) (string, error) { return cellHash(m) }
+
 // hashBytes returns the hex SHA-256 of raw bytes.
 func hashBytes(b []byte) string {
 	sum := sha256.Sum256(b)

@@ -51,6 +51,12 @@ func WriteLibrary(path string, lib *core.Library, grid []float64, ncPairs bool) 
 	return man, nil
 }
 
+// AtomicWrite publishes bytes via temp file + fsync + rename + directory
+// fsync — the durability primitive behind every artefact this package (and
+// the sharded campaign layer, internal/shard) writes. A crash at any point
+// leaves the previous file or none, never a torn one.
+func AtomicWrite(path string, b []byte) error { return atomicWrite(path, b) }
+
 // atomicWrite writes bytes via temp file + fsync + rename + directory
 // fsync.
 func atomicWrite(path string, b []byte) error {
