@@ -7,7 +7,7 @@ GO ?= go
 # genuinely improves; never lower it to make a PR pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race vet verify conformance cache-conformance chaos store-chaos shard-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
+.PHONY: build test race vet verify conformance cache-conformance chaos store-chaos shard-chaos net-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,7 @@ vet:
 	$(GO) vet ./...
 
 # Tier-1 verification loop (see ROADMAP.md).
-verify: build vet test race conformance cache-conformance chaos store-chaos shard-chaos service-smoke
+verify: build vet test race conformance cache-conformance chaos store-chaos shard-chaos net-chaos service-smoke
 
 # Short randomized differential campaign: cross-checks flatsim, logicsim,
 # STA, ITR and the delay-model structure against each other on random
@@ -67,6 +67,18 @@ store-chaos:
 shard-chaos:
 	$(GO) test -race -run 'TestShardChaos' ./internal/shard
 
+# Networked-campaign chaos suite: a real HTTP coordinator and remote
+# workers over loopback sockets with seeded network faults injected into
+# the workers' transports — dropped requests and acknowledgements, delays,
+# genuinely duplicated deliveries, truncated and corrupted response bodies,
+# a partition window, vanished workers and a coordinator restart
+# mid-campaign — every scenario must publish a library byte-identical to
+# the single-process run (see internal/shardnet and DESIGN.md §15). All
+# suites honour CHAOS_SEED=<n> to replay a specific schedule; failures
+# print the seed.
+net-chaos:
+	$(GO) test -race -run 'TestNetChaos' ./internal/shardnet
+
 # Service smoke test: start the timingd daemon on a random loopback port,
 # POST an example netlist, require a 200 STA response and a clean graceful
 # drain (see cmd/timingd -selfcheck and DESIGN.md "Serving architecture").
@@ -86,11 +98,12 @@ cover:
 # Performance trajectory point (ROADMAP item 5b): full-STA throughput,
 # incremental edit latency vs. cone size, ITR-in-ATPG wall-clock, the
 # service sustained-QPS section (cold vs hot cache, batched vs unbatched)
-# and the characterisation section (single-process vs sharded campaign,
-# byte-identity re-proved), with machine/commit metadata, schema-validated
-# into BENCH_3.json.
+# and the characterisation section (single-process vs in-process sharded
+# vs networked campaign over loopback HTTP — wall-clocks, bytes uploaded,
+# retries observed, byte-identity re-proved for both), with machine/commit
+# metadata, schema-validated into BENCH_4.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_3.json
+	$(GO) run ./cmd/bench -out BENCH_4.json
 
 # Harness-rot guard: the same harness on tiny circuits, schema-validated
 # and discarded. Seconds-scale; safe for CI.

@@ -2,9 +2,12 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"sstiming/internal/cells"
@@ -12,15 +15,20 @@ import (
 	"sstiming/internal/device"
 	"sstiming/internal/engine"
 	"sstiming/internal/shard"
+	"sstiming/internal/shardnet"
 	"sstiming/internal/store"
 )
 
-// Characterization is the characterisation wall-clock section (schema v3):
-// the same reduced campaign timed twice — once single-process, once through
-// the fault-tolerant coordinator/worker path (internal/shard) — with the
-// sharded publish required byte-identical to the single-process one. Solver
-// points are the simulations charlib issued (charlib/jobs), so points/sec is
-// the solver's effective characterisation throughput.
+// Characterization is the characterisation wall-clock section (schema v4):
+// the same reduced campaign timed three times — single-process, through the
+// in-process fault-tolerant coordinator/worker path (internal/shard), and
+// through the networked coordinator with remote workers over loopback HTTP
+// (internal/shardnet) — with both campaign publishes required byte-identical
+// to the single-process one. Solver points are the simulations charlib
+// issued (charlib/jobs), so points/sec is the solver's effective
+// characterisation throughput; the net_* fields record what the wire added:
+// artefact bytes uploaded, requests issued by the resilient client, and
+// retries it observed.
 type Characterization struct {
 	Cells               int     `json:"cells"`
 	GridPoints          int     `json:"grid_points"`
@@ -32,6 +40,14 @@ type Characterization struct {
 	ShardedMs           float64 `json:"sharded_ms"`
 	ShardedPointsPerSec float64 `json:"sharded_points_per_sec"`
 	BytesIdentical      bool    `json:"bytes_identical"`
+
+	NetWorkers            int     `json:"net_workers"`
+	NetworkedMs           float64 `json:"networked_ms"`
+	NetworkedPointsPerSec float64 `json:"networked_points_per_sec"`
+	NetBytesUploaded      int64   `json:"net_bytes_uploaded"`
+	NetRequests           int64   `json:"net_requests"`
+	NetRetries            int64   `json:"net_retries"`
+	NetBytesIdentical     bool    `json:"net_bytes_identical"`
 }
 
 // benchCharlib returns the campaign both paths characterise. The smoke
@@ -116,6 +132,11 @@ func benchCharacterization(jobs int, smoke bool) (Characterization, error) {
 		return Characterization{}, err
 	}
 
+	netStats, err := benchNetworked(dir, smoke, singleOut)
+	if err != nil {
+		return Characterization{}, err
+	}
+
 	ch := Characterization{
 		Cells:           len(ro.Cells),
 		GridPoints:      len(ro.Grid),
@@ -132,7 +153,126 @@ func benchCharacterization(jobs int, smoke bool) (Characterization, error) {
 	if s := sharded.Seconds(); s > 0 {
 		ch.ShardedPointsPerSec = float64(shardedPoints) / s
 	}
+	ch.NetWorkers = netStats.workers
+	ch.NetworkedMs = float64(netStats.elapsed) / float64(time.Millisecond)
+	ch.NetBytesUploaded = netStats.bytesUploaded
+	ch.NetRequests = netStats.requests
+	ch.NetRetries = netStats.retries
+	ch.NetBytesIdentical = netStats.identical
+	if s := netStats.elapsed.Seconds(); s > 0 {
+		ch.NetworkedPointsPerSec = float64(netStats.points) / s
+	}
 	return ch, nil
+}
+
+// netCampaignStats is what the networked leg of the characterisation bench
+// measures beyond the wall-clock: the transport counters and the re-proved
+// byte-identity.
+type netCampaignStats struct {
+	workers       int
+	elapsed       time.Duration
+	points        int64
+	bytesUploaded int64
+	requests      int64
+	retries       int64
+	identical     bool
+}
+
+// benchNetworked re-runs the identical campaign once more through the real
+// HTTP coordinator/worker path (internal/shardnet) over loopback sockets:
+// remote workers lease shards from the coordinator, characterise locally,
+// stream artefacts back in verified chunks, and the coordinator merges. One
+// shared metrics sink accumulates the solver points alongside the wire
+// counters (client requests and retries, server-side artefact bytes), and
+// the merged publish is compared byte for byte against the single-process
+// reference — the third corner of the byte-identity contract, re-proved on
+// every trajectory point.
+func benchNetworked(dir string, smoke bool, singleOut string) (netCampaignStats, error) {
+	const workers = 3
+	met := engine.NewMetrics()
+	netOut := filepath.Join(dir, "networked.json")
+	srv, err := shardnet.NewServer(shardnet.ServerOptions{
+		Shard: shard.Options{
+			Charlib:     benchCharlib(1, smoke),
+			Out:         netOut,
+			ShardCells:  1,
+			LeaseTTL:    2 * time.Second,
+			MaxAttempts: 8,
+			Backoff:     25 * time.Millisecond,
+			Metrics:     met,
+		},
+	})
+	if err != nil {
+		return netCampaignStats{}, fmt.Errorf("networked coordinator: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return netCampaignStats{}, err
+	}
+	base := "http://" + ln.Addr().String()
+
+	start := time.Now()
+	srv.Start(ln)
+	var wg sync.WaitGroup
+	workerErrs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wdir := filepath.Join(dir, fmt.Sprintf("net-worker-%d", i))
+		o := benchCharlib(1, smoke)
+		o.Metrics = met
+		wopts := shardnet.WorkerOptions{
+			Client: shardnet.ClientOptions{
+				Base:    base,
+				Seed:    int64(i + 1),
+				Metrics: met,
+			},
+			Shard: shard.Options{
+				Charlib:    o,
+				Out:        filepath.Join(wdir, "unused.json"),
+				Dir:        filepath.Join(wdir, "work.campaign"),
+				ShardCells: 1,
+			},
+			Name: fmt.Sprintf("bench-w%d", i),
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, workerErrs[i] = shardnet.RunWorker(context.Background(), wopts)
+		}(i)
+	}
+	if err := srv.WaitResolved(context.Background()); err != nil {
+		return netCampaignStats{}, fmt.Errorf("networked campaign: %w", err)
+	}
+	// The campaign ends at the merged publish; idle workers still sleeping
+	// on a no-grant retry window drain afterwards, off the clock.
+	if _, err := srv.MergeAndPublish(); err != nil {
+		return netCampaignStats{}, fmt.Errorf("networked publish: %w", err)
+	}
+	elapsed := time.Since(start)
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return netCampaignStats{}, fmt.Errorf("networked worker %d: %w", i, werr)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return netCampaignStats{}, fmt.Errorf("coordinator shutdown: %w", err)
+	}
+
+	identical, err := publishesIdentical(singleOut, netOut)
+	if err != nil {
+		return netCampaignStats{}, err
+	}
+	return netCampaignStats{
+		workers:       workers,
+		elapsed:       elapsed,
+		points:        met.Get(engine.CharJobs),
+		bytesUploaded: met.Get(engine.NetBytesUploaded),
+		requests:      met.Get(engine.NetRequests),
+		retries:       met.Get(engine.NetRetries),
+		identical:     identical,
+	}, nil
 }
 
 // publishesIdentical compares two published (library, manifest) pairs byte

@@ -11,8 +11,11 @@
 //     HTTP load for cold vs hot content-addressed cache and unbatched vs
 //     micro-batched tiny requests (see internal/reqcache, internal/batch),
 //   - characterisation wall-clock and solver points/sec, single-process vs
-//     the sharded coordinator/worker campaign (internal/shard), re-proving
-//     on every report that the sharded publish is byte-identical.
+//     the in-process sharded coordinator/worker campaign (internal/shard) vs
+//     the networked campaign over loopback HTTP (internal/shardnet — remote
+//     workers, chunked verified uploads), with bytes transferred and client
+//     retries recorded, re-proving on every report that both campaign
+//     publishes are byte-identical to the single-process one.
 //
 // Every report carries machine and commit metadata so successive BENCH_N.json
 // files are comparable across the project's history. The emitted report is
@@ -24,7 +27,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_3.json] [-jobs N] [-reps N] [-edits N] [-faults N] [-smoke]
+//	bench [-out BENCH_4.json] [-jobs N] [-reps N] [-edits N] [-faults N] [-smoke]
 package main
 
 import (
@@ -56,7 +59,11 @@ import (
 // v3 adds the `characterization` section (campaign wall-clock and solver
 // points/sec, single-process vs sharded coordinator/worker, byte-identity
 // re-proved per report).
-const Schema = "sstiming-bench/3"
+// v4 adds the networked-campaign fields to `characterization`: wall-clock
+// through the loopback HTTP coordinator/worker path (internal/shardnet),
+// artefact bytes uploaded, client requests and retries observed, and the
+// networked publish's byte-identity re-proved alongside the in-process one.
+const Schema = "sstiming-bench/4"
 
 // Report is the top-level BENCH_N.json document.
 type Report struct {
@@ -140,7 +147,7 @@ type ATPGITR struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output report path")
+	out := flag.String("out", "BENCH_4.json", "output report path")
 	jobs := flag.Int("jobs", 0, "engine worker pool width (0 = all CPUs)")
 	reps := flag.Int("reps", 5, "full-STA repetitions per circuit")
 	edits := flag.Int("edits", 200, "incremental edits measured on the target circuit")
@@ -217,6 +224,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "charlib   %d cells  single %8.0f ms (%5.0f pts/s)  sharded %8.0f ms (%5.0f pts/s, %d shards/%d workers)  identical=%v\n",
 		ch.Cells, ch.SingleProcessMs, ch.PointsPerSec,
 		ch.ShardedMs, ch.ShardedPointsPerSec, ch.Shards, ch.Workers, ch.BytesIdentical)
+	fmt.Fprintf(os.Stderr, "charnet   %d workers  networked %8.0f ms (%5.0f pts/s)  %d bytes up  %d reqs  %d retries  identical=%v\n",
+		ch.NetWorkers, ch.NetworkedMs, ch.NetworkedPointsPerSec,
+		ch.NetBytesUploaded, ch.NetRequests, ch.NetRetries, ch.NetBytesIdentical)
 
 	if err := validate(&rep, !*smoke); err != nil {
 		fatal("report failed schema validation: %v", err)
@@ -573,6 +583,13 @@ func validate(r *Report, full bool) error {
 	}
 	if !ch.BytesIdentical {
 		return fmt.Errorf("sharded characterisation publish diverged from single-process bytes")
+	}
+	if ch.NetWorkers <= 0 || ch.NetworkedMs <= 0 || ch.NetworkedPointsPerSec <= 0 ||
+		ch.NetBytesUploaded <= 0 || ch.NetRequests <= 0 || ch.NetRetries < 0 {
+		return fmt.Errorf("degenerate networked-campaign fields %+v", ch)
+	}
+	if !ch.NetBytesIdentical {
+		return fmt.Errorf("networked characterisation publish diverged from single-process bytes")
 	}
 	return nil
 }

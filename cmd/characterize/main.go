@@ -12,6 +12,7 @@
 //	             [-shard-cells N] [-shard-workers M] [-shard-lease D]
 //	             [-shard-max-attempts K] [-shard-dir DIR]
 //	             [-shard-plan] [-shard-run ID]
+//	             [-shard-serve ADDR] [-shard-worker -coordinator URL [-worker-dir DIR]]
 //	             [-inject kind] [-inject-rate F] [-inject-seed S] [-inject-persist]
 //
 // Campaigns are crash-safe by default: each completed cell is appended to a
@@ -33,6 +34,14 @@
 // -shard-run characterises a single named shard standalone, and a final
 // -resume coordinator merges and publishes.
 //
+// For multi-machine campaigns, -shard-serve starts the campaign coordinator
+// over HTTP (internal/shardnet) and -shard-worker runs a remote worker that
+// pulls shards from -coordinator, characterises them locally under
+// -worker-dir and streams verified artefacts back. Worker modes exit 0 when
+// the campaign resolved, 2 when a lease was lost or reassigned (restart the
+// worker), and 3 on fatal conditions retrying cannot fix (plan mismatch,
+// unknown shard); see README "remote workers".
+//
 // The -inject* flags drive the deterministic fault-injection harness
 // (internal/faultinject) for resilience testing: a seeded fraction of all
 // solver time points is forced to fail, exercising the recovery, retry and
@@ -40,9 +49,11 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"time"
@@ -52,6 +63,7 @@ import (
 	"sstiming/internal/engine"
 	"sstiming/internal/faultinject"
 	"sstiming/internal/shard"
+	"sstiming/internal/shardnet"
 	"sstiming/internal/spice"
 	"sstiming/internal/store"
 )
@@ -79,6 +91,10 @@ func main() {
 	shardDir := flag.String("shard-dir", "", "campaign directory for sharded runs (default <out>.campaign)")
 	shardPlanOnly := flag.Bool("shard-plan", false, "write the sharded campaign plan and exit (multi-process mode)")
 	shardRunID := flag.String("shard-run", "", "standalone worker mode: characterise one shard of an existing campaign")
+	shardServe := flag.String("shard-serve", "", "serve the campaign coordinator on this address (host:port) for remote workers")
+	shardWorker := flag.Bool("shard-worker", false, "remote worker mode: pull shards from -coordinator until the campaign resolves")
+	coordinator := flag.String("coordinator", "", "coordinator base URL for -shard-worker (e.g. http://host:7600)")
+	workerDir := flag.String("worker-dir", "", "remote worker's private local work directory (default <out>.workdir)")
 	flag.Parse()
 
 	var opts charlib.Options
@@ -109,7 +125,7 @@ func main() {
 		opts.NewFaultHook = plan.NextHook
 	}
 
-	if *shardCells > 0 || *shardPlanOnly || *shardRunID != "" {
+	if *shardCells > 0 || *shardPlanOnly || *shardRunID != "" || *shardServe != "" || *shardWorker {
 		runSharded(opts, shardConfig{
 			out:         *out,
 			dir:         *shardDir,
@@ -121,6 +137,10 @@ func main() {
 			resume:      *resume,
 			planOnly:    *shardPlanOnly,
 			runID:       *shardRunID,
+			serveAddr:   *shardServe,
+			workerMode:  *shardWorker,
+			coordinator: *coordinator,
+			workerDir:   *workerDir,
 			health:      *health,
 			stats:       *stats,
 		})
@@ -235,8 +255,39 @@ type shardConfig struct {
 	resume      bool
 	planOnly    bool
 	runID       string
+	serveAddr   string
+	workerMode  bool
+	coordinator string
+	workerDir   string
 	health      bool
 	stats       bool
+}
+
+// Worker-mode exit codes (-shard-run, -shard-worker). Supervisors restart
+// on exitLeaseLost (transient: the coordinator reassigned work) and stop on
+// exitFatal (plan mismatch, unknown shard — retrying cannot help).
+const (
+	exitOK        = 0
+	exitError     = 1
+	exitLeaseLost = 2
+	exitFatal     = 3
+)
+
+// workerExitCode maps a worker-mode error to its contract exit code.
+func workerExitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, shardnet.ErrLeaseLost):
+		return exitLeaseLost
+	case errors.Is(err, shardnet.ErrFatal),
+		errors.Is(err, shard.ErrUnknownShard),
+		errors.Is(err, store.ErrStale),
+		errors.Is(err, store.ErrSchemaMismatch):
+		return exitFatal
+	default:
+		return exitError
+	}
 }
 
 // runSharded dispatches the three sharded modes: plan-only, standalone
@@ -273,14 +324,22 @@ func runSharded(opts charlib.Options, cfg shardConfig) {
 	}
 	if cfg.runID != "" {
 		if err := shard.RunWorker(so, cfg.runID); err != nil {
-			if errors.Is(err, store.ErrStale) || errors.Is(err, store.ErrSchemaMismatch) {
-				fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			if code := workerExitCode(err); code == exitFatal {
 				fmt.Fprintln(os.Stderr, "characterize: the worker's options must match the planning run exactly")
-				os.Exit(1)
+				os.Exit(exitFatal)
 			}
-			fatal(err)
+			os.Exit(exitError)
 		}
 		fmt.Printf("shard %s: artifact verified and promoted\n", cfg.runID)
+		return
+	}
+	if cfg.serveAddr != "" {
+		runServe(so, cfg)
+		return
+	}
+	if cfg.workerMode {
+		runRemoteWorker(so, cfg)
 		return
 	}
 
@@ -315,6 +374,109 @@ func runSharded(opts charlib.Options, cfg shardConfig) {
 	}
 	fmt.Printf("wrote %s (%d cells, tech %s, Vdd %.2f V) + manifest %s\n",
 		cfg.out, len(lib.Cells), lib.TechName, lib.Vdd, store.ManifestPath(cfg.out))
+}
+
+// runServe is the networked coordinator mode: the campaign's lease state
+// machine served over HTTP for remote -shard-worker processes, then the
+// merged, byte-identical publish once every shard resolves.
+func runServe(so shard.Options, cfg shardConfig) {
+	srv, err := shardnet.NewServer(shardnet.ServerOptions{Shard: so})
+	if err != nil {
+		if errors.Is(err, store.ErrStale) || errors.Is(err, store.ErrSchemaMismatch) {
+			fmt.Fprintf(os.Stderr, "characterize: %v\n", err)
+			fmt.Fprintln(os.Stderr, "characterize: rerun without -resume to discard the campaign directory and start over")
+			os.Exit(1)
+		}
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", cfg.serveAddr)
+	if err != nil {
+		fatal(err)
+	}
+	srv.Start(ln)
+	fmt.Fprintf(os.Stderr, "characterize: coordinator serving on http://%s (point workers at it with -coordinator)\n",
+		ln.Addr())
+	if err := srv.WaitResolved(context.Background()); err != nil {
+		fatal(err)
+	}
+	lib, err := srv.MergeAndPublish()
+	rep := srv.Report()
+	fmt.Fprintf(os.Stderr, "campaign: %d shard(s), %d completed (%d reused), %d lease(s), "+
+		"%d expired, %d retries, %d corrupt, %d duplicate(s) discarded\n",
+		rep.Shards, rep.Completed, rep.Reused, rep.Leases,
+		rep.Expired, rep.Retries, rep.CorruptArtifacts, rep.DuplicatesDiscarded)
+	for _, id := range rep.Quarantined {
+		fmt.Fprintf(os.Stderr, "campaign: shard %s quarantined; cells served from the analytic fallback\n", id)
+	}
+	if cfg.stats {
+		srv.WriteMetrics(os.Stderr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	// Keep answering Done until every polling worker has heard it (bounded
+	// by the lease TTL — a vanished worker must not wedge the exit), so
+	// workers exit 0 instead of dying on connection-refused.
+	dctx, cancel := context.WithTimeout(context.Background(), srv.Tracker().LeaseTTL())
+	if derr := srv.DrainWorkers(dctx); derr != nil {
+		fmt.Fprintln(os.Stderr, "characterize: coordinator exiting with workers still polling:", derr)
+	}
+	cancel()
+	if serr := srv.Shutdown(context.Background()); serr != nil {
+		fmt.Fprintln(os.Stderr, "characterize: coordinator shutdown:", serr)
+	}
+	if err := checkDegradationBudget(lib, so.Charlib.Resolved().MaxDegradedFrac); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d cells, tech %s, Vdd %.2f V) + manifest %s\n",
+		cfg.out, len(lib.Cells), lib.TechName, lib.Vdd, store.ManifestPath(cfg.out))
+}
+
+// runRemoteWorker is the remote worker mode: pull shards from the
+// coordinator, characterise them in a private local work directory, stream
+// verified artefacts back, and exit with the worker exit-code contract.
+func runRemoteWorker(so shard.Options, cfg shardConfig) {
+	if cfg.coordinator == "" {
+		fatal(errors.New("-shard-worker requires -coordinator URL"))
+	}
+	wdir := cfg.workerDir
+	if wdir == "" {
+		wdir = cfg.out + ".workdir"
+	}
+	so.Dir = wdir
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	progress := so.Progress
+	if progress == nil {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	rep, err := shardnet.RunWorker(context.Background(), shardnet.WorkerOptions{
+		Client: shardnet.ClientOptions{
+			Base:     cfg.coordinator,
+			Metrics:  so.Metrics,
+			Progress: so.Progress,
+		},
+		Shard:           so,
+		Name:            fmt.Sprintf("%s-%d", host, os.Getpid()),
+		ExitOnLeaseLost: true,
+		Progress:        progress,
+	})
+	if rep != nil {
+		fmt.Fprintf(os.Stderr, "worker: %d lease(s), %d completed, %d duplicate(s), "+
+			"%d rejected, %d failed, %d lost\n",
+			rep.Leases, rep.Completed, rep.Duplicates, rep.Rejected, rep.Failed, rep.LeaseLost)
+	}
+	if cfg.stats && so.Metrics != nil {
+		so.Metrics.WriteText(os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+	}
+	os.Exit(workerExitCode(err))
 }
 
 // checkDegradationBudget fails when any cell — freshly characterised or

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sstiming/internal/shard"
+	"sstiming/internal/shardnet"
+	"sstiming/internal/store"
+)
+
+// TestWorkerExitCodes pins the worker-mode exit-code contract supervisors
+// script against: 0 = campaign resolved / all leases done, 2 = a lease was
+// lost or reassigned (restart the worker), 3 = fatal (plan mismatch,
+// unknown shard — do not restart), 1 = anything else.
+func TestWorkerExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"all leases done", nil, exitOK},
+		{"lease lost", shardnet.ErrLeaseLost, exitLeaseLost},
+		{"lease lost wrapped", fmt.Errorf("%w: shard s01 attempt 2 reassigned", shardnet.ErrLeaseLost), exitLeaseLost},
+		{"fatal", shardnet.ErrFatal, exitFatal},
+		{"fatal wrapped", fmt.Errorf("%w: plan mismatch", shardnet.ErrFatal), exitFatal},
+		{"plan mismatch", fmt.Errorf("%w: options differ", store.ErrStale), exitFatal},
+		{"schema mismatch", store.ErrSchemaMismatch, exitFatal},
+		{"unknown shard", fmt.Errorf("%w: %q", shard.ErrUnknownShard, "s99"), exitFatal},
+		{"other error", errors.New("disk full"), exitError},
+	}
+	for _, c := range cases {
+		if got := workerExitCode(c.err); got != c.want {
+			t.Errorf("%s: exit %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -160,6 +160,15 @@ const (
 	// ShardCorrupt counts shard completions rejected because the staged
 	// artefact failed manifest verification.
 	ShardCorrupt
+	// NetRequests counts HTTP requests issued by the shardnet resilient
+	// client (every attempt counts, including retries).
+	NetRequests
+	// NetRetries counts shardnet client attempts beyond each call's first
+	// (network errors, 5xx/429 responses, undecodable replies).
+	NetRetries
+	// NetBytesUploaded counts artefact bytes remote workers uploaded to a
+	// campaign coordinator (resent chunks count again).
+	NetBytesUploaded
 
 	numCounters
 )
@@ -218,6 +227,9 @@ var counterNames = [numCounters]string{
 	ShardQuarantined:   "shard/quarantined_shards",
 	ShardDuplicates:    "shard/duplicates_discarded",
 	ShardCorrupt:       "shard/corrupt_artifacts",
+	NetRequests:        "shardnet/client_requests",
+	NetRetries:         "shardnet/client_retries",
+	NetBytesUploaded:   "shardnet/bytes_uploaded",
 }
 
 // String returns the counter's label.

@@ -1,0 +1,229 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Network-level faults for the HTTP shard transport (internal/shardnet):
+// where a ShardPlan faults whole workers, a NetPlan faults individual HTTP
+// exchanges — the packet-granularity failures a lossy network injects
+// between an honest worker and an honest coordinator. Six kinds are
+// modelled:
+//
+//   - drop-request: the request never reaches the server (connection
+//     refused / reset before the server sees it);
+//   - drop-response: the server fully processes the request but the
+//     response is lost — the lost-ACK case, which the retried request must
+//     survive idempotently;
+//   - delay: the exchange stalls before delivery (congestion, slow link);
+//   - duplicate: the request is delivered twice (a retransmit racing its
+//     original); the server must absorb the replay;
+//   - truncate-response: the client receives only a prefix of the response
+//     body;
+//   - corrupt-response: the response body arrives with damaged bytes.
+//
+// Decisions are a pure hash of (seed, call ordinal), so a campaign replays
+// identically for a fixed seed and call sequence. A partition window
+// (Partition) drops every exchange whose ordinal falls inside it,
+// modelling a network that goes dark and comes back.
+
+// NetFault identifies one network-level fault kind.
+type NetFault int
+
+const (
+	// NetFaultNone leaves the exchange alone.
+	NetFaultNone NetFault = iota
+	// NetFaultDropRequest loses the request before the server sees it.
+	NetFaultDropRequest
+	// NetFaultDropResponse loses the response after the server processed
+	// the request (the lost-ACK case).
+	NetFaultDropResponse
+	// NetFaultDelay stalls the exchange, then delivers it intact.
+	NetFaultDelay
+	// NetFaultDuplicate delivers the request twice; the first response is
+	// discarded and the second is returned.
+	NetFaultDuplicate
+	// NetFaultTruncateResponse delivers only a prefix of the response body.
+	NetFaultTruncateResponse
+	// NetFaultCorruptResponse damages the response body bytes in flight.
+	NetFaultCorruptResponse
+)
+
+// String returns the fault kind label.
+func (f NetFault) String() string {
+	switch f {
+	case NetFaultDropRequest:
+		return "drop-request"
+	case NetFaultDropResponse:
+		return "drop-response"
+	case NetFaultDelay:
+		return "delay"
+	case NetFaultDuplicate:
+		return "duplicate"
+	case NetFaultTruncateResponse:
+		return "truncate-response"
+	case NetFaultCorruptResponse:
+		return "corrupt-response"
+	default:
+		return "none"
+	}
+}
+
+// NetPlan assigns network faults deterministically across the sequence of
+// HTTP exchanges one client issues. Each exchange consumes one ordinal
+// (Next); the fault for an ordinal is a pure hash of (seed, ordinal), so
+// runs replay identically under a fixed seed and call order. The zero of
+// each rate disables that kind; Force pins a fault onto one specific
+// ordinal; Partition drops a contiguous ordinal window. A nil plan injects
+// nothing.
+type NetPlan struct {
+	seed  int64
+	rates [6]float64 // indexed by NetFault-1
+	delay time.Duration
+
+	mu             sync.Mutex
+	force          map[int64]NetFault
+	partFrom       int64
+	partLen        int64
+	ordinal        atomic.Int64
+	decided        atomic.Int64
+	injected       atomic.Int64
+	injectedByKind [6]atomic.Int64
+}
+
+// NewNetPlan builds a seeded network-fault plan. Each rate is the
+// probability (per exchange) of that fault kind, in NetFault order
+// (drop-request, drop-response, delay, duplicate, truncate-response,
+// corrupt-response); their sum must not exceed 1. delay is how long a
+// delayed exchange stalls (zero selects 10ms).
+func NewNetPlan(seed int64, rates [6]float64, delay time.Duration) *NetPlan {
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	if sum > 1 {
+		panic(fmt.Sprintf("faultinject: net fault rates sum to %g > 1", sum))
+	}
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	return &NetPlan{seed: seed, rates: rates, delay: delay}
+}
+
+// Delay returns how long a NetFaultDelay exchange stalls.
+func (p *NetPlan) Delay() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.delay
+}
+
+// Force pins a fault onto one specific exchange ordinal, leaving every
+// other exchange to the seeded rates — the deterministic way to script
+// "the completion ACK, specifically, is lost".
+func (p *NetPlan) Force(ordinal int64, f NetFault) {
+	p.mu.Lock()
+	if p.force == nil {
+		p.force = make(map[int64]NetFault)
+	}
+	p.force[ordinal] = f
+	p.mu.Unlock()
+}
+
+// Partition drops every exchange whose ordinal lies in [from, from+length):
+// the network goes dark for a window and comes back. Forced faults inside
+// the window are overridden by the drop.
+func (p *NetPlan) Partition(from, length int64) {
+	p.mu.Lock()
+	p.partFrom, p.partLen = from, length
+	p.mu.Unlock()
+}
+
+// Next allocates the next exchange ordinal and returns its fault. Safe for
+// concurrent use and on a nil plan (no fault, ordinal -1).
+func (p *NetPlan) Next() (int64, NetFault) {
+	if p == nil {
+		return -1, NetFaultNone
+	}
+	ord := p.ordinal.Add(1) - 1
+	return ord, p.decide(ord)
+}
+
+func (p *NetPlan) decide(ordinal int64) NetFault {
+	p.decided.Add(1)
+	p.mu.Lock()
+	inPartition := p.partLen > 0 && ordinal >= p.partFrom && ordinal < p.partFrom+p.partLen
+	forced, ok := p.force[ordinal]
+	p.mu.Unlock()
+	if inPartition {
+		p.count(NetFaultDropRequest)
+		return NetFaultDropRequest
+	}
+	if ok {
+		if forced != NetFaultNone {
+			p.count(forced)
+		}
+		return forced
+	}
+	h := splitmix64(uint64(p.seed)*0x9e3779b97f4a7c15 ^ uint64(ordinal)*0xbf58476d1ce4e5b9)
+	u := float64(h>>11) / (1 << 53)
+	acc := 0.0
+	for i, r := range p.rates {
+		acc += r
+		if u < acc {
+			f := NetFault(i + 1)
+			p.count(f)
+			return f
+		}
+	}
+	return NetFaultNone
+}
+
+func (p *NetPlan) count(f NetFault) {
+	p.injected.Add(1)
+	if f >= 1 && int(f) <= len(p.injectedByKind) {
+		p.injectedByKind[f-1].Add(1)
+	}
+}
+
+// Decisions returns how many exchanges consulted the plan.
+func (p *NetPlan) Decisions() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.decided.Load()
+}
+
+// Injected returns how many exchanges were faulted.
+func (p *NetPlan) Injected() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.injected.Load()
+}
+
+// InjectedKind returns how many exchanges were faulted with kind f.
+func (p *NetPlan) InjectedKind(f NetFault) int64 {
+	if p == nil || f < 1 || int(f) > len(p.injectedByKind) {
+		return 0
+	}
+	return p.injectedByKind[f-1].Load()
+}
+
+// SeedFromEnv returns the chaos seed for a test run: the CHAOS_SEED
+// environment variable when set (and parseable), else def. Chaos suites
+// call it for every seed they derive and print the result on failure, so
+// any chaotic run is reproducible with CHAOS_SEED=<printed seed>.
+func SeedFromEnv(def int64) int64 {
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return s
+		}
+	}
+	return def
+}

@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNetPlanDeterminism: identical seeds replay the identical fault
+// sequence; different seeds diverge somewhere.
+func TestNetPlanDeterminism(t *testing.T) {
+	rates := [6]float64{0.05, 0.05, 0.1, 0.05, 0.05, 0.05}
+	const n = 512
+	seq := func(seed int64) []NetFault {
+		p := NewNetPlan(seed, rates, time.Millisecond)
+		out := make([]NetFault, n)
+		for i := range out {
+			_, out[i] = p.Next()
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ordinal %d: seed 42 decided %s then %s", i, a[i], b[i])
+		}
+	}
+	c := seq(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical %d-fault sequences", n)
+	}
+}
+
+// TestNetPlanForceAndPartition: forced ordinals and partition windows
+// override the seeded rates, and the partition drop wins over a forced
+// fault inside the window.
+func TestNetPlanForceAndPartition(t *testing.T) {
+	p := NewNetPlan(1, [6]float64{}, 0)
+	p.Force(3, NetFaultDropResponse)
+	p.Force(7, NetFaultCorruptResponse)
+	p.Partition(5, 3) // ordinals 5,6,7 drop
+	want := map[int64]NetFault{
+		3: NetFaultDropResponse,
+		5: NetFaultDropRequest,
+		6: NetFaultDropRequest,
+		7: NetFaultDropRequest, // partition overrides the forced corrupt
+	}
+	for i := int64(0); i < 10; i++ {
+		ord, f := p.Next()
+		if ord != i {
+			t.Fatalf("ordinal %d allocated as %d", i, ord)
+		}
+		if exp, ok := want[i]; ok {
+			if f != exp {
+				t.Errorf("ordinal %d: got %s, want %s", i, f, exp)
+			}
+		} else if f != NetFaultNone {
+			t.Errorf("ordinal %d: got %s, want none (zero rates)", i, f)
+		}
+	}
+	if got := p.InjectedKind(NetFaultDropRequest); got != 3 {
+		t.Errorf("drop-request injections = %d, want 3", got)
+	}
+	if p.Decisions() != 10 {
+		t.Errorf("decisions = %d, want 10", p.Decisions())
+	}
+}
+
+// TestNetPlanNilSafe: a nil plan injects nothing and never panics.
+func TestNetPlanNilSafe(t *testing.T) {
+	var p *NetPlan
+	if ord, f := p.Next(); f != NetFaultNone || ord != -1 {
+		t.Fatalf("nil plan Next = (%d, %s)", ord, f)
+	}
+	if p.Injected() != 0 || p.Decisions() != 0 || p.Delay() != 0 {
+		t.Fatal("nil plan reported activity")
+	}
+}
+
+// TestNetPlanRateSum: rates summing past 1 are a construction-time panic.
+func TestNetPlanRateSum(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewNetPlan accepted rates summing to 1.2")
+		}
+	}()
+	NewNetPlan(0, [6]float64{0.2, 0.2, 0.2, 0.2, 0.2, 0.2}, 0)
+}
+
+// TestSeedFromEnv: the env override wins when parseable, the default
+// otherwise.
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv("CHAOS_SEED", "")
+	if got := SeedFromEnv(7); got != 7 {
+		t.Fatalf("unset env: got %d, want 7", got)
+	}
+	t.Setenv("CHAOS_SEED", "99")
+	if got := SeedFromEnv(7); got != 99 {
+		t.Fatalf("env 99: got %d", got)
+	}
+	t.Setenv("CHAOS_SEED", "not-a-number")
+	if got := SeedFromEnv(7); got != 7 {
+		t.Fatalf("garbage env: got %d, want 7", got)
+	}
+}

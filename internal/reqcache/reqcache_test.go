@@ -440,3 +440,81 @@ func TestAliasCapResets(t *testing.T) {
 		}
 	}
 }
+
+// TestSingleflightOversizedFollowers: a burst of concurrent callers lands
+// on one key whose value exceeds the per-entry admission cap. The leader
+// must still compute exactly once and hand the value to every follower
+// (Coalesced), the value must never become resident, and the refusal is
+// counted once per flight — oversized admission and singleflight must not
+// interfere. Runs under -race in the cache-conformance suite.
+func TestSingleflightOversizedFollowers(t *testing.T) {
+	met := engine.NewMetrics()
+	c := New(8, 0, met)
+	c.SetMaxEntryBytes(10)
+	k := KeyFrom("oversized-shared")
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	compute := func(context.Context) (any, int64, error) {
+		runs.Add(1)
+		<-gate // hold the flight open until every follower has joined
+		return "huge", 100, nil
+	}
+
+	const n = 9 // 1 leader + 8 followers
+	var started, done sync.WaitGroup
+	statuses := make([]Status, n)
+	for i := 0; i < n; i++ {
+		started.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			started.Done()
+			v, st, err := c.Do(bg(), k, "fp", compute)
+			if err != nil || v != "huge" {
+				t.Errorf("goroutine %d: (%v, %v)", i, v, err)
+				return
+			}
+			statuses[i] = st
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(20 * time.Millisecond) // let followers reach the flight wait
+	close(gate)
+	done.Wait()
+
+	if runs.Load() != 1 {
+		t.Fatalf("compute ran %d times under %d concurrent callers, want 1", runs.Load(), n)
+	}
+	misses, coalesced := 0, 0
+	for i, st := range statuses {
+		switch st {
+		case Miss:
+			misses++
+		case Coalesced:
+			coalesced++
+		default:
+			t.Fatalf("goroutine %d: status %v — an oversized value can never Hit", i, st)
+		}
+	}
+	if misses != 1 || coalesced != n-1 {
+		t.Fatalf("%d leaders + %d coalesced, want 1 + %d", misses, coalesced, n-1)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("oversized value became resident: Len/Bytes = %d/%d", c.Len(), c.Bytes())
+	}
+	if got := met.Get(engine.CacheOversized); got != 1 {
+		t.Fatalf("oversized refusals = %d, want 1 (one per flight, not per follower)", got)
+	}
+
+	// Never cached: the next caller recomputes, still uncached, counted again.
+	v, st, err := c.Do(bg(), k, "fp", compute)
+	if err != nil || v != "huge" || st != Miss {
+		t.Fatalf("recompute = (%v, %v, %v), want (huge, Miss, nil)", v, st, err)
+	}
+	if runs.Load() != 2 || c.Len() != 0 {
+		t.Fatalf("recompute: runs=%d Len=%d, want 2 and 0", runs.Load(), c.Len())
+	}
+	if got := met.Get(engine.CacheOversized); got != 2 {
+		t.Fatalf("oversized refusals after recompute = %d, want 2", got)
+	}
+}

@@ -15,6 +15,19 @@ import (
 	"sstiming/internal/spice"
 )
 
+// chaosSeed resolves a suite seed — overridable via the CHAOS_SEED env var,
+// printed on failure so any run is reproducible.
+func chaosSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	seed := faultinject.SeedFromEnv(def)
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("reproduce with CHAOS_SEED=%d", seed)
+		}
+	})
+	return seed
+}
+
 // TestChaosPersistentFaultsTripBreaker injects persistent solver faults
 // (they defeat the recovery ladder, so every flattened trial escalates to an
 // unrecovered failure) into the daemon's conformance endpoint and asserts
@@ -25,7 +38,7 @@ func TestChaosPersistentFaultsTripBreaker(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	plan := faultinject.NewPlan(11, 0.01, spice.FaultNoConverge, true)
+	plan := faultinject.NewPlan(chaosSeed(t, 11), 0.01, spice.FaultNoConverge, true)
 	met := engine.NewMetrics()
 	_, hs := newTestServer(t, Options{
 		Metrics:      met,
@@ -107,7 +120,7 @@ func TestChaosOneShotFaultsDoNotTripBreaker(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
-	plan := faultinject.NewPlan(5, 0.02, spice.FaultNoConverge, false)
+	plan := faultinject.NewPlan(chaosSeed(t, 5), 0.02, spice.FaultNoConverge, false)
 	s, hs := newTestServer(t, Options{
 		NewFaultHook: plan.NextHook,
 		Breaker:      BreakerConfig{Threshold: 1, Cooldown: time.Hour},

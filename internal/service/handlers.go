@@ -754,9 +754,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_ = s.met.WriteText(w)
-	for _, ep := range endpointOrder {
-		s.hist[ep].writeText(w, ep)
-	}
+	s.inst.WriteLatencies(w)
 	if s.bstats != nil {
 		s.bstats.writeText(w)
 	}

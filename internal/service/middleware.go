@@ -2,118 +2,13 @@ package service
 
 import (
 	"context"
-	"fmt"
-	"io"
 	"net/http"
-	"sort"
-	"strconv"
-	"sync/atomic"
-	"time"
-
-	"sstiming/internal/engine"
 )
 
-// numLatencyBuckets is len(latencyBuckets); Go needs a constant for the
-// atomic counts array.
-const numLatencyBuckets = 13
-
-// latencyBuckets are the histogram upper bounds. Fixed at compile time so
-// observation is one atomic add.
-var latencyBuckets = [numLatencyBuckets]time.Duration{
-	1 * time.Millisecond,
-	2 * time.Millisecond,
-	5 * time.Millisecond,
-	10 * time.Millisecond,
-	25 * time.Millisecond,
-	50 * time.Millisecond,
-	100 * time.Millisecond,
-	250 * time.Millisecond,
-	500 * time.Millisecond,
-	1 * time.Second,
-	2500 * time.Millisecond,
-	5 * time.Second,
-	10 * time.Second,
-}
-
-// histogram is a fixed-bucket latency histogram (cumulative counts, like a
-// Prometheus classic histogram). All fields are atomics; observe is
-// lock-free.
-type histogram struct {
-	counts [numLatencyBuckets + 1]atomic.Int64 // last = +Inf
-	sum    atomic.Int64                        // nanoseconds
-	total  atomic.Int64
-}
-
-func (h *histogram) observe(d time.Duration) {
-	i := sort.Search(numLatencyBuckets, func(i int) bool { return d <= latencyBuckets[i] })
-	h.counts[i].Add(1)
-	h.sum.Add(int64(d))
-	h.total.Add(1)
-}
-
-// writeText renders the histogram as cumulative bucket lines.
-func (h *histogram) writeText(w io.Writer, endpoint string) {
-	total := h.total.Load()
-	if total == 0 {
-		return
-	}
-	cum := int64(0)
-	for i, ub := range latencyBuckets {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "service/latency{endpoint=%q,le=%q} %d\n", endpoint, ub.String(), cum)
-	}
-	cum += h.counts[numLatencyBuckets].Load()
-	fmt.Fprintf(w, "service/latency{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, cum)
-	fmt.Fprintf(w, "service/latency_sum{endpoint=%q} %.6f\n", endpoint, time.Duration(h.sum.Load()).Seconds())
-	fmt.Fprintf(w, "service/latency_count{endpoint=%q} %d\n", endpoint, total)
-}
-
-// requestIDKey carries the request ID through the handler's context.
-type requestIDKey struct{}
-
-// RequestID extracts the request ID installed by the instrumentation
-// middleware ("" outside a request).
-func RequestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
-}
-
-// nextRequestID mints a process-unique request ID. The boot component keeps
-// IDs distinguishable across daemon restarts in logs.
-func (s *Server) nextRequestID() string {
-	return fmt.Sprintf("r%08x-%06d", s.boot, s.reqSeq.Add(1))
-}
-
-// instrument wraps an endpoint with the request-scoped machinery:
-// request-ID minting (echoed in the X-Request-Id header and available via
-// RequestID), the request counter, the per-endpoint latency histogram, and
-// last-resort panic recovery that converts a crashing handler into a 500
-// carrying the request ID — the daemon itself must never die to a request.
+// instrument wraps an endpoint with the shared request-scoped machinery
+// (see Instrumenter.Wrap in httpmw.go).
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
-	hist := s.hist[endpoint]
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := s.nextRequestID()
-		w.Header().Set("X-Request-Id", id)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
-		s.met.Add(engine.SvcRequests, 1)
-		start := time.Now()
-		defer func() {
-			if hist != nil {
-				hist.observe(time.Since(start))
-			}
-			if rec := recover(); rec != nil {
-				s.met.Add(engine.SvcPanics, 1)
-				// Headers may already be out; this is best-effort. The panic
-				// value stays server-side; clients correlate via the ID.
-				writeJSON(w, http.StatusInternalServerError, ErrorJSON{
-					RequestID: id,
-					Error:     fmt.Sprintf("internal error (request %s)", id),
-					Kind:      "panic",
-				})
-			}
-		}()
-		h(w, r)
-	})
+	return s.inst.Wrap(endpoint, h)
 }
 
 // withDeadline derives the request's working context: an explicit
@@ -121,18 +16,5 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 // field winning) overrides the server default; zero/negative means "no
 // deadline beyond the client connection".
 func (s *Server) withDeadline(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
-	ctx := r.Context()
-	d := s.opts.DefaultTimeout
-	if hv := r.Header.Get("X-Timeout-Ms"); hv != "" {
-		if ms, err := strconv.Atoi(hv); err == nil && ms > 0 {
-			d = time.Duration(ms) * time.Millisecond
-		}
-	}
-	if timeoutMs > 0 {
-		d = time.Duration(timeoutMs) * time.Millisecond
-	}
-	if d <= 0 {
-		return ctx, func() {}
-	}
-	return context.WithTimeout(ctx, d)
+	return RequestDeadline(r, s.opts.DefaultTimeout, timeoutMs)
 }

@@ -198,11 +198,9 @@ type Server struct {
 	batcher  *batch.Batcher  // nil when BatchSize < 2
 	bstats   *batchStats
 	mux      *http.ServeMux
-	hist     map[string]*histogram
+	inst     *Instrumenter
 
 	started  time.Time
-	boot     uint32
-	reqSeq   atomic.Int64
 	draining atomic.Bool
 }
 
@@ -219,9 +217,8 @@ func New(opts Options) (*Server, error) {
 		breaker:  newBreaker(opts.Breaker, opts.Metrics),
 		sessions: newSessionStore(opts.MaxSessions, opts.SessionIdleTTL, opts.Metrics),
 		mux:      http.NewServeMux(),
-		hist:     make(map[string]*histogram, len(endpointOrder)),
+		inst:     NewInstrumenter(opts.Metrics, endpointOrder),
 		started:  time.Now(),
-		boot:     uint32(time.Now().UnixNano()),
 	}
 	fp, err := store.LibraryFingerprint(opts.Lib)
 	if err != nil {
@@ -248,9 +245,6 @@ func New(opts Options) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-	}
-	for _, ep := range endpointOrder {
-		s.hist[ep] = &histogram{}
 	}
 	s.mux.Handle("POST /analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.Handle("POST /refine", s.instrument("refine", s.handleRefine))

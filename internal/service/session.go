@@ -382,7 +382,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 		sess := &session{
-			id:      fmt.Sprintf("s%08x-%06d", s.boot, s.sessions.seq.Add(1)),
+			id:      fmt.Sprintf("s%08x-%06d", s.inst.Boot(), s.sessions.seq.Add(1)),
 			circuit: c,
 			mode:    mode,
 			created: time.Now(),

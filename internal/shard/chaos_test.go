@@ -20,6 +20,19 @@ import (
 	"sstiming/internal/store"
 )
 
+// chaosSeed resolves a suite seed — overridable via the CHAOS_SEED env var,
+// printed on failure so any run is reproducible.
+func chaosSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	seed := faultinject.SeedFromEnv(def)
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("reproduce with CHAOS_SEED=%d", seed)
+		}
+	})
+	return seed
+}
+
 // chaosRun executes one faulted campaign with tight lease timing and
 // verifies the publish against the baseline. Transient faults must never
 // quarantine.
@@ -54,7 +67,7 @@ func chaosRun(t *testing.T, plan *faultinject.ShardPlan, shardCells, workers int
 // publish is byte-identical.
 func TestShardChaosKill(t *testing.T) {
 	wantLib, wantMan := singleProcessBaseline(t)
-	plan := faultinject.NewShardPlan(3, 0, 0, 0)
+	plan := faultinject.NewShardPlan(chaosSeed(t, 3), 0, 0, 0)
 	for i := 0; i < 3; i++ {
 		plan.Force(i, 1, faultinject.ShardFaultKill)
 	}
@@ -73,7 +86,7 @@ func TestShardChaosKill(t *testing.T) {
 // the other is discarded, and the publish is byte-identical either way.
 func TestShardChaosHang(t *testing.T) {
 	wantLib, wantMan := singleProcessBaseline(t)
-	plan := faultinject.NewShardPlan(5, 0, 0, 0)
+	plan := faultinject.NewShardPlan(chaosSeed(t, 5), 0, 0, 0)
 	plan.Force(0, 1, faultinject.ShardFaultHang)
 	// One 3-cell shard: the hang outlives the lease mid-work, so the
 	// journal already holds the finished cells when the retry salvages it.
@@ -95,7 +108,7 @@ func TestShardChaosHang(t *testing.T) {
 // clean artefacts.
 func TestShardChaosCorrupt(t *testing.T) {
 	wantLib, wantMan := singleProcessBaseline(t)
-	plan := faultinject.NewShardPlan(7, 0, 0, 0)
+	plan := faultinject.NewShardPlan(chaosSeed(t, 7), 0, 0, 0)
 	for i := 0; i < 3; i++ {
 		plan.Force(i, 1, faultinject.ShardFaultCorrupt)
 	}
@@ -115,7 +128,7 @@ func TestShardChaosCorrupt(t *testing.T) {
 // without quarantining.
 func TestShardChaosMixedStorm(t *testing.T) {
 	wantLib, wantMan := singleProcessBaseline(t)
-	plan := faultinject.NewShardPlan(11, 0.3, 0.2, 0.2)
+	plan := faultinject.NewShardPlan(chaosSeed(t, 11), 0.3, 0.2, 0.2)
 	rep := chaosRun(t, plan, 1, 3, wantLib, wantMan)
 	if plan.Injected() == 0 {
 		t.Fatal("storm injected nothing; raise the rates or change the seed")
@@ -240,7 +253,7 @@ func TestShardChaosResumeDiscardsCorruptPromotedArtifact(t *testing.T) {
 func TestShardChaosQuarantinePersistentFault(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "lib.json")
-	plan := faultinject.NewShardPlan(13, 0, 0, 0)
+	plan := faultinject.NewShardPlan(chaosSeed(t, 13), 0, 0, 0)
 	plan.Persist(2, faultinject.ShardFaultCorrupt) // NOR2's shard never verifies
 	lib, rep, err := Run(Options{
 		Charlib:            campaignCharlib(),

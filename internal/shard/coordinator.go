@@ -1,62 +1,12 @@
 package shard
 
 import (
-	"context"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
 	"sstiming/internal/core"
-	"sstiming/internal/engine"
-	"sstiming/internal/store"
 )
-
-// Status is a shard's position in the lease state machine.
-type Status int
-
-const (
-	// StatusPending means the shard is waiting for a lease (possibly in
-	// backoff after a failed attempt).
-	StatusPending Status = iota
-	// StatusLeased means a worker holds the shard under a live lease.
-	StatusLeased
-	// StatusCompleted means a verified artefact has been promoted.
-	StatusCompleted
-	// StatusQuarantined means the retry budget is exhausted; the shard's
-	// cells publish from the analytic fallback.
-	StatusQuarantined
-)
-
-// shardState is the coordinator's view of one shard. All fields are guarded
-// by the coordinator mutex.
-type shardState struct {
-	spec   Spec
-	status Status
-	// attempts counts leases granted; it doubles as the current attempt
-	// generation (attempt g works in shards/<id>/a<g>/).
-	attempts int
-	// deadline is the lease expiry, pushed forward by heartbeats.
-	deadline time.Time
-	// availableAt gates re-leasing after a failure (exponential backoff).
-	availableAt time.Time
-	// lastErr records the most recent failure, for the quarantine report.
-	lastErr error
-}
-
-// coordinator runs one campaign: it owns the shard table, grants and
-// expires leases, verifies and promotes artefacts, and merges the result.
-type coordinator struct {
-	opts  Options
-	fp    store.Fingerprint
-	specs []Spec
-
-	mu     sync.Mutex
-	cond   *sync.Cond
-	shards []*shardState
-	report Report
-}
 
 // Run executes a sharded campaign to a durable publish at opts.Out and
 // returns the merged library. See the package comment for the fault-
@@ -64,20 +14,11 @@ type coordinator struct {
 // uninterrupted charlib.Characterize + store.WriteLibrary of the same
 // options would produce (when nothing was quarantined).
 func Run(opts Options) (*core.Library, *Report, error) {
-	if err := opts.fill(); err != nil {
+	t, err := NewTracker(opts)
+	if err != nil {
 		return nil, nil, err
 	}
-	c := &coordinator{
-		opts:  opts,
-		fp:    Fingerprint(opts.Charlib),
-		specs: Plan(opts.Charlib, opts.ShardCells),
-	}
-	c.cond = sync.NewCond(&c.mu)
-	c.report.Shards = len(c.specs)
-
-	if err := c.prepareDir(); err != nil {
-		return nil, nil, err
-	}
+	opts = t.opts // resolved defaults
 
 	ctx := opts.Charlib.Ctx
 
@@ -92,7 +33,7 @@ func Run(opts Options) (*core.Library, *Report, error) {
 	}
 	sweepDone := make(chan struct{})
 	var sweepWG sync.WaitGroup
-	// Cancellation watcher: workers blocked in acquire only re-check the
+	// Cancellation watcher: workers blocked in Acquire only re-check the
 	// context when woken, so a cancel must broadcast.
 	if ctx.Done() != nil {
 		sweepWG.Add(1)
@@ -100,7 +41,7 @@ func Run(opts Options) (*core.Library, *Report, error) {
 			defer sweepWG.Done()
 			select {
 			case <-ctx.Done():
-				c.cond.Broadcast()
+				t.cond.Broadcast()
 			case <-sweepDone:
 			}
 		}()
@@ -108,14 +49,14 @@ func Run(opts Options) (*core.Library, *Report, error) {
 	sweepWG.Add(1)
 	go func() {
 		defer sweepWG.Done()
-		t := time.NewTicker(sweepEvery)
-		defer t.Stop()
+		tick := time.NewTicker(sweepEvery)
+		defer tick.Stop()
 		for {
 			select {
 			case <-sweepDone:
 				return
-			case <-t.C:
-				c.sweep()
+			case <-tick.C:
+				t.Sweep()
 			}
 		}
 	}()
@@ -130,333 +71,31 @@ func Run(opts Options) (*core.Library, *Report, error) {
 		go func(id int) {
 			defer wg.Done()
 			for {
-				st := c.acquire(ctx)
-				if st == nil {
+				g := t.Acquire(ctx)
+				if g == nil {
 					return
 				}
-				c.runLease(ctx, id, st.spec, st.attempts, st.deadline)
+				t.runLease(ctx, id, g.Spec, g.Attempt, g.Deadline)
 			}
 		}(w)
 	}
 	wg.Wait()
 	close(sweepDone)
 	sweepWG.Wait()
-	c.cond.Broadcast()
+	t.cond.Broadcast()
 
 	if err := ctx.Err(); err != nil {
-		return nil, c.reportCopy(), fmt.Errorf("shard: campaign cancelled: %w", err)
+		return nil, t.Snapshot(), fmt.Errorf("shard: campaign cancelled: %w", err)
 	}
 
-	lib, err := c.mergeAndPublish()
+	lib, err := t.MergeAndPublish()
 	if err != nil {
-		return nil, c.reportCopy(), err
+		return nil, t.Snapshot(), err
 	}
-	if !opts.KeepDir {
-		// The publish is durable; the campaign scaffolding is spent
-		// (exactly like a single-process run removing its journal).
-		if err := os.RemoveAll(opts.Dir); err != nil {
-			return nil, c.reportCopy(), fmt.Errorf("shard: removing campaign dir: %w", err)
-		}
+	// The publish is durable; the campaign scaffolding is spent (exactly
+	// like a single-process run removing its journal).
+	if err := t.RemoveDir(); err != nil {
+		return nil, t.Snapshot(), err
 	}
-	return lib, c.reportCopy(), nil
-}
-
-// prepareDir creates or resumes the campaign directory and seeds the shard
-// table, reusing any shard whose promoted artefact verifies.
-func (c *coordinator) prepareDir() error {
-	o := &c.opts
-	resuming := false
-	if o.Resume {
-		if _, err := os.Stat(o.Dir); err == nil {
-			if err := loadCampaignMeta(o.Dir, c.fp, c.specs); err != nil {
-				return err
-			}
-			resuming = true
-		}
-	}
-	if !resuming {
-		if err := os.RemoveAll(o.Dir); err != nil {
-			return fmt.Errorf("shard: clearing campaign dir: %w", err)
-		}
-		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
-			return fmt.Errorf("shard: creating campaign dir: %w", err)
-		}
-		if err := writeCampaignMeta(o.Dir, c.fp, c.specs); err != nil {
-			return err
-		}
-	}
-
-	c.shards = make([]*shardState, len(c.specs))
-	for i, spec := range c.specs {
-		st := &shardState{spec: spec}
-		if resuming {
-			// A promoted artefact is the shard's commit record. Verify it
-			// from scratch — promotion happened in a previous process, and
-			// the bytes may have rotted since.
-			if b, err := os.ReadFile(promotedPath(o.Dir, spec.ID)); err == nil {
-				if _, err := decodeArtifact(b, c.fp, spec); err == nil {
-					st.status = StatusCompleted
-					c.report.Completed++
-					c.report.Reused++
-					o.Progress("shard %s: reusing completed artifact", spec.ID)
-				} else {
-					o.Progress("shard %s: discarding unverifiable artifact: %v", spec.ID, err)
-					c.count(engine.ShardCorrupt, &c.report.CorruptArtifacts)
-				}
-			}
-		}
-		c.shards[i] = st
-	}
-	return nil
-}
-
-// acquire blocks until a shard is grantable or the campaign is resolved
-// (every shard completed or quarantined), returning nil in the latter case.
-// The returned snapshot carries the granted attempt generation and lease
-// deadline.
-func (c *coordinator) acquire(ctx context.Context) *shardState {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for {
-		if ctx.Err() != nil {
-			return nil
-		}
-		resolved := 0
-		now := time.Now()
-		for _, st := range c.shards {
-			switch st.status {
-			case StatusCompleted, StatusQuarantined:
-				resolved++
-			case StatusPending:
-				if now.Before(st.availableAt) {
-					continue
-				}
-				st.status = StatusLeased
-				st.attempts++
-				st.deadline = now.Add(c.opts.LeaseTTL)
-				c.report.Leases++
-				c.opts.Metrics.Add(engine.ShardLeases, 1)
-				if st.attempts > 1 {
-					c.report.Retries++
-					c.opts.Metrics.Add(engine.ShardRetries, 1)
-				}
-				c.opts.Progress("shard %s: lease granted (attempt %d)", st.spec.ID, st.attempts)
-				// Copy the grant so the caller reads it without the lock.
-				snap := *st
-				return &snap
-			}
-		}
-		if resolved == len(c.shards) {
-			return nil
-		}
-		c.cond.Wait()
-	}
-}
-
-// sweep expires leases whose holders stopped heartbeating and wakes workers
-// whose shards left backoff.
-func (c *coordinator) sweep() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	now := time.Now()
-	wake := false
-	for _, st := range c.shards {
-		switch st.status {
-		case StatusLeased:
-			if now.After(st.deadline) {
-				c.report.Expired++
-				c.opts.Metrics.Add(engine.ShardExpired, 1)
-				c.opts.Progress("shard %s: lease expired (attempt %d)", st.spec.ID, st.attempts)
-				c.failLocked(st, fmt.Errorf("lease expired after %s", c.opts.LeaseTTL))
-				wake = true
-			}
-		case StatusPending:
-			if !now.Before(st.availableAt) {
-				wake = true
-			}
-		}
-	}
-	if wake {
-		c.cond.Broadcast()
-	}
-}
-
-// heartbeat extends the lease of one attempt. It reports whether the lease
-// is still held at that generation — a false return tells the worker its
-// work can at best become a late, idempotently-handled completion.
-func (c *coordinator) heartbeat(index, attempt int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.shards[index]
-	if st.status != StatusLeased || st.attempts != attempt {
-		return false
-	}
-	st.deadline = time.Now().Add(c.opts.LeaseTTL)
-	return true
-}
-
-// complete handles a worker's completion claim for one attempt: the staged
-// artefact is read and fully verified, and only then promoted. Correctness
-// never trusts the lease — a verified artefact from an expired lease is
-// accepted if the shard is still open, and any completion for an
-// already-complete shard is discarded idempotently.
-func (c *coordinator) complete(index, attempt int) {
-	st := c.shards[index]
-	spec := st.spec
-	staged := filepath.Join(attemptDir(c.opts.Dir, spec.ID, attempt), artifactName)
-	b, err := os.ReadFile(staged)
-	if err == nil {
-		_, err = decodeArtifact(b, c.fp, spec)
-	}
-
-	c.mu.Lock()
-	if st.status == StatusCompleted || st.status == StatusQuarantined {
-		// Resurrected worker (expired lease, reassigned shard already done)
-		// or a double submit: drop it, the promoted artefact is immutable.
-		c.report.DuplicatesDiscarded++
-		c.opts.Metrics.Add(engine.ShardDuplicates, 1)
-		c.opts.Progress("shard %s: duplicate completion discarded (attempt %d)", spec.ID, attempt)
-		c.mu.Unlock()
-		return
-	}
-	if err != nil {
-		c.report.CorruptArtifacts++
-		c.opts.Metrics.Add(engine.ShardCorrupt, 1)
-		c.opts.Progress("shard %s: rejecting completion (attempt %d): %v", spec.ID, attempt, err)
-		c.failLocked(st, err)
-		c.cond.Broadcast()
-		c.mu.Unlock()
-		return
-	}
-	c.mu.Unlock()
-
-	// Promote outside the lock (it fsyncs). At most one promotion can win:
-	// every racing completion re-checks status under the lock below.
-	if perr := store.AtomicWrite(promotedPath(c.opts.Dir, spec.ID), b); perr != nil {
-		c.mu.Lock()
-		c.failLocked(st, fmt.Errorf("promoting artifact: %w", perr))
-		c.cond.Broadcast()
-		c.mu.Unlock()
-		return
-	}
-
-	c.mu.Lock()
-	if st.status == StatusCompleted || st.status == StatusQuarantined {
-		c.report.DuplicatesDiscarded++
-		c.opts.Metrics.Add(engine.ShardDuplicates, 1)
-		c.mu.Unlock()
-		return
-	}
-	st.status = StatusCompleted
-	st.lastErr = nil
-	c.report.Completed++
-	c.opts.Progress("shard %s: completed (attempt %d)", spec.ID, attempt)
-	c.cond.Broadcast()
-	c.mu.Unlock()
-
-	if c.opts.OnShardComplete != nil {
-		c.opts.OnShardComplete(spec.ID)
-	}
-}
-
-// fail handles a worker-reported attempt failure (the worker is alive but
-// its attempt produced no stageable artefact).
-func (c *coordinator) fail(index, attempt int, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := c.shards[index]
-	if st.status != StatusLeased || st.attempts != attempt {
-		// The sweeper already expired this lease (or the shard resolved
-		// some other way); nothing to do.
-		return
-	}
-	c.opts.Progress("shard %s: attempt %d failed: %v", st.spec.ID, attempt, err)
-	c.failLocked(st, err)
-	c.cond.Broadcast()
-}
-
-// failLocked returns a shard to the pending pool with exponential backoff,
-// or quarantines it once the retry budget is spent. Caller holds the mutex.
-func (c *coordinator) failLocked(st *shardState, err error) {
-	st.lastErr = err
-	if st.attempts >= c.opts.MaxAttempts {
-		st.status = StatusQuarantined
-		c.report.Quarantined = append(c.report.Quarantined, st.spec.ID)
-		c.opts.Metrics.Add(engine.ShardQuarantined, 1)
-		c.opts.Progress("shard %s: quarantined after %d attempts: %v", st.spec.ID, st.attempts, err)
-		return
-	}
-	st.status = StatusPending
-	backoff := c.opts.Backoff << (st.attempts - 1)
-	st.availableAt = time.Now().Add(backoff)
-}
-
-// count bumps a metrics counter and its report twin under the mutex-free
-// rules each needs (metrics are atomic; the report field must be guarded).
-func (c *coordinator) count(counter engine.Counter, field *int) {
-	c.opts.Metrics.Add(counter, 1)
-	c.mu.Lock()
-	*field++
-	c.mu.Unlock()
-}
-
-// reportCopy snapshots the report.
-func (c *coordinator) reportCopy() *Report {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	r := c.report
-	r.Quarantined = append([]string(nil), c.report.Quarantined...)
-	r.QuarantinedCells = append([]string(nil), c.report.QuarantinedCells...)
-	return &r
-}
-
-// mergeAndPublish reads every promoted artefact, substitutes analytic
-// fallbacks for quarantined shards under the campaign budget, and publishes
-// the merged library atomically.
-func (c *coordinator) mergeAndPublish() (*core.Library, error) {
-	c.mu.Lock()
-	states := make([]Status, len(c.shards))
-	for i, st := range c.shards {
-		states[i] = st.status
-	}
-	c.mu.Unlock()
-
-	arts := make(map[string][]byte, len(c.specs))
-	for i, spec := range c.specs {
-		switch states[i] {
-		case StatusCompleted:
-			b, err := os.ReadFile(promotedPath(c.opts.Dir, spec.ID))
-			if err != nil {
-				return nil, fmt.Errorf("%w: shard %s promoted artifact unreadable: %v",
-					store.ErrCorrupt, spec.ID, err)
-			}
-			arts[spec.ID] = b
-		case StatusQuarantined:
-			// Absent from arts: merge substitutes the analytic fallback.
-		default:
-			return nil, fmt.Errorf("shard %s unresolved at merge (status %d)", spec.ID, states[i])
-		}
-	}
-
-	lib, qcells, err := merge(c.fp, c.specs, arts, c.opts.Charlib.Tech, c.opts.MaxQuarantinedFrac)
-	c.mu.Lock()
-	c.report.QuarantinedCells = qcells
-	c.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	if _, err := store.WriteLibrary(c.opts.Out, lib, c.opts.Charlib.Grid, c.opts.Charlib.NCPairs); err != nil {
-		return nil, err
-	}
-	return lib, nil
-}
-
-// contextSleep sleeps for d or until ctx is cancelled.
-func contextSleep(ctx context.Context, d time.Duration) {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-	case <-t.C:
-	}
+	return lib, t.Snapshot(), nil
 }

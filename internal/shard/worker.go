@@ -30,10 +30,10 @@ const journalDirName = "journal"
 //	          idempotently.
 //	corrupt — the staged artefact bytes are damaged; verification must
 //	          reject the completion and retry the shard.
-func (c *coordinator) runLease(ctx context.Context, workerID int, spec Spec, attempt int, deadline time.Time) {
-	fault := c.opts.Fault.Decide(spec.Index, attempt)
+func (t *Tracker) runLease(ctx context.Context, workerID int, spec Spec, attempt int, deadline time.Time) {
+	fault := t.opts.Fault.Decide(spec.Index, attempt)
 	if fault != faultinject.ShardFaultNone {
-		c.opts.Progress("shard %s: injecting %s (attempt %d, worker %d)", spec.ID, fault, attempt, workerID)
+		t.opts.Progress("shard %s: injecting %s (attempt %d, worker %d)", spec.ID, fault, attempt, workerID)
 	}
 
 	hbStop := make(chan struct{})
@@ -42,14 +42,14 @@ func (c *coordinator) runLease(ctx context.Context, workerID int, spec Spec, att
 		hbWG.Add(1)
 		go func() {
 			defer hbWG.Done()
-			t := time.NewTicker(c.opts.HeartbeatEvery)
-			defer t.Stop()
+			tick := time.NewTicker(t.opts.HeartbeatEvery)
+			defer tick.Stop()
 			for {
 				select {
 				case <-hbStop:
 					return
-				case <-t.C:
-					if !c.heartbeat(spec.Index, attempt) {
+				case <-tick.C:
+					if !t.Heartbeat(spec.Index, attempt) {
 						return // lease lost; stop renewing
 					}
 				}
@@ -57,7 +57,7 @@ func (c *coordinator) runLease(ctx context.Context, workerID int, spec Spec, att
 		}()
 	}
 
-	err := runShardWork(ctx, c.opts, c.fp, spec, attempt, fault)
+	err := runShardWork(ctx, t.opts, t.fp, spec, attempt, fault)
 	close(hbStop)
 	hbWG.Wait()
 
@@ -65,17 +65,17 @@ func (c *coordinator) runLease(ctx context.Context, workerID int, spec Spec, att
 		return // dead workers don't report
 	}
 	if err != nil {
-		c.fail(spec.Index, attempt, err)
+		t.Fail(spec.Index, attempt, err)
 		return
 	}
 	if fault == faultinject.ShardFaultHang {
 		// Wake up well after the lease expired (half a TTL past the
 		// deadline, several sweeper passes) so the completion is genuinely
 		// late and a reassigned attempt has had time to start.
-		late := time.Until(deadline) + c.opts.LeaseTTL/2
+		late := time.Until(deadline) + t.opts.LeaseTTL/2
 		contextSleep(ctx, late)
 	}
-	c.complete(spec.Index, attempt)
+	t.Complete(spec.Index, attempt)
 }
 
 // runShardWork characterises one shard for one lease attempt and stages the
@@ -166,6 +166,98 @@ func runShardWork(ctx context.Context, opts Options, fp store.Fingerprint, spec 
 	return store.AtomicWrite(filepath.Join(adir, artifactName), b)
 }
 
+// RunAttempt characterises one shard for one lease attempt against a work
+// directory laid out like a campaign directory (opts.Dir), stages the
+// artefact there, verifies it, and returns the staged bytes. Remote workers
+// run it against a private local work directory and stream the returned
+// bytes to the coordinator; injected worker faults (opts.Fault) apply
+// exactly as they do in-process, so the corrupt-artefact path is exercised
+// end to end over the wire.
+func RunAttempt(opts Options, spec Spec, attempt int) ([]byte, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	fp := Fingerprint(opts.Charlib)
+	fault := opts.Fault.Decide(spec.Index, attempt)
+	if fault != faultinject.ShardFaultNone {
+		opts.Progress("shard %s: injecting %s (attempt %d)", spec.ID, fault, attempt)
+	}
+	if err := runShardWork(opts.Charlib.Ctx, opts, fp, spec, attempt, fault); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(attemptDir(opts.Dir, spec.ID, attempt), artifactName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading staged artifact: %w", err)
+	}
+	if fault != faultinject.ShardFaultCorrupt {
+		// An honest worker verifies before shipping; a corrupt-fault worker
+		// ships the damage so the coordinator's verify-before-accept path is
+		// the one that must catch it.
+		if _, err := decodeArtifact(b, fp, spec); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// NextAttemptGen returns the next free attempt generation for a shard: one
+// past the highest attempt directory any previous worker (finished or not)
+// created under dir.
+func NextAttemptGen(dir, shardID string) int {
+	attempt := 1
+	if entries, err := os.ReadDir(shardDir(dir, shardID)); err == nil {
+		for _, e := range entries {
+			var g int
+			if n, _ := fmt.Sscanf(e.Name(), "a%d", &g); n == 1 && g >= attempt {
+				attempt = g + 1
+			}
+		}
+	}
+	return attempt
+}
+
+// ComparePlan verifies a remotely-advertised campaign — its fingerprint
+// hash and shard table — against the plan this process derives from its own
+// options. A mismatch is store.ErrStale: the worker and coordinator were
+// built or configured differently, and no work must happen.
+func ComparePlan(opts Options, fpHash string, remote []Spec) error {
+	if err := opts.fill(); err != nil {
+		return err
+	}
+	fp := Fingerprint(opts.Charlib)
+	if fp.Hash() != fpHash {
+		return fmt.Errorf("%w: coordinator campaign was planned with different options "+
+			"(grid/cells/tech/solver settings differ)", store.ErrStale)
+	}
+	specs := Plan(opts.Charlib, opts.ShardCells)
+	if len(remote) != len(specs) {
+		return fmt.Errorf("%w: coordinator plan has %d shards, this worker derives %d (shard size differs)",
+			store.ErrStale, len(remote), len(specs))
+	}
+	for i, s := range remote {
+		want := specs[i]
+		if s.ID != want.ID || s.Index != want.Index || len(s.Cells) != len(want.Cells) {
+			return fmt.Errorf("%w: coordinator shard %d differs from this worker's derived plan", store.ErrStale, i)
+		}
+		for j, c := range s.Cells {
+			if c != want.Cells[j] {
+				return fmt.Errorf("%w: coordinator shard %s cell list differs from this worker's derived plan",
+					store.ErrStale, s.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// PlanFor derives the campaign shard table from options without touching
+// any directory (remote workers resolve lease grants against it).
+func PlanFor(opts Options) ([]Spec, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	return Plan(opts.Charlib, opts.ShardCells), nil
+}
+
 // PlanCampaign prepares a campaign directory for multi-process operation:
 // the directory and its campaign.json plan are created (discarding any
 // previous campaign there) and the shard table is returned. Separate
@@ -215,17 +307,7 @@ func RunWorker(opts Options, shardID string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownShard, shardID)
 	}
 
-	// Next attempt generation: one past the highest attempt directory any
-	// previous worker (finished or not) created.
-	attempt := 1
-	if entries, err := os.ReadDir(shardDir(opts.Dir, spec.ID)); err == nil {
-		for _, e := range entries {
-			var g int
-			if n, _ := fmt.Sscanf(e.Name(), "a%d", &g); n == 1 && g >= attempt {
-				attempt = g + 1
-			}
-		}
-	}
+	attempt := NextAttemptGen(opts.Dir, spec.ID)
 
 	ctx := opts.Charlib.Ctx
 	if err := runShardWork(ctx, opts, fp, *spec, attempt, opts.Fault.Decide(spec.Index, attempt)); err != nil {

@@ -1,0 +1,430 @@
+package shardnet
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sstiming/internal/engine"
+	"sstiming/internal/shard"
+)
+
+// testServer builds a coordinator over a fresh campaign and serves its
+// handler through httptest (no Start: unit tests drive the tracker
+// directly, no sweeper needed).
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := NewServer(ServerOptions{Shard: coordinatorOptions(t, filepath.Join(t.TempDir(), "lib.json"))})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func testClient(t *testing.T, base string, met *engine.Metrics) *Client {
+	t.Helper()
+	c, err := NewClient(ClientOptions{
+		Base:        base,
+		MaxAttempts: 4,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  20 * time.Millisecond,
+		Seed:        7,
+		Metrics:     met,
+		Progress:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return c
+}
+
+// TestServerLeaseIdempotency: a replayed lease idempotency key re-receives
+// the original grant instead of burning a second lease; a fresh key gets
+// the next shard.
+func TestServerLeaseIdempotency(t *testing.T) {
+	_, hs := testServer(t)
+	c := testClient(t, hs.URL, nil)
+	ctx := context.Background()
+
+	r1, err := c.Lease(ctx, "w0", "key-1")
+	if err != nil || r1.Grant == nil {
+		t.Fatalf("first lease: %+v, %v", r1, err)
+	}
+	r2, err := c.Lease(ctx, "w0", "key-1")
+	if err != nil || r2.Grant == nil {
+		t.Fatalf("replayed lease: %+v, %v", r2, err)
+	}
+	if *r2.Grant != *r1.Grant {
+		t.Fatalf("replayed key got a different grant: %+v vs %+v", r2.Grant, r1.Grant)
+	}
+	r3, err := c.Lease(ctx, "w0", "key-2")
+	if err != nil || r3.Grant == nil {
+		t.Fatalf("fresh lease: %+v, %v", r3, err)
+	}
+	if r3.Grant.ShardID == r1.Grant.ShardID {
+		t.Fatalf("fresh key re-leased shard %s", r3.Grant.ShardID)
+	}
+
+	held, err := c.Heartbeat(ctx, r1.Grant.ShardID, r1.Grant.Attempt)
+	if err != nil || !held {
+		t.Fatalf("heartbeat on live lease: held=%v err=%v", held, err)
+	}
+	held, err = c.Heartbeat(ctx, r1.Grant.ShardID, r1.Grant.Attempt+1)
+	if err != nil || held {
+		t.Fatalf("heartbeat on wrong attempt: held=%v err=%v", held, err)
+	}
+}
+
+// putChunk uploads one raw artefact chunk, returning the HTTP status and
+// decoded ChunkReply.
+func putChunk(t *testing.T, base, shardID string, attempt int, offset int64, body []byte) (int, ChunkReply) {
+	t.Helper()
+	url := fmt.Sprintf("%s%s/artifact?shard=%s&attempt=%d&offset=%d",
+		base, PathPrefix, shardID, attempt, offset)
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("building chunk request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("chunk request: %v", err)
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading chunk reply: %v", err)
+	}
+	var reply ChunkReply
+	if err := DecodeMessage(rb, &reply); err != nil {
+		t.Fatalf("decoding chunk reply (HTTP %d, %q): %v", resp.StatusCode, rb, err)
+	}
+	return resp.StatusCode, reply
+}
+
+// workerArtifact characterises one granted shard in a private work dir and
+// returns its verified artefact bytes (what an honest worker would upload).
+// TestServerDrainWorkers: a resolved coordinator must not close its
+// listener before every polling worker has been answered Done — otherwise
+// the final completer's next lease poll dies on connection-refused and a
+// finished campaign exits 1. DrainWorkers is that grace: it returns
+// immediately with no workers seen, blocks while any worker's latest
+// lease answer was a grant, and returns once every seen worker has heard
+// Done.
+func TestServerDrainWorkers(t *testing.T) {
+	srv, hs := testServer(t)
+	c := testClient(t, hs.URL, nil)
+	ctx := context.Background()
+
+	// No worker ever asked for a lease: nothing to drain.
+	if err := srv.DrainWorkers(ctx); err != nil {
+		t.Fatalf("drain with no workers: %v", err)
+	}
+
+	// A worker holding a grant has not heard Done: drain must block.
+	r, err := c.Lease(ctx, "w0", "key-1")
+	if err != nil || r.Grant == nil {
+		t.Fatalf("lease: %+v, %v", r, err)
+	}
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if err := srv.DrainWorkers(short); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with an undrained worker = %v, want deadline exceeded", err)
+	}
+
+	// The worker finishes the campaign; its final poll is answered Done.
+	grant := r.Grant
+	for seq := 2; ; seq++ {
+		b := workerArtifact(t, grant)
+		if err := c.UploadArtifact(ctx, grant.ShardID, grant.Attempt, b); err != nil {
+			t.Fatalf("upload %s: %v", grant.ShardID, err)
+		}
+		sum := sha256.Sum256(b)
+		reply, err := c.Complete(ctx, &CompleteRequest{
+			ShardID:        grant.ShardID,
+			Attempt:        grant.Attempt,
+			Size:           int64(len(b)),
+			SHA256:         hex.EncodeToString(sum[:]),
+			IdempotencyKey: fmt.Sprintf("drain-c%d", seq),
+		})
+		if err != nil || reply.Status != "accepted" {
+			t.Fatalf("complete %s: %+v, %v", grant.ShardID, reply, err)
+		}
+		r, err := c.Lease(ctx, "w0", fmt.Sprintf("key-%d", seq))
+		if err != nil {
+			t.Fatalf("lease %d: %v", seq, err)
+		}
+		if r.Done {
+			break
+		}
+		if r.Grant == nil {
+			t.Fatalf("lease %d: neither grant nor done: %+v", seq, r)
+		}
+		grant = r.Grant
+	}
+	if err := srv.DrainWorkers(ctx); err != nil {
+		t.Fatalf("drain after Done: %v", err)
+	}
+}
+
+func workerArtifact(t *testing.T, grant *LeaseGrant) []byte {
+	t.Helper()
+	wopts := workerOptions(t, "http://unused", "art", 1, nil).Shard
+	specs, err := shard.PlanFor(wopts)
+	if err != nil {
+		t.Fatalf("PlanFor: %v", err)
+	}
+	b, err := shard.RunAttempt(wopts, specs[grant.Index], grant.Attempt)
+	if err != nil {
+		t.Fatalf("RunAttempt: %v", err)
+	}
+	return b
+}
+
+// TestServerChunkProtocol: gaps are refused with the authoritative received
+// size, replays are absorbed, and the complete claim verifies size and
+// digest before anything reaches the tracker.
+func TestServerChunkProtocol(t *testing.T) {
+	_, hs := testServer(t)
+	c := testClient(t, hs.URL, nil)
+	ctx := context.Background()
+
+	r, err := c.Lease(ctx, "w0", "chunk-key")
+	if err != nil || r.Grant == nil {
+		t.Fatalf("lease: %+v, %v", r, err)
+	}
+	g := r.Grant
+	art := workerArtifact(t, g)
+	half := len(art) / 2
+
+	// A gap: nothing received yet, offset beyond it → 409 + received=0.
+	if status, reply := putChunk(t, hs.URL, g.ShardID, g.Attempt, 64, art[64:128]); status != http.StatusConflict || reply.Received != 0 {
+		t.Fatalf("gap chunk: HTTP %d received %d", status, reply.Received)
+	}
+	// First half appends.
+	if status, reply := putChunk(t, hs.URL, g.ShardID, g.Attempt, 0, art[:half]); status != http.StatusOK || reply.Received != int64(half) {
+		t.Fatalf("first chunk: HTTP %d received %d", status, reply.Received)
+	}
+	// Replaying it (duplicate delivery / lost ACK retry) is absorbed.
+	if status, reply := putChunk(t, hs.URL, g.ShardID, g.Attempt, 0, art[:half]); status != http.StatusOK || reply.Received != int64(half) {
+		t.Fatalf("replayed chunk: HTTP %d received %d", status, reply.Received)
+	}
+	// Remainder appends to completion.
+	if status, reply := putChunk(t, hs.URL, g.ShardID, g.Attempt, int64(half), art[half:]); status != http.StatusOK || reply.Received != int64(len(art)) {
+		t.Fatalf("final chunk: HTTP %d received %d", status, reply.Received)
+	}
+
+	// A claim with the wrong digest is refused as upload-incomplete.
+	sum := sha256.Sum256(art)
+	wrong := hex.EncodeToString(sum[:])
+	wrong = "00000000" + wrong[8:]
+	_, err = c.Complete(ctx, &CompleteRequest{
+		ShardID: g.ShardID, Attempt: g.Attempt, Size: int64(len(art)),
+		SHA256: wrong, IdempotencyKey: "claim-bad",
+	})
+	if !errors.Is(err, errUploadIncomplete) {
+		t.Fatalf("wrong-digest claim: %v", err)
+	}
+
+	// The honest claim is accepted; replaying its key re-receives the cached
+	// resolution; a different claim on the resolved shard is a duplicate.
+	claim := &CompleteRequest{
+		ShardID: g.ShardID, Attempt: g.Attempt, Size: int64(len(art)),
+		SHA256: hex.EncodeToString(sum[:]), IdempotencyKey: "claim-good",
+	}
+	reply, err := c.Complete(ctx, claim)
+	if err != nil || reply.Status != "accepted" {
+		t.Fatalf("claim: %+v, %v", reply, err)
+	}
+	reply, err = c.Complete(ctx, claim)
+	if err != nil || reply.Status != "accepted" {
+		t.Fatalf("replayed claim key: %+v, %v", reply, err)
+	}
+	other := *claim
+	other.IdempotencyKey = "claim-late"
+	reply, err = c.Complete(ctx, &other)
+	if err != nil || reply.Status != "duplicate" {
+		t.Fatalf("late claim: %+v, %v", reply, err)
+	}
+}
+
+// TestServerCompleteRejectsInvalidArtifact: bytes that upload and claim
+// consistently but are not a valid artefact must be rejected by the
+// tracker's verify-before-accept path, with the reason on the wire.
+func TestServerCompleteRejectsInvalidArtifact(t *testing.T) {
+	_, hs := testServer(t)
+	c := testClient(t, hs.URL, nil)
+	ctx := context.Background()
+
+	r, err := c.Lease(ctx, "w0", "bogus-key")
+	if err != nil || r.Grant == nil {
+		t.Fatalf("lease: %+v, %v", r, err)
+	}
+	g := r.Grant
+	bogus := []byte(`{"not":"an artifact"}`)
+	if err := c.UploadArtifact(ctx, g.ShardID, g.Attempt, bogus); err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	sum := sha256.Sum256(bogus)
+	reply, err := c.Complete(ctx, &CompleteRequest{
+		ShardID: g.ShardID, Attempt: g.Attempt, Size: int64(len(bogus)),
+		SHA256: hex.EncodeToString(sum[:]), IdempotencyKey: "bogus-claim",
+	})
+	if err != nil {
+		t.Fatalf("claim: %v", err)
+	}
+	if reply.Status != "rejected" || reply.Reason == "" {
+		t.Fatalf("invalid artefact resolved %q (reason %q)", reply.Status, reply.Reason)
+	}
+}
+
+// TestServerShedsWhenGateFull: with the admission gate saturated the
+// coordinator answers 429 + Retry-After instead of queueing, and the client
+// classifies that as retryable — succeeding once capacity frees up.
+func TestServerShedsWhenGateFull(t *testing.T) {
+	srv, err := NewServer(ServerOptions{
+		Shard:       coordinatorOptions(t, filepath.Join(t.TempDir(), "lib.json")),
+		MaxInflight: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	release, ok := srv.gate.TryAcquire()
+	if !ok {
+		t.Fatal("gate refused its first acquire")
+	}
+
+	// Saturated: a raw lease request must shed with 429 and Retry-After.
+	body, _ := EncodeMessage(&LeaseRequest{Worker: "w0", IdempotencyKey: "shed-key"})
+	resp, err := http.Post(hs.URL+PathPrefix+"/lease", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("lease request: %v", err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated lease: HTTP %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed reply without Retry-After")
+	}
+	var er ErrorReply
+	if err := DecodeMessage(rb, &er); err != nil || er.Kind != "shed" || er.RetryAfterMs <= 0 {
+		t.Fatalf("shed body: %+v, %v", er, err)
+	}
+
+	// A client with budget 2 exhausts on the saturated gate, retryable.
+	met := engine.NewMetrics()
+	c2, err := NewClient(ClientOptions{
+		Base: hs.URL, MaxAttempts: 2, BaseBackoff: time.Millisecond,
+		MaxBackoff: 5 * time.Millisecond, Metrics: met, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := c2.Lease(context.Background(), "w0", "shed-key"); !errors.Is(err, ErrRetryable) {
+		t.Fatalf("saturated lease via client: %v", err)
+	}
+	if got := met.Get(engine.NetRetries); got != 1 {
+		t.Fatalf("NetRetries = %d, want 1", got)
+	}
+
+	// Capacity frees; the same key now leases.
+	release()
+	r, err := c2.Lease(context.Background(), "w0", "shed-key")
+	if err != nil || r.Grant == nil {
+		t.Fatalf("post-release lease: %+v, %v", r, err)
+	}
+}
+
+// TestClientRetryHonoursRetryAfter: 429 replies with RetryAfterMs are
+// retried (floor honoured) until the coordinator recovers; metrics count
+// every request and retry.
+func TestClientRetryHonoursRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	start := time.Now()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeReply(w, http.StatusTooManyRequests,
+				&ErrorReply{Error: "overloaded", Kind: "shed", RetryAfterMs: 25})
+			return
+		}
+		writeReply(w, http.StatusOK, &HeartbeatReply{Held: true})
+	}))
+	defer hs.Close()
+
+	met := engine.NewMetrics()
+	c := testClient(t, hs.URL, met)
+	held, err := c.Heartbeat(context.Background(), "s00", 1)
+	if err != nil || !held {
+		t.Fatalf("heartbeat: held=%v err=%v", held, err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if got := met.Get(engine.NetRequests); got != 3 {
+		t.Fatalf("NetRequests = %d, want 3", got)
+	}
+	if got := met.Get(engine.NetRetries); got != 2 {
+		t.Fatalf("NetRetries = %d, want 2", got)
+	}
+	// Two Retry-After floors of 25ms each must have actually been waited.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("retries too fast to have honoured Retry-After: %s", elapsed)
+	}
+}
+
+// TestClientFatalStopsImmediately: a protocol-level 4xx is not retried.
+func TestClientFatalStopsImmediately(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeReply(w, http.StatusNotFound,
+			&ErrorReply{Error: "no such shard", Kind: "unknown-shard"})
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, nil)
+	_, err := c.Heartbeat(context.Background(), "zz", 1)
+	if !errors.Is(err, ErrFatal) {
+		t.Fatalf("404 heartbeat: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fatal reply was retried: %d calls", got)
+	}
+}
+
+// TestClientRetryableExhaustsBudget: a persistently failing coordinator
+// exhausts the bounded budget and surfaces ErrRetryable — no infinite
+// spinning, no misclassification as fatal.
+func TestClientRetryableExhaustsBudget(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	c := testClient(t, hs.URL, nil) // MaxAttempts 4
+	_, err := c.Heartbeat(context.Background(), "s00", 1)
+	if !errors.Is(err, ErrRetryable) {
+		t.Fatalf("persistent 500: %v", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want the full budget of 4", got)
+	}
+}

@@ -1,0 +1,145 @@
+package shardnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"sstiming/internal/faultinject"
+)
+
+// FaultTransport is an http.RoundTripper that consults a deterministic
+// faultinject.NetPlan before and after forwarding each exchange — the
+// hostile network between an honest worker and an honest coordinator.
+// Chaos testing only: production clients use the inner transport directly.
+type FaultTransport struct {
+	// Plan decides each exchange's fault; nil injects nothing.
+	Plan *faultinject.NetPlan
+	// Next is the real transport; nil selects http.DefaultTransport.
+	Next http.RoundTripper
+	// Progress, when non-nil, logs each injected fault.
+	Progress func(format string, args ...any)
+}
+
+func (t *FaultTransport) next() http.RoundTripper {
+	if t.Next != nil {
+		return t.Next
+	}
+	return http.DefaultTransport
+}
+
+func (t *FaultTransport) logf(format string, args ...any) {
+	if t.Progress != nil {
+		t.Progress(format, args...)
+	}
+}
+
+// RoundTrip forwards the exchange, reshaped by the plan's fault for its
+// ordinal. Dropped requests and responses surface as transport errors (the
+// retryable class); truncation and corruption damage the response body the
+// client will fail to decode; duplication really delivers the request
+// twice, so server-side idempotency is exercised for real.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ord, fault := t.Plan.Next()
+	switch fault {
+	case faultinject.NetFaultDropRequest:
+		t.logf("netfault: dropping request #%d %s %s", ord, req.Method, req.URL.Path)
+		drainRequest(req)
+		return nil, fmt.Errorf("faultinject: request dropped (exchange %d)", ord)
+
+	case faultinject.NetFaultDelay:
+		t.logf("netfault: delaying request #%d %s %s", ord, req.Method, req.URL.Path)
+		select {
+		case <-req.Context().Done():
+			drainRequest(req)
+			return nil, req.Context().Err()
+		case <-time.After(t.Plan.Delay()):
+		}
+		return t.next().RoundTrip(req)
+
+	case faultinject.NetFaultDuplicate:
+		t.logf("netfault: duplicating request #%d %s %s", ord, req.Method, req.URL.Path)
+		// Deliver twice: the first response is thrown away (the "original"
+		// the network raced), the retransmit's answer is what the client
+		// sees. Requires a replayable body.
+		if req.GetBody == nil && req.Body != nil {
+			return t.next().RoundTrip(req) // not replayable; deliver once
+		}
+		first, err := t.next().RoundTrip(cloneRequest(req))
+		if err == nil {
+			_, _ = io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		return t.next().RoundTrip(req)
+
+	case faultinject.NetFaultDropResponse:
+		t.logf("netfault: dropping response #%d %s %s", ord, req.Method, req.URL.Path)
+		resp, err := t.next().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server processed the request; the answer dies on the wire.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("faultinject: response dropped (exchange %d)", ord)
+
+	case faultinject.NetFaultTruncateResponse:
+		t.logf("netfault: truncating response #%d %s %s", ord, req.Method, req.URL.Path)
+		resp, err := t.next().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(b[:len(b)/2]))
+		resp.ContentLength = int64(len(b) / 2)
+		return resp, nil
+
+	case faultinject.NetFaultCorruptResponse:
+		t.logf("netfault: corrupting response #%d %s %s", ord, req.Method, req.URL.Path)
+		resp, err := t.next().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		for i, off := 0, len(b)/3; i < 8 && off+i < len(b); i++ {
+			b[off+i] ^= 0x5a
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(b))
+		resp.ContentLength = int64(len(b))
+		return resp, nil
+
+	default:
+		return t.next().RoundTrip(req)
+	}
+}
+
+// drainRequest closes an unsent request's body (the transport contract:
+// RoundTrip owns the body even on error).
+func drainRequest(req *http.Request) {
+	if req.Body != nil {
+		_, _ = io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+// cloneRequest copies a request with a fresh body from GetBody, for the
+// duplicate fault's first delivery.
+func cloneRequest(req *http.Request) *http.Request {
+	c := req.Clone(req.Context())
+	if req.GetBody != nil {
+		if body, err := req.GetBody(); err == nil {
+			c.Body = body
+		}
+	}
+	return c
+}

@@ -1,0 +1,263 @@
+package shardnet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sstiming/internal/shard"
+)
+
+// WorkerOptions configures one remote campaign worker.
+type WorkerOptions struct {
+	// Client configures the resilient coordinator client (Base required).
+	Client ClientOptions
+	// Shard carries the worker's own campaign configuration: Charlib,
+	// ShardCells and friends must match the coordinator's bit-for-bit
+	// (verified against the advertised plan before any work), and Dir is
+	// the worker's private local work directory (journals, staged
+	// artefacts). Out is unused for publishing — the coordinator merges —
+	// but still required to derive defaults.
+	Shard shard.Options
+	// Name identifies this worker in lease requests and logs; "" selects
+	// "worker".
+	Name string
+	// ExitOnLeaseLost makes the worker return ErrLeaseLost as soon as one
+	// of its leases is reassigned, instead of continuing with the next
+	// lease — the mode a supervisor uses to restart workers intelligently
+	// (exit code 2 in cmd/characterize).
+	ExitOnLeaseLost bool
+	// Progress, when non-nil, receives one line per worker event.
+	Progress func(format string, args ...any)
+}
+
+// WorkerReport summarises one worker's campaign participation.
+type WorkerReport struct {
+	// Completed counts completion claims the coordinator accepted.
+	Completed int
+	// Duplicates counts claims resolved as duplicates (another attempt
+	// won, or a retried claim whose first acknowledgement was lost).
+	Duplicates int
+	// Rejected counts claims the coordinator rejected at verification.
+	Rejected int
+	// Failed counts attempts that failed worker-side and were reported.
+	Failed int
+	// LeaseLost counts leases reassigned under this worker.
+	LeaseLost int
+	// Leases counts lease grants this worker received.
+	Leases int
+}
+
+// RunWorker participates in a networked campaign until the campaign
+// resolves (returns nil), the context fires, a lease is lost under
+// ExitOnLeaseLost (ErrLeaseLost), or a fatal condition stops it (plan
+// mismatch, coordinator unreachable past every retry budget). The worker
+// is stateless towards the coordinator: everything it claims is re-verified
+// server-side, so crashing it at any point never corrupts the campaign.
+func RunWorker(ctx context.Context, opts WorkerOptions) (*WorkerReport, error) {
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.Progress == nil {
+		opts.Progress = func(string, ...any) {}
+	}
+	if opts.Shard.Progress == nil {
+		opts.Shard.Progress = opts.Progress
+	}
+	client, err := NewClient(opts.Client)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &WorkerReport{}
+	info, err := client.Campaign(ctx)
+	if err != nil {
+		return rep, err
+	}
+	if err := shard.ComparePlan(opts.Shard, info.Fingerprint, info.Shards); err != nil {
+		return rep, fmt.Errorf("%w: %v", ErrFatal, err)
+	}
+
+	leaseSeq := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		leaseSeq++
+		key := fmt.Sprintf("%s-l%06d", opts.Name, leaseSeq)
+		reply, err := client.Lease(ctx, opts.Name, key)
+		if err != nil {
+			return rep, err
+		}
+		if reply.Done {
+			opts.Progress("%s: campaign resolved, exiting", opts.Name)
+			return rep, nil
+		}
+		if reply.Grant == nil {
+			wait := time.Duration(reply.RetryAfterMs) * time.Millisecond
+			if wait <= 0 {
+				wait = 50 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return rep, ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+
+		rep.Leases++
+		lost, err := runOneLease(ctx, client, opts, rep, reply.Grant)
+		if err != nil {
+			return rep, err
+		}
+		if lost && opts.ExitOnLeaseLost {
+			return rep, fmt.Errorf("%w: shard %s attempt %d reassigned",
+				ErrLeaseLost, reply.Grant.ShardID, reply.Grant.Attempt)
+		}
+	}
+}
+
+// runOneLease executes one granted lease end to end: heartbeat in the
+// background, characterise locally, upload, claim completion. It reports
+// whether the lease was lost; only transport-fatal conditions return an
+// error.
+func runOneLease(ctx context.Context, client *Client, opts WorkerOptions, rep *WorkerReport, grant *LeaseGrant) (lost bool, err error) {
+	opts.Progress("%s: leased shard %s (attempt %d)", opts.Name, grant.ShardID, grant.Attempt)
+	spec, ok := specFor(opts.Shard, grant)
+	if !ok {
+		// ComparePlan already pinned the table; an unknown grant means a
+		// confused coordinator.
+		return false, fmt.Errorf("%w: grant names unknown shard %q", ErrFatal, grant.ShardID)
+	}
+
+	// Heartbeat for as long as the attempt runs. Held=false — or a
+	// heartbeat that cannot reach the coordinator past its whole retry
+	// budget — cancels the attempt: its lease will be (or already was)
+	// reassigned, and finishing the characterisation would only produce a
+	// late duplicate.
+	attemptCtx, cancelAttempt := context.WithCancel(ctx)
+	defer cancelAttempt()
+	var leaseLost atomic.Bool
+	hbEvery := time.Duration(grant.LeaseTTLMs) * time.Millisecond / 4
+	if hbEvery < time.Millisecond {
+		hbEvery = time.Millisecond
+	}
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				held, herr := client.Heartbeat(attemptCtx, grant.ShardID, grant.Attempt)
+				if herr != nil {
+					if attemptCtx.Err() != nil {
+						return
+					}
+					opts.Progress("%s: heartbeat for %s/%d undeliverable: %v",
+						opts.Name, grant.ShardID, grant.Attempt, herr)
+					leaseLost.Store(true)
+					cancelAttempt()
+					return
+				}
+				if !held {
+					opts.Progress("%s: lease on %s/%d lost", opts.Name, grant.ShardID, grant.Attempt)
+					leaseLost.Store(true)
+					cancelAttempt()
+					return
+				}
+			}
+		}
+	}()
+
+	shardOpts := opts.Shard
+	shardOpts.Charlib.Ctx = attemptCtx
+	artefact, runErr := shard.RunAttempt(shardOpts, spec, grant.Attempt)
+	close(hbStop)
+	hbWG.Wait()
+
+	if runErr != nil {
+		if leaseLost.Load() {
+			rep.LeaseLost++
+			// No failure report: the coordinator already expired this
+			// lease, and a stale report would be absorbed anyway.
+			return true, nil
+		}
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		rep.Failed++
+		opts.Progress("%s: attempt %s/%d failed: %v", opts.Name, grant.ShardID, grant.Attempt, runErr)
+		if ferr := client.Fail(ctx, grant.ShardID, grant.Attempt, runErr.Error()); ferr != nil {
+			return false, ferr
+		}
+		return false, nil
+	}
+
+	// Upload + claim. A lease lost during upload is NOT a reason to stop:
+	// the claim is still submitted, and the coordinator either accepts the
+	// verified artefact (shard still open) or absorbs it as a duplicate —
+	// the resurrected-worker path, exercised for real.
+	sum := sha256.Sum256(artefact)
+	claim := &CompleteRequest{
+		ShardID:        grant.ShardID,
+		Attempt:        grant.Attempt,
+		Size:           int64(len(artefact)),
+		SHA256:         hex.EncodeToString(sum[:]),
+		IdempotencyKey: fmt.Sprintf("%s-c-%s-a%d", opts.Name, grant.ShardID, grant.Attempt),
+	}
+	// upload-incomplete claims re-upload and re-claim: bounded by the
+	// artefact's chunk count plus slack, not unbounded.
+	for round := 0; ; round++ {
+		if err := client.UploadArtifact(ctx, grant.ShardID, grant.Attempt, artefact); err != nil {
+			return leaseLost.Load(), err
+		}
+		reply, cerr := client.Complete(ctx, claim)
+		if cerr != nil {
+			if errors.Is(cerr, errUploadIncomplete) && round < 3 {
+				opts.Progress("%s: claim for %s/%d needs re-upload: %v",
+					opts.Name, grant.ShardID, grant.Attempt, cerr)
+				continue
+			}
+			return leaseLost.Load(), cerr
+		}
+		switch reply.Status {
+		case "accepted":
+			rep.Completed++
+			opts.Progress("%s: shard %s completed (attempt %d)", opts.Name, grant.ShardID, grant.Attempt)
+		case "duplicate":
+			rep.Duplicates++
+			opts.Progress("%s: shard %s claim was a duplicate (attempt %d)", opts.Name, grant.ShardID, grant.Attempt)
+		default:
+			rep.Rejected++
+			opts.Progress("%s: shard %s claim rejected (attempt %d): %s",
+				opts.Name, grant.ShardID, grant.Attempt, reply.Reason)
+		}
+		return leaseLost.Load(), nil
+	}
+}
+
+// specFor resolves a grant to the worker's locally-derived spec.
+func specFor(opts shard.Options, grant *LeaseGrant) (shard.Spec, bool) {
+	specs, err := shard.PlanFor(opts)
+	if err != nil {
+		return shard.Spec{}, false
+	}
+	for _, s := range specs {
+		if s.ID == grant.ShardID && s.Index == grant.Index {
+			return s, true
+		}
+	}
+	return shard.Spec{}, false
+}
