@@ -7,7 +7,7 @@ GO ?= go
 # genuinely improves; never lower it to make a PR pass.
 COVER_FLOOR ?= 75.0
 
-.PHONY: build test race vet verify conformance cache-conformance chaos store-chaos shard-chaos net-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
+.PHONY: build test race vet verify conformance cache-conformance chaos store-chaos session-chaos shard-chaos net-chaos service-smoke cover bench bench-smoke bench-go bench-parallel clean
 
 build:
 	$(GO) build ./...
@@ -21,8 +21,24 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 verification loop (see ROADMAP.md).
-verify: build vet test race conformance cache-conformance chaos store-chaos shard-chaos net-chaos service-smoke
+# Tier-1 verification loop (see ROADMAP.md). Runs every stage through a
+# timing wrapper and prints a per-stage wall-clock summary at the end, so
+# a slow stage is visible instead of buried in test output.
+VERIFY_STAGES := build vet test race conformance cache-conformance chaos \
+	store-chaos session-chaos shard-chaos net-chaos service-smoke
+
+verify:
+	@set -e; times=""; total_start=$$(date +%s); \
+	for stage in $(VERIFY_STAGES); do \
+		start=$$(date +%s); \
+		$(MAKE) --no-print-directory $$stage; \
+		times="$$times $$stage:$$(( $$(date +%s) - start ))"; \
+	done; \
+	echo ""; echo "verify stage wall-clock:"; \
+	for t in $$times; do \
+		printf '  %-20s %4ss\n' "$${t%%:*}" "$${t##*:}"; \
+	done; \
+	printf '  %-20s %4ss\n' total $$(( $$(date +%s) - total_start ))
 
 # Short randomized differential campaign: cross-checks flatsim, logicsim,
 # STA, ITR and the delay-model structure against each other on random
@@ -57,6 +73,16 @@ chaos:
 # uninterrupted run (see internal/store and DESIGN.md "Durable artifacts").
 store-chaos:
 	$(GO) test -race -run 'Chaos' ./internal/store
+
+# Session crash-recovery chaos suite: durable delta-STA sessions killed
+# deterministically mid-delta, mid-snapshot and mid-compaction (via
+# internal/faultinject), restarted, and required to come back byte-identical
+# to an uninterrupted run; journals that cannot replay must quarantine with
+# a reasoned 404 instead of wedging startup (see internal/sessionlog and
+# DESIGN.md §16).
+session-chaos:
+	$(GO) test -race -run 'TestSessionChaos|TestSessionRecover|TestSessionEviction' ./internal/service
+	$(GO) test -race ./internal/sessionlog
 
 # Sharded-campaign chaos suite: real coordinator/worker campaigns with
 # seeded worker kills, hangs and artefact corruption mid-run — every one
@@ -97,13 +123,15 @@ cover:
 
 # Performance trajectory point (ROADMAP item 5b): full-STA throughput,
 # incremental edit latency vs. cone size, ITR-in-ATPG wall-clock, the
-# service sustained-QPS section (cold vs hot cache, batched vs unbatched)
-# and the characterisation section (single-process vs in-process sharded
+# service sustained-QPS section (cold vs hot cache, batched vs unbatched),
+# the characterisation section (single-process vs in-process sharded
 # vs networked campaign over loopback HTTP — wall-clocks, bytes uploaded,
-# retries observed, byte-identity re-proved for both), with machine/commit
-# metadata, schema-validated into BENCH_4.json.
+# retries observed, byte-identity re-proved for both) and the durable-
+# session section (journaled delta ack overhead, restart replay vs script
+# length with/without snapshots), with machine/commit metadata,
+# schema-validated into BENCH_5.json.
 bench:
-	$(GO) run ./cmd/bench -out BENCH_4.json
+	$(GO) run ./cmd/bench -out BENCH_5.json
 
 # Harness-rot guard: the same harness on tiny circuits, schema-validated
 # and discarded. Seconds-scale; safe for CI.

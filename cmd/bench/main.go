@@ -15,7 +15,12 @@
 //     the networked campaign over loopback HTTP (internal/shardnet — remote
 //     workers, chunked verified uploads), with bytes transferred and client
 //     retries recorded, re-proving on every report that both campaign
-//     publishes are byte-identical to the single-process one.
+//     publishes are byte-identical to the single-process one,
+//   - durable delta-STA sessions: per-delta ack latency with and without the
+//     write-ahead journal, and restart replay wall-clock vs edit-script
+//     length with the snapshot compactor off (full-log replay) and on
+//     (checkpoint restore + tail), re-proving recovered sessions answer
+//     /windows byte-identically (see internal/sessionlog).
 //
 // Every report carries machine and commit metadata so successive BENCH_N.json
 // files are comparable across the project's history. The emitted report is
@@ -63,7 +68,10 @@ import (
 // through the loopback HTTP coordinator/worker path (internal/shardnet),
 // artefact bytes uploaded, client requests and retries observed, and the
 // networked publish's byte-identity re-proved alongside the in-process one.
-const Schema = "sstiming-bench/4"
+// v5 adds the `session` section (durable delta-STA sessions: journaled
+// per-delta ack overhead, restart replay wall-clock vs edit-script length
+// with/without snapshot compaction, byte-identity of recovered windows).
+const Schema = "sstiming-bench/5"
 
 // Report is the top-level BENCH_N.json document.
 type Report struct {
@@ -76,6 +84,7 @@ type Report struct {
 	ATPGITR     ATPGITR          `json:"atpg_itr"`
 	Service     ServiceBench     `json:"service"`
 	Charlib     Characterization `json:"characterization"`
+	Session     SessionBench     `json:"session"`
 }
 
 // Machine records where the numbers were taken.
@@ -147,7 +156,7 @@ type ATPGITR struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output report path")
+	out := flag.String("out", "BENCH_5.json", "output report path")
 	jobs := flag.Int("jobs", 0, "engine worker pool width (0 = all CPUs)")
 	reps := flag.Int("reps", 5, "full-STA repetitions per circuit")
 	edits := flag.Int("edits", 200, "incremental edits measured on the target circuit")
@@ -227,6 +236,18 @@ func main() {
 	fmt.Fprintf(os.Stderr, "charnet   %d workers  networked %8.0f ms (%5.0f pts/s)  %d bytes up  %d reqs  %d retries  identical=%v\n",
 		ch.NetWorkers, ch.NetworkedMs, ch.NetworkedPointsPerSec,
 		ch.NetBytesUploaded, ch.NetRequests, ch.NetRetries, ch.NetBytesIdentical)
+
+	se, err := benchSession(lib, *jobs, *smoke)
+	if err != nil {
+		fatal("session bench: %v", err)
+	}
+	rep.Session = se
+	for _, pt := range se.Recovery {
+		fmt.Fprintf(os.Stderr, "session   %-6s %4d deltas  full replay %8.2f ms  snapshot %8.2f ms (%d snaps, %.1fx)  identical=%v\n",
+			se.Circuit, pt.Deltas, pt.FullReplayMs, pt.SnapshotReplayMs, pt.Snapshots, pt.Speedup, pt.WindowsIdentical)
+	}
+	fmt.Fprintf(os.Stderr, "session   delta ack  in-memory %7.1f us  durable %7.1f us  overhead %+7.1f us\n",
+		se.InMemoryDeltaUs, se.DurableDeltaUs, se.DurableOverheadUs)
 
 	if err := validate(&rep, !*smoke); err != nil {
 		fatal("report failed schema validation: %v", err)
@@ -590,6 +611,35 @@ func validate(r *Report, full bool) error {
 	}
 	if !ch.NetBytesIdentical {
 		return fmt.Errorf("networked characterisation publish diverged from single-process bytes")
+	}
+	se := &r.Session
+	if se.Circuit == "" || se.LatencyDeltas <= 0 ||
+		se.InMemoryDeltaUs <= 0 || se.DurableDeltaUs <= 0 || len(se.Recovery) == 0 {
+		return fmt.Errorf("degenerate session section %+v", se)
+	}
+	for _, pt := range se.Recovery {
+		if pt.Deltas <= 0 || pt.FullReplayMs <= 0 || pt.SnapshotReplayMs <= 0 {
+			return fmt.Errorf("degenerate session recovery point %+v", pt)
+		}
+		if !pt.WindowsIdentical {
+			return fmt.Errorf("recovered session windows diverged at %d deltas", pt.Deltas)
+		}
+	}
+	if full {
+		// The longest point is the acceptance scenario: >= 500 deltas, with
+		// the snapshot compactor recovering at least 5x faster than
+		// replaying the whole log.
+		last := se.Recovery[len(se.Recovery)-1]
+		if last.Deltas < 500 {
+			return fmt.Errorf("longest session recovery point is %d deltas, want >= 500", last.Deltas)
+		}
+		if last.Snapshots <= 0 {
+			return fmt.Errorf("snapshot recovery at %d deltas took no snapshots", last.Deltas)
+		}
+		if last.Speedup < 5 {
+			return fmt.Errorf("snapshot recovery is only %.2fx faster than full-log replay at %d deltas, want >= 5x",
+				last.Speedup, last.Deltas)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,385 @@
+// Session-recovery benchmark: drives the durable delta-STA session path
+// (internal/sessionlog write-ahead journal + snapshot compaction) and
+// measures what crash-safety costs and what snapshots buy back —
+//
+//   - durable-ack latency per delta (journal append + fsync before the
+//     HTTP 200) against the same edit script on an in-memory session,
+//   - restart replay wall-clock versus edit-script length, with the
+//     snapshot compactor disabled (full-log replay: rebuild the graph
+//     from the create frame, re-apply every delta) and enabled (restore
+//     the last checkpoint, re-apply only the tail),
+//
+// re-proving on every report that each recovered session answers
+// /windows byte-identically to the pre-restart one. Full runs gate the
+// longest point (>= 500 deltas) on snapshots recovering at least 5x
+// faster than full-log replay — the compactor's reason to exist.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"time"
+
+	"sstiming/internal/core"
+	"sstiming/internal/engine"
+	"sstiming/internal/netlist"
+	"sstiming/internal/service"
+)
+
+// SessionRecoveryPoint is one edit-script length measured both ways.
+type SessionRecoveryPoint struct {
+	Deltas           int     `json:"deltas"`
+	FullReplayMs     float64 `json:"full_replay_ms"`
+	SnapshotReplayMs float64 `json:"snapshot_replay_ms"`
+	Snapshots        int64   `json:"snapshots"`
+	Speedup          float64 `json:"speedup"`
+	WindowsIdentical bool    `json:"windows_identical"`
+}
+
+// SessionBench is the durable-session section of the report.
+type SessionBench struct {
+	Circuit           string                 `json:"circuit"`
+	Gates             int                    `json:"gates"`
+	SnapshotEvery     int                    `json:"snapshot_every"`
+	LatencyDeltas     int                    `json:"latency_deltas"`
+	InMemoryDeltaUs   float64                `json:"in_memory_delta_us"`
+	DurableDeltaUs    float64                `json:"durable_delta_us"`
+	DurableOverheadUs float64                `json:"durable_overhead_us"`
+	Recovery          []SessionRecoveryPoint `json:"recovery"`
+}
+
+// genSessionScript builds a seeded, always-valid delta script over the
+// circuit: cube assigns and retracts on PIs, PI retimes, and same-arity
+// gate swaps (tracked so each swap flips the gate's current kind).
+func genSessionScript(rng *rand.Rand, c *netlist.Circuit, lib *core.Library, n int) []service.SessionDeltaRequest {
+	vals := []string{"01", "10", "11", "00", "x1", "1x"}
+	swappable := swappableGates(c, lib)
+	kinds := make(map[int]netlist.GateKind, len(swappable))
+	for _, gi := range swappable {
+		kinds[gi] = c.Gates[gi].Kind
+	}
+	kindName := func(k netlist.GateKind) string {
+		switch k {
+		case netlist.Inv:
+			return "not"
+		case netlist.Buf:
+			return "buff"
+		case netlist.Nand:
+			return "nand"
+		default:
+			return "nor"
+		}
+	}
+	var assigned []string
+	steps := make([]service.SessionDeltaRequest, 0, n)
+	for len(steps) < n {
+		var req service.SessionDeltaRequest
+		switch r := rng.Intn(10); {
+		case r < 4: // cube assign on 1-2 PIs
+			req.Assign = map[string]string{}
+			for i := 0; i <= rng.Intn(2); i++ {
+				pi := c.PIs[rng.Intn(len(c.PIs))]
+				if _, ok := req.Assign[pi]; !ok {
+					req.Assign[pi] = vals[rng.Intn(len(vals))]
+					assigned = append(assigned, pi)
+				}
+			}
+		case r == 4 && len(assigned) > 0: // retract a previously assigned PI
+			req.Retract = []string{assigned[rng.Intn(len(assigned))]}
+		case r < 8: // PI retime, ordering kept valid by construction
+			early := rng.Float64() * 0.2e-9
+			req.SetPI = &service.SessionPIJSON{
+				Net:          c.PIs[rng.Intn(len(c.PIs))],
+				ArrivalEarly: early,
+				ArrivalLate:  early + rng.Float64()*0.2e-9,
+				TransShort:   0.1e-9 + rng.Float64()*0.1e-9,
+				TransLong:    0.2e-9 + rng.Float64()*0.1e-9,
+			}
+		default: // swap a random swappable gate to its dual
+			if len(swappable) == 0 {
+				continue
+			}
+			gi := swappable[rng.Intn(len(swappable))]
+			kinds[gi] = dual(kinds[gi])
+			req.SwapGate = &service.SessionSwapJSON{
+				Net:  c.Gates[gi].Output,
+				Kind: kindName(kinds[gi]),
+			}
+		}
+		if req.Assign == nil && req.Retract == nil && req.SetPI == nil && req.SwapGate == nil {
+			continue
+		}
+		steps = append(steps, req)
+	}
+	return steps
+}
+
+// sessionHarness is one booted daemon plus the HTTP plumbing to drive
+// its session API.
+type sessionHarness struct {
+	srv    *service.Server
+	hs     *httptest.Server
+	met    *engine.Metrics
+	client *http.Client
+}
+
+func newSessionHarness(lib *core.Library, jobs int, opts service.Options) (*sessionHarness, error) {
+	met := engine.NewMetrics()
+	opts.Lib = lib
+	opts.Workers = jobs
+	opts.Metrics = met
+	srv, err := service.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &sessionHarness{
+		srv:    srv,
+		hs:     httptest.NewServer(srv.Handler()),
+		met:    met,
+		client: &http.Client{},
+	}, nil
+}
+
+// close drains the daemon, closing every session journal cleanly; the
+// journal directories stay behind as the restart's durable truth.
+func (h *sessionHarness) close() {
+	h.hs.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	h.srv.Drain(ctx)
+	h.client.CloseIdleConnections()
+}
+
+func (h *sessionHarness) post(path string, req any, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := h.client.Post(h.hs.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return err
+	}
+	if r.StatusCode != http.StatusOK && r.StatusCode != http.StatusCreated {
+		return fmt.Errorf("POST %s answered %d: %s", path, r.StatusCode, raw)
+	}
+	return json.Unmarshal(raw, resp)
+}
+
+func (h *sessionHarness) createSession(c *netlist.Circuit) (string, error) {
+	var w bytes.Buffer
+	if err := c.Write(&w); err != nil {
+		return "", err
+	}
+	var resp service.SessionCreateResponse
+	if err := h.post("/session", service.SessionCreateRequest{Netlist: w.String()}, &resp); err != nil {
+		return "", err
+	}
+	return resp.SessionID, nil
+}
+
+// applyScript posts every delta and returns the per-delta wall-clock
+// latencies (client-observed, durable-ack included when journaling is on).
+func (h *sessionHarness) applyScript(sid string, steps []service.SessionDeltaRequest) ([]time.Duration, error) {
+	lat := make([]time.Duration, len(steps))
+	for i, step := range steps {
+		var resp service.SessionDeltaResponse
+		start := time.Now()
+		if err := h.post("/session/"+sid+"/delta", step, &resp); err != nil {
+			return nil, fmt.Errorf("delta %d: %w", i, err)
+		}
+		lat[i] = time.Since(start)
+	}
+	return lat, nil
+}
+
+// windowsFingerprint fetches /windows and returns the comparison payload —
+// the full response with the volatile request metadata (request id,
+// elapsed) zeroed, so recovered sessions are compared on everything a
+// client can key on: circuit identity, cube, and every window bit.
+func (h *sessionHarness) windowsFingerprint(sid string) (*service.SessionWindowsResponse, error) {
+	r, err := h.client.Get(h.hs.URL + "/session/" + sid + "/windows")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Body.Close()
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	if r.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET windows answered %d: %s", r.StatusCode, raw)
+	}
+	var resp service.SessionWindowsResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, err
+	}
+	resp.RequestID, resp.ElapsedMs = "", 0
+	return &resp, nil
+}
+
+func meanUs(lat []time.Duration) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	return float64(total) / float64(len(lat)) / float64(time.Microsecond)
+}
+
+// runSessionRecovery applies the script to a journaled session, shuts the
+// daemon down cleanly, then boots a fresh one against the same directory
+// and times RecoverSessions — the restart's replay cost. It re-proves the
+// recovered session answers /windows identically to the pre-restart one.
+func runSessionRecovery(c *netlist.Circuit, lib *core.Library, jobs int,
+	steps []service.SessionDeltaRequest, snapshotEvery int) (replayMs float64, snapshots int64, identical bool, err error) {
+	dir, err := os.MkdirTemp("", "sstiming-bench-session-")
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer os.RemoveAll(dir)
+	opts := service.Options{
+		SessionDir:           dir,
+		SessionSnapshotEvery: snapshotEvery,
+		SessionSnapshotBytes: -1,
+	}
+
+	h, err := newSessionHarness(lib, jobs, opts)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	sid, err := h.createSession(c)
+	if err != nil {
+		h.close()
+		return 0, 0, false, err
+	}
+	if _, err := h.applyScript(sid, steps); err != nil {
+		h.close()
+		return 0, 0, false, err
+	}
+	ref, err := h.windowsFingerprint(sid)
+	if err != nil {
+		h.close()
+		return 0, 0, false, err
+	}
+	snapshots = h.met.Get(engine.SvcSessionSnapshots)
+	h.close()
+
+	h2, err := newSessionHarness(lib, jobs, opts)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer h2.close()
+	start := time.Now()
+	recovered, quarantined, err := h2.srv.RecoverSessions()
+	replay := time.Since(start)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if recovered != 1 || quarantined != 0 {
+		return 0, 0, false, fmt.Errorf("recovered %d sessions (%d quarantined), want exactly 1", recovered, quarantined)
+	}
+	got, err := h2.windowsFingerprint(sid)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	identical = reflect.DeepEqual(got, ref)
+	return float64(replay) / float64(time.Millisecond), snapshots, identical, nil
+}
+
+// benchSession measures the durable-session section: per-delta ack latency
+// in-memory vs journaled, then restart replay at increasing script lengths
+// with and without the snapshot compactor.
+func benchSession(lib *core.Library, jobs int, smoke bool) (SessionBench, error) {
+	name, snapshotEvery := "c432", 64
+	lengths := []int{100, 250, 500}
+	if smoke {
+		name, snapshotEvery = "c17", 4
+		lengths = []int{8}
+	}
+	c := mustCircuit(name)
+	maxLen := lengths[len(lengths)-1]
+	steps := genSessionScript(rand.New(rand.NewSource(11)), c, lib, maxLen)
+
+	sb := SessionBench{
+		Circuit:       c.Name,
+		Gates:         c.NumGates(),
+		SnapshotEvery: snapshotEvery,
+		LatencyDeltas: maxLen,
+	}
+
+	// Durable-ack overhead: the same script on an in-memory session and on
+	// a journaled one (compactor off, so the difference is purely the
+	// fsynced append in the ack path).
+	memLat, err := runSessionLatency(c, lib, jobs, steps, service.Options{})
+	if err != nil {
+		return SessionBench{}, fmt.Errorf("in-memory latency: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "sstiming-bench-session-lat-")
+	if err != nil {
+		return SessionBench{}, err
+	}
+	durLat, err := runSessionLatency(c, lib, jobs, steps, service.Options{
+		SessionDir:           dir,
+		SessionSnapshotEvery: -1,
+		SessionSnapshotBytes: -1,
+	})
+	os.RemoveAll(dir)
+	if err != nil {
+		return SessionBench{}, fmt.Errorf("durable latency: %w", err)
+	}
+	sb.InMemoryDeltaUs = meanUs(memLat)
+	sb.DurableDeltaUs = meanUs(durLat)
+	sb.DurableOverheadUs = sb.DurableDeltaUs - sb.InMemoryDeltaUs
+
+	for _, n := range lengths {
+		fullMs, _, fullSame, err := runSessionRecovery(c, lib, jobs, steps[:n], -1)
+		if err != nil {
+			return SessionBench{}, fmt.Errorf("full-replay recovery (%d deltas): %w", n, err)
+		}
+		snapMs, snaps, snapSame, err := runSessionRecovery(c, lib, jobs, steps[:n], snapshotEvery)
+		if err != nil {
+			return SessionBench{}, fmt.Errorf("snapshot recovery (%d deltas): %w", n, err)
+		}
+		pt := SessionRecoveryPoint{
+			Deltas:           n,
+			FullReplayMs:     fullMs,
+			SnapshotReplayMs: snapMs,
+			Snapshots:        snaps,
+			WindowsIdentical: fullSame && snapSame,
+		}
+		if snapMs > 0 {
+			pt.Speedup = fullMs / snapMs
+		}
+		sb.Recovery = append(sb.Recovery, pt)
+	}
+	return sb, nil
+}
+
+func runSessionLatency(c *netlist.Circuit, lib *core.Library, jobs int,
+	steps []service.SessionDeltaRequest, opts service.Options) ([]time.Duration, error) {
+	h, err := newSessionHarness(lib, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
+	sid, err := h.createSession(c)
+	if err != nil {
+		return nil, err
+	}
+	return h.applyScript(sid, steps)
+}

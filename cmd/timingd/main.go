@@ -8,7 +8,9 @@
 //	        [-queue-depth N] [-timeout 30s] [-drain 15s] [-max-gates N]
 //	        [-cache-entries N] [-cache-bytes N] [-cache-max-entry-bytes N]
 //	        [-batch-size N] [-batch-wait D]
-//	        [-max-sessions N] [-session-ttl 15m] [-stats] [-selfcheck]
+//	        [-max-sessions N] [-session-ttl 15m]
+//	        [-session-dir DIR] [-session-snapshot-every N]
+//	        [-session-snapshot-bytes N] [-stats] [-selfcheck]
 //
 // Endpoints:
 //
@@ -31,6 +33,15 @@
 // store/quarantined_cells in /metrics). -strict-lib refuses any degraded or
 // unverified library instead. SIGHUP reloads the library in place, with the
 // same refusal semantics as POST /reload.
+//
+// -session-dir makes delta-STA sessions durable: every session keeps a
+// write-ahead journal under the directory (fsynced before a delta is
+// acknowledged) and is rebuilt byte-identically at the next boot, with
+// snapshot compaction every -session-snapshot-every deltas (or
+// -session-snapshot-bytes journal bytes) bounding replay time. Journals
+// that fail replay are quarantined aside with a reason, never wedging
+// startup (DESIGN.md §16). Without -session-dir sessions are in-memory
+// only and die with the process.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: readiness fails first,
 // new jobs are refused, in-flight jobs get -drain to finish, then the
@@ -78,6 +89,9 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 0, "max time a non-full micro-batch collects (0 = default 2ms)")
 	maxSessions := flag.Int("max-sessions", 0, "live delta-STA sessions before LRU eviction (0 = default 64, -1 = unlimited)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle session expiry (0 = default 15m, negative = never)")
+	sessionDir := flag.String("session-dir", "", "directory for durable session journals (empty = in-memory sessions)")
+	sessionSnapshotEvery := flag.Int("session-snapshot-every", 0, "deltas between snapshot compactions (0 = default 64, negative = never)")
+	sessionSnapshotBytes := flag.Int64("session-snapshot-bytes", 0, "journal bytes triggering snapshot compaction (0 = default 1MiB, negative = never)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "solver failures tripping the circuit breaker (0 = default 5, -1 = disabled)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "breaker open duration before a half-open probe (0 = default 10s)")
 	strictLib := flag.Bool("strict-lib", false, "refuse degraded or unverified libraries instead of serving analytic fallbacks")
@@ -94,19 +108,22 @@ func main() {
 		fail(err)
 	}
 	srv, err := service.New(service.Options{
-		Lib:                lib,
-		LibLoader:          loader,
-		Workers:            *jobs,
-		QueueDepth:         *queueDepth,
-		DefaultTimeout:     *timeout,
-		MaxGates:           *maxGates,
-		CacheEntries:       *cacheEntries,
-		CacheBytes:         *cacheBytes,
-		CacheMaxEntryBytes: *cacheMaxEntryBytes,
-		BatchSize:          *batchSize,
-		BatchWait:          *batchWait,
-		MaxSessions:        *maxSessions,
-		SessionIdleTTL:     *sessionTTL,
+		Lib:                  lib,
+		LibLoader:            loader,
+		Workers:              *jobs,
+		QueueDepth:           *queueDepth,
+		DefaultTimeout:       *timeout,
+		MaxGates:             *maxGates,
+		CacheEntries:         *cacheEntries,
+		CacheBytes:           *cacheBytes,
+		CacheMaxEntryBytes:   *cacheMaxEntryBytes,
+		BatchSize:            *batchSize,
+		BatchWait:            *batchWait,
+		MaxSessions:          *maxSessions,
+		SessionIdleTTL:       *sessionTTL,
+		SessionDir:           *sessionDir,
+		SessionSnapshotEvery: *sessionSnapshotEvery,
+		SessionSnapshotBytes: *sessionSnapshotBytes,
 		Breaker: service.BreakerConfig{
 			Threshold: *breakerThreshold,
 			Cooldown:  *breakerCooldown,
@@ -126,6 +143,17 @@ func main() {
 		}
 		fmt.Println("timingd: selfcheck ok")
 		return
+	}
+
+	// Recover durable sessions before the listener opens, so a client that
+	// reconnects immediately after a crash finds its sessions live again.
+	if *sessionDir != "" {
+		recovered, quarantined, err := srv.RecoverSessions()
+		if err != nil {
+			fail(fmt.Errorf("session recovery: %w", err))
+		}
+		fmt.Printf("timingd: recovered %d durable session(s) from %s (%d quarantined)\n",
+			recovered, *sessionDir, quarantined)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

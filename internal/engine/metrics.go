@@ -169,67 +169,81 @@ const (
 	// NetBytesUploaded counts artefact bytes remote workers uploaded to a
 	// campaign coordinator (resent chunks count again).
 	NetBytesUploaded
+	// SvcSessionRecovered counts sessions rebuilt from their write-ahead
+	// logs at daemon startup (snapshot restore + delta replay).
+	SvcSessionRecovered
+	// SvcSessionQuarantined counts session journals whose startup replay
+	// failed (corrupt journal, library-fingerprint mismatch, replay error)
+	// and were quarantined with a reasoned tombstone instead of wedging
+	// boot.
+	SvcSessionQuarantined
+	// SvcSessionSnapshots counts snapshot-compaction checkpoints written
+	// for durable sessions.
+	SvcSessionSnapshots
 
 	numCounters
 )
 
 // counterNames are the stable text labels used by Snapshot/WriteText.
 var counterNames = [numCounters]string{
-	SpiceTransients:    "spice/transients",
-	SpiceTransSteps:    "spice/transient_steps",
-	SpiceNewtonIters:   "spice/newton_iters",
-	SpiceStepRetries:   "spice/step_retries",
-	SpiceStepHalvings:  "spice/step_halvings",
-	SpiceGminSteps:     "spice/gmin_steps",
-	SpiceRecovered:     "spice/recovered_points",
-	SpiceUnrecovered:   "spice/unrecovered_points",
-	FaultsInjected:     "faultinject/injected",
-	CharJobs:           "charlib/jobs",
-	CharRetries:        "charlib/retries",
-	CharDegraded:       "charlib/degraded_points",
-	CharCells:          "charlib/cells",
-	STAGates:           "sta/gates",
-	STAArcs:            "sta/arcs",
-	ITRRefines:         "itr/refines",
-	ITRImplications:    "itr/implications",
-	SimGateEvals:       "logicsim/gate_evals",
-	ATPGFaults:         "atpg/faults",
-	ATPGDecisions:      "atpg/decisions",
-	ATPGBacktracks:     "atpg/backtracks",
-	ConfSeeds:          "conformance/seeds",
-	ConfChecks:         "conformance/checks",
-	ConfViolations:     "conformance/violations",
-	ConfSkipped:        "conformance/skipped",
-	SvcRequests:        "service/requests",
-	SvcShed:            "service/shed",
-	SvcTimeouts:        "service/timeouts",
-	SvcPanics:          "service/panics",
-	SvcBreakerTrips:    "service/breaker_trips",
-	SvcDegraded:        "service/degraded_responses",
-	SvcReloads:         "service/reloads",
-	SvcReloadFails:     "service/reload_failures",
-	StoreQuarantined:   "store/quarantined_cells",
-	CharCellsReused:    "charlib/cells_reused",
-	TGraphEdits:        "tgraph/edits",
-	SvcSessions:        "service/sessions_created",
-	SvcSessionEvicts:   "service/sessions_evicted",
-	CacheHits:          "service/cache_hits",
-	CacheMisses:        "service/cache_misses",
-	CacheCoalesced:     "service/cache_coalesced",
-	CacheEvictions:     "service/cache_evictions",
-	CacheInvalidations: "service/cache_invalidations",
-	SvcBatches:         "service/batches",
-	SvcBatchItems:      "service/batch_items",
-	CacheOversized:     "service/cache_oversized",
-	ShardLeases:        "shard/leases_granted",
-	ShardExpired:       "shard/leases_expired",
-	ShardRetries:       "shard/retries",
-	ShardQuarantined:   "shard/quarantined_shards",
-	ShardDuplicates:    "shard/duplicates_discarded",
-	ShardCorrupt:       "shard/corrupt_artifacts",
-	NetRequests:        "shardnet/client_requests",
-	NetRetries:         "shardnet/client_retries",
-	NetBytesUploaded:   "shardnet/bytes_uploaded",
+	SpiceTransients:       "spice/transients",
+	SpiceTransSteps:       "spice/transient_steps",
+	SpiceNewtonIters:      "spice/newton_iters",
+	SpiceStepRetries:      "spice/step_retries",
+	SpiceStepHalvings:     "spice/step_halvings",
+	SpiceGminSteps:        "spice/gmin_steps",
+	SpiceRecovered:        "spice/recovered_points",
+	SpiceUnrecovered:      "spice/unrecovered_points",
+	FaultsInjected:        "faultinject/injected",
+	CharJobs:              "charlib/jobs",
+	CharRetries:           "charlib/retries",
+	CharDegraded:          "charlib/degraded_points",
+	CharCells:             "charlib/cells",
+	STAGates:              "sta/gates",
+	STAArcs:               "sta/arcs",
+	ITRRefines:            "itr/refines",
+	ITRImplications:       "itr/implications",
+	SimGateEvals:          "logicsim/gate_evals",
+	ATPGFaults:            "atpg/faults",
+	ATPGDecisions:         "atpg/decisions",
+	ATPGBacktracks:        "atpg/backtracks",
+	ConfSeeds:             "conformance/seeds",
+	ConfChecks:            "conformance/checks",
+	ConfViolations:        "conformance/violations",
+	ConfSkipped:           "conformance/skipped",
+	SvcRequests:           "service/requests",
+	SvcShed:               "service/shed",
+	SvcTimeouts:           "service/timeouts",
+	SvcPanics:             "service/panics",
+	SvcBreakerTrips:       "service/breaker_trips",
+	SvcDegraded:           "service/degraded_responses",
+	SvcReloads:            "service/reloads",
+	SvcReloadFails:        "service/reload_failures",
+	StoreQuarantined:      "store/quarantined_cells",
+	CharCellsReused:       "charlib/cells_reused",
+	TGraphEdits:           "tgraph/edits",
+	SvcSessions:           "service/sessions_created",
+	SvcSessionEvicts:      "service/sessions_evicted",
+	CacheHits:             "service/cache_hits",
+	CacheMisses:           "service/cache_misses",
+	CacheCoalesced:        "service/cache_coalesced",
+	CacheEvictions:        "service/cache_evictions",
+	CacheInvalidations:    "service/cache_invalidations",
+	SvcBatches:            "service/batches",
+	SvcBatchItems:         "service/batch_items",
+	CacheOversized:        "service/cache_oversized",
+	ShardLeases:           "shard/leases_granted",
+	ShardExpired:          "shard/leases_expired",
+	ShardRetries:          "shard/retries",
+	ShardQuarantined:      "shard/quarantined_shards",
+	ShardDuplicates:       "shard/duplicates_discarded",
+	ShardCorrupt:          "shard/corrupt_artifacts",
+	NetRequests:           "shardnet/client_requests",
+	NetRetries:            "shardnet/client_retries",
+	NetBytesUploaded:      "shardnet/bytes_uploaded",
+	SvcSessionRecovered:   "service/session_recovered",
+	SvcSessionQuarantined: "service/session_replay_quarantined",
+	SvcSessionSnapshots:   "service/session_snapshots",
 }
 
 // String returns the counter's label.

@@ -1,0 +1,50 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// OpFault is a deterministic fault hook over named durability operations
+// (see internal/sessionlog: OpAppend, OpSnapshotWrite, OpCompact): the n-th
+// occurrence of the target op fails, everything else passes. Session-chaos
+// tests use it to kill timingd's journal at a seeded point mid-delta,
+// mid-snapshot or mid-compaction.
+type OpFault struct {
+	op       string
+	n        int64
+	seen     atomic.Int64
+	injected atomic.Int64
+}
+
+// FailNthOp returns an OpFault failing the n-th (1-based) occurrence of op.
+// n <= 0 never fires.
+func FailNthOp(op string, n int64) *OpFault {
+	return &OpFault{op: op, n: n}
+}
+
+// Hook is the func(op string) error form journal Options accept. A nil
+// OpFault yields a nil hook (no faults).
+func (f *OpFault) Hook() func(op string) error {
+	if f == nil {
+		return nil
+	}
+	return func(op string) error {
+		if op != f.op || f.n <= 0 {
+			return nil
+		}
+		if f.seen.Add(1) != f.n {
+			return nil
+		}
+		f.injected.Add(1)
+		return fmt.Errorf("faultinject: injected crash at %s #%d", op, f.n)
+	}
+}
+
+// Injected returns how many times the fault fired (0 or 1).
+func (f *OpFault) Injected() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.injected.Load()
+}

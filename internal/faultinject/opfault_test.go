@@ -1,0 +1,28 @@
+package faultinject
+
+import "testing"
+
+func TestFailNthOp(t *testing.T) {
+	f := FailNthOp("append", 3)
+	hook := f.Hook()
+	for i := 1; i <= 5; i++ {
+		if err := hook("compact"); err != nil {
+			t.Fatalf("wrong op faulted at %d: %v", i, err)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		err := hook("append")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("append #%d: err = %v", i, err)
+		}
+	}
+	if f.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", f.Injected())
+	}
+	if hook := (*OpFault)(nil).Hook(); hook != nil {
+		t.Fatal("nil OpFault must yield a nil hook")
+	}
+	if err := FailNthOp("append", 0).Hook()("append"); err != nil {
+		t.Fatalf("n=0 fired: %v", err)
+	}
+}

@@ -106,11 +106,12 @@ var cubeValues = []string{"01", "10", "00", "11", "0x", "1x", "x0", "x1"}
 // `make cache-conformance`: random benchgen circuits are POSTed twice to
 // /analyze (the repeat with its gate statements shuffled) and twice to
 // /refine under a random PI cube; every repeat must be a hit with a
-// byte-identical body.
+// byte-identical body. The campaign honours CHAOS_SEED and prints the seed
+// on failure.
 func TestCacheConformance(t *testing.T) {
 	met := engine.NewMetrics()
 	_, hs := newTestServer(t, Options{CacheEntries: 256, Workers: 4, Metrics: met})
-	rng := rand.New(rand.NewSource(42))
+	rng := rand.New(rand.NewSource(chaosSeed(t, 42)))
 	const seeds = 12
 	for i := 0; i < seeds; i++ {
 		c, err := benchgen.GenerateRand(benchgen.RandomProfile(fmt.Sprintf("cc%d", i), rng), rng)
@@ -179,7 +180,7 @@ func postRaw(url string, body any) (int, string, []byte, error) {
 func TestSingleflightSharesOneEngineRun(t *testing.T) {
 	met := engine.NewMetrics()
 	_, hs := newTestServer(t, Options{CacheEntries: 64, Workers: 4, Metrics: met})
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(chaosSeed(t, 7)))
 	c, err := benchgen.GenerateRand(benchgen.RandomProfile("sf", rng), rng)
 	if err != nil {
 		t.Fatal(err)

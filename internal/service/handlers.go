@@ -180,6 +180,8 @@ func errorKind(err error) string {
 		return "draining"
 	case errors.Is(err, ErrSessionNotFound):
 		return "not-found"
+	case errors.Is(err, ErrSessionDurability):
+		return "internal"
 	case errors.As(err, &pe):
 		return "panic"
 	default:
@@ -195,6 +197,9 @@ func errorKind(err error) string {
 //	breaker open       -> 503 + Retry-After (degraded)
 //	draining           -> 503 (pool closed)
 //	job panic          -> 500 (contained; the daemon keeps serving)
+//	journal write lost -> 500 (the delta was applied but never made
+//	                          durable; the session is dropped and a
+//	                          restart recovers its last durable state)
 //	anything else      -> 422 (the posted netlist/cube was analysable but
 //	                          rejected by the engine)
 func (s *Server) respondJobError(w http.ResponseWriter, id string, err error) {
@@ -203,6 +208,8 @@ func (s *Server) respondJobError(w http.ResponseWriter, id string, err error) {
 	case errors.Is(err, spice.ErrCancelled):
 		s.met.Add(engine.SvcTimeouts, 1)
 		writeError(w, http.StatusGatewayTimeout, id, err, nil)
+	case errors.Is(err, ErrSessionDurability):
+		writeError(w, http.StatusInternalServerError, id, err, nil)
 	case errors.Is(err, ErrShedLoad):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, id, err, nil)

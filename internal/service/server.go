@@ -126,6 +126,24 @@ type Options struct {
 	// would hold small ones hostage. Zero selects 256; negative batches
 	// every size.
 	MaxBatchGates int
+	// SessionDir enables crash-recoverable sessions: every timing session
+	// journals its creation and deltas to a write-ahead log under this
+	// directory (internal/sessionlog), deltas are acknowledged only after
+	// their frame is durable, and RecoverSessions rebuilds resident
+	// sessions from the logs at startup. Empty keeps sessions in-memory
+	// only (the pre-durability behaviour, byte for byte).
+	SessionDir string
+	// SessionSnapshotEvery compacts a session's journal after this many
+	// durable deltas: the converged graph is checkpointed and the log
+	// truncated, bounding replay cost. Zero selects 64; negative disables
+	// the delta-count trigger.
+	SessionSnapshotEvery int
+	// SessionSnapshotBytes compacts when the journal file exceeds this
+	// size. Zero selects 1 MiB; negative disables the byte trigger.
+	SessionSnapshotBytes int64
+	// SessionLogFaultHook injects deterministic faults into session
+	// journal operations (chaos testing; see sessionlog.Options).
+	SessionLogFaultHook func(op string) error
 	// Breaker tunes the solver circuit breaker.
 	Breaker BreakerConfig
 	// Metrics is the instrumentation sink; nil creates a private one.
@@ -166,6 +184,12 @@ func (o *Options) fill() error {
 	}
 	if o.SessionIdleTTL == 0 {
 		o.SessionIdleTTL = 15 * time.Minute
+	}
+	if o.SessionSnapshotEvery == 0 {
+		o.SessionSnapshotEvery = 64
+	}
+	if o.SessionSnapshotBytes == 0 {
+		o.SessionSnapshotBytes = 1 << 20
 	}
 	if o.Metrics == nil {
 		o.Metrics = engine.NewMetrics()
@@ -346,5 +370,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	if err := s.queue.Drain(ctx); err != nil && firstErr == nil {
 		firstErr = err
 	}
+	// With every in-flight delta finished, close the session journals so
+	// their last frames are flushed file handles, not dangling ones — the
+	// logs stay on disk and the next boot's RecoverSessions resurrects the
+	// sessions.
+	s.sessions.closeLogs()
 	return firstErr
 }

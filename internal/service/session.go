@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -13,6 +15,8 @@ import (
 
 	"sstiming/internal/engine"
 	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+	"sstiming/internal/sessionlog"
 	"sstiming/internal/sta"
 	"sstiming/internal/tgraph"
 	"sstiming/internal/twindow"
@@ -50,6 +54,14 @@ import (
 // error text names the eviction reason when one is on record.
 var ErrSessionNotFound = errors.New("service: session not found")
 
+// ErrSessionDurability reports a durable session whose journal could not be
+// written: the delta may have been applied in memory, but it was never made
+// durable, so the daemon treats the resident session as crashed — it is
+// dropped with a reasoned tombstone, and a restart recovers it at its last
+// durable frame (crash-only design: an undurable session and a killed one
+// are the same case).
+var ErrSessionDurability = errors.New("service: session journal write failed")
+
 // tombstoneCap bounds the evicted-session memory: the store remembers the
 // eviction reason for this many most-recently-departed IDs.
 const tombstoneCap = 256
@@ -66,8 +78,27 @@ type session struct {
 	graph *tgraph.Graph
 	edits atomic.Int64
 
+	// log is the session's write-ahead journal (nil when the daemon runs
+	// without a session directory); seq numbers its delta frames and is
+	// guarded by mu.
+	log *sessionlog.Log
+	seq int64
+
 	// lastUsed is guarded by the owning store's mutex, not mu.
 	lastUsed time.Time
+}
+
+// retireLog removes the session's journal (eviction, TTL expiry, DELETE).
+// Safe to call on in-memory sessions and to race an in-flight delta: the
+// log's own lock serializes, and a delta whose append loses the race
+// observes sessionlog.ErrRetired and completes on the live graph without
+// journaling. Removal failures are deliberately swallowed — a leftover
+// directory is re-scanned (and at worst re-served) by the next boot, which
+// is safer than failing an eviction.
+func (sess *session) retireLog() {
+	if sess.log != nil {
+		_ = sess.log.Retire()
+	}
 }
 
 // sessionStore owns the resident sessions: lookup, LRU + idle-TTL
@@ -108,35 +139,36 @@ func (st *sessionStore) entomb(id, reason string) {
 	st.tombOrder = append(st.tombOrder, id)
 }
 
-// expireLocked evicts sessions idle beyond the TTL. Callers hold st.mu.
-// Eviction drops the store's reference only: a delta already holding the
-// session keeps a live pointer and completes normally.
-func (st *sessionStore) expireLocked(now time.Time) {
+// expireLocked evicts sessions idle beyond the TTL, returning the victims
+// so the caller can retire their journals after releasing st.mu (journal
+// retirement does file IO and must not run under the store lock). Callers
+// hold st.mu. Eviction drops the store's reference only: a delta already
+// holding the session keeps a live pointer and completes normally.
+func (st *sessionStore) expireLocked(now time.Time) (victims []*session) {
 	if st.idleTTL <= 0 {
-		return
+		return nil
 	}
 	for id, sess := range st.byID {
 		if now.Sub(sess.lastUsed) > st.idleTTL {
 			delete(st.byID, id)
 			st.entomb(id, "expired-idle")
 			st.met.Add(engine.SvcSessionEvicts, 1)
+			victims = append(victims, sess)
 		}
 	}
+	return victims
 }
 
 // put inserts a fresh session, evicting the least-recently-used residents
-// above the cap. Returns the evicted IDs (for the creation response).
+// above the cap and retiring the victims' journals. Returns the evicted IDs
+// (for the creation response).
 func (st *sessionStore) put(sess *session) (evicted []string) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	now := time.Now()
-	st.expireLocked(now)
+	victims := st.expireLocked(now)
 	sess.lastUsed = now
 	st.byID[sess.id] = sess
-	if st.max <= 0 {
-		return nil
-	}
-	for len(st.byID) > st.max {
+	for st.max > 0 && len(st.byID) > st.max {
 		var lru *session
 		for _, cand := range st.byID {
 			if cand == sess {
@@ -153,6 +185,11 @@ func (st *sessionStore) put(sess *session) (evicted []string) {
 		st.entomb(lru.id, "evicted-lru")
 		st.met.Add(engine.SvcSessionEvicts, 1)
 		evicted = append(evicted, lru.id)
+		victims = append(victims, lru)
+	}
+	st.mu.Unlock()
+	for _, v := range victims {
+		v.retireLog()
 	}
 	sort.Strings(evicted)
 	return evicted
@@ -162,33 +199,80 @@ func (st *sessionStore) put(sess *session) (evicted []string) {
 // tombstone on record names the departure reason.
 func (st *sessionStore) get(id string) (*session, error) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	now := time.Now()
-	st.expireLocked(now)
-	if sess, ok := st.byID[id]; ok {
+	victims := st.expireLocked(now)
+	sess, ok := st.byID[id]
+	if ok {
 		sess.lastUsed = now
+	}
+	reason, entombed := st.tombs[id]
+	st.mu.Unlock()
+	for _, v := range victims {
+		v.retireLog()
+	}
+	if ok {
 		return sess, nil
 	}
-	if reason, ok := st.tombs[id]; ok {
+	if entombed {
 		return nil, fmt.Errorf("%w: %s (%s)", ErrSessionNotFound, id, reason)
 	}
 	return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
 }
 
-// remove deletes a session on client request; a miss returns the same
-// reasoned not-found error get would.
-func (st *sessionStore) remove(id string) error {
+// remove deletes a session on client request, returning it so the caller
+// can retire its journal; a miss returns the same reasoned not-found error
+// get would.
+func (st *sessionStore) remove(id string) (*session, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if _, ok := st.byID[id]; !ok {
+	sess, ok := st.byID[id]
+	if !ok {
 		if reason, ok := st.tombs[id]; ok {
-			return fmt.Errorf("%w: %s (%s)", ErrSessionNotFound, id, reason)
+			return nil, fmt.Errorf("%w: %s (%s)", ErrSessionNotFound, id, reason)
 		}
-		return fmt.Errorf("%w: %s", ErrSessionNotFound, id)
+		return nil, fmt.Errorf("%w: %s", ErrSessionNotFound, id)
 	}
 	delete(st.byID, id)
 	st.entomb(id, "deleted")
-	return nil
+	return sess, nil
+}
+
+// entombExternal records a departure reason for an ID that never made it
+// into the store (quarantined journals at recovery).
+func (st *sessionStore) entombExternal(id, reason string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.entomb(id, reason)
+}
+
+// dropUndurable evicts a session whose journal append failed, with a
+// reasoned tombstone and WITHOUT retiring the log: the journal's valid
+// prefix is the durable truth a restart recovers the session to.
+func (st *sessionStore) dropUndurable(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.byID[id]; !ok {
+		return
+	}
+	delete(st.byID, id)
+	st.entomb(id, "journal-write-failed")
+	st.met.Add(engine.SvcSessionEvicts, 1)
+}
+
+// closeLogs closes every resident session's journal handle (drain path;
+// the logs stay on disk for the next boot to recover).
+func (st *sessionStore) closeLogs() {
+	st.mu.Lock()
+	sessions := make([]*session, 0, len(st.byID))
+	for _, sess := range st.byID {
+		sessions = append(sessions, sess)
+	}
+	st.mu.Unlock()
+	for _, sess := range sessions {
+		if sess.log != nil {
+			_ = sess.log.Close()
+		}
+	}
 }
 
 // count returns the number of resident sessions.
@@ -329,9 +413,187 @@ func parseGateKind(kind string) (netlist.GateKind, error) {
 	}
 }
 
+// kindName is parseGateKind's inverse: the canonical wire name journaled
+// for a swap edit.
+func kindName(kind netlist.GateKind) string {
+	switch kind {
+	case netlist.Inv:
+		return "not"
+	case netlist.Buf:
+		return "buff"
+	case netlist.Nand:
+		return "nand"
+	case netlist.Nor:
+		return "nor"
+	default:
+		return fmt.Sprintf("kind-%d", int(kind))
+	}
+}
+
+// wireCube renders a cube in the two-frame wire encoding (the same form
+// requests carry and journals store).
+func wireCube(cube nineval.Cube) map[string]string {
+	if len(cube) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(cube))
+	for net, v := range cube {
+		m[net] = v.String()
+	}
+	return m
+}
+
+// deltaOps is one delta's validated edit set, shared between the live
+// request path and journal replay so both apply byte-identically.
+type deltaOps struct {
+	assignWire map[string]string // as journaled (validated two-frame strings)
+	assign     nineval.Cube
+	retract    []string
+	setPI      *sessionlog.PIRecord
+	swapNet    string
+	swapKind   netlist.GateKind
+	hasSwap    bool
+}
+
+// parseDeltaOps validates a delta's edits into an applicable form. The
+// argument types are the journal record's field types; the HTTP handler
+// converts its JSON body into them first, so a replayed record and a live
+// request walk the exact same validation.
+func parseDeltaOps(assign map[string]string, retract []string, setPI *sessionlog.PIRecord, swap *sessionlog.SwapRecord) (*deltaOps, error) {
+	cube, err := parseCube(assign)
+	if err != nil {
+		return nil, err
+	}
+	ops := &deltaOps{
+		assignWire: wireCube(cube),
+		assign:     cube,
+		retract:    retract,
+		setPI:      setPI,
+	}
+	if swap != nil {
+		kind, err := parseGateKind(swap.Kind)
+		if err != nil {
+			return nil, err
+		}
+		ops.swapNet = swap.Net
+		ops.swapKind = kind
+		ops.hasSwap = true
+	}
+	return ops, nil
+}
+
+// applyDelta applies one delta's edits to the graph in the canonical order
+// (cube, set_pi, swap_gate). It returns the journal record of the applied
+// prefix — on a mid-delta failure the record carries exactly the sub-edits
+// that took effect (tgraph rolls the failing one back), so replaying the
+// record reproduces the live graph — plus the union of changed nets.
+func applyDelta(ctx context.Context, g *tgraph.Graph, ops *deltaOps) (applied sessionlog.Record, changed map[string]bool, err error) {
+	applied.Kind = "delta"
+	changed = make(map[string]bool)
+	note := func() {
+		for _, net := range g.Changed() {
+			changed[net] = true
+		}
+	}
+	if len(ops.assign) > 0 || len(ops.retract) > 0 {
+		raw := g.RawCube().Clone()
+		for net, v := range ops.assign {
+			raw[net] = v
+		}
+		for _, net := range ops.retract {
+			delete(raw, net)
+		}
+		if err = g.SetCube(ctx, raw); err != nil {
+			return applied, changed, err
+		}
+		applied.Assign = ops.assignWire
+		applied.Retract = ops.retract
+		note()
+	}
+	if ops.setPI != nil {
+		p := twindow.PITiming{
+			ArrivalEarly: ops.setPI.ArrivalEarly,
+			ArrivalLate:  ops.setPI.ArrivalLate,
+			TransShort:   ops.setPI.TransShort,
+			TransLong:    ops.setPI.TransLong,
+		}
+		if err = g.SetPI(ctx, ops.setPI.Net, p); err != nil {
+			return applied, changed, err
+		}
+		pi := *ops.setPI
+		applied.SetPI = &pi
+		note()
+	}
+	if ops.hasSwap {
+		if err = g.SwapGate(ctx, ops.swapNet, ops.swapKind); err != nil {
+			return applied, changed, err
+		}
+		applied.Swap = &sessionlog.SwapRecord{Net: ops.swapNet, Kind: kindName(ops.swapKind)}
+		note()
+	}
+	return applied, changed, nil
+}
+
+// journalDelta makes an applied delta durable before it is acknowledged.
+// Losing the retire race (eviction/DELETE closed the log mid-delta) is
+// benign — the delta completed on the live graph and the session is gone
+// either way. Any other append failure is crash-equivalent: the resident
+// session is dropped with a reasoned tombstone (the journal's valid prefix
+// is the durable truth a restart recovers) and the client gets a 500.
+// Callers hold sess.mu.
+func (s *Server) journalDelta(sess *session, applied *sessionlog.Record) error {
+	if sess.log == nil || applied.Empty() {
+		return nil
+	}
+	applied.Seq = sess.seq + 1
+	if err := sess.log.Append(*applied); err != nil {
+		if errors.Is(err, sessionlog.ErrRetired) {
+			return nil
+		}
+		s.sessions.dropUndurable(sess.id)
+		return fmt.Errorf("%w: %v", ErrSessionDurability, err)
+	}
+	sess.seq++
+	return nil
+}
+
+// maybeCompact checkpoints the session's converged graph and truncates its
+// journal when the compaction policy (delta count or log size) says so.
+// Compaction failures are deliberately non-fatal: the delta it rode on is
+// already durable and acknowledged, and an oversized log only costs replay
+// time. Callers hold sess.mu; the graph must be converged (not poisoned).
+func (s *Server) maybeCompact(sess *session) {
+	lg := sess.log
+	if lg == nil {
+		return
+	}
+	every, bytes := s.opts.SessionSnapshotEvery, s.opts.SessionSnapshotBytes
+	due := (every > 0 && lg.DeltasSinceCompact() >= int64(every)) ||
+		(bytes > 0 && lg.SizeBytes() >= bytes)
+	if !due {
+		return
+	}
+	graph, err := sess.graph.EncodeSnapshot()
+	if err != nil {
+		return
+	}
+	err = lg.Compact(sessionlog.Snapshot{
+		SessionID: sess.id,
+		Seq:       sess.seq,
+		Edit:      sess.edits.Load(),
+		Graph:     graph,
+	})
+	if err == nil {
+		s.met.Add(engine.SvcSessionSnapshots, 1)
+	}
+}
+
 // handleSessionCreate serves POST /session: parse the netlist once, build
 // the persistent timing graph fully converged under the (possibly empty)
-// seed cube, and keep it resident for deltas.
+// seed cube, and keep it resident for deltas. With a session directory
+// configured the session is journaled — canonical netlist, delay-model
+// options and seed cube — before it is visible, so a crash after the 201
+// never loses it.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	id := RequestID(r.Context())
 	var req SessionCreateRequest
@@ -362,6 +624,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		if err := s.checkGateBudget(c); err != nil {
 			return err
 		}
+		// One consistent (library, fingerprint) snapshot for the whole
+		// creation: the graph is built against the same library whose
+		// fingerprint the journal meta pins.
+		ls := s.libstate()
 		// One fault hook per session: every convergence pass of this graph
 		// (build, deltas, heals) consults it, mirroring the per-job hook
 		// on /conformance.
@@ -370,7 +636,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			levelHook = tgraph.FaultLevelHook(nf())
 		}
 		g, err := tgraph.NewWithCube(c, cube, tgraph.Options{
-			Lib:         s.library(),
+			Lib:         ls.lib,
 			Mode:        mode,
 			NCExtension: req.NCExtension,
 			Ctx:         ctx,
@@ -387,6 +653,28 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			mode:    mode,
 			created: time.Now(),
 			graph:   g,
+		}
+		if s.opts.SessionDir != "" {
+			var nb bytes.Buffer
+			if err := c.Write(&nb); err != nil {
+				return fmt.Errorf("%w: encoding netlist: %v", ErrSessionDurability, err)
+			}
+			lg, err := sessionlog.Create(
+				filepath.Join(s.opts.SessionDir, sess.id),
+				sessionlog.Meta{SessionID: sess.id, LibraryFingerprint: ls.fp},
+				sessionlog.Record{
+					Kind:        "create",
+					Netlist:     nb.String(),
+					Mode:        mode.String(),
+					NCExtension: req.NCExtension,
+					Cube:        wireCube(g.RawCube()),
+				},
+				sessionlog.Options{FaultHook: s.opts.SessionLogFaultHook},
+			)
+			if err != nil {
+				return fmt.Errorf("%w: %v", ErrSessionDurability, err)
+			}
+			sess.log = lg
 		}
 		evicted := s.sessions.put(sess)
 		s.met.Add(engine.SvcSessions, 1)
@@ -424,6 +712,9 @@ func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request, id string
 // the persistent graph and report the changed cone. The per-session lock
 // is taken inside the admitted job, so concurrent deltas to one session
 // serialize while the admission/deadline/drain contracts stay uniform.
+// Durable sessions acknowledge a delta only after its journal frame is
+// fsynced; the applied prefix of a mid-delta failure is journaled too, so
+// a restart replays to exactly the live (rolled-back) state.
 func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 	id := RequestID(r.Context())
 	var req SessionDeltaRequest
@@ -436,17 +727,24 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("empty delta: want assign/retract, set_pi or swap_gate"), nil)
 		return
 	}
-	assign, err := parseCube(req.Assign)
+	var setPI *sessionlog.PIRecord
+	if req.SetPI != nil {
+		setPI = &sessionlog.PIRecord{
+			Net:          req.SetPI.Net,
+			ArrivalEarly: req.SetPI.ArrivalEarly,
+			ArrivalLate:  req.SetPI.ArrivalLate,
+			TransShort:   req.SetPI.TransShort,
+			TransLong:    req.SetPI.TransLong,
+		}
+	}
+	var swap *sessionlog.SwapRecord
+	if req.SwapGate != nil {
+		swap = &sessionlog.SwapRecord{Net: req.SwapGate.Net, Kind: req.SwapGate.Kind}
+	}
+	ops, err := parseDeltaOps(req.Assign, req.Retract, setPI, swap)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, id, err, nil)
 		return
-	}
-	var swapKind netlist.GateKind
-	if req.SwapGate != nil {
-		if swapKind, err = parseGateKind(req.SwapGate.Kind); err != nil {
-			writeError(w, http.StatusBadRequest, id, err, nil)
-			return
-		}
 	}
 	sess := s.lookupSession(w, r, id)
 	if sess == nil {
@@ -461,44 +759,17 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
 		g := sess.graph
-		changed := make(map[string]bool)
-		if len(assign) > 0 || len(req.Retract) > 0 {
-			raw := g.RawCube().Clone()
-			for net, v := range assign {
-				raw[net] = v
-			}
-			for _, net := range req.Retract {
-				delete(raw, net)
-			}
-			if err := g.SetCube(ctx, raw); err != nil {
-				return err
-			}
-			for _, net := range g.Changed() {
-				changed[net] = true
-			}
+		applied, changed, applyErr := applyDelta(ctx, g, ops)
+		if applyErr == nil {
+			applied.Edit = sess.edits.Add(1)
 		}
-		if req.SetPI != nil {
-			p := twindow.PITiming{
-				ArrivalEarly: req.SetPI.ArrivalEarly,
-				ArrivalLate:  req.SetPI.ArrivalLate,
-				TransShort:   req.SetPI.TransShort,
-				TransLong:    req.SetPI.TransLong,
-			}
-			if err := g.SetPI(ctx, req.SetPI.Net, p); err != nil {
-				return err
-			}
-			for _, net := range g.Changed() {
-				changed[net] = true
-			}
+		if err := s.journalDelta(sess, &applied); err != nil {
+			return err
 		}
-		if req.SwapGate != nil {
-			if err := g.SwapGate(ctx, req.SwapGate.Net, swapKind); err != nil {
-				return err
-			}
-			for _, net := range g.Changed() {
-				changed[net] = true
-			}
+		if applyErr != nil {
+			return applyErr
 		}
+		s.maybeCompact(sess)
 		nets := make([]string, 0, len(changed))
 		for net := range changed {
 			nets = append(nets, net)
@@ -507,7 +778,7 @@ func (s *Server) handleSessionDelta(w http.ResponseWriter, r *http.Request) {
 		resp = &SessionDeltaResponse{
 			RequestID:   id,
 			SessionID:   sess.id,
-			Edit:        sess.edits.Add(1),
+			Edit:        applied.Edit,
 			Cube:        g.RawCube().String(),
 			Changed:     len(nets),
 			ChangedNets: nets,
@@ -591,13 +862,17 @@ func (s *Server) handleSessionWindows(w http.ResponseWriter, r *http.Request) {
 
 // handleSessionDelete serves DELETE /session/{id}. Deletion frees
 // resources, so it is allowed even while draining; a delta already holding
-// the session completes against its live pointer.
+// the session completes against its live pointer. The journal is retired
+// atomically (rename then remove), so a crash mid-delete never resurrects
+// the session half-way.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := RequestID(r.Context())
 	sid := r.PathValue("id")
-	if err := s.sessions.remove(sid); err != nil {
+	sess, err := s.sessions.remove(sid)
+	if err != nil {
 		writeError(w, http.StatusNotFound, id, err, nil)
 		return
 	}
+	sess.retireLog()
 	writeJSON(w, http.StatusOK, &SessionDeleteResponse{RequestID: id, SessionID: sid, Deleted: true})
 }

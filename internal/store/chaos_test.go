@@ -3,6 +3,8 @@ package store_test
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
@@ -12,8 +14,23 @@ import (
 	"sstiming/internal/core"
 	"sstiming/internal/device"
 	"sstiming/internal/engine"
+	"sstiming/internal/faultinject"
 	"sstiming/internal/store"
 )
+
+// chaosSeed resolves the suite seed — overridable via the CHAOS_SEED env
+// var — and prints it when the test fails, so any chaotic run is
+// reproducible with CHAOS_SEED=<printed seed>.
+func chaosSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	seed := faultinject.SeedFromEnv(def)
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("reproduce with CHAOS_SEED=%d", seed)
+		}
+	})
+	return seed
+}
 
 // chaosOptions is the smallest deterministic campaign (the charlib golden
 // configuration): INV + NAND2 on a 3-point grid, run serially so the kill
@@ -95,12 +112,21 @@ func TestChaosKillResumeByteIdentical(t *testing.T) {
 	if appended != 1 {
 		t.Fatalf("%d cells journaled before the kill, want 1", appended)
 	}
-	// The kill also tears a partial record for the in-flight cell.
+	// The kill also tears a partial record for the in-flight cell: a
+	// plausible frame header followed by a seeded-random truncated payload
+	// (real kills tear at arbitrary offsets with arbitrary bytes, so the
+	// junk shape is part of the chaos schedule).
+	rng := rand.New(rand.NewSource(chaosSeed(t, 17)))
+	junk := make([]byte, 1+rng.Intn(96))
+	rng.Read(junk)
 	f, err := os.OpenFile(filepath.Join(jdir, "cells.waj"), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString("waj1 4096 0badc0de\n{\"Name\":\"NA"); err != nil {
+	if _, err := f.WriteString(fmt.Sprintf("waj1 %d 0badc0de\n", len(junk)+1+rng.Intn(4096))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(junk); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()

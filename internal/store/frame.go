@@ -1,0 +1,90 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The CRC frame format is shared by every append-only write-ahead log in
+// the system: the characterisation journal (this package), the per-attempt
+// shard journals (internal/shard), and the per-session delta logs
+// (internal/sessionlog). One frame is
+//
+//	"waj1 <payload-len> <crc32c-hex>\n" + payload + "\n"
+//
+// appended and fsynced as a unit. A crash can tear at most the final frame;
+// a scan verifies length and CRC and keeps the valid prefix.
+
+// EncodeFrame frames one payload for an append-only CRC journal.
+func EncodeFrame(payload []byte) []byte {
+	frame := make([]byte, 0, len(payload)+48)
+	frame = append(frame, fmt.Sprintf("%s %d %08x\n", recordMagic, len(payload), crc32.Checksum(payload, crcTable))...)
+	frame = append(frame, payload...)
+	frame = append(frame, '\n')
+	return frame
+}
+
+// ScanFrames reads an append-only CRC-framed record file and calls visit for
+// each frame whose length and checksum verify, in file order. visit returns
+// false to reject a frame the caller cannot decode — the scan stops there
+// and the frame does NOT count toward the valid prefix (CRC ok but payload
+// undecodable means a writer bug; stop trusting the file). The returned
+// length is the byte length of the trusted prefix, suitable for truncating a
+// torn tail before new appends. A missing file scans as empty.
+func ScanFrames(path string, visit func(payload []byte) bool) (int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: opening journal records: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	var valid int64
+	for {
+		header, err := r.ReadBytes('\n')
+		if err == io.EOF && len(header) == 0 {
+			break // clean end
+		}
+		if err != nil {
+			break // torn header
+		}
+		var magic, crcHex string
+		var plen int
+		if n, _ := fmt.Sscanf(string(bytes.TrimSuffix(header, []byte("\n"))), "%s %d %s", &magic, &plen, &crcHex); n != 3 || magic != recordMagic || plen <= 0 {
+			break // corrupt header
+		}
+		payload := make([]byte, plen+1) // + trailing newline
+		if _, err := io.ReadFull(r, payload); err != nil {
+			break // torn payload
+		}
+		if payload[plen] != '\n' {
+			break // frame misaligned
+		}
+		payload = payload[:plen]
+		if fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable)) != crcHex {
+			break // bit rot / torn overwrite
+		}
+		if !visit(payload) {
+			break
+		}
+		valid += int64(len(header)) + int64(plen) + 1
+	}
+	return valid, nil
+}
+
+// WriteFileSync writes bytes to path and fsyncs before closing. Unlike
+// AtomicWrite it creates the file in place — use it for files that are only
+// ever written once (journal meta) where a torn write is detectable.
+func WriteFileSync(path string, b []byte) error { return writeFileSync(path, b) }
+
+// SyncDir fsyncs a directory so renames and creates inside it are durable.
+// Best effort: some filesystems refuse directory fsync; the data files
+// themselves are already synced.
+func SyncDir(dir string) { syncDir(dir) }

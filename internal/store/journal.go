@@ -1,8 +1,6 @@
 package store
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -180,57 +178,26 @@ func ReplayJournal(dir string, fp Fingerprint) (map[string]*core.CellModel, erro
 	return models, err
 }
 
-// replayRecords scans the record file, returning every model whose frame
-// verifies (length and CRC) and the byte length of the valid prefix. A torn
-// or corrupt frame ends the replay: by the append-then-fsync discipline only
-// the final record can be torn, and anything after unreadable bytes is
-// unattributable anyway.
+// replayRecords scans the record file via ScanFrames, returning every model
+// whose frame verifies (length and CRC) and the byte length of the valid
+// prefix. A torn or corrupt frame ends the replay: by the append-then-fsync
+// discipline only the final record can be torn, and anything after
+// unreadable bytes is unattributable anyway.
 func replayRecords(path string) (map[string]*core.CellModel, int64, error) {
 	models := make(map[string]*core.CellModel)
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return models, 0, nil
-	}
-	if err != nil {
-		return nil, 0, fmt.Errorf("store: opening journal records: %w", err)
-	}
-	defer f.Close()
-
-	r := bufio.NewReader(f)
-	var valid int64
-	for {
-		header, err := r.ReadBytes('\n')
-		if err == io.EOF && len(header) == 0 {
-			break // clean end
-		}
-		if err != nil {
-			break // torn header
-		}
-		var magic, crcHex string
-		var plen int
-		if n, _ := fmt.Sscanf(string(bytes.TrimSuffix(header, []byte("\n"))), "%s %d %s", &magic, &plen, &crcHex); n != 3 || magic != recordMagic || plen <= 0 {
-			break // corrupt header
-		}
-		payload := make([]byte, plen+1) // + trailing newline
-		if _, err := io.ReadFull(r, payload); err != nil {
-			break // torn payload
-		}
-		if payload[plen] != '\n' {
-			break // frame misaligned
-		}
-		payload = payload[:plen]
-		if fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable)) != crcHex {
-			break // bit rot / torn overwrite
-		}
+	valid, err := ScanFrames(path, func(payload []byte) bool {
 		var m core.CellModel
 		if err := json.Unmarshal(payload, &m); err != nil || m.Name == "" {
-			break // CRC ok but payload undecodable: writer bug, stop trusting
+			return false // CRC ok but payload undecodable: writer bug, stop trusting
 		}
 		if err := m.Validate(); err != nil {
-			break
+			return false
 		}
 		models[m.Name] = &m
-		valid += int64(len(header)) + int64(plen) + 1
+		return true
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	return models, valid, nil
 }
@@ -243,10 +210,7 @@ func (j *Journal) Append(m *core.CellModel) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding journal record for %q: %w", m.Name, err)
 	}
-	frame := make([]byte, 0, len(payload)+48)
-	frame = append(frame, fmt.Sprintf("%s %d %08x\n", recordMagic, len(payload), crc32.Checksum(payload, crcTable))...)
-	frame = append(frame, payload...)
-	frame = append(frame, '\n')
+	frame := EncodeFrame(payload)
 
 	j.mu.Lock()
 	defer j.mu.Unlock()

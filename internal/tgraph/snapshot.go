@@ -1,0 +1,257 @@
+package tgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"sstiming/internal/netlist"
+	"sstiming/internal/nineval"
+	"sstiming/internal/twindow"
+)
+
+// A snapshot is the full converged state of a Graph, checkpointed so that a
+// restart can rebuild the graph without replaying its edit history or
+// re-converging a single gate. Windows are serialized as the raw IEEE-754
+// bit patterns of their float64s (uint64s round-trip exactly through JSON,
+// float text does not have to), so a restored graph is byte-identical to
+// the one that was encoded — the invariant the session-recovery chaos suite
+// asserts. Values and transition states are NOT stored: both are pure
+// functions of the implied cube (twindow.PILine / PropagateGate derive them
+// the same way), so they are re-derived on restore and cannot drift.
+//
+// The netlist is stored as .bench text written by netlist.Circuit.Write —
+// it reflects in-place gate swaps (SwapGate mutates the circuit), and
+// parsing it back reproduces gates in declaration order, which levelization
+// and window convergence are deterministic over.
+
+// ErrBadSnapshot reports a snapshot that cannot be decoded or fails
+// validation against the circuit it claims to describe.
+var ErrBadSnapshot = errors.New("tgraph: bad snapshot")
+
+const snapshotVersion = 1
+
+type snapshotWindow struct {
+	AS, AL, TS, TL uint64 // math.Float64bits
+}
+
+type snapshotLine struct {
+	Rise snapshotWindow `json:"r"`
+	Fall snapshotWindow `json:"f"`
+}
+
+type snapshotPI struct {
+	ArrivalEarly uint64 `json:"ae"`
+	ArrivalLate  uint64 `json:"al"`
+	TransShort   uint64 `json:"ts"`
+	TransLong    uint64 `json:"tl"`
+}
+
+type snapshotJSON struct {
+	Version     int                     `json:"version"`
+	Name        string                  `json:"name"`
+	Netlist     string                  `json:"netlist"`
+	Mode        string                  `json:"mode"`
+	NCExtension bool                    `json:"nc_extension"`
+	PI          snapshotPI              `json:"pi"`
+	PerPI       map[string]snapshotPI   `json:"per_pi,omitempty"`
+	RawCube     map[string]string       `json:"raw_cube,omitempty"`
+	Lines       map[string]snapshotLine `json:"lines"`
+}
+
+func encodeWindow(w twindow.Window) snapshotWindow {
+	return snapshotWindow{
+		AS: math.Float64bits(w.AS), AL: math.Float64bits(w.AL),
+		TS: math.Float64bits(w.TS), TL: math.Float64bits(w.TL),
+	}
+}
+
+func decodeWindow(w snapshotWindow) twindow.Window {
+	return twindow.Window{
+		AS: math.Float64frombits(w.AS), AL: math.Float64frombits(w.AL),
+		TS: math.Float64frombits(w.TS), TL: math.Float64frombits(w.TL),
+	}
+}
+
+func encodePI(p twindow.PITiming) snapshotPI {
+	return snapshotPI{
+		ArrivalEarly: math.Float64bits(p.ArrivalEarly),
+		ArrivalLate:  math.Float64bits(p.ArrivalLate),
+		TransShort:   math.Float64bits(p.TransShort),
+		TransLong:    math.Float64bits(p.TransLong),
+	}
+}
+
+func decodePI(p snapshotPI) twindow.PITiming {
+	return twindow.PITiming{
+		ArrivalEarly: math.Float64frombits(p.ArrivalEarly),
+		ArrivalLate:  math.Float64frombits(p.ArrivalLate),
+		TransShort:   math.Float64frombits(p.TransShort),
+		TransLong:    math.Float64frombits(p.TransLong),
+	}
+}
+
+// parseValue decodes the two-character form nineval.Value.String emits
+// ("01", "x1", ...).
+func parseValue(s string) (nineval.Value, error) {
+	if len(s) != 2 {
+		return nineval.Value{}, fmt.Errorf("value %q is not two frames of [01x]", s)
+	}
+	frame := func(ch byte) (nineval.Frame, error) {
+		switch ch {
+		case '0':
+			return nineval.F0, nil
+		case '1':
+			return nineval.F1, nil
+		case 'x', 'X':
+			return nineval.FX, nil
+		}
+		return 0, fmt.Errorf("value %q is not two frames of [01x]", s)
+	}
+	v1, err := frame(s[0])
+	if err != nil {
+		return nineval.Value{}, err
+	}
+	v2, err := frame(s[1])
+	if err != nil {
+		return nineval.Value{}, err
+	}
+	return nineval.Value{V1: v1, V2: v2}, nil
+}
+
+// EncodeSnapshot serializes the graph's full converged state. A poisoned
+// graph cannot be snapshotted (its windows are suspect); callers heal first.
+func (g *Graph) EncodeSnapshot() ([]byte, error) {
+	if g.poisoned {
+		return nil, fmt.Errorf("tgraph: cannot snapshot a poisoned graph")
+	}
+	var nb bytes.Buffer
+	if err := g.c.Write(&nb); err != nil {
+		return nil, fmt.Errorf("tgraph: encoding snapshot netlist: %w", err)
+	}
+	s := snapshotJSON{
+		Version:     snapshotVersion,
+		Name:        g.c.Name,
+		Netlist:     nb.String(),
+		Mode:        g.opts.Mode.String(),
+		NCExtension: g.opts.NCExtension,
+		PI:          encodePI(g.opts.PI),
+		Lines:       make(map[string]snapshotLine, len(g.lines)),
+	}
+	if len(g.perPI) > 0 {
+		s.PerPI = make(map[string]snapshotPI, len(g.perPI))
+		for name, p := range g.perPI {
+			s.PerPI[name] = encodePI(p)
+		}
+	}
+	if len(g.raw) > 0 {
+		s.RawCube = make(map[string]string, len(g.raw))
+		for net, v := range g.raw {
+			s.RawCube[net] = v.String()
+		}
+	}
+	for net, li := range g.lines {
+		s.Lines[net] = snapshotLine{Rise: encodeWindow(li.Rise), Fall: encodeWindow(li.Fall)}
+	}
+	return json.Marshal(s)
+}
+
+// RestoreSnapshot rebuilds a Graph from EncodeSnapshot output without
+// replaying edits or re-converging: the skeleton is rebuilt from the
+// embedded netlist, the raw cube is re-implied, and every line's windows
+// are installed verbatim (values and states re-derived from the implied
+// cube). The restored graph is byte-identical to the encoded one.
+//
+// opts supplies the environment the snapshot cannot carry — the library,
+// metrics sink, context and worker budget. Mode and NCExtension in opts
+// must match the snapshot (an operator pointing a differently-configured
+// daemon at old state should hear about it, not silently serve windows
+// computed under another model); PI stimuli come from the snapshot and
+// override opts. All failures are typed ErrBadSnapshot; malformed input
+// never panics.
+func RestoreSnapshot(data []byte, opts Options) (*Graph, error) {
+	var s snapshotJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrBadSnapshot, s.Version, snapshotVersion)
+	}
+	if got, want := s.Mode, opts.Mode.String(); got != want {
+		return nil, fmt.Errorf("%w: snapshot mode %q, graph options want %q", ErrBadSnapshot, got, want)
+	}
+	if s.NCExtension != opts.NCExtension {
+		return nil, fmt.Errorf("%w: snapshot nc_extension=%v, graph options want %v", ErrBadSnapshot, s.NCExtension, opts.NCExtension)
+	}
+	// The .bench text carries no circuit name, so the snapshot stores it
+	// separately — a restored session must answer with the name it was
+	// created under, not a placeholder.
+	name := s.Name
+	if name == "" {
+		name = "snapshot"
+	}
+	c, err := netlist.Parse(name, strings.NewReader(s.Netlist))
+	if err != nil {
+		return nil, fmt.Errorf("%w: embedded netlist: %v", ErrBadSnapshot, err)
+	}
+	opts.PI = decodePI(s.PI)
+	opts.PerPI = nil
+	g, err := newSkeleton(c, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	for name, p := range s.PerPI {
+		if !c.IsPI(name) {
+			return nil, fmt.Errorf("%w: per-PI stimulus for %q, which is not a primary input", ErrBadSnapshot, name)
+		}
+		g.perPI[name] = decodePI(p)
+	}
+
+	raw := nineval.Cube{}
+	for net, vs := range s.RawCube {
+		v, err := parseValue(vs)
+		if err != nil {
+			return nil, fmt.Errorf("%w: raw cube net %q: %v", ErrBadSnapshot, net, err)
+		}
+		raw[net] = v
+	}
+	implied, ok := nineval.Imply(c, raw)
+	if !ok {
+		return nil, fmt.Errorf("%w: raw cube is inconsistent with the netlist", ErrBadSnapshot)
+	}
+	g.raw = raw
+	g.implied = implied
+
+	// Install the checkpointed windows over every line the graph owns —
+	// each primary input and each gate output, no more, no fewer.
+	install := func(net string) error {
+		sl, ok := s.Lines[net]
+		if !ok {
+			return fmt.Errorf("%w: no line state for net %q", ErrBadSnapshot, net)
+		}
+		v := implied.Get(net)
+		li := twindow.LineInfo{
+			Value: v, SRise: v.StateRise(), SFall: v.StateFall(),
+			Rise: decodeWindow(sl.Rise), Fall: decodeWindow(sl.Fall),
+		}
+		g.lines[net] = &li
+		return nil
+	}
+	for _, pi := range c.PIs {
+		if err := install(pi); err != nil {
+			return nil, err
+		}
+	}
+	for i := range c.Gates {
+		if err := install(c.Gates[i].Output); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.Lines) != len(g.lines) {
+		return nil, fmt.Errorf("%w: %d line entries for a circuit with %d lines", ErrBadSnapshot, len(s.Lines), len(g.lines))
+	}
+	return g, nil
+}

@@ -120,10 +120,11 @@ func New(c *netlist.Circuit, opts Options) (*Graph, error) {
 	return NewWithCube(c, nineval.Cube{}, opts)
 }
 
-// NewWithCube builds a Graph and fully converges its windows under the
-// given cube (one implication + one full window pass — the cost of a single
-// from-scratch itr.Refine).
-func NewWithCube(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Graph, error) {
+// newSkeleton builds the structural half of a Graph — levelization, cell
+// binding, fan-out loads — with no cube and no timing state. NewWithCube
+// seeds and converges it; RestoreSnapshot installs checkpointed lines
+// verbatim instead.
+func newSkeleton(c *netlist.Circuit, opts Options) (*Graph, error) {
 	if opts.Lib == nil {
 		return nil, fmt.Errorf("tgraph: Options.Lib is required")
 	}
@@ -165,6 +166,18 @@ func NewWithCube(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Graph, e
 		g.cells[i] = cell
 		g.extraLoad[i] = float64(c.FanoutCount(gate.Output)-1) * cell.RefLoad
 	}
+	return g, nil
+}
+
+// NewWithCube builds a Graph and fully converges its windows under the
+// given cube (one implication + one full window pass — the cost of a single
+// from-scratch itr.Refine).
+func NewWithCube(c *netlist.Circuit, cube nineval.Cube, opts Options) (*Graph, error) {
+	g, err := newSkeleton(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts = g.opts
 
 	implied, ok := nineval.Imply(c, cube)
 	if !ok {
